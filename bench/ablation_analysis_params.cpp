@@ -1,0 +1,69 @@
+// Ablation of the §4.2 analysis parameters on one CAMPUS day:
+//
+//  * the reorder-window size — too small leaves nfsiod reordering in the
+//    stream (inflated "random"); unbounded would launder genuine client
+//    randomness into "sequential";
+//  * the jump tolerance k — 0 reproduces the conventional (fragile)
+//    taxonomy; the paper argues jumps under 10 blocks don't move the disk
+//    arm; very large k degenerates the same way an unbounded window does.
+//
+// The table shows how the fraction of read runs classified "random" moves
+// with each knob, holding the trace fixed.
+#include "analysis/reorder.hpp"
+#include "analysis/runs.hpp"
+#include "bench_common.hpp"
+
+using namespace nfstrace;
+using namespace nfstrace::bench;
+
+int main() {
+  banner("Ablation (§4.2) -- reorder window and jump tolerance sensitivity");
+
+  MicroTime start = days(1);
+  auto campus = makeCampus(30, nullptr);
+  campus.workload->setup(start);
+  campus.workload->run(start, start + days(1));
+  campus.env->finishCapture();
+  auto& records = campus.env->records();
+
+  {
+    TextTable t({"Reorder window", "% read runs random (k=10)",
+                 "% accesses swapped"});
+    for (MicroTime w : {0L, 1'000L, 5'000L, 10'000L, 50'000L, 1'000'000L}) {
+      auto sorted = sortWithReorderWindow(records, w);
+      auto summary = summarizeRunPatterns(detectRuns(sorted.records));
+      std::string label = w >= 1'000'000
+                              ? TextTable::fixed(static_cast<double>(w) / 1e6, 0) + " s"
+                              : TextTable::fixed(static_cast<double>(w) / 1e3, 0) + " ms";
+      if (w == 10'000) label += "  <- paper (CAMPUS)";
+      t.addRow({label, TextTable::fixed(100.0 * summary.readRandom, 1),
+                TextTable::fixed(100.0 * sorted.swappedFraction(), 1)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  std::printf("\n");
+  {
+    auto sorted = sortWithReorderWindow(records, 10'000);
+    TextTable t({"Jump tolerance k (blocks)", "% read runs random",
+                 "% write runs random"});
+    for (std::uint32_t k : {0u, 1u, 5u, 10u, 50u, 500u}) {
+      RunDetectorConfig cfg;
+      cfg.jumpTolerance = k;
+      auto summary = summarizeRunPatterns(detectRuns(sorted.records, cfg));
+      std::string label = std::to_string(k);
+      if (k == 10) label += "  <- paper";
+      t.addRow({label, TextTable::fixed(100.0 * summary.readRandom, 1),
+                TextTable::fixed(100.0 * summary.writeRandom, 1)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  std::printf(
+      "\nBoth knobs show the paper's reasoning: the window matters only up\n"
+      "to the knee (a few ms) and then flattens — but never stops rising,\n"
+      "which is why it must not be unbounded; k=10 removes the small-seek\n"
+      "false randoms while k in the hundreds would start blessing genuine\n"
+      "seeks (disk-arm-moving jumps) as sequential.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation of §6.1.2's speculation: "if client caching of mailboxes was
+// done on a block or message basis instead of a file basis, the amount of
+// data read per day would shrink to a fraction of the current size."
+//
+// We run the same CAMPUS day twice: once with standard NFS whole-file
+// invalidation (any mtime change discards the cached copy) and once with
+// block/message-granularity consistency (an appended mailbox keeps its
+// cached prefix; only the new tail is fetched).  The paper could only
+// speculate; the simulator can measure.
+#include "analysis/summary.hpp"
+#include "bench_common.hpp"
+
+using namespace nfstrace;
+using namespace nfstrace::bench;
+
+namespace {
+
+TraceSummary runDay(CacheGranularity granularity) {
+  TraceSummary out;
+  auto cb = [&](const TraceRecord& r) {
+    ++out.totalOps;
+    if (r.op == NfsOp::Read) {
+      ++out.readOps;
+      out.bytesRead += r.hasReply ? r.retCount : r.count;
+    } else if (r.op == NfsOp::Write) {
+      ++out.writeOps;
+      out.bytesWritten += r.hasReply && r.retCount ? r.retCount : r.count;
+    } else {
+      ++out.metadataOps;
+    }
+  };
+  auto s = makeCampus(30, cb, 2001, [&](SimEnvironment::Config& cfg) {
+    cfg.clientConfig.cacheGranularity = granularity;
+    // Ample client RAM on both runs, so the comparison isolates the
+    // consistency-granularity effect from capacity evictions.
+    cfg.clientConfig.dataCacheCapacityBytes = 512ULL << 20;
+  });
+  MicroTime start = days(1);
+  s.workload->setup(start);
+  s.workload->run(start, start + days(1));
+  s.env->finishCapture();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation (§6.1.2) -- whole-file vs block-granularity client caching");
+
+  auto wholeFile = runDay(CacheGranularity::WholeFile);
+  auto blockBased = runDay(CacheGranularity::BlockBased);
+
+  TextTable t({"Metric", "whole-file (NFS)", "block/message basis",
+               "reduction"});
+  auto pct = [](std::uint64_t a, std::uint64_t b) {
+    return a ? TextTable::percent(1.0 - static_cast<double>(b) /
+                                            static_cast<double>(a))
+             : std::string("-");
+  };
+  t.addRow({"Data read (MB/day)",
+            TextTable::fixed(static_cast<double>(wholeFile.bytesRead) / 1e6, 1),
+            TextTable::fixed(static_cast<double>(blockBased.bytesRead) / 1e6, 1),
+            pct(wholeFile.bytesRead, blockBased.bytesRead)});
+  t.addRow({"Read ops/day", TextTable::withCommas(wholeFile.readOps),
+            TextTable::withCommas(blockBased.readOps),
+            pct(wholeFile.readOps, blockBased.readOps)});
+  t.addRow({"Total NFS calls/day", TextTable::withCommas(wholeFile.totalOps),
+            TextTable::withCommas(blockBased.totalOps),
+            pct(wholeFile.totalOps, blockBased.totalOps)});
+  t.addRow({"Data written (MB/day)",
+            TextTable::fixed(static_cast<double>(wholeFile.bytesWritten) / 1e6, 1),
+            TextTable::fixed(static_cast<double>(blockBased.bytesWritten) / 1e6, 1),
+            pct(wholeFile.bytesWritten, blockBased.bytesWritten)});
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nThe paper (§6.1.2): each delivery updates the inbox mtime, NFS\n"
+      "invalidates the whole cached file, and the client immediately\n"
+      "re-reads on average >2 MB — 'the majority of all reads on CAMPUS'.\n"
+      "With message-basis consistency only the appended tail is fetched,\n"
+      "so the read volume collapses while the write path is untouched —\n"
+      "quantifying the speculation the authors could not test.\n");
+  return 0;
+}

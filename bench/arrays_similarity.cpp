@@ -1,0 +1,60 @@
+// §3.2: "We gathered long-term traces for two arrays and short-term traces
+// for seven others.  We computed summary statistics and general usage
+// patterns for all nine of the traced arrays and found them to be similar.
+// We chose to use the array named home02 for our in-depth analysis."
+//
+// Each CAMPUS disk array hosts a different (random) slice of the user
+// population.  This bench simulates several arrays with different seeds —
+// different users, mailbox sizes, and event timings — and shows the
+// summary statistics line up, which is what justifies the paper's use of
+// home02 as representative.
+#include "analysis/summary.hpp"
+#include "bench_common.hpp"
+
+using namespace nfstrace;
+using namespace nfstrace::bench;
+
+int main() {
+  banner("Section 3.2 -- per-array similarity across CAMPUS disk arrays");
+
+  TextTable t({"Array", "ops/day (k)", "read MB", "written MB", "R/W bytes",
+               "R/W ops", "data-op %"});
+  const char* names[] = {"home02", "home03", "home05", "home09"};
+  for (int array = 0; array < 4; ++array) {
+    TraceSummary s;
+    auto cb = [&](const TraceRecord& r) {
+      ++s.totalOps;
+      if (r.op == NfsOp::Read) {
+        ++s.readOps;
+        ++s.dataOps;
+        s.bytesRead += r.hasReply ? r.retCount : r.count;
+      } else if (r.op == NfsOp::Write) {
+        ++s.writeOps;
+        ++s.dataOps;
+        s.bytesWritten += r.hasReply && r.retCount ? r.retCount : r.count;
+      } else {
+        ++s.metadataOps;
+      }
+    };
+    auto setup = makeCampus(24, cb, 9000 + static_cast<std::uint64_t>(array) * 131);
+    MicroTime start = days(1);
+    setup.workload->setup(start);
+    setup.workload->run(start, start + days(1));
+    setup.env->finishCapture();
+
+    t.addRow({names[array],
+              TextTable::fixed(static_cast<double>(s.totalOps) / 1e3, 1),
+              TextTable::fixed(static_cast<double>(s.bytesRead) / 1e6, 0),
+              TextTable::fixed(static_cast<double>(s.bytesWritten) / 1e6, 0),
+              TextTable::fixed(s.readWriteByteRatio(), 2),
+              TextTable::fixed(s.readWriteOpRatio(), 2),
+              TextTable::fixed(100.0 * s.dataOpFraction(), 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nEach array serves a different random user slice, yet the shape\n"
+      "statistics agree closely — the property that let the paper analyze\n"
+      "one array (home02) and speak for the system.\n");
+  return 0;
+}

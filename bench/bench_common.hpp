@@ -1,0 +1,98 @@
+// Shared setup for the paper-reproduction benches.
+//
+// Each bench regenerates one table or figure of Ellard et al. (FAST 2003)
+// from a freshly simulated capture.  The simulated populations are
+// scaled-down (the paper's CAMPUS array served ~700 users and 26.7M
+// ops/day; we default to tens of users) — every bench reports shape
+// (ratios, percentages, distributions), which is what survives scaling,
+// and prints the paper's numbers alongside for comparison.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/table.hpp"
+#include "util/time.hpp"
+#include "workload/campus.hpp"
+#include "workload/eecs.hpp"
+#include "workload/sim.hpp"
+
+namespace nfstrace::bench {
+
+/// The analysis week: Sunday 2001-10-21 .. Saturday 2001-10-27 maps to
+/// simulation days 0..6.
+inline constexpr MicroTime kWeekStart = 0;
+
+struct CampusSetup {
+  std::unique_ptr<SimEnvironment> env;
+  std::unique_ptr<CampusWorkload> workload;
+};
+
+struct EecsSetup {
+  std::unique_ptr<SimEnvironment> env;
+  std::unique_ptr<EecsWorkload> workload;
+};
+
+/// CAMPUS: NFSv3/TCP on jumbo frames, 50 MB quotas, three client hosts
+/// (SMTP, POP, login).  Pass a callback to stream records (for long runs);
+/// otherwise they collect in env->records().
+inline CampusSetup makeCampus(int users, SimEnvironment::RecordCallback cb,
+                              std::uint64_t seed = 2001,
+                              const std::function<void(SimEnvironment::Config&)>&
+                                  tweak = nullptr) {
+  SimEnvironment::Config cfg;
+  cfg.fsConfig.fsid = 2;
+  cfg.fsConfig.defaultQuotaBytes = 50ULL << 20;
+  cfg.clientHosts = 3;
+  cfg.nfsVers = 3;
+  cfg.useTcp = true;
+  cfg.mtu = kJumboMtu;
+  // The shared POP/login servers juggle every user's mailbox in limited
+  // RAM, so cached file data gets evicted under load.
+  cfg.clientConfig.dataCacheCapacityBytes = 48ULL << 20;
+  cfg.seed = seed;
+  if (tweak) tweak(cfg);
+  CampusSetup s;
+  s.env = std::make_unique<SimEnvironment>(cfg, std::move(cb));
+  CampusConfig wl;
+  wl.users = users;
+  wl.seed = seed + 1;
+  s.workload = std::make_unique<CampusWorkload>(wl, *s.env);
+  return s;
+}
+
+/// EECS: NFSv3 (some v2) over UDP, per-user workstations, no quotas.
+inline EecsSetup makeEecs(int users, SimEnvironment::RecordCallback cb,
+                          std::uint64_t seed = 4004,
+                          const std::function<void(SimEnvironment::Config&)>&
+                              tweak = nullptr) {
+  SimEnvironment::Config cfg;
+  cfg.fsConfig.fsid = 1;
+  cfg.clientHosts = 8;
+  cfg.nfsVers = 3;
+  // "Most of the EECS clients use NFSv3, but many use NFSv2."
+  cfg.hostVersions = {3, 3, 3, 3, 3, 3, 2, 2};
+  cfg.useTcp = false;
+  cfg.mtu = kStandardMtu;
+  cfg.seed = seed;
+  if (tweak) tweak(cfg);
+  EecsSetup s;
+  s.env = std::make_unique<SimEnvironment>(cfg, std::move(cb));
+  EecsConfig wl;
+  wl.users = users;
+  wl.seed = seed + 1;
+  s.workload = std::make_unique<EecsWorkload>(wl, *s.env);
+  return s;
+}
+
+inline void banner(const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("  (regenerated from a scaled-down synthetic capture; compare\n");
+  std::printf("   shape against the paper values shown alongside)\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace nfstrace::bench

@@ -1,0 +1,67 @@
+// Figure 1: the effect of the reorder-window size on the percentage of
+// accesses swapped, for the Wednesday 9am-12pm subset.  The curve rises
+// steeply for the first few milliseconds (undoing nfsiod scheduling
+// jitter), then shows a knee; the paper picks 5 ms for EECS and 10 ms for
+// CAMPUS.
+#include "analysis/reorder.hpp"
+#include "bench_common.hpp"
+
+using namespace nfstrace;
+using namespace nfstrace::bench;
+
+int main() {
+  banner("Figure 1 -- % of accesses swapped vs reorder-window size (Wed 9am-12pm)");
+
+  MicroTime subsetStart = days(4) + hours(9);  // Wednesday 9am
+  MicroTime subsetEnd = days(4) + hours(12);
+
+  auto capture = [&](bool campusSystem) {
+    std::vector<TraceRecord> subset;
+    auto cb = [&](const TraceRecord& r) {
+      if (r.ts >= subsetStart && r.ts < subsetEnd) subset.push_back(r);
+    };
+    // Start the run at Wednesday midnight so caches and mailboxes are warm
+    // by 9am.
+    MicroTime runStart = days(4);
+    if (campusSystem) {
+      auto s = makeCampus(30, cb);
+      s.workload->setup(runStart);
+      s.workload->run(runStart, subsetEnd);
+      s.env->finishCapture();
+    } else {
+      auto s = makeEecs(20, cb);
+      s.workload->setup(runStart);
+      s.workload->run(runStart, subsetEnd);
+      s.env->finishCapture();
+    }
+    return subset;
+  };
+
+  auto campus = capture(true);
+  auto eecs = capture(false);
+
+  std::vector<MicroTime> windows;
+  for (int ms : {0, 1, 2, 3, 5, 8, 10, 15, 20, 30, 40, 50}) {
+    windows.push_back(ms * 1000);
+  }
+  auto campusSweep = sweepReorderWindows(campus, windows);
+  auto eecsSweep = sweepReorderWindows(eecs, windows);
+
+  TextTable t({"Window (ms)", "CAMPUS % swapped", "EECS % swapped"});
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    std::string mark;
+    if (windows[i] == 10'000) mark = "  <- paper's CAMPUS choice";
+    if (windows[i] == 5'000) mark = "  <- paper's EECS choice";
+    t.addRow({TextTable::fixed(static_cast<double>(windows[i]) / 1000.0, 0),
+              TextTable::fixed(100.0 * campusSweep[i].second, 2),
+              TextTable::fixed(100.0 * eecsSweep[i].second, 2) + mark});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape checks (paper Figure 1): both curves rise sharply within\n"
+      "the first few ms and then flatten (the knee); CAMPUS needs a\n"
+      "slightly larger window than EECS; an unbounded window would keep\n"
+      "absorbing genuine client randomness, so the knee is where to stop.\n");
+  return 0;
+}

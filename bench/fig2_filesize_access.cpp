@@ -1,0 +1,60 @@
+// Figure 2: cumulative percentage of bytes accessed randomly,
+// sequentially, or in their entirety, bucketed by the size of the file
+// accessed — one panel per system.
+#include "analysis/reorder.hpp"
+#include "analysis/runs.hpp"
+#include "bench_common.hpp"
+
+using namespace nfstrace;
+using namespace nfstrace::bench;
+
+namespace {
+
+void panel(const char* name, std::vector<TraceRecord>& records,
+           MicroTime window) {
+  auto sorted = sortWithReorderWindow(records, window);
+  auto runs = detectRuns(sorted.records);
+  auto data = bytesByFileSize(runs);
+
+  std::printf("%s: cumulative %% of bytes accessed, by file size\n", name);
+  TextTable t({"File size <=", "Total", "Entire", "Sequential", "Random"});
+  for (std::size_t i = 0; i < data.bucketTopBytes.size(); ++i) {
+    double top = data.bucketTopBytes[i];
+    std::string label = top >= 1 << 20
+                            ? TextTable::fixed(top / (1 << 20), 0) + "M"
+                            : TextTable::fixed(top / 1024, 0) + "k";
+    t.addRow({label, TextTable::fixed(data.total[i], 1),
+              TextTable::fixed(data.entire[i], 1),
+              TextTable::fixed(data.sequential[i], 1),
+              TextTable::fixed(data.random[i], 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 2 -- bytes accessed by category vs file size");
+
+  MicroTime start = days(1);
+  auto campus = makeCampus(30, nullptr);
+  campus.workload->setup(start);
+  campus.workload->run(start, start + days(1));
+  campus.env->finishCapture();
+  panel("CAMPUS", campus.env->records(), 10'000);
+
+  auto eecs = makeEecs(20, nullptr);
+  eecs.workload->setup(start);
+  eecs.workload->run(start, start + days(1));
+  eecs.env->finishCapture();
+  panel("EECS", eecs.env->records(), 5'000);
+
+  std::printf(
+      "Shape checks (paper Figure 2): on CAMPUS the vast majority of bytes\n"
+      "come from files larger than 1 MB (the mailboxes) — unlike almost\n"
+      "all prior trace studies; EECS looks like the classic research\n"
+      "workload, with most bytes from files under ~1 MB and long files\n"
+      "read in their entirety contributing ~30%%.\n");
+  return 0;
+}

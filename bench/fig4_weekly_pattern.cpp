@@ -1,0 +1,93 @@
+// Figure 4: hourly operation counts and hourly read/write ratios across
+// the full trace week, showing CAMPUS's strong diurnal/weekly cycle and
+// the off-peak ratio spikes.
+#include "analysis/hourly.hpp"
+#include "bench_common.hpp"
+
+using namespace nfstrace;
+using namespace nfstrace::bench;
+
+namespace {
+
+HourlyStats runWeek(bool campusSystem) {
+  HourlyStats hs;
+  auto cb = [&](const TraceRecord& r) { hs.observe(r); };
+  if (campusSystem) {
+    auto s = makeCampus(30, cb);
+    s.workload->setup(kWeekStart);
+    s.workload->run(kWeekStart, kWeekStart + days(7));
+    s.env->finishCapture();
+  } else {
+    auto s = makeEecs(20, cb);
+    s.workload->setup(kWeekStart);
+    s.workload->run(kWeekStart, kWeekStart + days(7));
+    s.env->finishCapture();
+  }
+  return hs;
+}
+
+void sparkline(const char* label, const HourlyStats& hs,
+               std::function<double(const HourBucket&)> metric) {
+  // Render each day as 24 glyphs scaled to the week's maximum.
+  double maxV = 0;
+  for (const auto& b : hs.hours()) maxV = std::max(maxV, metric(b));
+  static const char* kGlyphs = " .:-=+*#%@";
+  std::printf("%s (max %.0f):\n", label, maxV);
+  std::printf("        hour 0         6         12        18       23\n");
+  for (int day = 0; day < 7; ++day) {
+    std::string line;
+    for (int h = 0; h < 24; ++h) {
+      std::size_t idx = static_cast<std::size_t>(day) * 24 +
+                        static_cast<std::size_t>(h);
+      double v = idx < hs.hours().size() ? metric(hs.hours()[idx]) : 0.0;
+      int g = maxV > 0 ? static_cast<int>(9.0 * v / maxV) : 0;
+      line.push_back(kGlyphs[g]);
+    }
+    std::printf("  %s   [%s]\n", weekdayName(day), line.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 4 -- hourly op counts and R/W ratios across the week");
+
+  auto campus = runWeek(true);
+  auto eecs = runWeek(false);
+
+  sparkline("CAMPUS hourly total operations", campus,
+            [](const HourBucket& b) { return static_cast<double>(b.totalOps); });
+  sparkline("EECS hourly total operations", eecs,
+            [](const HourBucket& b) { return static_cast<double>(b.totalOps); });
+  sparkline("CAMPUS hourly read:write op ratio", campus,
+            [](const HourBucket& b) { return b.readWriteOpRatio(); });
+  sparkline("EECS hourly read:write op ratio", eecs,
+            [](const HourBucket& b) { return b.readWriteOpRatio(); });
+
+  // Quantified cycle: peak-hour vs off-peak means.
+  auto meanOps = [](const HourlyStats& hs, bool peak) {
+    RunningStats s;
+    for (std::size_t h = 0; h < hs.hours().size(); ++h) {
+      bool isPeak = isPeakHour(static_cast<MicroTime>(h) * kMicrosPerHour);
+      if (isPeak == peak) {
+        s.add(static_cast<double>(hs.hours()[h].totalOps));
+      }
+    }
+    return s.mean();
+  };
+  std::printf("CAMPUS peak-hour mean ops %.0f vs off-peak %.0f (x%.1f)\n",
+              meanOps(campus, true), meanOps(campus, false),
+              meanOps(campus, true) / std::max(meanOps(campus, false), 1.0));
+  std::printf("EECS   peak-hour mean ops %.0f vs off-peak %.0f (x%.1f)\n",
+              meanOps(eecs, true), meanOps(eecs, false),
+              meanOps(eecs, true) / std::max(meanOps(eecs, false), 1.0));
+
+  std::printf(
+      "\nShape checks (paper Figure 4): CAMPUS shows a clean weekday\n"
+      "9am-6pm plateau repeating five times with quiet weekend days; the\n"
+      "CAMPUS R/W ratio is steady during peak hours and spikes off-peak\n"
+      "when a few accesses skew it; EECS is burstier with night activity\n"
+      "(cron builds/experiments).\n");
+  return 0;
+}

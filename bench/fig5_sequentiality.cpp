@@ -1,0 +1,112 @@
+// Figure 5: average sequentiality metric vs bytes accessed in the run,
+// for reads and writes on both systems, with small jumps allowed (k = 10
+// blocks) and not allowed (k = 0); plus the cumulative run-size
+// distributions from the bottom panels.
+#include "analysis/reorder.hpp"
+#include "analysis/runs.hpp"
+#include "bench_common.hpp"
+
+using namespace nfstrace;
+using namespace nfstrace::bench;
+
+namespace {
+
+void metricPanel(const char* title, const std::vector<Run>& runs,
+                 bool writes) {
+  auto data = sequentialityBySize(runs, writes, !writes);
+  std::printf("%s\n", title);
+  TextTable t({"Run size <=", "metric (jumps ok)", "metric (no jumps)",
+               "runs"});
+  for (std::size_t i = 0; i < data.bucketTopBytes.size(); ++i) {
+    if (data.runCount[i] == 0) continue;
+    double top = data.bucketTopBytes[i];
+    std::string label = top >= 1 << 20
+                            ? TextTable::fixed(top / (1 << 20), 0) + "M"
+                            : TextTable::fixed(top / 1024, 0) + "k";
+    t.addRow({label, TextTable::fixed(data.meanLoose[i], 2),
+              TextTable::fixed(data.meanStrict[i], 2),
+              TextTable::withCommas(data.runCount[i])});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+void cumulativePanel(const char* title, const std::vector<Run>& runs) {
+  // Bottom panels: cumulative % of runs by bytes accessed.
+  std::vector<double> tops;
+  for (double b = 16.0 * 1024; b <= 64.0 * 1024 * 1024; b *= 4.0) {
+    tops.push_back(b);
+  }
+  auto frac = [&](RunType type, double top, bool all) {
+    std::uint64_t n = 0, total = 0;
+    for (const auto& r : runs) {
+      bool match = all || r.type == type;
+      if (!match) continue;
+      ++total;
+      (void)total;
+      if (static_cast<double>(r.bytesAccessed) <= top) ++n;
+    }
+    return runs.empty() ? 0.0
+                        : 100.0 * static_cast<double>(n) /
+                              static_cast<double>(runs.size());
+  };
+  std::printf("%s: cumulative %% of all runs by run size\n", title);
+  TextTable t({"Run size <=", "Total", "Read runs", "Write runs"});
+  for (double top : tops) {
+    std::string label = top >= 1 << 20
+                            ? TextTable::fixed(top / (1 << 20), 0) + "M"
+                            : TextTable::fixed(top / 1024, 0) + "k";
+    t.addRow({label, TextTable::fixed(frac(RunType::Read, top, true), 1),
+              TextTable::fixed(frac(RunType::Read, top, false), 1),
+              TextTable::fixed(frac(RunType::Write, top, false), 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+std::vector<Run> capture(bool campusSystem, MicroTime window) {
+  MicroTime start = days(1);
+  std::vector<TraceRecord>* records = nullptr;
+  std::unique_ptr<SimEnvironment> env;
+  if (campusSystem) {
+    auto s = makeCampus(30, nullptr);
+    s.workload->setup(start);
+    s.workload->run(start, start + days(1));
+    s.env->finishCapture();
+    records = &s.env->records();
+    auto sorted = sortWithReorderWindow(*records, window);
+    return detectRuns(sorted.records);
+  }
+  auto s = makeEecs(20, nullptr);
+  s.workload->setup(start);
+  s.workload->run(start, start + days(1));
+  s.env->finishCapture();
+  records = &s.env->records();
+  auto sorted = sortWithReorderWindow(*records, window);
+  return detectRuns(sorted.records);
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 5 -- sequentiality metric vs run size (k=10 vs k=0)");
+
+  auto campusRuns = capture(true, 10'000);
+  auto eecsRuns = capture(false, 5'000);
+
+  metricPanel("CAMPUS reads", campusRuns, false);
+  metricPanel("CAMPUS writes", campusRuns, true);
+  metricPanel("EECS reads", eecsRuns, false);
+  metricPanel("EECS writes", eecsRuns, true);
+  cumulativePanel("CAMPUS", campusRuns);
+  cumulativePanel("EECS", eecsRuns);
+
+  std::printf(
+      "Shape checks (paper Figure 5 + §6.4): long CAMPUS reads are highly\n"
+      "sequential (metric near 1.0); long CAMPUS writes hover around 0.6\n"
+      "(sequential stretches separated by seeks); long EECS reads are\n"
+      "sequential but less so than CAMPUS; EECS writes are the most\n"
+      "seek-prone; allowing k=10 jumps lifts every curve, which is the\n"
+      "argument for seek-tolerant server heuristics.\n");
+  return 0;
+}

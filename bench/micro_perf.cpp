@@ -1,0 +1,241 @@
+// Throughput microbenchmarks (google-benchmark) for the tracing pipeline
+// components: XDR codecs, frame building/parsing, RPC record marking, the
+// sniffer's full decode path, the anonymizer, and the analyses.  These
+// bound how fast a capture can be processed — the tracer had to keep up
+// with a gigabit mirror port.
+#include <benchmark/benchmark.h>
+
+#include "analysis/reorder.hpp"
+#include "analysis/runs.hpp"
+#include "anon/anon.hpp"
+#include "net/packet.hpp"
+#include "nfs/messages.hpp"
+#include "rpc/rpc.hpp"
+#include "sniffer/sniffer.hpp"
+#include "trace/tracefile.hpp"
+#include "util/rng.hpp"
+
+namespace nfstrace {
+namespace {
+
+void BM_XdrEncodeRead(benchmark::State& state) {
+  auto fh = FileHandle::make(1, 42, 7);
+  for (auto _ : state) {
+    XdrEncoder enc;
+    encodeCall3(enc, ReadArgs{fh, 8192, 8192});
+    benchmark::DoNotOptimize(enc.bytes().data());
+  }
+}
+BENCHMARK(BM_XdrEncodeRead);
+
+void BM_XdrDecodeRead(benchmark::State& state) {
+  XdrEncoder enc;
+  encodeCall3(enc, ReadArgs{FileHandle::make(1, 42, 7), 8192, 8192});
+  for (auto _ : state) {
+    XdrDecoder dec(enc.bytes());
+    auto args = decodeCall3(Proc3::Read, dec);
+    benchmark::DoNotOptimize(&args);
+  }
+}
+BENCHMARK(BM_XdrDecodeRead);
+
+void BM_Fattr3RoundTrip(benchmark::State& state) {
+  Fattr a;
+  a.size = 123456;
+  for (auto _ : state) {
+    XdrEncoder enc;
+    a.encode3(enc);
+    XdrDecoder dec(enc.bytes());
+    auto back = Fattr::decode3(dec);
+    benchmark::DoNotOptimize(&back);
+  }
+}
+BENCHMARK(BM_Fattr3RoundTrip);
+
+void BM_BuildUdpFrame(benchmark::State& state) {
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto f = buildUdpFrame(makeIp(10, 0, 0, 1), 1023, makeIp(10, 0, 0, 2),
+                           2049, payload);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildUdpFrame)->Arg(128)->Arg(8192);
+
+void BM_ParseFrame(benchmark::State& state) {
+  std::vector<std::uint8_t> payload(8192, 0xab);
+  auto frame = buildUdpFrame(makeIp(10, 0, 0, 1), 1023, makeIp(10, 0, 0, 2),
+                             2049, payload);
+  for (auto _ : state) {
+    auto parsed = parseFrame(frame);
+    benchmark::DoNotOptimize(&parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_ParseFrame);
+
+void BM_RecordMarkReader(benchmark::State& state) {
+  std::vector<std::uint8_t> body(1024, 0x55);
+  auto marked = recordMark(body);
+  for (auto _ : state) {
+    RecordMarkReader reader;
+    reader.feed(marked);
+    auto out = reader.next();
+    benchmark::DoNotOptimize(&out);
+  }
+}
+BENCHMARK(BM_RecordMarkReader);
+
+/// Full sniffer decode: one READ call frame + one reply frame.
+void BM_SnifferDecodePair(benchmark::State& state) {
+  auto fh = FileHandle::make(1, 42, 7);
+  AuthUnix cred;
+  cred.uid = 100;
+  cred.gid = 100;
+
+  XdrEncoder callEnc;
+  encodeRpcCall(callEnc, 1, kNfsProgram, 3,
+                static_cast<std::uint32_t>(Proc3::Read), cred);
+  encodeCall3(callEnc, ReadArgs{fh, 0, 8192});
+  auto callFrame = buildUdpFrame(makeIp(10, 1, 0, 2), 1023,
+                                 makeIp(10, 0, 0, 1), 2049, callEnc.bytes());
+
+  ReadRes res;
+  res.status = NfsStat::Ok;
+  res.count = 8192;
+  res.eof = false;
+  XdrEncoder replyEnc;
+  encodeRpcReplySuccess(replyEnc, 1);
+  encodeReply3(replyEnc, Proc3::Read, res);
+  auto replyFrames =
+      buildUdpFrames(makeIp(10, 0, 0, 1), 2049, makeIp(10, 1, 0, 2), 1023, 1,
+                     replyEnc.bytes(), kJumboMtu);
+
+  std::uint64_t emitted = 0;
+  Sniffer sniffer({}, [&](const TraceRecord&) { ++emitted; });
+  CapturedPacket callPkt{0, 0, callFrame};
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    sniffer.onFrame(callPkt);
+    bytes += static_cast<std::int64_t>(callFrame.size());
+    for (const auto& f : replyFrames) {
+      CapturedPacket pkt{1, 0, f};
+      sniffer.onFrame(pkt);
+      bytes += static_cast<std::int64_t>(f.size());
+    }
+  }
+  benchmark::DoNotOptimize(emitted);
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_SnifferDecodePair);
+
+void BM_AnonymizeRecord(benchmark::State& state) {
+  Anonymizer anon{Anonymizer::Config{}};
+  Rng rng(1);
+  std::vector<TraceRecord> recs;
+  for (int i = 0; i < 256; ++i) {
+    TraceRecord r;
+    r.ts = i;
+    r.op = NfsOp::Lookup;
+    r.uid = 100 + static_cast<std::uint32_t>(rng.below(50));
+    r.client = makeIp(10, 1, 0, static_cast<int>(rng.below(20)) + 2);
+    r.fh = FileHandle::make(1, rng.below(500), 1);
+    r.name = "file" + std::to_string(rng.below(200)) + ".c";
+    recs.push_back(r);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto out = anon.anonymize(recs[i++ % recs.size()]);
+    benchmark::DoNotOptimize(&out);
+  }
+}
+BENCHMARK(BM_AnonymizeRecord);
+
+std::vector<TraceRecord> syntheticDataRecords(std::size_t n) {
+  Rng rng(7);
+  std::vector<TraceRecord> recs;
+  recs.reserve(n);
+  MicroTime ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord r;
+    ts += 500 + static_cast<MicroTime>(rng.below(1500));
+    r.ts = ts;
+    r.op = rng.chance(0.7) ? NfsOp::Read : NfsOp::Write;
+    r.fh = FileHandle::make(1, rng.below(64), 1);
+    r.offset = rng.below(256) * 8192;
+    r.count = 8192;
+    r.hasReply = true;
+    r.retCount = 8192;
+    r.hasAttrs = true;
+    r.fileSize = 2 << 20;
+    recs.push_back(r);
+  }
+  return recs;
+}
+
+TraceRecord sampleTraceRecord() {
+  TraceRecord r;
+  r.ts = 123456789;
+  r.replyTs = 123457000;
+  r.hasReply = true;
+  r.client = makeIp(10, 1, 0, 5);
+  r.server = makeIp(10, 0, 0, 1);
+  r.xid = 0xabcd1234;
+  r.op = NfsOp::Read;
+  r.uid = 2042;
+  r.gid = 2042;
+  r.fh = FileHandle::make(2, 998877, 3);
+  r.offset = 1 << 20;
+  r.count = 8192;
+  r.retCount = 8192;
+  r.hasAttrs = true;
+  r.fileSize = 2 << 20;
+  r.fileMtime = 123000000;
+  r.fileId = 998877;
+  return r;
+}
+
+void BM_TraceTextFormat(benchmark::State& state) {
+  auto rec = sampleTraceRecord();
+  for (auto _ : state) {
+    auto line = formatRecord(rec);
+    benchmark::DoNotOptimize(line.data());
+  }
+}
+BENCHMARK(BM_TraceTextFormat);
+
+void BM_TraceTextParse(benchmark::State& state) {
+  auto line = formatRecord(sampleTraceRecord());
+  for (auto _ : state) {
+    auto rec = parseRecord(line);
+    benchmark::DoNotOptimize(&rec);
+  }
+}
+BENCHMARK(BM_TraceTextParse);
+
+void BM_ReorderWindowSort(benchmark::State& state) {
+  auto recs = syntheticDataRecords(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = sortWithReorderWindow(recs, 10'000);
+    benchmark::DoNotOptimize(&result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReorderWindowSort)->Arg(1000)->Arg(10000);
+
+void BM_DetectRuns(benchmark::State& state) {
+  auto recs = syntheticDataRecords(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto runs = detectRuns(recs);
+    benchmark::DoNotOptimize(&runs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DetectRuns)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace nfstrace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// §4.1.5 experiment: call reordering as a function of the number of
+// client-side nfsiods, on an isolated client and server.  The paper found
+// no reordering with one nfsiod, and with more nfsiods up to ~10% of
+// packets reordered with delays as long as one second — with no packet
+// loss involved.
+#include "bench_common.hpp"
+
+using namespace nfstrace;
+using namespace nfstrace::bench;
+
+int main() {
+  banner("Section 4.1.5 -- nfsiod count vs observed call reordering");
+
+  TextTable t({"nfsiods", "calls", "% reordered", "max delay (ms)"});
+  for (int iods : {1, 2, 4, 8, 16}) {
+    SimEnvironment::Config cfg;
+    cfg.clientHosts = 1;
+    cfg.useTcp = false;  // UDP shows the effect most, as the paper notes
+    cfg.mtu = kStandardMtu;
+    cfg.clientConfig.nfsiods = iods;
+    // Scheduler jitter grows with run-queue pressure (more nfsiods
+    // contending for the CPU).
+    cfg.clientConfig.iodJitterMean = 10 + 4 * iods;
+    cfg.clientConfig.iodJitterTailChance = 0.004 * iods;
+    cfg.clientConfig.iodJitterTailMean = 1500;
+    // A loaded client occasionally deschedules an nfsiod entirely.
+    cfg.clientConfig.iodStallChance = 0.0005;
+    cfg.clientConfig.iodStallMax = kMicrosPerSecond;
+    // The benchmark application reads at a steady rate that one iod can
+    // sustain, so the single-iod case shows no queueing delay either.
+    cfg.clientConfig.iodSubmitGap = 150;
+    cfg.seed = 7 + static_cast<std::uint64_t>(iods);
+    SimEnvironment env(cfg);
+    env.fs().mkfile("/exp/stream.dat", 48 << 20, 1, 1, 0);
+
+    MicroTime now = seconds(10);
+    NfsClient& client = env.client(0);
+    auto fh = *client.lookupPath(now, "/exp/stream.dat");
+    client.readFile(now, fh);
+
+    const auto& st = client.stats();
+    double pct = st.callsIssued
+                     ? 100.0 * static_cast<double>(st.reorderedCalls) /
+                           static_cast<double>(st.callsIssued)
+                     : 0.0;
+    t.addRow({std::to_string(iods), TextTable::withCommas(st.callsIssued),
+              TextTable::fixed(pct, 2),
+              TextTable::fixed(static_cast<double>(st.maxIodDelay) / 1000.0,
+                               1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape checks (paper §4.1.5): one nfsiod never reorders; adding\n"
+      "nfsiods makes reordering increasingly frequent, reaching ~10%% in\n"
+      "the extreme case, and individual calls can be delayed by as much\n"
+      "as a second even though no packets are lost.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// §6.4 experiment: modifying the server's read-ahead heuristic to use the
+// sequentiality metric instead of the classic strictly-sequential trigger.
+// The paper modified FreeBSD 4.4 and saw, on a loaded system where ~10% of
+// requests arrived reordered, end-to-end large sequential transfers
+// improve by more than 5%.  Here the same comparison runs against the disk
+// service-time model: sequential per-file request streams, a configurable
+// fraction of adjacent requests swapped, both policies timed.
+#include "server/readahead.hpp"
+#include "bench_common.hpp"
+
+using namespace nfstrace;
+using namespace nfstrace::bench;
+
+namespace {
+
+struct Request {
+  std::uint64_t file;
+  std::uint64_t block;
+};
+
+std::vector<Request> makeWorkload(double reorderFraction, std::uint64_t seed) {
+  // 150 files of 512 blocks (4 MB at 8 KB/block) read sequentially, with
+  // file streams interleaved as a loaded server sees them.
+  Rng rng(seed);
+  constexpr int kFiles = 150;
+  constexpr std::uint64_t kBlocks = 512;
+  std::vector<std::uint64_t> nextBlock(kFiles, 0);
+  std::vector<Request> reqs;
+  reqs.reserve(kFiles * kBlocks);
+  std::vector<int> active;
+  for (int f = 0; f < kFiles; ++f) active.push_back(f);
+  while (!active.empty()) {
+    std::size_t pick = static_cast<std::size_t>(rng.below(active.size()));
+    int f = active[pick];
+    reqs.push_back({static_cast<std::uint64_t>(f), nextBlock[f]});
+    if (++nextBlock[f] == kBlocks) {
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  // Swap a fraction of *same-file* adjacent request pairs: nfsiod
+  // reordering happens within one client's stream for one file, and only
+  // those swaps break the per-file sequentiality a read-ahead engine sees.
+  std::vector<std::vector<std::size_t>> byFile(kFiles);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    byFile[reqs[i].file].push_back(i);
+  }
+  std::size_t swaps = static_cast<std::size_t>(
+      reorderFraction * static_cast<double>(reqs.size()));
+  for (std::size_t s = 0; s < swaps; ++s) {
+    const auto& positions = byFile[rng.below(kFiles)];
+    if (positions.size() < 2) continue;
+    std::size_t k = static_cast<std::size_t>(rng.below(positions.size() - 1));
+    std::swap(reqs[positions[k]], reqs[positions[k + 1]]);
+  }
+  return reqs;
+}
+
+std::int64_t timePolicy(const std::vector<Request>& reqs,
+                        ReadAheadPolicy policy) {
+  ReadAheadEngine::Config cfg;
+  cfg.policy = policy;
+  cfg.maxReadAheadBlocks = 4;
+  ReadAheadEngine engine(cfg);
+  // Short seeks within the home-directory region; the stream is network-
+  // paced as well, so seeks are not the only cost.
+  DiskModel disk({2500, 300, 20});
+  for (const auto& r : reqs) {
+    std::uint32_t ra = engine.onRead(r.file, r.block, 1);
+    disk.read(r.file, r.block, ra);
+  }
+  return disk.totalServiceUs();
+}
+
+}  // namespace
+
+int main() {
+  banner("Section 6.4 -- sequentiality-metric read-ahead vs strict trigger");
+
+  TextTable t({"% reordered", "strict (ms)", "metric (ms)", "improvement"});
+  for (double frac : {0.0, 0.02, 0.05, 0.10, 0.15, 0.20}) {
+    auto reqs = makeWorkload(frac, 42);
+    auto strict = timePolicy(reqs, ReadAheadPolicy::StrictSequential);
+    auto metric = timePolicy(reqs, ReadAheadPolicy::SequentialityMetric);
+    double gain = 100.0 * (1.0 - static_cast<double>(metric) /
+                                     static_cast<double>(strict));
+    std::string mark = frac == 0.10 ? "  <- paper's operating point" : "";
+    t.addRow({TextTable::fixed(100.0 * frac, 0),
+              TextTable::fixed(static_cast<double>(strict) / 1000.0, 1),
+              TextTable::fixed(static_cast<double>(metric) / 1000.0, 1),
+              TextTable::fixed(gain, 1) + "%" + mark});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape checks (paper §6.4): with no reordering the two policies\n"
+      "are comparable; at ~10%% reordering the metric-driven read-ahead\n"
+      "beats the strict trigger (paper: >5%% end-to-end on FreeBSD 4.4).\n"
+      "Our model times disk service only — no network or client overhead\n"
+      "dilutes the effect — so the measured improvement is larger than\n"
+      "the paper's end-to-end figure; the shape (metric policy flat under\n"
+      "reordering, strict policy degrading steadily) is the result.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table 3: file access patterns under the entire/sequential/random
+// taxonomy, in two variants:
+//   raw       — runs split with the reorder-window sort only, and *no*
+//               small-jump tolerance (the paper's leftmost columns);
+//   processed — the complete §4.2 methodology: reorder-window sort plus
+//               forward jumps of < 10 blocks tolerated (rightmost columns).
+#include "analysis/reorder.hpp"
+#include "analysis/runs.hpp"
+#include "bench_common.hpp"
+
+using namespace nfstrace;
+using namespace nfstrace::bench;
+
+namespace {
+
+struct Columns {
+  RunPatternSummary raw;
+  RunPatternSummary processed;
+};
+
+Columns analyze(std::vector<TraceRecord>& records, MicroTime window) {
+  auto sorted = sortWithReorderWindow(records, window);
+  RunDetectorConfig rawCfg;
+  rawCfg.jumpTolerance = 0;
+  Columns c;
+  c.raw = summarizeRunPatterns(detectRuns(sorted.records, rawCfg));
+  RunDetectorConfig procCfg;  // default tolerance: 10 blocks
+  c.processed = summarizeRunPatterns(detectRuns(sorted.records, procCfg));
+  return c;
+}
+
+std::string pct(double f) { return TextTable::fixed(100.0 * f, 1); }
+
+}  // namespace
+
+int main() {
+  banner("Table 3 -- access patterns (entire/sequential/random), raw vs processed");
+
+  MicroTime start = days(1);
+  auto campus = makeCampus(30, nullptr);
+  campus.workload->setup(start);
+  campus.workload->run(start, start + days(1));
+  campus.env->finishCapture();
+  auto cc = analyze(campus.env->records(), 10'000);  // 10 ms window
+
+  auto eecs = makeEecs(20, nullptr);
+  eecs.workload->setup(start);
+  eecs.workload->run(start, start + days(1));
+  eecs.env->finishCapture();
+  auto ce = analyze(eecs.env->records(), 5'000);  // 5 ms window
+
+  TextTable t({"Access pattern", "CAMPUS raw", "EECS raw", "CAMPUS proc",
+               "EECS proc", "paper C-raw", "paper E-raw", "paper C-proc",
+               "paper E-proc"});
+  auto rows = [&](const char* label, auto sel, const char* pcr,
+                  const char* per, const char* pcp, const char* pep) {
+    t.addRow({label, pct(sel(cc.raw)), pct(sel(ce.raw)), pct(sel(cc.processed)),
+              pct(sel(ce.processed)), pcr, per, pcp, pep});
+  };
+  rows("Reads (% total)", [](const RunPatternSummary& s) { return s.readFrac; },
+       "53.1", "16.6", "53.1", "16.5");
+  rows("  Entire (% read)", [](const RunPatternSummary& s) { return s.readEntire; },
+       "47.7", "53.9", "57.6", "57.2");
+  rows("  Sequential (% read)", [](const RunPatternSummary& s) { return s.readSeq; },
+       "29.3", "36.8", "33.9", "39.0");
+  rows("  Random (% read)", [](const RunPatternSummary& s) { return s.readRandom; },
+       "23.0", "9.3", "8.6", "3.8");
+  t.addRule();
+  rows("Writes (% total)", [](const RunPatternSummary& s) { return s.writeFrac; },
+       "43.8", "82.3", "43.9", "82.3");
+  rows("  Entire (% write)", [](const RunPatternSummary& s) { return s.writeEntire; },
+       "37.2", "19.6", "37.8", "19.6");
+  rows("  Sequential (% write)", [](const RunPatternSummary& s) { return s.writeSeq; },
+       "52.3", "76.2", "53.2", "78.3");
+  rows("  Random (% write)", [](const RunPatternSummary& s) { return s.writeRandom; },
+       "10.5", "4.1", "9.0", "2.1");
+  t.addRule();
+  rows("Read-write (% total)", [](const RunPatternSummary& s) { return s.rwFrac; },
+       "3.1", "1.1", "3.0", "1.1");
+  rows("  Random (% r-w)", [](const RunPatternSummary& s) { return s.rwRandom; },
+       "97.8", "93.9", "94.3", "86.8");
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape checks: both systems show far more write runs than the\n"
+      "historical traces (EECS dominated by write runs); processing with\n"
+      "the jump tolerance moves a large slice of reads from 'random' to\n"
+      "'sequential'/'entire', confirming that the conventional taxonomy\n"
+      "overstates randomness for NFS traces.\n");
+  return 0;
+}

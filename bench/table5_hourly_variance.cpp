@@ -1,0 +1,90 @@
+// Table 5: average hourly activity with standard deviations (as % of the
+// mean), over all hours of the week and over peak hours (Mon-Fri 9am-6pm)
+// only.  The paper's point: restricting to peak hours cuts CAMPUS's
+// normalized variance by 4x or more — time of day/week predicts the load.
+#include "analysis/hourly.hpp"
+#include "bench_common.hpp"
+
+using namespace nfstrace;
+using namespace nfstrace::bench;
+
+namespace {
+
+HourlyStats runWeek(bool campusSystem) {
+  HourlyStats hs;
+  auto cb = [&](const TraceRecord& r) { hs.observe(r); };
+  if (campusSystem) {
+    auto s = makeCampus(30, cb);
+    s.workload->setup(kWeekStart);
+    s.workload->run(kWeekStart, kWeekStart + days(7));
+    s.env->finishCapture();
+  } else {
+    auto s = makeEecs(20, cb);
+    s.workload->setup(kWeekStart);
+    s.workload->run(kWeekStart, kWeekStart + days(7));
+    s.env->finishCapture();
+  }
+  return hs;
+}
+
+std::string cell(const RunningStats& s, double scale = 1.0) {
+  return TextTable::fixed(s.mean() / scale, 1) + " (" +
+         TextTable::fixed(s.stddevPercentOfMean(), 0) + "%)";
+}
+
+}  // namespace
+
+int main() {
+  banner("Table 5 -- average hourly activity, all hours vs peak hours");
+
+  auto campus = runWeek(true);
+  auto eecs = runWeek(false);
+  auto ca = campus.allHours();
+  auto cp = campus.peakHours();
+  auto ea = eecs.allHours();
+  auto ep = eecs.peakHours();
+
+  TextTable t({"Hourly statistic", "CAMPUS all", "CAMPUS peak", "EECS all",
+               "EECS peak"});
+  t.addRow({"Total ops (1000s)", cell(ca.totalOps, 1000), cell(cp.totalOps, 1000),
+            cell(ea.totalOps, 1000), cell(ep.totalOps, 1000)});
+  t.addRow({"Data read (MB)", cell(ca.bytesRead, 1e6), cell(cp.bytesRead, 1e6),
+            cell(ea.bytesRead, 1e6), cell(ep.bytesRead, 1e6)});
+  t.addRow({"Read ops (1000s)", cell(ca.readOps, 1000), cell(cp.readOps, 1000),
+            cell(ea.readOps, 1000), cell(ep.readOps, 1000)});
+  t.addRow({"Data written (MB)", cell(ca.bytesWritten, 1e6),
+            cell(cp.bytesWritten, 1e6), cell(ea.bytesWritten, 1e6),
+            cell(ep.bytesWritten, 1e6)});
+  t.addRow({"Write ops (1000s)", cell(ca.writeOps, 1000), cell(cp.writeOps, 1000),
+            cell(ea.writeOps, 1000), cell(ep.writeOps, 1000)});
+  t.addRow({"R/W op ratio", cell(ca.rwRatio), cell(cp.rwRatio),
+            cell(ea.rwRatio), cell(ep.rwRatio)});
+  std::fputs(t.render().c_str(), stdout);
+
+  auto bestWindow = campus.findLeastVarianceWindow();
+  std::printf(
+      "\nLeast-variance weekday window search (the paper's §6.2 method):\n"
+      "CAMPUS minimizes at %02d:00-%02d:00 with stddev %.1f%% of mean\n"
+      "(paper: examining a range of possibilities, 9am-6pm gave the least\n"
+      "variance on both systems).\n",
+      bestWindow.startHour, bestWindow.endHour, bestWindow.stddevPercent);
+
+  double campusReduction = ca.totalOps.stddevPercentOfMean() /
+                           std::max(cp.totalOps.stddevPercentOfMean(), 1e-9);
+  std::printf(
+      "\nCAMPUS normalized stddev of total ops shrinks %.1fx when\n"
+      "restricted to peak hours (paper: at least 4x for every CAMPUS\n"
+      "statistic).\n",
+      campusReduction);
+
+  std::printf(
+      "\n--- paper (Table 5; mean with stddev %% of mean in parens)\n"
+      "                    CAMPUS all    CAMPUS peak   EECS all      EECS peak\n"
+      "Total ops (1000s)   1113 (48%%)    1699 (7.6%%)   185.1 (86%%)   267 (68%%)\n"
+      "Data read (MB)      4989 (45%%)    7153 (6.1%%)   212.3 (165%%)  268 (146%%)\n"
+      "Read ops (1000s)    719 (48%%)     1088 (7.1%%)   19.7 (110%%)   29.2 (77%%)\n"
+      "Data written (MB)   1856 (58%%)    2934 (12%%)    378.5 (246%%)  439 (228%%)\n"
+      "Write ops (1000s)   239 (58%%)     377 (12%%)     28.6 (201%%)   341 (158%%)\n"
+      "R/W op ratio        3.27 (48%%)    2.46 (10%%)    3.16 (242%%)   1.13 (106%%)\n");
+  return 0;
+}

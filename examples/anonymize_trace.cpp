@@ -1,0 +1,104 @@
+// The trace anonymizer tool (paper §2): read a trace file, anonymize it
+// with consistent random mappings, save the mapping table, and show what
+// the transformation preserves and hides.
+//
+//   anonymize_trace [input.trace [output.trace [map-file [policy.cfg]]]]
+//
+// The optional policy.cfg is a key=value file (see util/config.hpp):
+//   keep_name = CVS
+//   keep_suffix = .lock
+//   omit_identities = false
+//   seed = 12345
+//
+// With no arguments it generates a demo trace first.
+#include <cstdio>
+#include <string>
+
+#include "analysis/summary.hpp"
+#include "anon/anon.hpp"
+#include "trace/tracefile.hpp"
+#include "workload/campus.hpp"
+#include "workload/sim.hpp"
+
+using namespace nfstrace;
+
+namespace {
+
+std::string makeDemoTrace() {
+  std::string path = "/tmp/anonymize_demo.trace";
+  std::printf("no input given; generating a demo trace at %s\n",
+              path.c_str());
+  SimEnvironment::Config cfg;
+  cfg.fsConfig.fsid = 2;
+  cfg.clientHosts = 3;
+  SimEnvironment env(cfg);
+  CampusConfig wl;
+  wl.users = 8;
+  CampusWorkload workload(wl, env);
+  MicroTime start = days(1) + hours(10);
+  workload.setup(start);
+  workload.run(start, start + minutes(30));
+  env.finishCapture();
+  TraceWriter writer(path);
+  for (const auto& rec : env.records()) writer.write(rec);
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input = argc > 1 ? argv[1] : makeDemoTrace();
+  std::string output = argc > 2 ? argv[2] : "/tmp/anonymized.trace";
+  std::string mapFile = argc > 3 ? argv[3] : "/tmp/anonymized.map";
+
+  auto records = TraceReader::readAll(input);
+  std::printf("read %llu records from %s\n",
+              static_cast<unsigned long long>(records.size()), input.c_str());
+
+  // The default configuration keeps the names the paper kept (CVS,
+  // .inbox, .pinerc, lock components) and root/daemon UIDs; a policy
+  // file overrides it.
+  Anonymizer::Config cfg;
+  if (argc > 4) {
+    cfg = Anonymizer::Config::fromFile(argv[4]);
+    std::printf("loaded anonymization policy from %s\n", argv[4]);
+  }
+  Anonymizer anon{cfg};
+  TraceWriter writer(output);
+  std::vector<TraceRecord> anonymized;
+  anonymized.reserve(records.size());
+  for (const auto& rec : records) {
+    anonymized.push_back(anon.anonymize(rec));
+    writer.write(anonymized.back());
+  }
+  anon.saveMap(mapFile);
+
+  std::printf("wrote %s and mapping table %s (%zu name mappings)\n",
+              output.c_str(), mapFile.c_str(), anon.mappedNames());
+
+  // Show a before/after pair.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!records[i].name.empty() && records[i].name != ".inbox.lock") {
+      std::printf("\nbefore: %s\nafter:  %s\n",
+                  formatRecord(records[i]).c_str(),
+                  formatRecord(anonymized[i]).c_str());
+      break;
+    }
+  }
+
+  // What survives: every analysis.  What doesn't: identities.
+  auto s1 = summarize(records);
+  auto s2 = summarize(anonymized);
+  std::printf(
+      "\nanalysis invariance: totalOps %llu == %llu, bytesRead %llu == %llu\n",
+      static_cast<unsigned long long>(s1.totalOps),
+      static_cast<unsigned long long>(s2.totalOps),
+      static_cast<unsigned long long>(s1.bytesRead),
+      static_cast<unsigned long long>(s2.bytesRead));
+  std::printf(
+      "\nwhy not a hash? a deterministic hash would let an outsider test\n"
+      "guessed filenames against the published trace and compare traces\n"
+      "from different sites; the random table (kept by the trace owner)\n"
+      "permits neither.\n");
+  return 0;
+}

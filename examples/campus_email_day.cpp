@@ -1,0 +1,95 @@
+// Simulate a full weekday of the CAMPUS email system and walk through the
+// paper's headline email findings: the mailbox read amplification caused
+// by NFS's file-granularity caching, the lock-file churn, and the block
+// lifetime structure tied to mail sessions.
+#include <cstdio>
+
+#include "analysis/blocklife.hpp"
+#include "analysis/names.hpp"
+#include "analysis/pathrec.hpp"
+#include "analysis/summary.hpp"
+#include "workload/campus.hpp"
+#include "workload/sim.hpp"
+
+using namespace nfstrace;
+
+int main() {
+  SimEnvironment::Config simCfg;
+  simCfg.fsConfig.fsid = 2;
+  simCfg.fsConfig.defaultQuotaBytes = 50ULL << 20;  // CAMPUS user quota
+  simCfg.clientHosts = 3;  // SMTP, POP, login servers
+  simCfg.clientConfig.dataCacheCapacityBytes = 48ULL << 20;
+  SimEnvironment env(simCfg);
+
+  CampusConfig wlCfg;
+  wlCfg.users = 30;
+  CampusWorkload workload(wlCfg, env);
+
+  MicroTime start = days(1);  // Monday 00:00
+  std::printf("simulating one CAMPUS weekday (30 users)...\n");
+  workload.setup(start);
+  workload.run(start, start + days(1));
+  env.finishCapture();
+
+  auto& records = env.records();
+  auto s = summarize(records);
+  std::printf("\n%llu NFS calls captured: %.1f%% data ops, R/W bytes %.2f\n",
+              static_cast<unsigned long long>(s.totalOps),
+              100.0 * s.dataOpFraction(), s.readWriteByteRatio());
+  std::printf("deliveries=%llu popChecks=%llu sessions=%llu\n",
+              static_cast<unsigned long long>(workload.deliveries()),
+              static_cast<unsigned long long>(workload.popChecks()),
+              static_cast<unsigned long long>(workload.sessions()));
+
+  // Read amplification: bytes read vs bytes delivered.  Every delivery
+  // moves the inbox mtime, so the next poll re-reads the whole file.
+  PathReconstructor paths;
+  std::uint64_t mailboxReadBytes = 0, mailboxWriteBytes = 0;
+  for (const auto& r : records) {
+    paths.observe(r);
+    if (r.op != NfsOp::Read && r.op != NfsOp::Write) continue;
+    auto name = paths.nameOf(r.fh);
+    if (!name || classifyName(*name) != NameCategory::Mailbox) continue;
+    if (r.op == NfsOp::Read) {
+      mailboxReadBytes += r.retCount;
+    } else {
+      mailboxWriteBytes += r.retCount;
+    }
+  }
+  std::printf(
+      "\nmailbox traffic: %.1f MB read vs %.1f MB written\n"
+      "  (the paper: delivering one message invalidates and re-reads ~2 MB\n"
+      "   of client cache; this amplification is the majority of all CAMPUS\n"
+      "   reads)\n",
+      static_cast<double>(mailboxReadBytes) / 1e6,
+      static_cast<double>(mailboxWriteBytes) / 1e6);
+
+  // Lock churn.
+  FileLifeCensus census;
+  for (const auto& r : records) census.observe(r);
+  census.finish();
+  std::printf(
+      "\nfile churn: %llu files created, %llu deleted; %.1f%% of the\n"
+      "created-and-deleted files are zero-length mailbox locks\n",
+      static_cast<unsigned long long>(census.totalCreated()),
+      static_cast<unsigned long long>(census.totalDeleted()),
+      100.0 * census.lockFractionOfDeleted());
+
+  // Block lifetimes.
+  BlockLifeConfig blCfg;
+  blCfg.phase1Start = start + hours(6);
+  blCfg.phase1Length = hours(9);
+  blCfg.phase2Length = hours(9);
+  EmpiricalCdf lifetimes;
+  auto bl = analyzeBlockLife(records, blCfg, &lifetimes);
+  if (!lifetimes.empty() && bl.deaths) {
+    std::printf(
+        "\nblock lifetimes: median %.1f min (paper: 10-15 min); %.1f%% of\n"
+        "deaths are overwrites (paper: 99.1%%) -- mailboxes are rewritten,\n"
+        "never deleted\n",
+        lifetimes.quantile(0.5) / 60.0,
+        100.0 * static_cast<double>(bl.deathsOverwrite) /
+            static_cast<double>(bl.deaths));
+  }
+  return 0;
+}

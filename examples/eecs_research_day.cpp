@@ -1,0 +1,81 @@
+// Simulate a day of the EECS research workload and reproduce its
+// signature: metadata-dominated traffic from cache revalidation, writes
+// outnumbering reads, and sub-second block lifetimes from unbuffered logs.
+#include <cstdio>
+
+#include "analysis/blocklife.hpp"
+#include "analysis/summary.hpp"
+#include "workload/eecs.hpp"
+#include "workload/sim.hpp"
+
+using namespace nfstrace;
+
+int main() {
+  SimEnvironment::Config simCfg;
+  simCfg.fsConfig.fsid = 1;
+  simCfg.clientHosts = 8;      // individual workstations
+  simCfg.useTcp = false;       // EECS clients use UDP
+  simCfg.mtu = kStandardMtu;
+  SimEnvironment env(simCfg);
+
+  EecsConfig wlCfg;
+  wlCfg.users = 20;
+  EecsWorkload workload(wlCfg, env);
+
+  MicroTime start = days(1);
+  std::printf("simulating one EECS weekday (20 users)...\n");
+  workload.setup(start);
+  workload.run(start, start + days(1));
+  env.finishCapture();
+
+  auto& records = env.records();
+  auto s = summarize(records);
+
+  std::printf("\n%llu NFS calls captured\n",
+              static_cast<unsigned long long>(s.totalOps));
+  std::printf("operation mix:\n");
+  for (NfsOp op : {NfsOp::Getattr, NfsOp::Lookup, NfsOp::Access, NfsOp::Read,
+                   NfsOp::Write, NfsOp::Create, NfsOp::Remove,
+                   NfsOp::Commit}) {
+    auto n = s.opCounts[static_cast<std::size_t>(op)];
+    std::printf("  %-8s %8llu  (%.1f%%)\n",
+                std::string(nfsOpName(op)).c_str(),
+                static_cast<unsigned long long>(n),
+                s.totalOps ? 100.0 * static_cast<double>(n) /
+                                 static_cast<double>(s.totalOps)
+                           : 0.0);
+  }
+  std::printf(
+      "\nmetadata ops %.1f%% of calls (paper: EECS is predominantly file\n"
+      "attribute calls -- clients checking whether cached copies are still\n"
+      "valid); R/W op ratio %.2f, byte ratio %.2f (paper: 0.69 / 0.56 --\n"
+      "writes outnumber reads, unlike every earlier research trace)\n",
+      100.0 * (1.0 - s.dataOpFraction()), s.readWriteOpRatio(),
+      s.readWriteByteRatio());
+
+  BlockLifeConfig blCfg;
+  blCfg.phase1Start = start + hours(6);
+  blCfg.phase1Length = hours(9);
+  blCfg.phase2Length = hours(9);
+  EmpiricalCdf lifetimes;
+  auto bl = analyzeBlockLife(records, blCfg, &lifetimes);
+  if (!lifetimes.empty()) {
+    std::printf(
+        "\nblock lifetimes: %.1f%% die within one second (paper: >50%%,\n"
+        "mostly unbuffered log/index files); deaths split %.0f%%/%.0f%%\n"
+        "between overwrites and deletions (paper: 42%%/52%%)\n",
+        100.0 * lifetimes.fractionAtOrBelow(1.0),
+        bl.deaths ? 100.0 * static_cast<double>(bl.deathsOverwrite) /
+                        static_cast<double>(bl.deaths)
+                  : 0.0,
+        bl.deaths ? 100.0 * static_cast<double>(bl.deathsDelete) /
+                        static_cast<double>(bl.deaths)
+                  : 0.0);
+  }
+  std::printf(
+      "\nThe paper's take: if EECS is the typical departmental server,\n"
+      "not much has changed since Ousterhout's 1985 prediction -- caches\n"
+      "absorb reads, writes become the bottleneck, and NFSv4-style\n"
+      "delegations could eliminate most of the validation traffic.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Trace-driven server evaluation: replay the READ stream of a captured
+// trace through the server's disk + read-ahead model, comparing the
+// classic strictly-sequential heuristic with the paper's
+// sequentiality-metric heuristic (§6.4) — on *your* trace, not a
+// synthetic benchmark.  This is the workflow the paper's conclusion
+// advocates: let file servers optimize from the workload they observe.
+//
+//   trace_replay [trace-file]
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/summary.hpp"
+#include "server/readahead.hpp"
+#include "trace/tracefile.hpp"
+#include "util/table.hpp"
+#include "workload/campus.hpp"
+#include "workload/sim.hpp"
+
+using namespace nfstrace;
+
+namespace {
+
+std::string makeDemoTrace() {
+  std::string path = "/tmp/trace_replay_demo.trace";
+  std::printf("no input given; generating a demo trace at %s\n\n",
+              path.c_str());
+  SimEnvironment::Config cfg;
+  cfg.fsConfig.fsid = 2;
+  cfg.clientHosts = 3;
+  SimEnvironment env(cfg);
+  CampusConfig wl;
+  wl.users = 15;
+  CampusWorkload workload(wl, env);
+  MicroTime start = days(1) + hours(9);
+  workload.setup(start);
+  workload.run(start, start + hours(2));
+  env.finishCapture();
+  TraceWriter writer(path);
+  for (const auto& rec : env.records()) writer.write(rec);
+  return path;
+}
+
+struct ReplayResult {
+  std::int64_t serviceUs = 0;
+  std::uint64_t seeks = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t demandReads = 0;
+};
+
+ReplayResult replay(const std::vector<TraceRecord>& records,
+                    ReadAheadPolicy policy) {
+  ReadAheadEngine::Config cfg;
+  cfg.policy = policy;
+  ReadAheadEngine engine(cfg);
+  DiskModel disk;
+  FileHandleHash hasher;
+  ReplayResult out;
+  for (const auto& rec : records) {
+    if (rec.op != NfsOp::Read || rec.fh.len == 0) continue;
+    std::uint64_t key = hasher(rec.fh);
+    std::uint64_t firstBlock = rec.offset / kNfsBlockSize;
+    std::uint32_t count = rec.hasReply && rec.retCount ? rec.retCount
+                                                       : rec.count;
+    std::uint64_t lastBlock =
+        count ? (rec.offset + count - 1) / kNfsBlockSize : firstBlock;
+    for (std::uint64_t b = firstBlock; b <= lastBlock; ++b) {
+      std::uint32_t ra = engine.onRead(key, b, 1);
+      disk.read(key, b, ra);
+      ++out.demandReads;
+    }
+  }
+  out.serviceUs = disk.totalServiceUs();
+  out.seeks = disk.seeks();
+  out.cacheHits = disk.cacheHits();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input = argc > 1 ? argv[1] : makeDemoTrace();
+  auto records = TraceReader::readAll(input);
+  auto s = summarize(records);
+  std::printf("%s: %llu records, %llu read ops\n\n", input.c_str(),
+              static_cast<unsigned long long>(s.totalOps),
+              static_cast<unsigned long long>(s.readOps));
+
+  auto strict = replay(records, ReadAheadPolicy::StrictSequential);
+  auto metric = replay(records, ReadAheadPolicy::SequentialityMetric);
+
+  TextTable t({"Read-ahead policy", "disk service (ms)", "seeks",
+               "cache hits", "demand block reads"});
+  t.addRow({"strict sequential (classic)",
+            TextTable::fixed(static_cast<double>(strict.serviceUs) / 1e3, 1),
+            TextTable::withCommas(strict.seeks),
+            TextTable::withCommas(strict.cacheHits),
+            TextTable::withCommas(strict.demandReads)});
+  t.addRow({"sequentiality metric (paper)",
+            TextTable::fixed(static_cast<double>(metric.serviceUs) / 1e3, 1),
+            TextTable::withCommas(metric.seeks),
+            TextTable::withCommas(metric.cacheHits),
+            TextTable::withCommas(metric.demandReads)});
+  std::fputs(t.render().c_str(), stdout);
+
+  double gain = strict.serviceUs
+                    ? 100.0 * (1.0 - static_cast<double>(metric.serviceUs) /
+                                         static_cast<double>(strict.serviceUs))
+                    : 0.0;
+  std::printf(
+      "\nmetric-based read-ahead changes disk service time by %+.1f%% on\n"
+      "this trace.  The gap grows with the amount of nfsiod reordering in\n"
+      "the capture; on a trace with none, the two policies tie.\n",
+      -(-gain));
+  return 0;
+}

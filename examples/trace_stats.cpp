@@ -1,0 +1,182 @@
+// Trace statistics tool: run the paper's analyses over any trace file —
+// the `nfsscan` counterpart to capture_to_trace's `nfsdump`.
+//
+//   trace_stats [trace-file]
+//
+// Prints the operation mix, data volumes, hourly activity, run pattern
+// classification, block-lifetime summary, and name-category census.
+// With no argument it generates a demo trace first.
+#include <cstdio>
+#include <string>
+
+#include "analysis/blocklife.hpp"
+#include "analysis/names.hpp"
+#include "analysis/reorder.hpp"
+#include "analysis/runs.hpp"
+#include "analysis/summary.hpp"
+#include "analysis/users.hpp"
+#include "trace/tracefile.hpp"
+#include "util/table.hpp"
+#include "workload/campus.hpp"
+#include "workload/sim.hpp"
+
+using namespace nfstrace;
+
+namespace {
+
+std::string makeDemoTrace() {
+  std::string path = "/tmp/trace_stats_demo.trace";
+  std::printf("no input given; generating a demo trace at %s\n\n",
+              path.c_str());
+  SimEnvironment::Config cfg;
+  cfg.fsConfig.fsid = 2;
+  cfg.clientHosts = 3;
+  SimEnvironment env(cfg);
+  CampusConfig wl;
+  wl.users = 12;
+  CampusWorkload workload(wl, env);
+  MicroTime start = days(1) + hours(9);
+  workload.setup(start);
+  workload.run(start, start + hours(2));
+  env.finishCapture();
+  TraceWriter writer(path);
+  for (const auto& rec : env.records()) writer.write(rec);
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input = argc > 1 ? argv[1] : makeDemoTrace();
+  auto records = TraceReader::readAll(input);
+  if (records.empty()) {
+    std::printf("%s: no records\n", input.c_str());
+    return 1;
+  }
+
+  auto s = summarize(records);
+  std::printf("%s: %llu records, %.2f simulated days\n\n", input.c_str(),
+              static_cast<unsigned long long>(s.totalOps), s.days());
+
+  // Operation mix.
+  {
+    TextTable t({"Operation", "Calls", "% of total"});
+    for (std::size_t i = 0; i < kNfsOpCount; ++i) {
+      if (s.opCounts[i] == 0) continue;
+      t.addRow({std::string(nfsOpName(static_cast<NfsOp>(i))),
+                TextTable::withCommas(s.opCounts[i]),
+                TextTable::percent(static_cast<double>(s.opCounts[i]) /
+                                   static_cast<double>(s.totalOps))});
+    }
+    std::fputs(t.render().c_str(), stdout);
+  }
+  std::printf(
+      "\ndata: %.1f MB read (%llu ops), %.1f MB written (%llu ops)\n"
+      "R/W ratios: bytes %.2f, ops %.2f; replies missing: %llu\n\n",
+      static_cast<double>(s.bytesRead) / 1e6,
+      static_cast<unsigned long long>(s.readOps),
+      static_cast<double>(s.bytesWritten) / 1e6,
+      static_cast<unsigned long long>(s.writeOps), s.readWriteByteRatio(),
+      s.readWriteOpRatio(),
+      static_cast<unsigned long long>(s.repliesMissing));
+
+  // Run patterns (with the standard 10 ms reorder window).
+  {
+    auto sorted = sortWithReorderWindow(records, 10'000);
+    auto runs = detectRuns(sorted.records);
+    auto rp = summarizeRunPatterns(runs);
+    std::printf("runs: %zu total (%.2f%% of accesses reorder-swapped)\n",
+                runs.size(), 100.0 * sorted.swappedFraction());
+    TextTable t({"Type", "% of runs", "entire", "sequential", "random"});
+    t.addRow({"read", TextTable::percent(rp.readFrac),
+              TextTable::percent(rp.readEntire),
+              TextTable::percent(rp.readSeq),
+              TextTable::percent(rp.readRandom)});
+    t.addRow({"write", TextTable::percent(rp.writeFrac),
+              TextTable::percent(rp.writeEntire),
+              TextTable::percent(rp.writeSeq),
+              TextTable::percent(rp.writeRandom)});
+    t.addRow({"read-write", TextTable::percent(rp.rwFrac),
+              TextTable::percent(rp.rwEntire), TextTable::percent(rp.rwSeq),
+              TextTable::percent(rp.rwRandom)});
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  // Block lifetimes over the trace's own span.
+  {
+    BlockLifeConfig cfg;
+    cfg.phase1Start = s.firstTs;
+    cfg.phase1Length = std::max<MicroTime>((s.lastTs - s.firstTs) / 2, 1);
+    cfg.phase2Length = cfg.phase1Length;
+    EmpiricalCdf lifetimes;
+    auto bl = analyzeBlockLife(records, cfg, &lifetimes);
+    std::printf(
+        "\nblock life: %llu births (%.1f%% writes), %llu deaths "
+        "(%.1f%% overwrite, %.1f%% truncate, %.1f%% delete)\n",
+        static_cast<unsigned long long>(bl.births),
+        bl.births ? 100.0 * static_cast<double>(bl.birthsWrite) /
+                        static_cast<double>(bl.births)
+                  : 0.0,
+        static_cast<unsigned long long>(bl.deaths),
+        bl.deaths ? 100.0 * static_cast<double>(bl.deathsOverwrite) /
+                        static_cast<double>(bl.deaths)
+                  : 0.0,
+        bl.deaths ? 100.0 * static_cast<double>(bl.deathsTruncate) /
+                        static_cast<double>(bl.deaths)
+                  : 0.0,
+        bl.deaths ? 100.0 * static_cast<double>(bl.deathsDelete) /
+                        static_cast<double>(bl.deaths)
+                  : 0.0);
+    if (!lifetimes.empty()) {
+      std::printf("median block lifetime: %.1f s\n",
+                  lifetimes.quantile(0.5));
+    }
+  }
+
+  // Per-user activity (possible because the anonymizer keeps UIDs
+  // consistent).
+  {
+    UserStats us;
+    for (const auto& r : records) us.observe(r);
+    if (us.userCount() > 1) {
+      std::printf("\nusers: %zu distinct UIDs; top 10%% generate %.1f%% of "
+                  "calls (imbalance %.2f)\n",
+                  us.userCount(), 100.0 * us.topUserShare(0.10),
+                  us.imbalance());
+      auto top = us.byActivity();
+      TextTable t({"UID", "ops", "MB read", "MB written", "active hours"});
+      for (std::size_t i = 0; i < std::min<std::size_t>(5, top.size()); ++i) {
+        t.addRow({std::to_string(top[i].uid),
+                  TextTable::withCommas(top[i].totalOps),
+                  TextTable::fixed(static_cast<double>(top[i].bytesRead) / 1e6, 1),
+                  TextTable::fixed(static_cast<double>(top[i].bytesWritten) / 1e6, 1),
+                  std::to_string(top[i].activeHours)});
+      }
+      std::fputs(t.render().c_str(), stdout);
+    }
+  }
+
+  // Name census.
+  {
+    FileLifeCensus census;
+    for (const auto& r : records) census.observe(r);
+    census.finish();
+    if (census.totalCreated()) {
+      std::printf(
+          "\nfile churn: %llu created, %llu deleted (%.1f%% locks)\n",
+          static_cast<unsigned long long>(census.totalCreated()),
+          static_cast<unsigned long long>(census.totalDeleted()),
+          100.0 * census.lockFractionOfDeleted());
+      TextTable t({"Category", "created", "deleted", "p50 life (s)"});
+      for (const auto& [cat, cs] : census.byCategory()) {
+        auto& lt = const_cast<CategoryStats&>(cs).lifetimesSec;
+        t.addRow({std::string(nameCategoryLabel(cat)),
+                  TextTable::withCommas(cs.created),
+                  TextTable::withCommas(cs.deleted),
+                  lt.empty() ? "-" : TextTable::fixed(lt.quantile(0.5), 3)});
+      }
+      std::fputs(t.render().c_str(), stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Block birth/death accounting with Roselli's create-based method
+// (§5.2, Table 4, Figure 3).
+//
+// Phase 1 records both block births and deaths; Phase 2 (the "end margin")
+// records only deaths, so blocks born late in Phase 1 get a fair chance to
+// die.  Lifespans longer than the Phase 2 length are censored into the
+// "end surplus" to remove sampling bias.
+//
+// Births happen when a write or truncate-up allocates a block:
+//   * Write     — the block's bytes were actually written;
+//   * Extension — the block appeared because the file grew past it without
+//     it being written (lseek-past-EOF; the paper notes this category is
+//     mildly exaggerated because a gapped write attributes every new block
+//     to extension).
+// Deaths:
+//   * Overwrite — a live block is written again (new version born);
+//   * Truncate  — setattr shrank the file over it;
+//   * Delete    — the file was removed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/pathrec.hpp"
+#include "trace/record.hpp"
+#include "util/histogram.hpp"
+
+namespace nfstrace {
+
+struct BlockLifeConfig {
+  MicroTime phase1Start = 0;
+  MicroTime phase1Length = kMicrosPerDay;
+  MicroTime phase2Length = kMicrosPerDay;  // end margin
+  std::uint32_t blockSize = kNfsBlockSize;
+};
+
+struct BlockLifeStats {
+  std::uint64_t births = 0;
+  std::uint64_t birthsWrite = 0;
+  std::uint64_t birthsExtension = 0;
+  std::uint64_t deaths = 0;  // deaths of phase-1-born blocks within margin
+  std::uint64_t deathsOverwrite = 0;
+  std::uint64_t deathsTruncate = 0;
+  std::uint64_t deathsDelete = 0;
+  std::uint64_t endSurplus = 0;  // born in phase 1, outlived the margin
+
+  double surplusFraction() const {
+    return births ? static_cast<double>(endSurplus) /
+                        static_cast<double>(births)
+                  : 0.0;
+  }
+};
+
+class BlockLifeAnalyzer {
+ public:
+  explicit BlockLifeAnalyzer(const BlockLifeConfig& config);
+
+  /// Feed records in time order.  The analyzer maintains its own
+  /// hierarchy reconstruction so REMOVE records can be resolved to the
+  /// handle whose blocks die.
+  void observe(const TraceRecord& rec);
+
+  /// Close the analysis: everything still alive that was born in phase 1
+  /// becomes end surplus.
+  void finish();
+
+  const BlockLifeStats& stats() const { return stats_; }
+  /// Lifetimes (seconds) of phase-1-born blocks that died within the
+  /// margin — the Figure 3 CDF.
+  EmpiricalCdf& lifetimes() { return lifetimes_; }
+
+ private:
+  struct FileState {
+    std::uint64_t sizeBytes = 0;
+    /// Birth time per block; kUntracked for blocks born outside phase 1.
+    std::vector<MicroTime> birth;
+  };
+  static constexpr MicroTime kUntracked = -1;
+
+  void ensureSize(FileState& st, std::uint64_t newSize, MicroTime now,
+                  bool writtenNotExtended, std::uint64_t writeFromBlock);
+  void killBlock(FileState& st, std::size_t block, MicroTime now,
+                 std::uint64_t* deathCounter);
+  void recordBirth(FileState& st, std::size_t block, MicroTime now,
+                   bool isWrite);
+  bool inPhase1(MicroTime t) const {
+    return t >= config_.phase1Start &&
+           t < config_.phase1Start + config_.phase1Length;
+  }
+  bool beforeEnd(MicroTime t) const {
+    return t < config_.phase1Start + config_.phase1Length +
+                   config_.phase2Length;
+  }
+
+  BlockLifeConfig config_;
+  BlockLifeStats stats_;
+  EmpiricalCdf lifetimes_;
+  PathReconstructor pathrec_;
+  std::unordered_map<FileHandle, FileState, FileHandleHash> files_;
+  bool finished_ = false;
+};
+
+/// Run the analyzer over a full trace.
+BlockLifeStats analyzeBlockLife(const std::vector<TraceRecord>& records,
+                                const BlockLifeConfig& config,
+                                EmpiricalCdf* lifetimesOut = nullptr);
+
+}  // namespace nfstrace

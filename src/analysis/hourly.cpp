@@ -1,0 +1,93 @@
+#include "analysis/hourly.hpp"
+
+namespace nfstrace {
+
+void HourlyStats::observe(const TraceRecord& rec) {
+  if (rec.ts < 0) return;
+  auto hour = static_cast<std::size_t>(rec.ts / kMicrosPerHour);
+  if (hour >= hours_.size()) hours_.resize(hour + 1);
+  HourBucket& b = hours_[hour];
+  ++b.totalOps;
+  if (rec.op == NfsOp::Read) {
+    ++b.readOps;
+    b.bytesRead += rec.hasReply ? rec.retCount : rec.count;
+  } else if (rec.op == NfsOp::Write) {
+    ++b.writeOps;
+    b.bytesWritten += rec.hasReply && rec.retCount ? rec.retCount : rec.count;
+  } else {
+    ++b.metadataOps;
+  }
+}
+
+HourlyStats::VarianceRow HourlyStats::accumulate(bool peakOnly) const {
+  VarianceRow row;
+  for (std::size_t h = 0; h < hours_.size(); ++h) {
+    MicroTime hourStart = static_cast<MicroTime>(h) * kMicrosPerHour;
+    if (peakOnly && !isPeakHour(hourStart)) continue;
+    const HourBucket& b = hours_[h];
+    row.totalOps.add(static_cast<double>(b.totalOps));
+    row.bytesRead.add(static_cast<double>(b.bytesRead));
+    row.readOps.add(static_cast<double>(b.readOps));
+    row.bytesWritten.add(static_cast<double>(b.bytesWritten));
+    row.writeOps.add(static_cast<double>(b.writeOps));
+    if (b.writeOps) row.rwRatio.add(b.readWriteOpRatio());
+  }
+  return row;
+}
+
+HourlyStats::VarianceRow HourlyStats::allHours() const {
+  return accumulate(false);
+}
+
+HourlyStats::VarianceRow HourlyStats::peakHours() const {
+  return accumulate(true);
+}
+
+RunningStats HourlyStats::windowStats(int startHour, int endHour) const {
+  RunningStats s;
+  for (std::size_t h = 0; h < hours_.size(); ++h) {
+    MicroTime t = static_cast<MicroTime>(h) * kMicrosPerHour;
+    int dow = dayOfWeek(t);
+    int hod = hourOfDay(t);
+    if (dow >= 1 && dow <= 5 && hod >= startHour && hod < endHour) {
+      s.add(static_cast<double>(hours_[h].totalOps));
+    }
+  }
+  return s;
+}
+
+HourlyStats::PeakWindow HourlyStats::findLeastVarianceWindow(
+    int minLength) const {
+  // Pass 1: the minimum achievable normalized stddev.
+  double minV = -1.0;
+  for (int start = 0; start < 24; ++start) {
+    for (int end = start + minLength; end <= 24; ++end) {
+      RunningStats s = windowStats(start, end);
+      if (s.count() < 10 || s.mean() <= 0.0) continue;
+      double v = s.stddevPercentOfMean();
+      if (minV < 0.0 || v < minV) minV = v;
+    }
+  }
+  // Pass 2: among windows statistically tied with the minimum (within
+  // 10% relative), prefer the longest — the peak *period*, not a lucky
+  // sub-slice of it.
+  PeakWindow best;
+  bool first = true;
+  for (int start = 0; start < 24; ++start) {
+    for (int end = start + minLength; end <= 24; ++end) {
+      RunningStats s = windowStats(start, end);
+      if (s.count() < 10 || s.mean() <= 0.0) continue;
+      double v = s.stddevPercentOfMean();
+      if (v > minV * 1.10 + 0.5) continue;
+      int len = end - start;
+      if (first || len > best.endHour - best.startHour ||
+          (len == best.endHour - best.startHour && v < best.stddevPercent)) {
+        best = {start, end, v};
+        first = false;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,67 @@
+// Time-bucketed load statistics (§6.2): hourly operation counts, data
+// volumes, read/write ratios, and the peak-vs-all-hours variance table
+// (Table 5) plus the weekly series behind Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/stats.hpp"
+
+namespace nfstrace {
+
+struct HourBucket {
+  std::uint64_t totalOps = 0;
+  std::uint64_t readOps = 0;
+  std::uint64_t writeOps = 0;
+  std::uint64_t metadataOps = 0;
+  std::uint64_t bytesRead = 0;
+  std::uint64_t bytesWritten = 0;
+
+  double readWriteOpRatio() const {
+    return writeOps ? static_cast<double>(readOps) /
+                          static_cast<double>(writeOps)
+                    : 0.0;
+  }
+  double readWriteByteRatio() const {
+    return bytesWritten ? static_cast<double>(bytesRead) /
+                              static_cast<double>(bytesWritten)
+                        : 0.0;
+  }
+};
+
+class HourlyStats {
+ public:
+  void observe(const TraceRecord& rec);
+
+  /// Buckets indexed by absolute hour since the simulation epoch.
+  const std::vector<HourBucket>& hours() const { return hours_; }
+
+  struct VarianceRow {
+    RunningStats totalOps, bytesRead, readOps, bytesWritten, writeOps,
+        rwRatio;
+  };
+  /// Hourly means/stddevs over all hours and over peak hours only
+  /// (Mon-Fri 9am-6pm), the two halves of Table 5.  Hours with zero
+  /// activity are included in "all hours", as the paper's averages are.
+  VarianceRow allHours() const;
+  VarianceRow peakHours() const;
+
+  struct PeakWindow {
+    int startHour = 9;
+    int endHour = 18;  // exclusive
+    double stddevPercent = 0.0;
+  };
+  /// Reproduce the paper's §6.2 methodology: scan candidate weekday
+  /// windows and return the one minimizing the normalized stddev of
+  /// hourly total ops.  (The paper found 9am-6pm.)
+  PeakWindow findLeastVarianceWindow(int minLength = 4) const;
+
+ private:
+  VarianceRow accumulate(bool peakOnly) const;
+  RunningStats windowStats(int startHour, int endHour) const;
+  std::vector<HourBucket> hours_;
+};
+
+}  // namespace nfstrace

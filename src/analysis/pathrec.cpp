@@ -1,0 +1,109 @@
+#include "analysis/pathrec.hpp"
+
+namespace nfstrace {
+namespace {
+
+std::string edgeKey(const FileHandle& dir, const std::string& name) {
+  return dir.toHex() + "/" + name;
+}
+
+}  // namespace
+
+void PathReconstructor::learn(const FileHandle& parent,
+                              const std::string& name,
+                              const FileHandle& child) {
+  if (child.len == 0 || parent.len == 0 || name.empty()) return;
+  if (name == "." || name == "..") return;
+  up_[child] = {parent, name};
+  down_[edgeKey(parent, name)] = child;
+}
+
+void PathReconstructor::observe(const TraceRecord& rec) {
+  switch (rec.op) {
+    case NfsOp::Lookup:
+    case NfsOp::Create:
+    case NfsOp::Mkdir:
+    case NfsOp::Symlink:
+    case NfsOp::Mknod:
+      if (rec.hasReply && rec.hasResFh && rec.status == NfsStat::Ok) {
+        learn(rec.fh, rec.name, rec.resFh);
+      }
+      break;
+    case NfsOp::Rename:
+      if (rec.hasReply && rec.status == NfsStat::Ok) {
+        // Move the edge: the object formerly at (fh, name) is now at
+        // (fh2, name2).
+        auto it = down_.find(edgeKey(rec.fh, rec.name));
+        if (it != down_.end()) {
+          FileHandle child = it->second;
+          down_.erase(it);
+          learn(rec.fh2, rec.name2, child);
+        }
+      }
+      break;
+    case NfsOp::Remove:
+    case NfsOp::Rmdir:
+      if (rec.hasReply && rec.status == NfsStat::Ok) {
+        auto it = down_.find(edgeKey(rec.fh, rec.name));
+        if (it != down_.end()) {
+          up_.erase(it->second);
+          down_.erase(it);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+
+  // Coverage accounting: for data ops, did we already know the parent?
+  if (rec.op == NfsOp::Read || rec.op == NfsOp::Write) {
+    if (up_.count(rec.fh)) {
+      ++coverageHits_;
+    } else {
+      ++coverageMisses_;
+    }
+  }
+}
+
+std::optional<std::string> PathReconstructor::nameOf(
+    const FileHandle& fh) const {
+  auto it = up_.find(fh);
+  if (it == up_.end()) return std::nullopt;
+  return it->second.name;
+}
+
+std::optional<FileHandle> PathReconstructor::parentOf(
+    const FileHandle& fh) const {
+  auto it = up_.find(fh);
+  if (it == up_.end()) return std::nullopt;
+  return it->second.parent;
+}
+
+std::optional<FileHandle> PathReconstructor::childOf(
+    const FileHandle& dir, const std::string& name) const {
+  auto it = down_.find(edgeKey(dir, name));
+  if (it == down_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> PathReconstructor::pathOf(
+    const FileHandle& fh) const {
+  std::vector<std::string> parts;
+  FileHandle cur = fh;
+  for (int depth = 0; depth < 256; ++depth) {
+    auto it = up_.find(cur);
+    if (it == up_.end()) {
+      if (depth == 0) return std::nullopt;
+      // Reached a handle with no known parent: treat it as the root of
+      // the known subtree.
+      break;
+    }
+    parts.push_back(it->second.name);
+    cur = it->second.parent;
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) out += "/" + *it;
+  return out;
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,60 @@
+// File-system hierarchy reconstruction from passive traces (§4.1.1).
+//
+// The tracer never sees the server's namespace directly, but LOOKUP,
+// CREATE, MKDIR, RENAME and READDIRPLUS traffic reveals (parent handle,
+// name) -> child handle edges.  After a few minutes of trace the active
+// part of the hierarchy is almost fully known — the paper reports the
+// probability of meeting a file whose parent is unknown becomes very
+// small.  This class learns the edges and answers path queries.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "nfs/types.hpp"
+#include "trace/record.hpp"
+
+namespace nfstrace {
+
+class PathReconstructor {
+ public:
+  /// Learn from one record (call + reply as available).
+  void observe(const TraceRecord& rec);
+
+  /// Last-known name (final path component) of a handle.
+  std::optional<std::string> nameOf(const FileHandle& fh) const;
+  /// Full path if every ancestor edge is known; nullopt otherwise.
+  std::optional<std::string> pathOf(const FileHandle& fh) const;
+  /// Child handle for (dir, name), if that edge has been observed.
+  std::optional<FileHandle> childOf(const FileHandle& dir,
+                                    const std::string& name) const;
+  /// Parent handle, if known.
+  std::optional<FileHandle> parentOf(const FileHandle& fh) const;
+
+  std::size_t knownFiles() const { return up_.size(); }
+
+  /// Fraction of queried records whose handle had a known parent when the
+  /// query was made (the paper's coverage measure).
+  double parentCoverage() const {
+    auto total = coverageHits_ + coverageMisses_;
+    return total ? static_cast<double>(coverageHits_) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+
+ private:
+  struct Edge {
+    FileHandle parent;
+    std::string name;
+  };
+  void learn(const FileHandle& parent, const std::string& name,
+             const FileHandle& child);
+
+  std::unordered_map<FileHandle, Edge, FileHandleHash> up_;
+  std::unordered_map<std::string, FileHandle> down_;  // dirhex/name -> child
+  std::uint64_t coverageHits_ = 0;
+  std::uint64_t coverageMisses_ = 0;
+};
+
+}  // namespace nfstrace

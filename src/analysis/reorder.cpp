@@ -1,0 +1,76 @@
+#include "analysis/reorder.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace nfstrace {
+namespace {
+
+bool isDataAccess(const TraceRecord& rec) {
+  return (rec.op == NfsOp::Read || rec.op == NfsOp::Write) && rec.fh.len > 0;
+}
+
+}  // namespace
+
+ReorderResult sortWithReorderWindow(const std::vector<TraceRecord>& input,
+                                    MicroTime windowUs) {
+  ReorderResult out;
+  out.records = input;
+  std::stable_sort(out.records.begin(), out.records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.ts < b.ts;
+                   });
+
+  // Collect indices of data accesses per (file handle, direction): reads
+  // and writes are sorted independently, as they come from different
+  // client-side queues.
+  std::map<std::pair<std::string, bool>, std::vector<std::size_t>> perFile;
+  for (std::size_t i = 0; i < out.records.size(); ++i) {
+    const auto& rec = out.records[i];
+    if (!isDataAccess(rec)) continue;
+    perFile[{rec.fh.toHex(), rec.op == NfsOp::Write}].push_back(i);
+    ++out.accessesTotal;
+  }
+  if (windowUs <= 0) return out;
+
+  for (auto& [key, indices] : perFile) {
+    // Selection-within-window: for each position, look ahead `windowUs`
+    // and pull forward the smallest offset found there.
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      MicroTime tsHere = out.records[indices[i]].ts;
+      std::size_t best = i;
+      for (std::size_t j = i + 1; j < indices.size(); ++j) {
+        if (out.records[indices[j]].ts - tsHere > windowUs) break;
+        if (out.records[indices[j]].offset <
+            out.records[indices[best]].offset) {
+          best = j;
+        }
+      }
+      if (best != i) {
+        // Rotate the chosen record into place, preserving the relative
+        // order of the displaced ones (a "swap" in the paper's counting).
+        TraceRecord picked = out.records[indices[best]];
+        for (std::size_t j = best; j > i; --j) {
+          out.records[indices[j]] = out.records[indices[j - 1]];
+        }
+        out.records[indices[i]] = picked;
+        ++out.accessesSwapped;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<MicroTime, double>> sweepReorderWindows(
+    const std::vector<TraceRecord>& input,
+    const std::vector<MicroTime>& windows) {
+  std::vector<std::pair<MicroTime, double>> out;
+  out.reserve(windows.size());
+  for (MicroTime w : windows) {
+    auto result = sortWithReorderWindow(input, w);
+    out.emplace_back(w, result.swappedFraction());
+  }
+  return out;
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,40 @@
+// Reorder-window sorting (§4.2, Figure 1).
+//
+// nfsiod scheduling delivers calls to the server out of application order;
+// analyzed naively this makes genuinely sequential streams look random.
+// The fix: within each file's access stream, look ahead a small temporal
+// window and swap requests that are out of offset order.  The window must
+// be just large enough to undo scheduler jitter — an infinite window would
+// make *any* access pattern that touches every block look sequential.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace nfstrace {
+
+struct ReorderResult {
+  std::vector<TraceRecord> records;  // time-sorted output
+  std::uint64_t accessesSwapped = 0;
+  std::uint64_t accessesTotal = 0;   // read/write accesses considered
+  double swappedFraction() const {
+    return accessesTotal ? static_cast<double>(accessesSwapped) /
+                               static_cast<double>(accessesTotal)
+                         : 0.0;
+  }
+};
+
+/// Apply the reorder-window sort with the given window (microseconds).
+/// Only READ/WRITE records participate; other records pass through.  A
+/// window of zero returns the input order and counts nothing swapped.
+ReorderResult sortWithReorderWindow(const std::vector<TraceRecord>& input,
+                                    MicroTime windowUs);
+
+/// Figure 1 helper: fraction of accesses swapped for each window size.
+std::vector<std::pair<MicroTime, double>> sweepReorderWindows(
+    const std::vector<TraceRecord>& input,
+    const std::vector<MicroTime>& windows);
+
+}  // namespace nfstrace

@@ -1,0 +1,35 @@
+#include "analysis/summary.hpp"
+
+namespace nfstrace {
+
+TraceSummary summarize(const std::vector<TraceRecord>& records) {
+  TraceSummary s;
+  bool first = true;
+  for (const auto& rec : records) {
+    ++s.totalOps;
+    s.opCounts[static_cast<std::size_t>(rec.op)]++;
+    if (first) {
+      s.firstTs = s.lastTs = rec.ts;
+      first = false;
+    } else {
+      s.firstTs = std::min(s.firstTs, rec.ts);
+      s.lastTs = std::max(s.lastTs, rec.ts);
+    }
+    if (!rec.hasReply) ++s.repliesMissing;
+    if (rec.op == NfsOp::Read) {
+      ++s.readOps;
+      ++s.dataOps;
+      s.bytesRead += rec.hasReply ? rec.retCount : rec.count;
+    } else if (rec.op == NfsOp::Write) {
+      ++s.writeOps;
+      ++s.dataOps;
+      s.bytesWritten += rec.hasReply && rec.retCount ? rec.retCount
+                                                      : rec.count;
+    } else {
+      ++s.metadataOps;
+    }
+  }
+  return s;
+}
+
+}  // namespace nfstrace

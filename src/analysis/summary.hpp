@@ -1,0 +1,51 @@
+// Whole-trace summary statistics (Table 2) and workload characterization
+// (Table 1): operation mix, data volumes, read/write ratios, and the
+// data-vs-metadata split that separates CAMPUS from EECS.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "nfs/proc.hpp"
+#include "trace/record.hpp"
+
+namespace nfstrace {
+
+struct TraceSummary {
+  std::uint64_t totalOps = 0;
+  std::array<std::uint64_t, kNfsOpCount> opCounts{};
+  std::uint64_t readOps = 0;
+  std::uint64_t writeOps = 0;
+  std::uint64_t bytesRead = 0;
+  std::uint64_t bytesWritten = 0;
+  std::uint64_t dataOps = 0;      // read + write
+  std::uint64_t metadataOps = 0;  // everything else
+  std::uint64_t repliesMissing = 0;
+  MicroTime firstTs = 0;
+  MicroTime lastTs = 0;
+
+  double days() const {
+    return lastTs > firstTs
+               ? toSeconds(lastTs - firstTs) / (24.0 * 3600.0)
+               : 0.0;
+  }
+  double readWriteByteRatio() const {
+    return bytesWritten ? static_cast<double>(bytesRead) /
+                              static_cast<double>(bytesWritten)
+                        : 0.0;
+  }
+  double readWriteOpRatio() const {
+    return writeOps ? static_cast<double>(readOps) /
+                          static_cast<double>(writeOps)
+                    : 0.0;
+  }
+  double dataOpFraction() const {
+    return totalOps ? static_cast<double>(dataOps) /
+                          static_cast<double>(totalOps)
+                    : 0.0;
+  }
+};
+
+TraceSummary summarize(const std::vector<TraceRecord>& records);
+
+}  // namespace nfstrace

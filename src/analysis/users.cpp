@@ -1,0 +1,70 @@
+#include "analysis/users.hpp"
+
+#include <algorithm>
+
+namespace nfstrace {
+
+void UserStats::observe(const TraceRecord& rec) {
+  auto [it, inserted] = users_.try_emplace(rec.uid);
+  State& st = it->second;
+  UserActivity& a = st.activity;
+  if (inserted) {
+    a.uid = rec.uid;
+    a.firstSeen = rec.ts;
+  }
+  a.lastSeen = std::max(a.lastSeen, rec.ts);
+  a.firstSeen = std::min(a.firstSeen, rec.ts);
+  ++a.totalOps;
+  ++totalOps_;
+  if (rec.op == NfsOp::Read) {
+    ++a.readOps;
+    a.bytesRead += rec.hasReply ? rec.retCount : rec.count;
+  } else if (rec.op == NfsOp::Write) {
+    ++a.writeOps;
+    a.bytesWritten += rec.hasReply && rec.retCount ? rec.retCount : rec.count;
+  }
+  std::int64_t hour = rec.ts / kMicrosPerHour;
+  if (st.hoursSeen.emplace(hour, true).second) {
+    ++a.activeHours;
+  }
+}
+
+std::vector<UserActivity> UserStats::byActivity() const {
+  std::vector<UserActivity> out;
+  out.reserve(users_.size());
+  for (const auto& [uid, st] : users_) out.push_back(st.activity);
+  std::sort(out.begin(), out.end(),
+            [](const UserActivity& a, const UserActivity& b) {
+              return a.totalOps > b.totalOps;
+            });
+  return out;
+}
+
+double UserStats::topUserShare(double fraction) const {
+  if (users_.empty() || totalOps_ == 0) return 0.0;
+  auto sorted = byActivity();
+  auto take = static_cast<std::size_t>(
+      std::max(1.0, fraction * static_cast<double>(sorted.size()) + 0.999999));
+  take = std::min(take, sorted.size());
+  std::uint64_t ops = 0;
+  for (std::size_t i = 0; i < take; ++i) ops += sorted[i].totalOps;
+  return static_cast<double>(ops) / static_cast<double>(totalOps_);
+}
+
+double UserStats::imbalance() const {
+  // Gini coefficient over per-user op counts.
+  if (users_.size() < 2 || totalOps_ == 0) return 0.0;
+  std::vector<std::uint64_t> ops;
+  ops.reserve(users_.size());
+  for (const auto& [uid, st] : users_) ops.push_back(st.activity.totalOps);
+  std::sort(ops.begin(), ops.end());
+  double n = static_cast<double>(ops.size());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) *
+                static_cast<double>(ops[i]);
+  }
+  return weighted / (n * static_cast<double>(totalOps_));
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,597 @@
+#include "client/client.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace nfstrace {
+namespace {
+
+std::string dnlcKey(const FileHandle& dir, const std::string& name) {
+  return dir.toHex() + "/" + name;
+}
+
+}  // namespace
+
+NfsClient::NfsClient(Config config, NfsTransport& transport,
+                     std::uint64_t seed)
+    : config_(config), transport_(transport), rng_(seed) {}
+
+bool NfsClient::mountRoot(MicroTime& now, const std::string& exportPath) {
+  auto fh = transport_.mount(now, exportPath, uid_, gid_);
+  if (!fh) return false;
+  root_ = *fh;
+  return true;
+}
+
+void NfsClient::dropCaches() {
+  attrCache_.clear();
+  dataCache_.clear();
+  dnlc_.clear();
+}
+
+NfsReplyRes NfsClient::callNow(MicroTime& now, const NfsCallArgs& args) {
+  flushPool(now);  // keep program order between data and metadata calls
+  auto outcome = transport_.call(now, args, uid_, gid_);
+  ++stats_.callsIssued;
+  now = outcome.replyTs;
+  return std::move(outcome.reply);
+}
+
+void NfsClient::queueIo(NfsCallArgs args) {
+  ioQueue_.push_back({std::move(args), submitCounter_++});
+}
+
+void NfsClient::flushPool(MicroTime& now) {
+  if (ioQueue_.empty()) return;
+
+  // The RPC layer keeps a shared queue that any free nfsiod pulls from:
+  // requests are handed out in order, but per-iod scheduler jitter (and
+  // the occasional descheduled iod) perturbs when each one actually hits
+  // the wire, so with two or more iods the wire order can differ from
+  // submit order.  One iod is strictly serial and never reorders.
+  struct Departure {
+    MicroTime t;
+    std::size_t queueIndex;
+  };
+  std::vector<MicroTime> iodFree(static_cast<std::size_t>(
+                                     std::max(1, config_.nfsiods)),
+                                 now);
+  std::vector<Departure> departures;
+  departures.reserve(ioQueue_.size());
+
+  for (std::size_t i = 0; i < ioQueue_.size(); ++i) {
+    // The next free iod takes the request.
+    std::size_t iod = 0;
+    for (std::size_t k = 1; k < iodFree.size(); ++k) {
+      if (iodFree[k] < iodFree[iod]) iod = k;
+    }
+    MicroTime submit = now + static_cast<MicroTime>(i) * config_.iodSubmitGap;
+    MicroTime start = std::max(submit, iodFree[iod]);
+    MicroTime jitter = 0;
+    if (iodFree.size() > 1) {
+      MicroTime mean = rng_.chance(config_.iodJitterTailChance)
+                           ? config_.iodJitterTailMean
+                           : config_.iodJitterMean;
+      jitter = static_cast<MicroTime>(
+          rng_.exponential(static_cast<double>(mean)));
+    }
+    if (iodFree.size() > 1 && rng_.chance(config_.iodStallChance)) {
+      jitter += static_cast<MicroTime>(
+          rng_.uniform(0.0, static_cast<double>(config_.iodStallMax)));
+    }
+    MicroTime depart = start + jitter;
+    // Scheduling delay: how long past its natural issue point the call
+    // actually reached the wire.
+    stats_.maxIodDelay = std::max(stats_.maxIodDelay, depart - submit);
+    iodFree[iod] = depart + config_.iodServiceTime;
+    departures.push_back({depart, i});
+  }
+
+  std::stable_sort(departures.begin(), departures.end(),
+                   [](const Departure& a, const Departure& b) {
+                     return a.t < b.t;
+                   });
+
+  MicroTime lastReply = now;
+  std::uint64_t prevSubmit = 0;
+  bool first = true;
+  for (const auto& dep : departures) {
+    const QueuedIo& io = ioQueue_[dep.queueIndex];
+    if (!first && io.submitIndex < prevSubmit) ++stats_.reorderedCalls;
+    prevSubmit = std::max(prevSubmit, io.submitIndex);
+    first = false;
+
+    auto outcome = transport_.call(dep.t, io.args, uid_, gid_);
+    ++stats_.callsIssued;
+    lastReply = std::max(lastReply, outcome.replyTs);
+
+    // Account transfer sizes and refresh cached attributes from replies.
+    if (const auto* read = std::get_if<ReadRes>(&outcome.reply)) {
+      if (read->status == NfsStat::Ok) stats_.bytesRead += read->count;
+      if (read->hasAttrs) {
+        const auto& a = std::get<ReadArgs>(io.args);
+        noteAttrs(outcome.replyTs, a.fh, read->attrs);
+      }
+    } else if (const auto* write = std::get_if<WriteRes>(&outcome.reply)) {
+      if (write->status == NfsStat::Ok) stats_.bytesWritten += write->count;
+      if (write->wcc.hasPost) {
+        const auto& a = std::get<WriteArgs>(io.args);
+        noteAttrs(outcome.replyTs, a.fh, write->wcc.post);
+        auto& cd = dataCache_[a.fh];
+        cd.mtime = write->wcc.post.mtime.toMicro();
+      }
+    }
+  }
+
+  ioQueue_.clear();
+  now = lastReply;
+}
+
+void NfsClient::noteAttrs(MicroTime now, const FileHandle& fh,
+                          const Fattr& attrs) {
+  invalidateIfModified(fh, attrs);
+  attrCache_[fh] = {attrs, now};
+}
+
+const Fattr* NfsClient::cachedAttrs(MicroTime now,
+                                    const FileHandle& fh) const {
+  auto it = attrCache_.find(fh);
+  if (it == attrCache_.end()) return nullptr;
+  MicroTime timeout = it->second.attrs.type == FileType::Directory
+                          ? config_.acDirTimeout
+                          : config_.acFileTimeout;
+  if (now - it->second.fetched > timeout) return nullptr;
+  return &it->second.attrs;
+}
+
+void NfsClient::invalidateIfModified(const FileHandle& fh,
+                                     const Fattr& attrs) {
+  auto it = dataCache_.find(fh);
+  if (it == dataCache_.end() || it->second.mtime == attrs.mtime.toMicro()) {
+    return;
+  }
+  if (config_.cacheGranularity == CacheGranularity::BlockBased &&
+      attrs.size >= it->second.validBytes) {
+    // Block/message-granularity consistency (§6.1.2 speculation): the
+    // file grew, so the cached prefix is still valid; adopt the new
+    // mtime and let the caller fetch only the appended tail.
+    it->second.mtime = attrs.mtime.toMicro();
+    return;
+  }
+  // File changed under us: NFS close-to-open consistency discards the
+  // whole cached file, not just the changed blocks.
+  dataCache_.erase(it);
+}
+
+std::optional<Fattr> NfsClient::getattr(MicroTime& now, const FileHandle& fh,
+                                        bool forceFresh) {
+  // A held delegation makes revalidation unnecessary: the server promises
+  // to recall it before anyone else changes the file.
+  if (config_.nfsv4Delegations) {
+    auto it = attrCache_.find(fh);
+    if (it != attrCache_.end() &&
+        it->second.attrs.type == FileType::Regular) {
+      ++stats_.delegationHits;
+      return it->second.attrs;
+    }
+  }
+  if (!forceFresh) {
+    if (const Fattr* a = cachedAttrs(now, fh)) {
+      ++stats_.cacheHitsAttr;
+      return *a;
+    }
+  }
+  auto res = callNow(now, GetattrArgs{fh});
+  const auto& r = std::get<GetattrRes>(res);
+  if (r.status != NfsStat::Ok) {
+    attrCache_.erase(fh);
+    dataCache_.erase(fh);
+    return std::nullopt;
+  }
+  noteAttrs(now, fh, r.attrs);
+  return r.attrs;
+}
+
+bool NfsClient::access(MicroTime& now, const FileHandle& fh) {
+  if (config_.nfsv4Delegations && attrCache_.count(fh)) {
+    // Permission checks ride the delegation too.
+    ++stats_.delegationHits;
+    return true;
+  }
+  if (transport_.config().nfsVers == 2) {
+    // v2 has no ACCESS; clients getattr instead.
+    return getattr(now, fh).has_value();
+  }
+  auto res = callNow(now, AccessArgs{fh, 0x3f});
+  const auto& r = std::get<AccessRes>(res);
+  if (r.hasAttrs) noteAttrs(now, fh, r.attrs);
+  return r.status == NfsStat::Ok;
+}
+
+std::optional<FileHandle> NfsClient::lookupPath(MicroTime& now,
+                                                const std::string& path) {
+  FileHandle cur = root_;
+  for (const auto& comp : split(path, '/')) {
+    if (comp.empty()) continue;
+
+    // Directory-entry cache hit, subject to the directory attribute TTL.
+    auto key = dnlcKey(cur, comp);
+    auto hit = dnlc_.find(key);
+    if (hit != dnlc_.end() &&
+        now - hit->second.second <= config_.acDirTimeout) {
+      cur = hit->second.first;
+      continue;
+    }
+
+    auto res = callNow(now, LookupArgs{cur, comp});
+    const auto& r = std::get<LookupRes>(res);
+    if (r.hasDirAttrs) noteAttrs(now, cur, r.dirAttrs);
+    if (r.status != NfsStat::Ok) {
+      dnlc_.erase(key);
+      return std::nullopt;
+    }
+    if (r.hasObjAttrs) noteAttrs(now, r.fh, r.objAttrs);
+    dnlc_[key] = {r.fh, now};
+    cur = r.fh;
+  }
+  return cur;
+}
+
+bool NfsClient::link(MicroTime& now, const FileHandle& target,
+                     const FileHandle& dir, const std::string& name) {
+  auto res = callNow(now, LinkArgs{target, dir, name});
+  const auto& r = std::get<LinkRes>(res);
+  if (r.hasAttrs) noteAttrs(now, target, r.attrs);
+  if (r.status == NfsStat::Ok) dnlc_[dnlcKey(dir, name)] = {target, now};
+  return r.status == NfsStat::Ok;
+}
+
+std::optional<std::string> NfsClient::readlink(MicroTime& now,
+                                               const FileHandle& fh) {
+  auto res = callNow(now, ReadlinkArgs{fh});
+  const auto& r = std::get<ReadlinkRes>(res);
+  if (r.hasAttrs) noteAttrs(now, fh, r.attrs);
+  if (r.status != NfsStat::Ok) return std::nullopt;
+  return r.target;
+}
+
+std::optional<FileHandle> NfsClient::create(MicroTime& now,
+                                            const FileHandle& dir,
+                                            const std::string& name,
+                                            bool exclusive,
+                                            std::uint64_t truncateTo) {
+  CreateArgs args;
+  args.dir = dir;
+  args.name = name;
+  args.mode = exclusive ? CreateMode::Exclusive : CreateMode::Unchecked;
+  if (!exclusive) {
+    args.attrs.setSize = true;
+    args.attrs.size = truncateTo;
+  }
+  args.attrs.setMode = true;
+  args.attrs.mode = 0644;
+  auto res = callNow(now, NfsCallArgs{args});
+  const auto& r = std::get<CreateRes>(res);
+  if (r.status != NfsStat::Ok) return std::nullopt;
+  if (r.hasAttrs && r.hasFh) noteAttrs(now, r.fh, r.attrs);
+  if (r.hasFh) {
+    dnlc_[dnlcKey(dir, name)] = {r.fh, now};
+    return r.fh;
+  }
+  return std::nullopt;
+}
+
+bool NfsClient::remove(MicroTime& now, const FileHandle& dir,
+                       const std::string& name) {
+  auto res = callNow(now, RemoveArgs{dir, name});
+  dnlc_.erase(dnlcKey(dir, name));
+  return std::get<RemoveRes>(res).status == NfsStat::Ok;
+}
+
+std::optional<FileHandle> NfsClient::mkdir(MicroTime& now,
+                                           const FileHandle& dir,
+                                           const std::string& name) {
+  MkdirArgs args;
+  args.dir = dir;
+  args.name = name;
+  args.attrs.setMode = true;
+  args.attrs.mode = 0755;
+  auto res = callNow(now, NfsCallArgs{args});
+  const auto& r = std::get<CreateRes>(res);
+  if (r.status != NfsStat::Ok || !r.hasFh) return std::nullopt;
+  if (r.hasAttrs) noteAttrs(now, r.fh, r.attrs);
+  dnlc_[dnlcKey(dir, name)] = {r.fh, now};
+  return r.fh;
+}
+
+bool NfsClient::rmdir(MicroTime& now, const FileHandle& dir,
+                      const std::string& name) {
+  auto res = callNow(now, RmdirArgs{dir, name});
+  dnlc_.erase(dnlcKey(dir, name));
+  return std::get<RemoveRes>(res).status == NfsStat::Ok;
+}
+
+bool NfsClient::rename(MicroTime& now, const FileHandle& fromDir,
+                       const std::string& fromName, const FileHandle& toDir,
+                       const std::string& toName) {
+  auto res = callNow(now, RenameArgs{fromDir, fromName, toDir, toName});
+  dnlc_.erase(dnlcKey(fromDir, fromName));
+  dnlc_.erase(dnlcKey(toDir, toName));
+  return std::get<RenameRes>(res).status == NfsStat::Ok;
+}
+
+std::optional<FileHandle> NfsClient::symlink(MicroTime& now,
+                                             const FileHandle& dir,
+                                             const std::string& name,
+                                             const std::string& target) {
+  SymlinkArgs args;
+  args.dir = dir;
+  args.name = name;
+  args.target = target;
+  auto res = callNow(now, NfsCallArgs{args});
+  const auto& r = std::get<CreateRes>(res);
+  if (r.status != NfsStat::Ok || !r.hasFh) return std::nullopt;
+  return r.fh;
+}
+
+std::vector<DirEntry> NfsClient::readdir(MicroTime& now,
+                                         const FileHandle& dir, bool plus) {
+  std::vector<DirEntry> all;
+  std::uint64_t cookie = 0;
+  for (int page = 0; page < 1000; ++page) {
+    NfsCallArgs args;
+    if (plus && transport_.config().nfsVers == 3) {
+      ReaddirplusArgs a;
+      a.dir = dir;
+      a.cookie = cookie;
+      args = a;
+    } else {
+      ReaddirArgs a;
+      a.dir = dir;
+      a.cookie = cookie;
+      args = a;
+    }
+    auto res = callNow(now, args);
+    const auto& r = std::get<ReaddirRes>(res);
+    if (r.status != NfsStat::Ok) break;
+    for (const auto& e : r.entries) {
+      if (e.hasAttrs && e.hasFh) noteAttrs(now, e.fh, e.attrs);
+      all.push_back(e);
+      cookie = e.cookie;
+    }
+    if (r.eof || r.entries.empty()) break;
+  }
+  return all;
+}
+
+bool NfsClient::truncate(MicroTime& now, const FileHandle& fh,
+                         std::uint64_t size) {
+  SetattrArgs args;
+  args.fh = fh;
+  args.attrs.setSize = true;
+  args.attrs.size = size;
+  auto res = callNow(now, NfsCallArgs{args});
+  const auto& r = std::get<SetattrRes>(res);
+  if (r.wcc.hasPost) noteAttrs(now, fh, r.wcc.post);
+  return r.status == NfsStat::Ok;
+}
+
+bool NfsClient::setMtime(MicroTime& now, const FileHandle& fh,
+                         MicroTime mtime) {
+  SetattrArgs args;
+  args.fh = fh;
+  args.attrs.setMtime = true;
+  args.attrs.mtime = NfsTime::fromMicro(mtime);
+  auto res = callNow(now, NfsCallArgs{args});
+  const auto& r = std::get<SetattrRes>(res);
+  if (r.wcc.hasPost) noteAttrs(now, fh, r.wcc.post);
+  return r.status == NfsStat::Ok;
+}
+
+std::uint64_t NfsClient::readFile(MicroTime& now, const FileHandle& fh) {
+  auto attrs = getattr(now, fh);
+  if (!attrs) return 0;
+  return readRange(now, fh, 0, attrs->size);
+}
+
+std::uint64_t NfsClient::readRange(MicroTime& now, const FileHandle& fh,
+                                   std::uint64_t offset, std::uint64_t len) {
+  auto attrs = getattr(now, fh);
+  if (!attrs) return 0;
+  std::uint64_t end = std::min(offset + len, attrs->size);
+  if (offset >= end) return 0;
+
+  if (config_.enableDataCache) {
+    auto it = dataCache_.find(fh);
+    if (it != dataCache_.end() &&
+        it->second.mtime == attrs->mtime.toMicro()) {
+      if (it->second.validBytes >= end) {
+        ++stats_.cacheHitsData;
+        it->second.lastUse = now;
+        return 0;  // fully absorbed by the client cache
+      }
+      // Valid prefix: only the uncached suffix crosses the wire (this is
+      // what makes block-granularity consistency pay off — an appended
+      // mailbox needs only its new tail fetched).
+      offset = std::max(offset, it->second.validBytes);
+    }
+  }
+
+  std::uint64_t wire = 0;
+  for (std::uint64_t off = offset; off < end; off += config_.rsize) {
+    auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.rsize, end - off));
+    queueIo(ReadArgs{fh, off, chunk});
+    wire += chunk;
+  }
+  flushPool(now);
+
+  if (config_.enableDataCache) {
+    auto& cd = dataCache_[fh];
+    cd.mtime = attrs->mtime.toMicro();
+    cd.validBytes = std::max(cd.validBytes, end);
+    cd.lastUse = now;
+    if (offset > 0 && cd.validBytes < offset) {
+      // Sparse cache fill; keep the conservative prefix length.
+      cd.validBytes = 0;
+    }
+    evictDataCache();
+  }
+  return wire;
+}
+
+void NfsClient::evictDataCache() {
+  std::uint64_t total = 0;
+  for (const auto& [fh, cd] : dataCache_) total += cd.validBytes;
+  while (total > config_.dataCacheCapacityBytes && !dataCache_.empty()) {
+    auto victim = dataCache_.begin();
+    for (auto it = dataCache_.begin(); it != dataCache_.end(); ++it) {
+      if (it->second.lastUse < victim->second.lastUse) victim = it;
+    }
+    total -= victim->second.validBytes;
+    dataCache_.erase(victim);
+  }
+}
+
+std::uint64_t NfsClient::writeRange(MicroTime& now, const FileHandle& fh,
+                                    std::uint64_t offset, std::uint64_t len,
+                                    bool stable) {
+  if (len == 0) return 0;
+  bool v3 = transport_.config().nfsVers == 3;
+  StableHow how = stable || !v3 ? StableHow::FileSync : StableHow::Unstable;
+
+  std::uint64_t wire = 0;
+  for (std::uint64_t off = offset; off < offset + len; off += config_.wsize) {
+    auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.wsize, offset + len - off));
+    queueIo(WriteArgs{fh, off, chunk, how});
+    wire += chunk;
+  }
+  flushPool(now);
+
+  if (v3 && how == StableHow::Unstable) {
+    auto res = callNow(now, CommitArgs{fh, offset, static_cast<std::uint32_t>(len)});
+    const auto& r = std::get<CommitRes>(res);
+    if (r.wcc.hasPost) noteAttrs(now, fh, r.wcc.post);
+  }
+  return wire;
+}
+
+std::uint64_t NfsClient::append(MicroTime& now, const FileHandle& fh,
+                                std::uint64_t len, bool stable) {
+  auto attrs = getattr(now, fh);
+  if (!attrs) return 0;
+  return writeRange(now, fh, attrs->size, len, stable);
+}
+
+std::uint64_t NfsClient::readSegments(MicroTime& now, const FileHandle& fh,
+                                      const std::vector<Extent>& extents) {
+  auto attrs = getattr(now, fh);
+  if (!attrs) return 0;
+
+  // Cache check at whole-range granularity, same rules as readRange.
+  if (config_.enableDataCache && !extents.empty()) {
+    std::uint64_t lastNeeded = 0;
+    for (const auto& ext : extents) {
+      lastNeeded = std::max(
+          lastNeeded, std::min(ext.offset + ext.length, attrs->size));
+    }
+    auto it = dataCache_.find(fh);
+    if (it != dataCache_.end() && it->second.mtime == attrs->mtime.toMicro() &&
+        it->second.validBytes >= lastNeeded) {
+      ++stats_.cacheHitsData;
+      it->second.lastUse = now;
+      return 0;
+    }
+  }
+  // A valid cached prefix absorbs the extents below it.
+  std::uint64_t cachedPrefix = 0;
+  if (config_.enableDataCache) {
+    auto it = dataCache_.find(fh);
+    if (it != dataCache_.end() &&
+        it->second.mtime == attrs->mtime.toMicro()) {
+      cachedPrefix = it->second.validBytes;
+    }
+  }
+
+  std::uint64_t wire = 0;
+  std::uint64_t lastEnd = 0;
+  for (const auto& ext : extents) {
+    if (ext.offset >= attrs->size) continue;
+    std::uint64_t end = std::min(ext.offset + ext.length, attrs->size);
+    std::uint64_t extStart = std::max(ext.offset, cachedPrefix);
+    if (extStart >= end) {
+      lastEnd = std::max(lastEnd, end);
+      continue;
+    }
+    for (std::uint64_t off = extStart; off < end; off += config_.rsize) {
+      auto chunk = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(config_.rsize, end - off));
+      queueIo(ReadArgs{fh, off, chunk});
+      wire += chunk;
+    }
+    lastEnd = std::max(lastEnd, end);
+  }
+  if (wire == 0) {
+    if (lastEnd > 0) ++stats_.cacheHitsData;
+    return 0;
+  }
+  flushPool(now);
+
+  if (config_.enableDataCache && lastEnd > 0) {
+    auto& cd = dataCache_[fh];
+    cd.mtime = attrs->mtime.toMicro();
+    // Extend the valid prefix only as far as the extents actually cover
+    // it (small skipped gaps count as covered — the kernel's read-ahead
+    // fills them).  Scattered mid-file reads must NOT validate the
+    // untouched bytes below them.
+    std::vector<Extent> sorted = extents;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Extent& a, const Extent& b) {
+                return a.offset < b.offset;
+              });
+    std::uint64_t slack = 10ULL * kNfsBlockSize;
+    std::uint64_t reach = cd.validBytes;
+    for (const auto& ext : sorted) {
+      if (ext.offset > reach + slack) break;
+      reach = std::max(reach,
+                       std::min(ext.offset + ext.length, attrs->size));
+    }
+    cd.validBytes = reach;
+    cd.lastUse = now;
+    evictDataCache();
+  }
+  return wire;
+}
+
+std::uint64_t NfsClient::writeSegments(MicroTime& now, const FileHandle& fh,
+                                       const std::vector<Extent>& extents,
+                                       bool stable) {
+  bool v3 = transport_.config().nfsVers == 3;
+  StableHow how = stable || !v3 ? StableHow::FileSync : StableHow::Unstable;
+
+  std::uint64_t wire = 0;
+  std::uint64_t maxEnd = 0;
+  for (const auto& ext : extents) {
+    for (std::uint64_t off = ext.offset; off < ext.offset + ext.length;
+         off += config_.wsize) {
+      auto chunk = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(config_.wsize, ext.offset + ext.length - off));
+      queueIo(WriteArgs{fh, off, chunk, how});
+      wire += chunk;
+    }
+    maxEnd = std::max(maxEnd, ext.offset + ext.length);
+  }
+  if (wire == 0) return 0;
+  flushPool(now);
+
+  if (v3 && how == StableHow::Unstable) {
+    auto res = callNow(now, CommitArgs{fh, 0, 0});  // commit whole file
+    const auto& r = std::get<CommitRes>(res);
+    if (r.wcc.hasPost) noteAttrs(now, fh, r.wcc.post);
+  }
+  return wire;
+}
+
+}  // namespace nfstrace

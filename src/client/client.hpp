@@ -1,0 +1,212 @@
+// Simulated NFS client.
+//
+// Models the two client behaviours the paper's findings hinge on:
+//
+//  * Weak-consistency caching (§4.1.3): attributes are cached with a
+//    timeout and revalidated with GETATTR/ACCESS; file data is cached per
+//    file and invalidated wholesale when the server mtime moves — which is
+//    why delivering one message to a CAMPUS inbox forces the mail client
+//    to re-read megabytes.
+//
+//  * The nfsiod pool (§4.1.5): calls are dispatched to the pool in order,
+//    but the per-iod scheduler jitter reorders what actually reaches the
+//    wire.  One nfsiod never reorders; more reorder up to ~10% of calls
+//    and can delay a call by as much as a second.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netcap/netcap.hpp"
+#include "nfs/messages.hpp"
+#include "util/rng.hpp"
+
+namespace nfstrace {
+
+/// How the client invalidates cached file data when the server mtime
+/// moves (§6.1.2).
+enum class CacheGranularity : std::uint8_t {
+  /// Standard NFS close-to-open behaviour: any mtime change discards the
+  /// whole cached file — the source of the CAMPUS mailbox read storm.
+  WholeFile,
+  /// The paper's speculation: block/message-granularity consistency.  An
+  /// append-only change keeps the cached prefix valid and only the new
+  /// tail is fetched; shrinks and rewrites still discard everything.
+  BlockBased,
+};
+
+class NfsClient {
+ public:
+  struct Config {
+    int nfsiods = 4;
+    /// Attribute-cache timeouts (regular files / directories).
+    MicroTime acFileTimeout = 30 * kMicrosPerSecond;
+    MicroTime acDirTimeout = 60 * kMicrosPerSecond;
+    std::uint32_t rsize = 8192;
+    std::uint32_t wsize = 8192;
+    /// Mean per-call scheduling jitter applied by an nfsiod.
+    MicroTime iodJitterMean = 120;
+    /// A small fraction of calls hit a longer scheduler delay (preempted
+    /// iod); this tail is what the reorder-window knee (Fig. 1) measures.
+    double iodJitterTailChance = 0.08;
+    MicroTime iodJitterTailMean = 2500;
+    /// Service time an nfsiod is busy per call (serialization on one iod).
+    MicroTime iodServiceTime = 120;
+    /// Gap between successive submissions to the pool: the client CPU
+    /// hands requests to nfsiods one at a time, not instantaneously.
+    MicroTime iodSubmitGap = 80;
+    /// Probability an nfsiod gets descheduled mid-burst, and for how long.
+    /// (The §4.1.5 bench raises these to reproduce the 1-second delays.)
+    double iodStallChance = 0.0002;
+    MicroTime iodStallMax = 500'000;
+    bool enableDataCache = true;
+    CacheGranularity cacheGranularity = CacheGranularity::WholeFile;
+    /// Emulate NFSv4-style leases/delegations (§6.1.1): on a single-user
+    /// workstation the server would delegate files to the client, so the
+    /// getattr/access revalidation chatter disappears until another
+    /// client writes.  Our simulated workstations are single-user, so
+    /// this is modelled as revalidation-free attribute caching for files
+    /// this client has seen, invalidated by its own writes only.
+    bool nfsv4Delegations = false;
+    /// Client RAM devoted to cached file data; least-recently-used files
+    /// are evicted when exceeded (login servers juggling many users'
+    /// mailboxes evict constantly, workstations rarely).
+    std::uint64_t dataCacheCapacityBytes = 256ULL << 20;
+  };
+
+  struct IoStats {
+    std::uint64_t callsIssued = 0;
+    std::uint64_t bytesRead = 0;      // over the wire
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t cacheHitsData = 0;  // reads absorbed by the data cache
+    std::uint64_t cacheHitsAttr = 0;
+    std::uint64_t delegationHits = 0; // revalidations a delegation absorbed
+    std::uint64_t reorderedCalls = 0; // departures that leapfrogged
+    MicroTime maxIodDelay = 0;        // worst scheduling delay observed
+  };
+
+  NfsClient(Config config, NfsTransport& transport, std::uint64_t seed);
+
+  void setIdentity(std::uint32_t uid, std::uint32_t gid) {
+    uid_ = uid;
+    gid_ = gid;
+  }
+  std::uint32_t uid() const { return uid_; }
+
+  /// The exported root handle; either mount it over the wire (the real
+  /// protocol) or hand it over directly for tests.
+  bool mountRoot(MicroTime& now, const std::string& exportPath);
+  void setRootHandle(const FileHandle& root) { root_ = root; }
+  const FileHandle& rootHandle() const { return root_; }
+
+  // --- namespace operations (synchronous; advance `now` to completion)
+  std::optional<FileHandle> lookupPath(MicroTime& now, const std::string& path);
+  std::optional<Fattr> getattr(MicroTime& now, const FileHandle& fh,
+                               bool forceFresh = false);
+  bool access(MicroTime& now, const FileHandle& fh);
+  std::optional<FileHandle> create(MicroTime& now, const FileHandle& dir,
+                                   const std::string& name, bool exclusive,
+                                   std::uint64_t truncateTo = 0);
+  bool remove(MicroTime& now, const FileHandle& dir, const std::string& name);
+  std::optional<FileHandle> mkdir(MicroTime& now, const FileHandle& dir,
+                                  const std::string& name);
+  bool rmdir(MicroTime& now, const FileHandle& dir, const std::string& name);
+  bool rename(MicroTime& now, const FileHandle& fromDir,
+              const std::string& fromName, const FileHandle& toDir,
+              const std::string& toName);
+  std::optional<FileHandle> symlink(MicroTime& now, const FileHandle& dir,
+                                    const std::string& name,
+                                    const std::string& target);
+  /// Hard link `target` at (dir, name); the basis of the NFS-safe
+  /// hitching-post mailbox locking protocol.
+  bool link(MicroTime& now, const FileHandle& target, const FileHandle& dir,
+            const std::string& name);
+  std::optional<std::string> readlink(MicroTime& now, const FileHandle& fh);
+  std::vector<DirEntry> readdir(MicroTime& now, const FileHandle& dir,
+                                bool plus = false);
+  bool truncate(MicroTime& now, const FileHandle& fh, std::uint64_t size);
+  bool setMtime(MicroTime& now, const FileHandle& fh, MicroTime mtime);
+
+  // --- data operations (issued through the nfsiod pool)
+  /// Read the whole file sequentially through the cache; returns bytes
+  /// that actually crossed the wire (0 on a warm cache).
+  std::uint64_t readFile(MicroTime& now, const FileHandle& fh);
+  std::uint64_t readRange(MicroTime& now, const FileHandle& fh,
+                          std::uint64_t offset, std::uint64_t len);
+  /// Write [offset, offset+len); UNSTABLE+COMMIT on v3, sync on v2.
+  std::uint64_t writeRange(MicroTime& now, const FileHandle& fh,
+                           std::uint64_t offset, std::uint64_t len,
+                           bool stable = false);
+  /// Append to the file at its currently-known size.
+  std::uint64_t append(MicroTime& now, const FileHandle& fh, std::uint64_t len,
+                       bool stable = false);
+
+  /// A (offset, length) extent of a file.
+  struct Extent {
+    std::uint64_t offset;
+    std::uint64_t length;
+  };
+  /// Read a list of extents through the nfsiod pool in one burst — how a
+  /// mail client scans a mailbox (headers read, bodies skipped).  Extents
+  /// are clipped to the file size; the file is treated as cached up to
+  /// the end of the last extent afterwards.  Returns wire bytes.
+  std::uint64_t readSegments(MicroTime& now, const FileHandle& fh,
+                             const std::vector<Extent>& extents);
+  /// Write a list of extents in one burst with a single COMMIT — how a
+  /// mail client rewrites a mailbox (sequential stretches separated by
+  /// seeks).  Returns wire bytes.
+  std::uint64_t writeSegments(MicroTime& now, const FileHandle& fh,
+                              const std::vector<Extent>& extents,
+                              bool stable = false);
+
+  const IoStats& stats() const { return stats_; }
+  /// Drop all cached state (e.g. client reboot).
+  void dropCaches();
+
+ private:
+  struct CachedAttrs {
+    Fattr attrs;
+    MicroTime fetched = 0;
+  };
+  struct CachedData {
+    MicroTime mtime = 0;      // server mtime when cached
+    std::uint64_t validBytes = 0;
+    MicroTime lastUse = 0;
+  };
+  struct QueuedIo {
+    NfsCallArgs args;
+    std::uint64_t submitIndex = 0;
+  };
+
+  NfsReplyRes callNow(MicroTime& now, const NfsCallArgs& args);
+  /// Queue a call on the nfsiod pool; flushPool() sends the batch.
+  void queueIo(NfsCallArgs args);
+  /// Dispatch queued calls through the nfsiods; returns when all replies
+  /// are in and advances `now` to the last reply.
+  void flushPool(MicroTime& now);
+  void noteAttrs(MicroTime now, const FileHandle& fh, const Fattr& attrs);
+  /// Enforce the data-cache capacity by LRU eviction.
+  void evictDataCache();
+  const Fattr* cachedAttrs(MicroTime now, const FileHandle& fh) const;
+  void invalidateIfModified(const FileHandle& fh, const Fattr& attrs);
+
+  Config config_;
+  NfsTransport& transport_;
+  Rng rng_;
+  FileHandle root_;
+  std::uint32_t uid_ = 0;
+  std::uint32_t gid_ = 0;
+  IoStats stats_;
+  std::unordered_map<FileHandle, CachedAttrs, FileHandleHash> attrCache_;
+  std::unordered_map<FileHandle, CachedData, FileHandleHash> dataCache_;
+  /// Directory-entry cache: (dir, name) -> handle.
+  std::unordered_map<std::string, std::pair<FileHandle, MicroTime>> dnlc_;
+  std::vector<QueuedIo> ioQueue_;
+  std::uint64_t submitCounter_ = 0;
+};
+
+}  // namespace nfstrace

@@ -1,0 +1,548 @@
+#include "fs/fs.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace nfstrace {
+
+InMemoryFs::InMemoryFs(const Config& config) : config_(config) {
+  Inode root;
+  root.id = 1;
+  root.generation = nextGeneration_++;
+  root.type = FileType::Directory;
+  root.mode = 0755;
+  root.nlink = 2;
+  root.parent = 1;
+  inodes_.emplace(root.id, root);
+  rootFh_ = FileHandle::make(config_.fsid, 1, root.generation);
+}
+
+std::uint64_t InMemoryFs::chargedBytes(std::uint64_t size) {
+  return (size + kNfsBlockSize - 1) / kNfsBlockSize * kNfsBlockSize;
+}
+
+InMemoryFs::Inode* InMemoryFs::find(const FileHandle& fh) {
+  if (fh.fsid() != config_.fsid) return nullptr;
+  auto it = inodes_.find(fh.fileid());
+  if (it == inodes_.end()) return nullptr;
+  // Stale handle: fileid was recycled under a new generation.
+  FileHandle current = FileHandle::make(config_.fsid, it->second.id,
+                                        it->second.generation);
+  if (!(current == fh)) return nullptr;
+  return &it->second;
+}
+
+const InMemoryFs::Inode* InMemoryFs::find(const FileHandle& fh) const {
+  return const_cast<InMemoryFs*>(this)->find(fh);
+}
+
+InMemoryFs::Inode* InMemoryFs::findDir(const FileHandle& fh, NfsStat& status) {
+  Inode* ino = find(fh);
+  if (!ino) {
+    status = NfsStat::ErrStale;
+    return nullptr;
+  }
+  if (ino->type != FileType::Directory) {
+    status = NfsStat::ErrNotDir;
+    return nullptr;
+  }
+  status = NfsStat::Ok;
+  return ino;
+}
+
+const InMemoryFs::Inode* InMemoryFs::findDir(const FileHandle& fh,
+                                             NfsStat& status) const {
+  return const_cast<InMemoryFs*>(this)->findDir(fh, status);
+}
+
+FileHandle InMemoryFs::handleOf(const Inode& ino) const {
+  return FileHandle::make(config_.fsid, ino.id, ino.generation);
+}
+
+Fattr InMemoryFs::attrsOf(const Inode& ino) const {
+  Fattr a;
+  a.type = ino.type;
+  a.mode = ino.mode;
+  a.nlink = ino.nlink;
+  a.uid = ino.uid;
+  a.gid = ino.gid;
+  a.size = ino.size;
+  a.used = chargedBytes(ino.size);
+  a.fsid = config_.fsid;
+  a.fileid = ino.id;
+  a.atime = NfsTime::fromMicro(ino.atime);
+  a.mtime = NfsTime::fromMicro(ino.mtime);
+  a.ctime = NfsTime::fromMicro(ino.ctime);
+  return a;
+}
+
+InMemoryFs::Inode& InMemoryFs::allocInode(FileType type, std::uint32_t uid,
+                                          std::uint32_t gid, MicroTime now) {
+  Inode ino;
+  ino.id = nextId_++;
+  ino.generation = nextGeneration_++;
+  ino.type = type;
+  ino.uid = uid;
+  ino.gid = gid;
+  ino.mode = type == FileType::Directory ? 0755 : 0644;
+  ino.nlink = type == FileType::Directory ? 2 : 1;
+  ino.atime = ino.mtime = ino.ctime = now;
+  auto [it, inserted] = inodes_.emplace(ino.id, std::move(ino));
+  (void)inserted;
+  return it->second;
+}
+
+void InMemoryFs::destroyInode(Inode& ino) {
+  std::uint64_t charged = chargedBytes(ino.size);
+  bytesUsed_ -= std::min(bytesUsed_, charged);
+  if (config_.defaultQuotaBytes) {
+    auto& q = quotaUsed_[ino.uid];
+    q -= std::min(q, charged);
+  }
+  inodes_.erase(ino.id);
+}
+
+bool InMemoryFs::recharge(Inode& ino, std::uint64_t newSize) {
+  std::uint64_t before = chargedBytes(ino.size);
+  std::uint64_t after = chargedBytes(newSize);
+  if (after > before) {
+    std::uint64_t delta = after - before;
+    if (bytesUsed_ + delta > config_.capacityBytes) return false;
+    if (config_.defaultQuotaBytes &&
+        quotaUsed_[ino.uid] + delta > config_.defaultQuotaBytes) {
+      return false;
+    }
+    bytesUsed_ += delta;
+    if (config_.defaultQuotaBytes) quotaUsed_[ino.uid] += delta;
+  } else if (before > after) {
+    std::uint64_t delta = before - after;
+    bytesUsed_ -= std::min(bytesUsed_, delta);
+    if (config_.defaultQuotaBytes) {
+      auto& q = quotaUsed_[ino.uid];
+      q -= std::min(q, delta);
+    }
+  }
+  ino.size = newSize;
+  return true;
+}
+
+NfsStat InMemoryFs::getattr(const FileHandle& fh, Fattr& out) const {
+  const Inode* ino = find(fh);
+  if (!ino) return NfsStat::ErrStale;
+  out = attrsOf(*ino);
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::setattr(const FileHandle& fh, const Sattr& sattr,
+                            MicroTime now, Fattr& out) {
+  Inode* ino = find(fh);
+  if (!ino) return NfsStat::ErrStale;
+  if (sattr.setSize) {
+    if (ino->type == FileType::Directory) return NfsStat::ErrIsDir;
+    if (!recharge(*ino, sattr.size)) return NfsStat::ErrDQuot;
+    ino->mtime = now;
+  }
+  if (sattr.setMode) ino->mode = sattr.mode;
+  if (sattr.setUid) ino->uid = sattr.uid;
+  if (sattr.setGid) ino->gid = sattr.gid;
+  if (sattr.setAtime) ino->atime = sattr.atime.toMicro();
+  if (sattr.setMtime) ino->mtime = sattr.mtime.toMicro();
+  ino->ctime = now;
+  out = attrsOf(*ino);
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::lookup(const FileHandle& dir, const std::string& name,
+                           FsNode& out) const {
+  NfsStat status;
+  const Inode* d = findDir(dir, status);
+  if (!d) return status;
+  if (name == ".") {
+    out = {handleOf(*d), attrsOf(*d)};
+    return NfsStat::Ok;
+  }
+  if (name == "..") {
+    const auto it = inodes_.find(d->parent);
+    if (it == inodes_.end()) return NfsStat::ErrNoEnt;
+    out = {handleOf(it->second), attrsOf(it->second)};
+    return NfsStat::Ok;
+  }
+  auto it = d->children.find(name);
+  if (it == d->children.end()) return NfsStat::ErrNoEnt;
+  const auto child = inodes_.find(it->second);
+  if (child == inodes_.end()) return NfsStat::ErrNoEnt;
+  out = {handleOf(child->second), attrsOf(child->second)};
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::readlink(const FileHandle& fh, std::string& target) const {
+  const Inode* ino = find(fh);
+  if (!ino) return NfsStat::ErrStale;
+  if (ino->type != FileType::Symlink) return NfsStat::ErrInval;
+  target = ino->symlinkTarget;
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::read(const FileHandle& fh, std::uint64_t offset,
+                         std::uint32_t count, MicroTime now,
+                         std::uint32_t& gotCount, bool& eof, Fattr& out) {
+  Inode* ino = find(fh);
+  if (!ino) return NfsStat::ErrStale;
+  if (ino->type == FileType::Directory) return NfsStat::ErrIsDir;
+  if (offset >= ino->size) {
+    gotCount = 0;
+    eof = true;
+  } else {
+    std::uint64_t avail = ino->size - offset;
+    gotCount = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(count, avail));
+    eof = offset + gotCount >= ino->size;
+  }
+  ino->atime = now;
+  out = attrsOf(*ino);
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::write(const FileHandle& fh, std::uint64_t offset,
+                          std::uint32_t count, MicroTime now, Fattr& preOut,
+                          Fattr& postOut) {
+  Inode* ino = find(fh);
+  if (!ino) return NfsStat::ErrStale;
+  if (ino->type == FileType::Directory) return NfsStat::ErrIsDir;
+  preOut = attrsOf(*ino);
+  std::uint64_t end = offset + count;
+  if (end > ino->size) {
+    if (!recharge(*ino, end)) return NfsStat::ErrDQuot;
+  }
+  ino->mtime = now;
+  ino->ctime = now;
+  postOut = attrsOf(*ino);
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::create(const FileHandle& dir, const std::string& name,
+                           const Sattr& attrs, bool exclusive,
+                           std::uint32_t uid, std::uint32_t gid, MicroTime now,
+                           FsNode& out) {
+  NfsStat status;
+  Inode* d = findDir(dir, status);
+  if (!d) return status;
+  if (name.empty() || name.size() > 255) return NfsStat::ErrNameTooLong;
+  auto it = d->children.find(name);
+  if (it != d->children.end()) {
+    if (exclusive) return NfsStat::ErrExist;
+    // UNCHECKED create of an existing file: apply the size (truncate), as
+    // real servers do.
+    auto existing = inodes_.find(it->second);
+    if (existing == inodes_.end()) return NfsStat::ErrIo;
+    if (existing->second.type == FileType::Directory) return NfsStat::ErrIsDir;
+    if (attrs.setSize) {
+      if (!recharge(existing->second, attrs.size)) return NfsStat::ErrDQuot;
+      existing->second.mtime = now;
+      existing->second.ctime = now;
+    }
+    out = {handleOf(existing->second), attrsOf(existing->second)};
+    return NfsStat::Ok;
+  }
+  Inode& ino = allocInode(FileType::Regular, uid, gid, now);
+  if (attrs.setMode) ino.mode = attrs.mode;
+  if (attrs.setSize && attrs.size > 0) {
+    if (!recharge(ino, attrs.size)) {
+      destroyInode(ino);
+      return NfsStat::ErrDQuot;
+    }
+  }
+  ino.parent = d->id;
+  d->children.emplace(name, ino.id);
+  d->mtime = now;
+  d->ctime = now;
+  out = {handleOf(ino), attrsOf(ino)};
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::mkdir(const FileHandle& dir, const std::string& name,
+                          const Sattr& attrs, std::uint32_t uid,
+                          std::uint32_t gid, MicroTime now, FsNode& out) {
+  NfsStat status;
+  Inode* d = findDir(dir, status);
+  if (!d) return status;
+  if (name.empty() || name.size() > 255) return NfsStat::ErrNameTooLong;
+  if (d->children.count(name)) return NfsStat::ErrExist;
+  Inode& ino = allocInode(FileType::Directory, uid, gid, now);
+  if (attrs.setMode) ino.mode = attrs.mode;
+  ino.parent = d->id;
+  d->children.emplace(name, ino.id);
+  d->nlink++;
+  d->mtime = now;
+  d->ctime = now;
+  out = {handleOf(ino), attrsOf(ino)};
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::symlink(const FileHandle& dir, const std::string& name,
+                            const std::string& target, std::uint32_t uid,
+                            std::uint32_t gid, MicroTime now, FsNode& out) {
+  NfsStat status;
+  Inode* d = findDir(dir, status);
+  if (!d) return status;
+  if (d->children.count(name)) return NfsStat::ErrExist;
+  Inode& ino = allocInode(FileType::Symlink, uid, gid, now);
+  ino.symlinkTarget = target;
+  ino.size = target.size();
+  ino.parent = d->id;
+  d->children.emplace(name, ino.id);
+  d->mtime = now;
+  d->ctime = now;
+  out = {handleOf(ino), attrsOf(ino)};
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::remove(const FileHandle& dir, const std::string& name,
+                           MicroTime now) {
+  NfsStat status;
+  Inode* d = findDir(dir, status);
+  if (!d) return status;
+  auto it = d->children.find(name);
+  if (it == d->children.end()) return NfsStat::ErrNoEnt;
+  auto child = inodes_.find(it->second);
+  if (child == inodes_.end()) return NfsStat::ErrIo;
+  if (child->second.type == FileType::Directory) return NfsStat::ErrIsDir;
+  d->children.erase(it);
+  d->mtime = now;
+  d->ctime = now;
+  if (--child->second.nlink == 0) {
+    destroyInode(child->second);
+  } else {
+    child->second.ctime = now;
+  }
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::rmdir(const FileHandle& dir, const std::string& name,
+                          MicroTime now) {
+  NfsStat status;
+  Inode* d = findDir(dir, status);
+  if (!d) return status;
+  auto it = d->children.find(name);
+  if (it == d->children.end()) return NfsStat::ErrNoEnt;
+  auto child = inodes_.find(it->second);
+  if (child == inodes_.end()) return NfsStat::ErrIo;
+  if (child->second.type != FileType::Directory) return NfsStat::ErrNotDir;
+  if (!child->second.children.empty()) return NfsStat::ErrNotEmpty;
+  d->children.erase(it);
+  d->nlink--;
+  d->mtime = now;
+  d->ctime = now;
+  destroyInode(child->second);
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::rename(const FileHandle& fromDir,
+                           const std::string& fromName,
+                           const FileHandle& toDir, const std::string& toName,
+                           MicroTime now) {
+  NfsStat status;
+  Inode* from = findDir(fromDir, status);
+  if (!from) return status;
+  Inode* to = findDir(toDir, status);
+  if (!to) return status;
+  auto it = from->children.find(fromName);
+  if (it == from->children.end()) return NfsStat::ErrNoEnt;
+  std::uint64_t movedId = it->second;
+  auto moved = inodes_.find(movedId);
+  if (moved == inodes_.end()) return NfsStat::ErrIo;
+
+  // Replace an existing target, as rename(2) does.
+  auto existing = to->children.find(toName);
+  if (existing != to->children.end()) {
+    if (existing->second == movedId) return NfsStat::Ok;  // same object
+    auto victim = inodes_.find(existing->second);
+    if (victim != inodes_.end()) {
+      if (victim->second.type == FileType::Directory) {
+        if (moved->second.type != FileType::Directory) return NfsStat::ErrIsDir;
+        if (!victim->second.children.empty()) return NfsStat::ErrNotEmpty;
+        to->nlink--;
+        destroyInode(victim->second);
+      } else {
+        if (--victim->second.nlink == 0) destroyInode(victim->second);
+      }
+    }
+    // Re-find directories: destroyInode may have rehashed the map.
+    from = findDir(fromDir, status);
+    to = findDir(toDir, status);
+    moved = inodes_.find(movedId);
+    if (!from || !to || moved == inodes_.end()) return NfsStat::ErrIo;
+  }
+
+  from->children.erase(fromName);
+  to->children[toName] = movedId;
+  moved->second.parent = to->id;
+  if (moved->second.type == FileType::Directory && from != to) {
+    from->nlink--;
+    to->nlink++;
+  }
+  from->mtime = from->ctime = now;
+  to->mtime = to->ctime = now;
+  moved->second.ctime = now;
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::link(const FileHandle& target, const FileHandle& dir,
+                         const std::string& name, MicroTime now) {
+  Inode* t = find(target);
+  if (!t) return NfsStat::ErrStale;
+  if (t->type == FileType::Directory) return NfsStat::ErrIsDir;
+  NfsStat status;
+  Inode* d = findDir(dir, status);
+  if (!d) return status;
+  if (d->children.count(name)) return NfsStat::ErrExist;
+  d->children.emplace(name, t->id);
+  t->nlink++;
+  t->ctime = now;
+  d->mtime = d->ctime = now;
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::readdir(const FileHandle& dir, std::uint64_t cookie,
+                            std::uint32_t maxEntries,
+                            std::vector<DirEntry>& out, bool& eof) const {
+  NfsStat status;
+  const Inode* d = findDir(dir, status);
+  if (!d) return status;
+  out.clear();
+  // Cookies are 1-based positions in the (sorted) child map; . and .. are
+  // synthesized at cookies 1 and 2.
+  std::uint64_t pos = 0;
+  auto emit = [&](std::uint64_t fileid, const std::string& name,
+                  const Inode* ino) {
+    ++pos;
+    if (pos <= cookie) return true;
+    if (out.size() >= maxEntries) return false;
+    DirEntry e;
+    e.fileid = fileid;
+    e.name = name;
+    e.cookie = pos;
+    if (ino) {
+      e.hasAttrs = true;
+      e.attrs = attrsOf(*ino);
+      e.hasFh = true;
+      e.fh = handleOf(*ino);
+    }
+    out.push_back(std::move(e));
+    return true;
+  };
+  bool room = emit(d->id, ".", d);
+  if (room) {
+    auto parent = inodes_.find(d->parent);
+    room = emit(d->parent, "..",
+                parent != inodes_.end() ? &parent->second : nullptr);
+  }
+  if (room) {
+    for (const auto& [name, id] : d->children) {
+      auto child = inodes_.find(id);
+      if (!emit(id, name, child != inodes_.end() ? &child->second : nullptr)) {
+        room = false;
+        break;
+      }
+    }
+  }
+  eof = room;
+  return NfsStat::Ok;
+}
+
+NfsStat InMemoryFs::fsstat(FsstatRes& out) const {
+  out.status = NfsStat::Ok;
+  out.totalBytes = config_.capacityBytes;
+  out.freeBytes = config_.capacityBytes - std::min(config_.capacityBytes, bytesUsed_);
+  out.availBytes = out.freeBytes;
+  out.totalFiles = 1 << 24;
+  out.freeFiles = out.totalFiles - inodes_.size();
+  out.availFiles = out.freeFiles;
+  return NfsStat::Ok;
+}
+
+FileHandle InMemoryFs::mkdirs(const std::string& path, std::uint32_t uid,
+                              std::uint32_t gid, MicroTime now) {
+  FileHandle cur = rootFh_;
+  for (const auto& comp : split(path, '/')) {
+    if (comp.empty()) continue;
+    FsNode node;
+    if (lookup(cur, comp, node) == NfsStat::Ok) {
+      cur = node.fh;
+      continue;
+    }
+    Sattr attrs;
+    NfsStat st = mkdir(cur, comp, attrs, uid, gid, now, node);
+    if (st != NfsStat::Ok) return FileHandle{};
+    cur = node.fh;
+  }
+  return cur;
+}
+
+FileHandle InMemoryFs::mkfile(const std::string& path, std::uint64_t size,
+                              std::uint32_t uid, std::uint32_t gid,
+                              MicroTime now) {
+  auto parts = split(path, '/');
+  std::string name;
+  while (!parts.empty() && parts.back().empty()) parts.pop_back();
+  if (parts.empty()) return FileHandle{};
+  name = parts.back();
+  parts.pop_back();
+  FileHandle dir = mkdirs(join(parts, '/'), uid, gid, now);
+  Sattr attrs;
+  attrs.setSize = size > 0;
+  attrs.size = size;
+  FsNode node;
+  if (create(dir, name, attrs, false, uid, gid, now, node) != NfsStat::Ok) {
+    return FileHandle{};
+  }
+  return node.fh;
+}
+
+std::optional<FsNode> InMemoryFs::resolve(const std::string& path) const {
+  FileHandle cur = rootFh_;
+  Fattr attrs;
+  if (getattr(cur, attrs) != NfsStat::Ok) return std::nullopt;
+  FsNode node{cur, attrs};
+  for (const auto& comp : split(path, '/')) {
+    if (comp.empty()) continue;
+    if (lookup(node.fh, comp, node) != NfsStat::Ok) return std::nullopt;
+  }
+  return node;
+}
+
+std::string InMemoryFs::pathOf(const FileHandle& fh) const {
+  const Inode* ino = find(fh);
+  if (!ino) return {};
+  std::vector<std::string> parts;
+  std::uint64_t id = ino->id;
+  while (id != 1) {
+    const auto it = inodes_.find(id);
+    if (it == inodes_.end()) return {};
+    const auto parent = inodes_.find(it->second.parent);
+    if (parent == inodes_.end()) return {};
+    bool found = false;
+    for (const auto& [name, childId] : parent->second.children) {
+      if (childId == id) {
+        parts.push_back(name);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return {};
+    id = parent->first;
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    out += "/" + *it;
+  }
+  return out.empty() ? "/" : out;
+}
+
+std::uint64_t InMemoryFs::quotaUsed(std::uint32_t uid) const {
+  auto it = quotaUsed_.find(uid);
+  return it == quotaUsed_.end() ? 0 : it->second;
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,139 @@
+// In-memory POSIX-ish file system backing the simulated NFS server.
+//
+// Implements exactly the semantics the NFS procedures need: a directory
+// tree of inodes with sizes, timestamps, link counts, per-UID quotas (the
+// CAMPUS arrays give each user a 50 MB default quota), and stale-handle
+// detection via per-inode generation numbers.  File *contents* are not
+// stored — the tracing study only observes sizes and offsets — but sizes,
+// extensions, and truncations behave exactly as real data would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nfs/messages.hpp"
+#include "nfs/types.hpp"
+#include "util/time.hpp"
+
+namespace nfstrace {
+
+/// Outcome of a namespace operation that yields a handle + attributes.
+struct FsNode {
+  FileHandle fh;
+  Fattr attrs;
+};
+
+class InMemoryFs {
+ public:
+  struct Config {
+    std::uint32_t fsid = 1;
+    std::uint64_t capacityBytes = 53ULL << 30;  // one CAMPUS disk array
+    /// Per-UID quota; 0 disables quotas (the EECS server has none).
+    std::uint64_t defaultQuotaBytes = 0;
+  };
+
+  explicit InMemoryFs(const Config& config);
+
+  const FileHandle& rootHandle() const { return rootFh_; }
+  std::uint32_t fsid() const { return config_.fsid; }
+
+  // --- NFS-shaped operations; every call takes the current simulation
+  // --- time so atime/mtime/ctime move like a real server's clock.
+  NfsStat getattr(const FileHandle& fh, Fattr& out) const;
+  NfsStat setattr(const FileHandle& fh, const Sattr& sattr, MicroTime now,
+                  Fattr& out);
+  NfsStat lookup(const FileHandle& dir, const std::string& name,
+                 FsNode& out) const;
+  NfsStat readlink(const FileHandle& fh, std::string& target) const;
+  /// Read: returns the byte count actually available and the EOF flag.
+  NfsStat read(const FileHandle& fh, std::uint64_t offset, std::uint32_t count,
+               MicroTime now, std::uint32_t& gotCount, bool& eof, Fattr& out);
+  /// Write: extends the file if needed (subject to quota), updates times.
+  NfsStat write(const FileHandle& fh, std::uint64_t offset,
+                std::uint32_t count, MicroTime now, Fattr& preOut,
+                Fattr& postOut);
+  NfsStat create(const FileHandle& dir, const std::string& name,
+                 const Sattr& attrs, bool exclusive, std::uint32_t uid,
+                 std::uint32_t gid, MicroTime now, FsNode& out);
+  NfsStat mkdir(const FileHandle& dir, const std::string& name,
+                const Sattr& attrs, std::uint32_t uid, std::uint32_t gid,
+                MicroTime now, FsNode& out);
+  NfsStat symlink(const FileHandle& dir, const std::string& name,
+                  const std::string& target, std::uint32_t uid,
+                  std::uint32_t gid, MicroTime now, FsNode& out);
+  NfsStat remove(const FileHandle& dir, const std::string& name,
+                 MicroTime now);
+  NfsStat rmdir(const FileHandle& dir, const std::string& name, MicroTime now);
+  NfsStat rename(const FileHandle& fromDir, const std::string& fromName,
+                 const FileHandle& toDir, const std::string& toName,
+                 MicroTime now);
+  NfsStat link(const FileHandle& target, const FileHandle& dir,
+               const std::string& name, MicroTime now);
+  NfsStat readdir(const FileHandle& dir, std::uint64_t cookie,
+                  std::uint32_t maxEntries, std::vector<DirEntry>& out,
+                  bool& eof) const;
+  NfsStat fsstat(FsstatRes& out) const;
+
+  // --- Convenience for workload setup (bypasses NFS, still updates state).
+  /// mkdir -p; returns the handle of the leaf directory.
+  FileHandle mkdirs(const std::string& path, std::uint32_t uid,
+                    std::uint32_t gid, MicroTime now);
+  /// Create (or open) a file at an absolute path, setting its size.
+  FileHandle mkfile(const std::string& path, std::uint64_t size,
+                    std::uint32_t uid, std::uint32_t gid, MicroTime now);
+  /// Resolve an absolute path, if it exists.
+  std::optional<FsNode> resolve(const std::string& path) const;
+  /// Full path of a handle (for debugging/tests); empty if stale.
+  std::string pathOf(const FileHandle& fh) const;
+
+  std::uint64_t bytesUsed() const { return bytesUsed_; }
+  std::uint64_t fileCount() const { return inodes_.size(); }
+  std::uint64_t quotaUsed(std::uint32_t uid) const;
+
+ private:
+  struct Inode {
+    std::uint64_t id = 0;
+    std::uint32_t generation = 0;
+    FileType type = FileType::Regular;
+    std::uint32_t mode = 0644;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    std::uint32_t nlink = 1;
+    std::uint64_t size = 0;
+    MicroTime atime = 0;
+    MicroTime mtime = 0;
+    MicroTime ctime = 0;
+    std::string symlinkTarget;
+    std::map<std::string, std::uint64_t> children;  // directories only
+    std::uint64_t parent = 0;
+  };
+
+  Inode* find(const FileHandle& fh);
+  const Inode* find(const FileHandle& fh) const;
+  Inode* findDir(const FileHandle& fh, NfsStat& status);
+  const Inode* findDir(const FileHandle& fh, NfsStat& status) const;
+  FileHandle handleOf(const Inode& ino) const;
+  Fattr attrsOf(const Inode& ino) const;
+  Inode& allocInode(FileType type, std::uint32_t uid, std::uint32_t gid,
+                    MicroTime now);
+  void destroyInode(Inode& ino);
+  /// Blocks charged for a file size (8 KB allocation unit).
+  static std::uint64_t chargedBytes(std::uint64_t size);
+  /// Adjust accounting when a file's size changes; false on quota/space
+  /// exhaustion (state unchanged).
+  bool recharge(Inode& ino, std::uint64_t newSize);
+
+  Config config_;
+  std::unordered_map<std::uint64_t, Inode> inodes_;
+  std::unordered_map<std::uint32_t, std::uint64_t> quotaUsed_;
+  std::uint64_t nextId_ = 2;  // fileid 1 is reserved for the root
+  std::uint32_t nextGeneration_ = 1;
+  std::uint64_t bytesUsed_ = 0;
+  FileHandle rootFh_;
+};
+
+}  // namespace nfstrace

@@ -1,0 +1,347 @@
+// Typed NFS call arguments and reply results, with XDR codecs for both
+// NFSv3 (full) and NFSv2 (the procedures that exist there).
+//
+// The simulated client encodes calls, the simulated server decodes them and
+// encodes replies, and the sniffer decodes both directions.  WRITE and READ
+// payloads are synthetic: the codec carries only the byte count, and the
+// encoder emits that many zero bytes so the on-wire sizes (and therefore
+// the monitor-port loss model) are faithful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "nfs/proc.hpp"
+#include "nfs/types.hpp"
+#include "xdr/xdr.hpp"
+
+namespace nfstrace {
+
+// ---------------------------------------------------------------- call args
+
+struct NullArgs {};
+
+struct GetattrArgs {
+  FileHandle fh;
+};
+
+struct SetattrArgs {
+  FileHandle fh;
+  Sattr attrs;
+};
+
+struct LookupArgs {
+  FileHandle dir;
+  std::string name;
+};
+
+struct AccessArgs {
+  FileHandle fh;
+  std::uint32_t access = 0x3f;  // request all bits by default
+};
+
+struct ReadlinkArgs {
+  FileHandle fh;
+};
+
+struct ReadArgs {
+  FileHandle fh;
+  std::uint64_t offset = 0;
+  std::uint32_t count = 0;
+};
+
+/// v3 stable_how values.
+enum class StableHow : std::uint32_t { Unstable = 0, DataSync = 1, FileSync = 2 };
+
+struct WriteArgs {
+  FileHandle fh;
+  std::uint64_t offset = 0;
+  std::uint32_t count = 0;  // bytes carried (payload is synthetic zeros)
+  StableHow stable = StableHow::Unstable;
+};
+
+/// v3 createmode3.
+enum class CreateMode : std::uint32_t { Unchecked = 0, Guarded = 1, Exclusive = 2 };
+
+struct CreateArgs {
+  FileHandle dir;
+  std::string name;
+  CreateMode mode = CreateMode::Unchecked;
+  Sattr attrs;      // for UNCHECKED/GUARDED
+  std::uint64_t verifier = 0;  // for EXCLUSIVE
+};
+
+struct MkdirArgs {
+  FileHandle dir;
+  std::string name;
+  Sattr attrs;
+};
+
+struct SymlinkArgs {
+  FileHandle dir;
+  std::string name;
+  Sattr attrs;
+  std::string target;
+};
+
+struct MknodArgs {
+  FileHandle dir;
+  std::string name;
+  FileType type = FileType::Fifo;
+  Sattr attrs;
+};
+
+struct RemoveArgs {
+  FileHandle dir;
+  std::string name;
+};
+
+struct RmdirArgs {
+  FileHandle dir;
+  std::string name;
+};
+
+struct RenameArgs {
+  FileHandle fromDir;
+  std::string fromName;
+  FileHandle toDir;
+  std::string toName;
+};
+
+struct LinkArgs {
+  FileHandle fh;
+  FileHandle dir;
+  std::string name;
+};
+
+struct ReaddirArgs {
+  FileHandle dir;
+  std::uint64_t cookie = 0;
+  std::uint64_t cookieVerf = 0;
+  std::uint32_t count = 4096;
+};
+
+struct ReaddirplusArgs {
+  FileHandle dir;
+  std::uint64_t cookie = 0;
+  std::uint64_t cookieVerf = 0;
+  std::uint32_t dirCount = 1024;
+  std::uint32_t maxCount = 8192;
+};
+
+struct FsstatArgs {
+  FileHandle fh;
+};
+
+struct FsinfoArgs {
+  FileHandle fh;
+};
+
+struct PathconfArgs {
+  FileHandle fh;
+};
+
+struct CommitArgs {
+  FileHandle fh;
+  std::uint64_t offset = 0;
+  std::uint32_t count = 0;
+};
+
+using NfsCallArgs =
+    std::variant<NullArgs, GetattrArgs, SetattrArgs, LookupArgs, AccessArgs,
+                 ReadlinkArgs, ReadArgs, WriteArgs, CreateArgs, MkdirArgs,
+                 SymlinkArgs, MknodArgs, RemoveArgs, RmdirArgs, RenameArgs,
+                 LinkArgs, ReaddirArgs, ReaddirplusArgs, FsstatArgs,
+                 FsinfoArgs, PathconfArgs, CommitArgs>;
+
+/// The version-independent operation for a set of call args.
+NfsOp opOf(const NfsCallArgs& args);
+
+// ------------------------------------------------------------ reply results
+
+struct NullRes {};
+
+struct GetattrRes {
+  NfsStat status = NfsStat::Ok;
+  Fattr attrs;  // valid iff status == Ok
+};
+
+struct SetattrRes {
+  NfsStat status = NfsStat::Ok;
+  WccData wcc;
+};
+
+struct LookupRes {
+  NfsStat status = NfsStat::Ok;
+  FileHandle fh;        // valid iff Ok
+  bool hasObjAttrs = false;
+  Fattr objAttrs;
+  bool hasDirAttrs = false;
+  Fattr dirAttrs;
+};
+
+struct AccessRes {
+  NfsStat status = NfsStat::Ok;
+  bool hasAttrs = false;
+  Fattr attrs;
+  std::uint32_t access = 0;
+};
+
+struct ReadlinkRes {
+  NfsStat status = NfsStat::Ok;
+  bool hasAttrs = false;
+  Fattr attrs;
+  std::string target;
+};
+
+struct ReadRes {
+  NfsStat status = NfsStat::Ok;
+  bool hasAttrs = false;
+  Fattr attrs;
+  std::uint32_t count = 0;  // bytes returned (payload synthetic)
+  bool eof = false;
+};
+
+struct WriteRes {
+  NfsStat status = NfsStat::Ok;
+  WccData wcc;
+  std::uint32_t count = 0;
+  StableHow committed = StableHow::FileSync;
+  std::uint64_t verifier = 0;
+};
+
+struct CreateRes {
+  NfsStat status = NfsStat::Ok;
+  bool hasFh = false;
+  FileHandle fh;
+  bool hasAttrs = false;
+  Fattr attrs;
+  WccData dirWcc;
+};
+
+using MkdirRes = CreateRes;
+using SymlinkRes = CreateRes;
+using MknodRes = CreateRes;
+
+struct RemoveRes {
+  NfsStat status = NfsStat::Ok;
+  WccData dirWcc;
+};
+
+using RmdirRes = RemoveRes;
+
+struct RenameRes {
+  NfsStat status = NfsStat::Ok;
+  WccData fromDirWcc;
+  WccData toDirWcc;
+};
+
+struct LinkRes {
+  NfsStat status = NfsStat::Ok;
+  bool hasAttrs = false;
+  Fattr attrs;
+  WccData dirWcc;
+};
+
+struct DirEntry {
+  std::uint64_t fileid = 0;
+  std::string name;
+  std::uint64_t cookie = 0;
+  // READDIRPLUS extras:
+  bool hasAttrs = false;
+  Fattr attrs;
+  bool hasFh = false;
+  FileHandle fh;
+};
+
+struct ReaddirRes {
+  NfsStat status = NfsStat::Ok;
+  bool hasDirAttrs = false;
+  Fattr dirAttrs;
+  std::uint64_t cookieVerf = 0;
+  std::vector<DirEntry> entries;
+  bool eof = true;
+  bool plus = false;  // READDIRPLUS reply shape
+};
+
+struct FsstatRes {
+  NfsStat status = NfsStat::Ok;
+  bool hasAttrs = false;
+  Fattr attrs;
+  std::uint64_t totalBytes = 0;
+  std::uint64_t freeBytes = 0;
+  std::uint64_t availBytes = 0;
+  std::uint64_t totalFiles = 0;
+  std::uint64_t freeFiles = 0;
+  std::uint64_t availFiles = 0;
+  std::uint32_t invarsec = 0;
+};
+
+struct FsinfoRes {
+  NfsStat status = NfsStat::Ok;
+  bool hasAttrs = false;
+  Fattr attrs;
+  std::uint32_t rtmax = 32768, rtpref = 32768, rtmult = 512;
+  std::uint32_t wtmax = 32768, wtpref = 32768, wtmult = 512;
+  std::uint32_t dtpref = 8192;
+  std::uint64_t maxFileSize = 1ULL << 40;
+  NfsTime timeDelta{0, 1000};
+  std::uint32_t properties = 0x1b;  // FSF3_LINK|SYMLINK|HOMOGENEOUS|CANSETTIME
+};
+
+struct PathconfRes {
+  NfsStat status = NfsStat::Ok;
+  bool hasAttrs = false;
+  Fattr attrs;
+  std::uint32_t linkMax = 32767;
+  std::uint32_t nameMax = 255;
+  bool noTrunc = true;
+  bool chownRestricted = true;
+  bool caseInsensitive = false;
+  bool casePreserving = true;
+};
+
+struct CommitRes {
+  NfsStat status = NfsStat::Ok;
+  WccData wcc;
+  std::uint64_t verifier = 0;
+};
+
+using NfsReplyRes =
+    std::variant<NullRes, GetattrRes, SetattrRes, LookupRes, AccessRes,
+                 ReadlinkRes, ReadRes, WriteRes, CreateRes, RemoveRes,
+                 RenameRes, LinkRes, ReaddirRes, FsstatRes, FsinfoRes,
+                 PathconfRes, CommitRes>;
+
+NfsStat statusOf(const NfsReplyRes& res);
+
+// ------------------------------------------------------------------- codecs
+
+/// Encode v3 call arguments (everything after the RPC call header).
+void encodeCall3(XdrEncoder& enc, const NfsCallArgs& args);
+/// Decode v3 call arguments for the given procedure.
+NfsCallArgs decodeCall3(Proc3 proc, XdrDecoder& dec);
+
+/// Encode v3 reply results (everything after the RPC accepted-reply header).
+void encodeReply3(XdrEncoder& enc, Proc3 proc, const NfsReplyRes& res);
+/// Decode v3 reply results for the given procedure.
+NfsReplyRes decodeReply3(Proc3 proc, XdrDecoder& dec);
+
+/// NFSv2 codecs for procedures that exist in v2.  Calls/replies are mapped
+/// to and from the shared (v3-shaped) structures; v2's 32-bit sizes and
+/// fixed 32-byte handles are handled internally.  Throws XdrError if the
+/// args have no v2 representation.
+void encodeCall2(XdrEncoder& enc, const NfsCallArgs& args);
+NfsCallArgs decodeCall2(Proc2 proc, XdrDecoder& dec);
+void encodeReply2(XdrEncoder& enc, Proc2 proc, const NfsReplyRes& res);
+NfsReplyRes decodeReply2(Proc2 proc, XdrDecoder& dec);
+
+/// Handle codec helpers shared by v2/v3.
+void encodeFh3(XdrEncoder& enc, const FileHandle& fh);
+FileHandle decodeFh3(XdrDecoder& dec);
+void encodeFh2(XdrEncoder& enc, const FileHandle& fh);
+FileHandle decodeFh2(XdrDecoder& dec);
+
+}  // namespace nfstrace

@@ -1,0 +1,467 @@
+// NFSv2 (RFC 1094) argument/result codecs, mapped onto the shared
+// (v3-shaped) structures.  v2 uses fixed 32-byte handles, 32-bit sizes and
+// offsets, and attrstat-style replies that always carry full attributes on
+// success.
+#include "nfs/messages.hpp"
+
+namespace nfstrace {
+
+void encodeFh2(XdrEncoder& enc, const FileHandle& fh) {
+  std::array<std::uint8_t, kFhSize2> buf{};
+  std::size_t n = std::min<std::size_t>(fh.len, kFhSize2);
+  std::copy_n(fh.data.begin(), n, buf.begin());
+  enc.putFixedOpaque(buf);
+}
+
+FileHandle decodeFh2(XdrDecoder& dec) {
+  auto bytes = dec.getFixedOpaque(kFhSize2);
+  return FileHandle::fromBytes(bytes);
+}
+
+namespace {
+
+constexpr std::uint32_t kNoValue = 0xffffffffu;
+
+void encodeSattr2(XdrEncoder& enc, const Sattr& s) {
+  enc.putUint32(s.setMode ? s.mode : kNoValue);
+  enc.putUint32(s.setUid ? s.uid : kNoValue);
+  enc.putUint32(s.setGid ? s.gid : kNoValue);
+  enc.putUint32(s.setSize ? static_cast<std::uint32_t>(s.size) : kNoValue);
+  enc.putUint32(s.setAtime ? s.atime.seconds : kNoValue);
+  enc.putUint32(s.setAtime ? s.atime.nseconds / 1000 : kNoValue);
+  enc.putUint32(s.setMtime ? s.mtime.seconds : kNoValue);
+  enc.putUint32(s.setMtime ? s.mtime.nseconds / 1000 : kNoValue);
+}
+
+Sattr decodeSattr2(XdrDecoder& dec) {
+  Sattr s;
+  std::uint32_t v;
+  if ((v = dec.getUint32()) != kNoValue) { s.setMode = true; s.mode = v; }
+  if ((v = dec.getUint32()) != kNoValue) { s.setUid = true; s.uid = v; }
+  if ((v = dec.getUint32()) != kNoValue) { s.setGid = true; s.gid = v; }
+  if ((v = dec.getUint32()) != kNoValue) { s.setSize = true; s.size = v; }
+  std::uint32_t sec = dec.getUint32(), usec = dec.getUint32();
+  if (sec != kNoValue) { s.setAtime = true; s.atime = {sec, usec * 1000}; }
+  sec = dec.getUint32();
+  usec = dec.getUint32();
+  if (sec != kNoValue) { s.setMtime = true; s.mtime = {sec, usec * 1000}; }
+  return s;
+}
+
+void putSyntheticData2(XdrEncoder& enc, std::uint32_t count) {
+  enc.putUint32(count);
+  std::vector<std::uint8_t> zeros((count + 3) & ~3u, 0);
+  enc.putRaw(zeros);
+}
+
+/// v2 attrstat-style reply tail: status, then fattr on success.
+void encodeAttrstat(XdrEncoder& enc, NfsStat status, const Fattr& attrs) {
+  enc.putUint32(static_cast<std::uint32_t>(status));
+  if (status == NfsStat::Ok) attrs.encode2(enc);
+}
+
+[[noreturn]] void noV2(const char* what) {
+  throw XdrError(std::string("no NFSv2 form for ") + what);
+}
+
+}  // namespace
+
+void encodeCall2(XdrEncoder& enc, const NfsCallArgs& args) {
+  std::visit(
+      [&](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, NullArgs>) {
+          // no body
+        } else if constexpr (std::is_same_v<T, GetattrArgs> ||
+                             std::is_same_v<T, ReadlinkArgs> ||
+                             std::is_same_v<T, FsstatArgs>) {
+          encodeFh2(enc, a.fh);
+        } else if constexpr (std::is_same_v<T, SetattrArgs>) {
+          encodeFh2(enc, a.fh);
+          encodeSattr2(enc, a.attrs);
+        } else if constexpr (std::is_same_v<T, LookupArgs> ||
+                             std::is_same_v<T, RemoveArgs> ||
+                             std::is_same_v<T, RmdirArgs>) {
+          encodeFh2(enc, a.dir);
+          enc.putString(a.name);
+        } else if constexpr (std::is_same_v<T, ReadArgs>) {
+          encodeFh2(enc, a.fh);
+          enc.putUint32(static_cast<std::uint32_t>(a.offset));
+          enc.putUint32(a.count);
+          enc.putUint32(a.count);  // totalcount (unused by servers)
+        } else if constexpr (std::is_same_v<T, WriteArgs>) {
+          encodeFh2(enc, a.fh);
+          enc.putUint32(static_cast<std::uint32_t>(a.offset));  // beginoffset
+          enc.putUint32(static_cast<std::uint32_t>(a.offset));
+          enc.putUint32(a.count);  // totalcount
+          putSyntheticData2(enc, a.count);
+        } else if constexpr (std::is_same_v<T, CreateArgs>) {
+          encodeFh2(enc, a.dir);
+          enc.putString(a.name);
+          encodeSattr2(enc, a.attrs);
+        } else if constexpr (std::is_same_v<T, MkdirArgs>) {
+          encodeFh2(enc, a.dir);
+          enc.putString(a.name);
+          encodeSattr2(enc, a.attrs);
+        } else if constexpr (std::is_same_v<T, SymlinkArgs>) {
+          encodeFh2(enc, a.dir);
+          enc.putString(a.name);
+          enc.putString(a.target);
+          encodeSattr2(enc, a.attrs);
+        } else if constexpr (std::is_same_v<T, RenameArgs>) {
+          encodeFh2(enc, a.fromDir);
+          enc.putString(a.fromName);
+          encodeFh2(enc, a.toDir);
+          enc.putString(a.toName);
+        } else if constexpr (std::is_same_v<T, LinkArgs>) {
+          encodeFh2(enc, a.fh);
+          encodeFh2(enc, a.dir);
+          enc.putString(a.name);
+        } else if constexpr (std::is_same_v<T, ReaddirArgs>) {
+          encodeFh2(enc, a.dir);
+          enc.putUint32(static_cast<std::uint32_t>(a.cookie));
+          enc.putUint32(a.count);
+        } else {
+          noV2("call");
+        }
+      },
+      args);
+}
+
+NfsCallArgs decodeCall2(Proc2 proc, XdrDecoder& dec) {
+  switch (proc) {
+    case Proc2::Null:
+      return NullArgs{};
+    case Proc2::Getattr:
+      return GetattrArgs{decodeFh2(dec)};
+    case Proc2::Setattr: {
+      SetattrArgs a;
+      a.fh = decodeFh2(dec);
+      a.attrs = decodeSattr2(dec);
+      return a;
+    }
+    case Proc2::Lookup: {
+      LookupArgs a;
+      a.dir = decodeFh2(dec);
+      a.name = dec.getString(255);
+      return a;
+    }
+    case Proc2::Readlink:
+      return ReadlinkArgs{decodeFh2(dec)};
+    case Proc2::Read: {
+      ReadArgs a;
+      a.fh = decodeFh2(dec);
+      a.offset = dec.getUint32();
+      a.count = dec.getUint32();
+      dec.getUint32();  // totalcount
+      return a;
+    }
+    case Proc2::Write: {
+      WriteArgs a;
+      a.fh = decodeFh2(dec);
+      dec.getUint32();  // beginoffset
+      a.offset = dec.getUint32();
+      dec.getUint32();  // totalcount
+      a.count = dec.skipOpaque();
+      a.stable = StableHow::FileSync;  // v2 writes are synchronous
+      return a;
+    }
+    case Proc2::Create: {
+      CreateArgs a;
+      a.dir = decodeFh2(dec);
+      a.name = dec.getString(255);
+      a.attrs = decodeSattr2(dec);
+      return a;
+    }
+    case Proc2::Remove: {
+      RemoveArgs a;
+      a.dir = decodeFh2(dec);
+      a.name = dec.getString(255);
+      return a;
+    }
+    case Proc2::Rename: {
+      RenameArgs a;
+      a.fromDir = decodeFh2(dec);
+      a.fromName = dec.getString(255);
+      a.toDir = decodeFh2(dec);
+      a.toName = dec.getString(255);
+      return a;
+    }
+    case Proc2::Link: {
+      LinkArgs a;
+      a.fh = decodeFh2(dec);
+      a.dir = decodeFh2(dec);
+      a.name = dec.getString(255);
+      return a;
+    }
+    case Proc2::Symlink: {
+      SymlinkArgs a;
+      a.dir = decodeFh2(dec);
+      a.name = dec.getString(255);
+      a.target = dec.getString(1024);
+      a.attrs = decodeSattr2(dec);
+      return a;
+    }
+    case Proc2::Mkdir: {
+      MkdirArgs a;
+      a.dir = decodeFh2(dec);
+      a.name = dec.getString(255);
+      a.attrs = decodeSattr2(dec);
+      return a;
+    }
+    case Proc2::Rmdir: {
+      RmdirArgs a;
+      a.dir = decodeFh2(dec);
+      a.name = dec.getString(255);
+      return a;
+    }
+    case Proc2::Readdir: {
+      ReaddirArgs a;
+      a.dir = decodeFh2(dec);
+      a.cookie = dec.getUint32();
+      a.count = dec.getUint32();
+      return a;
+    }
+    case Proc2::Statfs:
+      return FsstatArgs{decodeFh2(dec)};
+    case Proc2::Root:
+    case Proc2::Writecache:
+      return NullArgs{};  // obsolete; no arguments defined
+  }
+  throw XdrError("unknown NFSv2 procedure");
+}
+
+void encodeReply2(XdrEncoder& enc, Proc2 proc, const NfsReplyRes& res) {
+  switch (proc) {
+    case Proc2::Null:
+    case Proc2::Root:
+    case Proc2::Writecache:
+      return;
+    case Proc2::Getattr: {
+      const auto& r = std::get<GetattrRes>(res);
+      encodeAttrstat(enc, r.status, r.attrs);
+      return;
+    }
+    case Proc2::Setattr: {
+      const auto& r = std::get<SetattrRes>(res);
+      encodeAttrstat(enc, r.status, r.wcc.post);
+      return;
+    }
+    case Proc2::Lookup: {
+      const auto& r = std::get<LookupRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      if (r.status == NfsStat::Ok) {
+        encodeFh2(enc, r.fh);
+        r.objAttrs.encode2(enc);
+      }
+      return;
+    }
+    case Proc2::Readlink: {
+      const auto& r = std::get<ReadlinkRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      if (r.status == NfsStat::Ok) enc.putString(r.target);
+      return;
+    }
+    case Proc2::Read: {
+      const auto& r = std::get<ReadRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      if (r.status == NfsStat::Ok) {
+        r.attrs.encode2(enc);
+        putSyntheticData2(enc, r.count);
+      }
+      return;
+    }
+    case Proc2::Write: {
+      const auto& r = std::get<WriteRes>(res);
+      encodeAttrstat(enc, r.status, r.wcc.post);
+      return;
+    }
+    case Proc2::Create:
+    case Proc2::Mkdir: {
+      const auto& r = std::get<CreateRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      if (r.status == NfsStat::Ok) {
+        encodeFh2(enc, r.fh);
+        r.attrs.encode2(enc);
+      }
+      return;
+    }
+    case Proc2::Remove:
+    case Proc2::Rmdir: {
+      const auto& r = std::get<RemoveRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      return;
+    }
+    case Proc2::Rename: {
+      const auto& r = std::get<RenameRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      return;
+    }
+    case Proc2::Link: {
+      const auto& r = std::get<LinkRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      return;
+    }
+    case Proc2::Symlink: {
+      const auto& r = std::get<CreateRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      return;
+    }
+    case Proc2::Readdir: {
+      const auto& r = std::get<ReaddirRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      if (r.status != NfsStat::Ok) return;
+      for (const auto& e : r.entries) {
+        enc.putBool(true);
+        enc.putUint32(static_cast<std::uint32_t>(e.fileid));
+        enc.putString(e.name);
+        enc.putUint32(static_cast<std::uint32_t>(e.cookie));
+      }
+      enc.putBool(false);
+      enc.putBool(r.eof);
+      return;
+    }
+    case Proc2::Statfs: {
+      const auto& r = std::get<FsstatRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      if (r.status == NfsStat::Ok) {
+        enc.putUint32(kNfsBlockSize);  // tsize
+        enc.putUint32(kNfsBlockSize);  // bsize
+        enc.putUint32(static_cast<std::uint32_t>(r.totalBytes / kNfsBlockSize));
+        enc.putUint32(static_cast<std::uint32_t>(r.freeBytes / kNfsBlockSize));
+        enc.putUint32(static_cast<std::uint32_t>(r.availBytes / kNfsBlockSize));
+      }
+      return;
+    }
+  }
+  throw XdrError("unknown NFSv2 procedure in reply encode");
+}
+
+NfsReplyRes decodeReply2(Proc2 proc, XdrDecoder& dec) {
+  auto attrstat = [&](auto makeRes) {
+    auto status = static_cast<NfsStat>(dec.getUint32());
+    Fattr attrs;
+    if (status == NfsStat::Ok) attrs = Fattr::decode2(dec);
+    return makeRes(status, attrs);
+  };
+
+  switch (proc) {
+    case Proc2::Null:
+    case Proc2::Root:
+    case Proc2::Writecache:
+      return NullRes{};
+    case Proc2::Getattr:
+      return attrstat([](NfsStat st, const Fattr& a) {
+        GetattrRes r;
+        r.status = st;
+        r.attrs = a;
+        return NfsReplyRes{r};
+      });
+    case Proc2::Setattr:
+      return attrstat([](NfsStat st, const Fattr& a) {
+        SetattrRes r;
+        r.status = st;
+        r.wcc.hasPost = st == NfsStat::Ok;
+        r.wcc.post = a;
+        return NfsReplyRes{r};
+      });
+    case Proc2::Lookup: {
+      LookupRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      if (r.status == NfsStat::Ok) {
+        r.fh = decodeFh2(dec);
+        r.objAttrs = Fattr::decode2(dec);
+        r.hasObjAttrs = true;
+      }
+      return r;
+    }
+    case Proc2::Readlink: {
+      ReadlinkRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      if (r.status == NfsStat::Ok) r.target = dec.getString(1024);
+      return r;
+    }
+    case Proc2::Read: {
+      ReadRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      if (r.status == NfsStat::Ok) {
+        r.attrs = Fattr::decode2(dec);
+        r.hasAttrs = true;
+        r.count = dec.skipOpaque();
+        // v2 has no EOF flag; consumers infer it from attrs.size.
+      }
+      return r;
+    }
+    case Proc2::Write:
+      return attrstat([](NfsStat st, const Fattr& a) {
+        WriteRes r;
+        r.status = st;
+        r.wcc.hasPost = st == NfsStat::Ok;
+        r.wcc.post = a;
+        r.committed = StableHow::FileSync;
+        return NfsReplyRes{r};
+      });
+    case Proc2::Create:
+    case Proc2::Mkdir: {
+      CreateRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      if (r.status == NfsStat::Ok) {
+        r.fh = decodeFh2(dec);
+        r.hasFh = true;
+        r.attrs = Fattr::decode2(dec);
+        r.hasAttrs = true;
+      }
+      return r;
+    }
+    case Proc2::Remove:
+    case Proc2::Rmdir: {
+      RemoveRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      return r;
+    }
+    case Proc2::Rename: {
+      RenameRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      return r;
+    }
+    case Proc2::Link: {
+      LinkRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      return r;
+    }
+    case Proc2::Symlink: {
+      CreateRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      return r;
+    }
+    case Proc2::Readdir: {
+      ReaddirRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      if (r.status != NfsStat::Ok) return r;
+      while (dec.getBool()) {
+        DirEntry e;
+        e.fileid = dec.getUint32();
+        e.name = dec.getString(255);
+        e.cookie = dec.getUint32();
+        r.entries.push_back(std::move(e));
+      }
+      r.eof = dec.getBool();
+      return r;
+    }
+    case Proc2::Statfs: {
+      FsstatRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      if (r.status == NfsStat::Ok) {
+        dec.getUint32();  // tsize
+        std::uint32_t bsize = dec.getUint32();
+        r.totalBytes = static_cast<std::uint64_t>(dec.getUint32()) * bsize;
+        r.freeBytes = static_cast<std::uint64_t>(dec.getUint32()) * bsize;
+        r.availBytes = static_cast<std::uint64_t>(dec.getUint32()) * bsize;
+      }
+      return r;
+    }
+  }
+  throw XdrError("unknown NFSv2 procedure in reply decode");
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,677 @@
+// NFSv3 (RFC 1813) argument/result codecs.
+#include <stdexcept>
+
+#include "nfs/messages.hpp"
+
+namespace nfstrace {
+
+void encodeFh3(XdrEncoder& enc, const FileHandle& fh) {
+  enc.putOpaque(fh.bytes());
+}
+
+FileHandle decodeFh3(XdrDecoder& dec) {
+  auto bytes = dec.getOpaque(kFhSize3);
+  return FileHandle::fromBytes(bytes);
+}
+
+NfsOp opOf(const NfsCallArgs& args) {
+  return std::visit(
+      [](const auto& a) -> NfsOp {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, NullArgs>) return NfsOp::Null;
+        else if constexpr (std::is_same_v<T, GetattrArgs>) return NfsOp::Getattr;
+        else if constexpr (std::is_same_v<T, SetattrArgs>) return NfsOp::Setattr;
+        else if constexpr (std::is_same_v<T, LookupArgs>) return NfsOp::Lookup;
+        else if constexpr (std::is_same_v<T, AccessArgs>) return NfsOp::Access;
+        else if constexpr (std::is_same_v<T, ReadlinkArgs>) return NfsOp::Readlink;
+        else if constexpr (std::is_same_v<T, ReadArgs>) return NfsOp::Read;
+        else if constexpr (std::is_same_v<T, WriteArgs>) return NfsOp::Write;
+        else if constexpr (std::is_same_v<T, CreateArgs>) return NfsOp::Create;
+        else if constexpr (std::is_same_v<T, MkdirArgs>) return NfsOp::Mkdir;
+        else if constexpr (std::is_same_v<T, SymlinkArgs>) return NfsOp::Symlink;
+        else if constexpr (std::is_same_v<T, MknodArgs>) return NfsOp::Mknod;
+        else if constexpr (std::is_same_v<T, RemoveArgs>) return NfsOp::Remove;
+        else if constexpr (std::is_same_v<T, RmdirArgs>) return NfsOp::Rmdir;
+        else if constexpr (std::is_same_v<T, RenameArgs>) return NfsOp::Rename;
+        else if constexpr (std::is_same_v<T, LinkArgs>) return NfsOp::Link;
+        else if constexpr (std::is_same_v<T, ReaddirArgs>) return NfsOp::Readdir;
+        else if constexpr (std::is_same_v<T, ReaddirplusArgs>) return NfsOp::Readdirplus;
+        else if constexpr (std::is_same_v<T, FsstatArgs>) return NfsOp::Fsstat;
+        else if constexpr (std::is_same_v<T, FsinfoArgs>) return NfsOp::Fsinfo;
+        else if constexpr (std::is_same_v<T, PathconfArgs>) return NfsOp::Pathconf;
+        else if constexpr (std::is_same_v<T, CommitArgs>) return NfsOp::Commit;
+        else return NfsOp::Unknown;
+      },
+      args);
+}
+
+NfsStat statusOf(const NfsReplyRes& res) {
+  return std::visit(
+      [](const auto& r) -> NfsStat {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, NullRes>) return NfsStat::Ok;
+        else return r.status;
+      },
+      res);
+}
+
+namespace {
+
+void putSyntheticData(XdrEncoder& enc, std::uint32_t count) {
+  // Payloads are synthetic: emit a correctly-sized run of zeros so the
+  // on-wire byte counts match a real transfer.
+  enc.putUint32(count);
+  std::vector<std::uint8_t> zeros((count + 3) & ~3u, 0);
+  enc.putRaw(zeros);
+}
+
+}  // namespace
+
+void encodeCall3(XdrEncoder& enc, const NfsCallArgs& args) {
+  std::visit(
+      [&](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, NullArgs>) {
+          // no body
+        } else if constexpr (std::is_same_v<T, GetattrArgs> ||
+                             std::is_same_v<T, ReadlinkArgs> ||
+                             std::is_same_v<T, FsstatArgs> ||
+                             std::is_same_v<T, FsinfoArgs> ||
+                             std::is_same_v<T, PathconfArgs>) {
+          encodeFh3(enc, a.fh);
+        } else if constexpr (std::is_same_v<T, SetattrArgs>) {
+          encodeFh3(enc, a.fh);
+          a.attrs.encode3(enc);
+          enc.putBool(false);  // guard: no ctime check
+        } else if constexpr (std::is_same_v<T, LookupArgs>) {
+          encodeFh3(enc, a.dir);
+          enc.putString(a.name);
+        } else if constexpr (std::is_same_v<T, AccessArgs>) {
+          encodeFh3(enc, a.fh);
+          enc.putUint32(a.access);
+        } else if constexpr (std::is_same_v<T, ReadArgs>) {
+          encodeFh3(enc, a.fh);
+          enc.putUint64(a.offset);
+          enc.putUint32(a.count);
+        } else if constexpr (std::is_same_v<T, WriteArgs>) {
+          encodeFh3(enc, a.fh);
+          enc.putUint64(a.offset);
+          enc.putUint32(a.count);
+          enc.putUint32(static_cast<std::uint32_t>(a.stable));
+          putSyntheticData(enc, a.count);
+        } else if constexpr (std::is_same_v<T, CreateArgs>) {
+          encodeFh3(enc, a.dir);
+          enc.putString(a.name);
+          enc.putUint32(static_cast<std::uint32_t>(a.mode));
+          if (a.mode == CreateMode::Exclusive) {
+            enc.putUint64(a.verifier);
+          } else {
+            a.attrs.encode3(enc);
+          }
+        } else if constexpr (std::is_same_v<T, MkdirArgs>) {
+          encodeFh3(enc, a.dir);
+          enc.putString(a.name);
+          a.attrs.encode3(enc);
+        } else if constexpr (std::is_same_v<T, SymlinkArgs>) {
+          encodeFh3(enc, a.dir);
+          enc.putString(a.name);
+          a.attrs.encode3(enc);
+          enc.putString(a.target);
+        } else if constexpr (std::is_same_v<T, MknodArgs>) {
+          encodeFh3(enc, a.dir);
+          enc.putString(a.name);
+          enc.putUint32(static_cast<std::uint32_t>(a.type));
+          // FIFO/SOCK carry only sattr3; we do not model devices.
+          a.attrs.encode3(enc);
+        } else if constexpr (std::is_same_v<T, RemoveArgs> ||
+                             std::is_same_v<T, RmdirArgs>) {
+          encodeFh3(enc, a.dir);
+          enc.putString(a.name);
+        } else if constexpr (std::is_same_v<T, RenameArgs>) {
+          encodeFh3(enc, a.fromDir);
+          enc.putString(a.fromName);
+          encodeFh3(enc, a.toDir);
+          enc.putString(a.toName);
+        } else if constexpr (std::is_same_v<T, LinkArgs>) {
+          encodeFh3(enc, a.fh);
+          encodeFh3(enc, a.dir);
+          enc.putString(a.name);
+        } else if constexpr (std::is_same_v<T, ReaddirArgs>) {
+          encodeFh3(enc, a.dir);
+          enc.putUint64(a.cookie);
+          enc.putUint64(a.cookieVerf);
+          enc.putUint32(a.count);
+        } else if constexpr (std::is_same_v<T, ReaddirplusArgs>) {
+          encodeFh3(enc, a.dir);
+          enc.putUint64(a.cookie);
+          enc.putUint64(a.cookieVerf);
+          enc.putUint32(a.dirCount);
+          enc.putUint32(a.maxCount);
+        } else if constexpr (std::is_same_v<T, CommitArgs>) {
+          encodeFh3(enc, a.fh);
+          enc.putUint64(a.offset);
+          enc.putUint32(a.count);
+        }
+      },
+      args);
+}
+
+NfsCallArgs decodeCall3(Proc3 proc, XdrDecoder& dec) {
+  switch (proc) {
+    case Proc3::Null:
+      return NullArgs{};
+    case Proc3::Getattr:
+      return GetattrArgs{decodeFh3(dec)};
+    case Proc3::Setattr: {
+      SetattrArgs a;
+      a.fh = decodeFh3(dec);
+      a.attrs = Sattr::decode3(dec);
+      if (dec.getBool()) {
+        dec.getUint32();  // guard ctime seconds
+        dec.getUint32();  // guard ctime nseconds
+      }
+      return a;
+    }
+    case Proc3::Lookup: {
+      LookupArgs a;
+      a.dir = decodeFh3(dec);
+      a.name = dec.getString(255);
+      return a;
+    }
+    case Proc3::Access: {
+      AccessArgs a;
+      a.fh = decodeFh3(dec);
+      a.access = dec.getUint32();
+      return a;
+    }
+    case Proc3::Readlink:
+      return ReadlinkArgs{decodeFh3(dec)};
+    case Proc3::Read: {
+      ReadArgs a;
+      a.fh = decodeFh3(dec);
+      a.offset = dec.getUint64();
+      a.count = dec.getUint32();
+      return a;
+    }
+    case Proc3::Write: {
+      WriteArgs a;
+      a.fh = decodeFh3(dec);
+      a.offset = dec.getUint64();
+      a.count = dec.getUint32();
+      a.stable = static_cast<StableHow>(dec.getUint32());
+      dec.skipOpaque();
+      return a;
+    }
+    case Proc3::Create: {
+      CreateArgs a;
+      a.dir = decodeFh3(dec);
+      a.name = dec.getString(255);
+      a.mode = static_cast<CreateMode>(dec.getUint32());
+      if (a.mode == CreateMode::Exclusive) {
+        a.verifier = dec.getUint64();
+      } else {
+        a.attrs = Sattr::decode3(dec);
+      }
+      return a;
+    }
+    case Proc3::Mkdir: {
+      MkdirArgs a;
+      a.dir = decodeFh3(dec);
+      a.name = dec.getString(255);
+      a.attrs = Sattr::decode3(dec);
+      return a;
+    }
+    case Proc3::Symlink: {
+      SymlinkArgs a;
+      a.dir = decodeFh3(dec);
+      a.name = dec.getString(255);
+      a.attrs = Sattr::decode3(dec);
+      a.target = dec.getString(1024);
+      return a;
+    }
+    case Proc3::Mknod: {
+      MknodArgs a;
+      a.dir = decodeFh3(dec);
+      a.name = dec.getString(255);
+      a.type = static_cast<FileType>(dec.getUint32());
+      a.attrs = Sattr::decode3(dec);
+      return a;
+    }
+    case Proc3::Remove: {
+      RemoveArgs a;
+      a.dir = decodeFh3(dec);
+      a.name = dec.getString(255);
+      return a;
+    }
+    case Proc3::Rmdir: {
+      RmdirArgs a;
+      a.dir = decodeFh3(dec);
+      a.name = dec.getString(255);
+      return a;
+    }
+    case Proc3::Rename: {
+      RenameArgs a;
+      a.fromDir = decodeFh3(dec);
+      a.fromName = dec.getString(255);
+      a.toDir = decodeFh3(dec);
+      a.toName = dec.getString(255);
+      return a;
+    }
+    case Proc3::Link: {
+      LinkArgs a;
+      a.fh = decodeFh3(dec);
+      a.dir = decodeFh3(dec);
+      a.name = dec.getString(255);
+      return a;
+    }
+    case Proc3::Readdir: {
+      ReaddirArgs a;
+      a.dir = decodeFh3(dec);
+      a.cookie = dec.getUint64();
+      a.cookieVerf = dec.getUint64();
+      a.count = dec.getUint32();
+      return a;
+    }
+    case Proc3::Readdirplus: {
+      ReaddirplusArgs a;
+      a.dir = decodeFh3(dec);
+      a.cookie = dec.getUint64();
+      a.cookieVerf = dec.getUint64();
+      a.dirCount = dec.getUint32();
+      a.maxCount = dec.getUint32();
+      return a;
+    }
+    case Proc3::Fsstat:
+      return FsstatArgs{decodeFh3(dec)};
+    case Proc3::Fsinfo:
+      return FsinfoArgs{decodeFh3(dec)};
+    case Proc3::Pathconf:
+      return PathconfArgs{decodeFh3(dec)};
+    case Proc3::Commit: {
+      CommitArgs a;
+      a.fh = decodeFh3(dec);
+      a.offset = dec.getUint64();
+      a.count = dec.getUint32();
+      return a;
+    }
+  }
+  throw XdrError("unknown NFSv3 procedure");
+}
+
+namespace {
+
+void encodeOptWcc(XdrEncoder& enc, const WccData& wcc) { wcc.encode(enc); }
+
+}  // namespace
+
+void encodeReply3(XdrEncoder& enc, Proc3 proc, const NfsReplyRes& res) {
+  switch (proc) {
+    case Proc3::Null:
+      return;
+    case Proc3::Getattr: {
+      const auto& r = std::get<GetattrRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      if (r.status == NfsStat::Ok) r.attrs.encode3(enc);
+      return;
+    }
+    case Proc3::Setattr: {
+      const auto& r = std::get<SetattrRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      encodeOptWcc(enc, r.wcc);
+      return;
+    }
+    case Proc3::Lookup: {
+      const auto& r = std::get<LookupRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      if (r.status == NfsStat::Ok) {
+        encodeFh3(enc, r.fh);
+        enc.putBool(r.hasObjAttrs);
+        if (r.hasObjAttrs) r.objAttrs.encode3(enc);
+      }
+      enc.putBool(r.hasDirAttrs);
+      if (r.hasDirAttrs) r.dirAttrs.encode3(enc);
+      return;
+    }
+    case Proc3::Access: {
+      const auto& r = std::get<AccessRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      enc.putBool(r.hasAttrs);
+      if (r.hasAttrs) r.attrs.encode3(enc);
+      if (r.status == NfsStat::Ok) enc.putUint32(r.access);
+      return;
+    }
+    case Proc3::Readlink: {
+      const auto& r = std::get<ReadlinkRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      enc.putBool(r.hasAttrs);
+      if (r.hasAttrs) r.attrs.encode3(enc);
+      if (r.status == NfsStat::Ok) enc.putString(r.target);
+      return;
+    }
+    case Proc3::Read: {
+      const auto& r = std::get<ReadRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      enc.putBool(r.hasAttrs);
+      if (r.hasAttrs) r.attrs.encode3(enc);
+      if (r.status == NfsStat::Ok) {
+        enc.putUint32(r.count);
+        enc.putBool(r.eof);
+        putSyntheticData(enc, r.count);
+      }
+      return;
+    }
+    case Proc3::Write: {
+      const auto& r = std::get<WriteRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      encodeOptWcc(enc, r.wcc);
+      if (r.status == NfsStat::Ok) {
+        enc.putUint32(r.count);
+        enc.putUint32(static_cast<std::uint32_t>(r.committed));
+        enc.putUint64(r.verifier);
+      }
+      return;
+    }
+    case Proc3::Create:
+    case Proc3::Mkdir:
+    case Proc3::Symlink:
+    case Proc3::Mknod: {
+      const auto& r = std::get<CreateRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      if (r.status == NfsStat::Ok) {
+        enc.putBool(r.hasFh);
+        if (r.hasFh) encodeFh3(enc, r.fh);
+        enc.putBool(r.hasAttrs);
+        if (r.hasAttrs) r.attrs.encode3(enc);
+      }
+      encodeOptWcc(enc, r.dirWcc);
+      return;
+    }
+    case Proc3::Remove:
+    case Proc3::Rmdir: {
+      const auto& r = std::get<RemoveRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      encodeOptWcc(enc, r.dirWcc);
+      return;
+    }
+    case Proc3::Rename: {
+      const auto& r = std::get<RenameRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      encodeOptWcc(enc, r.fromDirWcc);
+      encodeOptWcc(enc, r.toDirWcc);
+      return;
+    }
+    case Proc3::Link: {
+      const auto& r = std::get<LinkRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      enc.putBool(r.hasAttrs);
+      if (r.hasAttrs) r.attrs.encode3(enc);
+      encodeOptWcc(enc, r.dirWcc);
+      return;
+    }
+    case Proc3::Readdir:
+    case Proc3::Readdirplus: {
+      const auto& r = std::get<ReaddirRes>(res);
+      bool plus = proc == Proc3::Readdirplus;
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      enc.putBool(r.hasDirAttrs);
+      if (r.hasDirAttrs) r.dirAttrs.encode3(enc);
+      if (r.status != NfsStat::Ok) return;
+      enc.putUint64(r.cookieVerf);
+      for (const auto& e : r.entries) {
+        enc.putBool(true);
+        enc.putUint64(e.fileid);
+        enc.putString(e.name);
+        enc.putUint64(e.cookie);
+        if (plus) {
+          enc.putBool(e.hasAttrs);
+          if (e.hasAttrs) e.attrs.encode3(enc);
+          enc.putBool(e.hasFh);
+          if (e.hasFh) encodeFh3(enc, e.fh);
+        }
+      }
+      enc.putBool(false);  // end of entry list
+      enc.putBool(r.eof);
+      return;
+    }
+    case Proc3::Fsstat: {
+      const auto& r = std::get<FsstatRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      enc.putBool(r.hasAttrs);
+      if (r.hasAttrs) r.attrs.encode3(enc);
+      if (r.status == NfsStat::Ok) {
+        enc.putUint64(r.totalBytes);
+        enc.putUint64(r.freeBytes);
+        enc.putUint64(r.availBytes);
+        enc.putUint64(r.totalFiles);
+        enc.putUint64(r.freeFiles);
+        enc.putUint64(r.availFiles);
+        enc.putUint32(r.invarsec);
+      }
+      return;
+    }
+    case Proc3::Fsinfo: {
+      const auto& r = std::get<FsinfoRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      enc.putBool(r.hasAttrs);
+      if (r.hasAttrs) r.attrs.encode3(enc);
+      if (r.status == NfsStat::Ok) {
+        enc.putUint32(r.rtmax);
+        enc.putUint32(r.rtpref);
+        enc.putUint32(r.rtmult);
+        enc.putUint32(r.wtmax);
+        enc.putUint32(r.wtpref);
+        enc.putUint32(r.wtmult);
+        enc.putUint32(r.dtpref);
+        enc.putUint64(r.maxFileSize);
+        enc.putUint32(r.timeDelta.seconds);
+        enc.putUint32(r.timeDelta.nseconds);
+        enc.putUint32(r.properties);
+      }
+      return;
+    }
+    case Proc3::Pathconf: {
+      const auto& r = std::get<PathconfRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      enc.putBool(r.hasAttrs);
+      if (r.hasAttrs) r.attrs.encode3(enc);
+      if (r.status == NfsStat::Ok) {
+        enc.putUint32(r.linkMax);
+        enc.putUint32(r.nameMax);
+        enc.putBool(r.noTrunc);
+        enc.putBool(r.chownRestricted);
+        enc.putBool(r.caseInsensitive);
+        enc.putBool(r.casePreserving);
+      }
+      return;
+    }
+    case Proc3::Commit: {
+      const auto& r = std::get<CommitRes>(res);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      encodeOptWcc(enc, r.wcc);
+      if (r.status == NfsStat::Ok) enc.putUint64(r.verifier);
+      return;
+    }
+  }
+  throw XdrError("unknown NFSv3 procedure in reply encode");
+}
+
+NfsReplyRes decodeReply3(Proc3 proc, XdrDecoder& dec) {
+  switch (proc) {
+    case Proc3::Null:
+      return NullRes{};
+    case Proc3::Getattr: {
+      GetattrRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      if (r.status == NfsStat::Ok) r.attrs = Fattr::decode3(dec);
+      return r;
+    }
+    case Proc3::Setattr: {
+      SetattrRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.wcc = WccData::decode(dec);
+      return r;
+    }
+    case Proc3::Lookup: {
+      LookupRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      if (r.status == NfsStat::Ok) {
+        r.fh = decodeFh3(dec);
+        r.hasObjAttrs = decodeOptFattr(dec, r.objAttrs);
+      }
+      r.hasDirAttrs = decodeOptFattr(dec, r.dirAttrs);
+      return r;
+    }
+    case Proc3::Access: {
+      AccessRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.hasAttrs = decodeOptFattr(dec, r.attrs);
+      if (r.status == NfsStat::Ok) r.access = dec.getUint32();
+      return r;
+    }
+    case Proc3::Readlink: {
+      ReadlinkRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.hasAttrs = decodeOptFattr(dec, r.attrs);
+      if (r.status == NfsStat::Ok) r.target = dec.getString(1024);
+      return r;
+    }
+    case Proc3::Read: {
+      ReadRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.hasAttrs = decodeOptFattr(dec, r.attrs);
+      if (r.status == NfsStat::Ok) {
+        r.count = dec.getUint32();
+        r.eof = dec.getBool();
+        dec.skipOpaque();
+      }
+      return r;
+    }
+    case Proc3::Write: {
+      WriteRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.wcc = WccData::decode(dec);
+      if (r.status == NfsStat::Ok) {
+        r.count = dec.getUint32();
+        r.committed = static_cast<StableHow>(dec.getUint32());
+        r.verifier = dec.getUint64();
+      }
+      return r;
+    }
+    case Proc3::Create:
+    case Proc3::Mkdir:
+    case Proc3::Symlink:
+    case Proc3::Mknod: {
+      CreateRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      if (r.status == NfsStat::Ok) {
+        r.hasFh = dec.getBool();
+        if (r.hasFh) r.fh = decodeFh3(dec);
+        r.hasAttrs = decodeOptFattr(dec, r.attrs);
+      }
+      r.dirWcc = WccData::decode(dec);
+      return r;
+    }
+    case Proc3::Remove:
+    case Proc3::Rmdir: {
+      RemoveRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.dirWcc = WccData::decode(dec);
+      return r;
+    }
+    case Proc3::Rename: {
+      RenameRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.fromDirWcc = WccData::decode(dec);
+      r.toDirWcc = WccData::decode(dec);
+      return r;
+    }
+    case Proc3::Link: {
+      LinkRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.hasAttrs = decodeOptFattr(dec, r.attrs);
+      r.dirWcc = WccData::decode(dec);
+      return r;
+    }
+    case Proc3::Readdir:
+    case Proc3::Readdirplus: {
+      ReaddirRes r;
+      r.plus = proc == Proc3::Readdirplus;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.hasDirAttrs = decodeOptFattr(dec, r.dirAttrs);
+      if (r.status != NfsStat::Ok) return r;
+      r.cookieVerf = dec.getUint64();
+      while (dec.getBool()) {
+        DirEntry e;
+        e.fileid = dec.getUint64();
+        e.name = dec.getString(255);
+        e.cookie = dec.getUint64();
+        if (r.plus) {
+          e.hasAttrs = decodeOptFattr(dec, e.attrs);
+          e.hasFh = dec.getBool();
+          if (e.hasFh) e.fh = decodeFh3(dec);
+        }
+        r.entries.push_back(std::move(e));
+      }
+      r.eof = dec.getBool();
+      return r;
+    }
+    case Proc3::Fsstat: {
+      FsstatRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.hasAttrs = decodeOptFattr(dec, r.attrs);
+      if (r.status == NfsStat::Ok) {
+        r.totalBytes = dec.getUint64();
+        r.freeBytes = dec.getUint64();
+        r.availBytes = dec.getUint64();
+        r.totalFiles = dec.getUint64();
+        r.freeFiles = dec.getUint64();
+        r.availFiles = dec.getUint64();
+        r.invarsec = dec.getUint32();
+      }
+      return r;
+    }
+    case Proc3::Fsinfo: {
+      FsinfoRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.hasAttrs = decodeOptFattr(dec, r.attrs);
+      if (r.status == NfsStat::Ok) {
+        r.rtmax = dec.getUint32();
+        r.rtpref = dec.getUint32();
+        r.rtmult = dec.getUint32();
+        r.wtmax = dec.getUint32();
+        r.wtpref = dec.getUint32();
+        r.wtmult = dec.getUint32();
+        r.dtpref = dec.getUint32();
+        r.maxFileSize = dec.getUint64();
+        r.timeDelta.seconds = dec.getUint32();
+        r.timeDelta.nseconds = dec.getUint32();
+        r.properties = dec.getUint32();
+      }
+      return r;
+    }
+    case Proc3::Pathconf: {
+      PathconfRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.hasAttrs = decodeOptFattr(dec, r.attrs);
+      if (r.status == NfsStat::Ok) {
+        r.linkMax = dec.getUint32();
+        r.nameMax = dec.getUint32();
+        r.noTrunc = dec.getBool();
+        r.chownRestricted = dec.getBool();
+        r.caseInsensitive = dec.getBool();
+        r.casePreserving = dec.getBool();
+      }
+      return r;
+    }
+    case Proc3::Commit: {
+      CommitRes r;
+      r.status = static_cast<NfsStat>(dec.getUint32());
+      r.wcc = WccData::decode(dec);
+      if (r.status == NfsStat::Ok) r.verifier = dec.getUint64();
+      return r;
+    }
+  }
+  throw XdrError("unknown NFSv3 procedure in reply decode");
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,131 @@
+#include "nfs/proc.hpp"
+
+#include <array>
+
+namespace nfstrace {
+
+namespace {
+constexpr std::array<std::string_view, kNfsOpCount> kOpNames = {
+    "null",     "getattr", "setattr",  "lookup",      "access", "readlink",
+    "read",     "write",   "create",   "mkdir",       "symlink", "mknod",
+    "remove",   "rmdir",   "rename",   "link",        "readdir",
+    "readdirplus", "fsstat", "fsinfo",  "pathconf",    "commit",  "unknown",
+};
+}  // namespace
+
+std::string_view nfsOpName(NfsOp op) {
+  auto i = static_cast<std::size_t>(op);
+  return i < kOpNames.size() ? kOpNames[i] : "unknown";
+}
+
+NfsOp nfsOpFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kOpNames.size(); ++i) {
+    if (kOpNames[i] == name) return static_cast<NfsOp>(i);
+  }
+  return NfsOp::Unknown;
+}
+
+NfsOp opFromProc3(Proc3 p) {
+  switch (p) {
+    case Proc3::Null: return NfsOp::Null;
+    case Proc3::Getattr: return NfsOp::Getattr;
+    case Proc3::Setattr: return NfsOp::Setattr;
+    case Proc3::Lookup: return NfsOp::Lookup;
+    case Proc3::Access: return NfsOp::Access;
+    case Proc3::Readlink: return NfsOp::Readlink;
+    case Proc3::Read: return NfsOp::Read;
+    case Proc3::Write: return NfsOp::Write;
+    case Proc3::Create: return NfsOp::Create;
+    case Proc3::Mkdir: return NfsOp::Mkdir;
+    case Proc3::Symlink: return NfsOp::Symlink;
+    case Proc3::Mknod: return NfsOp::Mknod;
+    case Proc3::Remove: return NfsOp::Remove;
+    case Proc3::Rmdir: return NfsOp::Rmdir;
+    case Proc3::Rename: return NfsOp::Rename;
+    case Proc3::Link: return NfsOp::Link;
+    case Proc3::Readdir: return NfsOp::Readdir;
+    case Proc3::Readdirplus: return NfsOp::Readdirplus;
+    case Proc3::Fsstat: return NfsOp::Fsstat;
+    case Proc3::Fsinfo: return NfsOp::Fsinfo;
+    case Proc3::Pathconf: return NfsOp::Pathconf;
+    case Proc3::Commit: return NfsOp::Commit;
+  }
+  return NfsOp::Unknown;
+}
+
+NfsOp opFromProc2(Proc2 p) {
+  switch (p) {
+    case Proc2::Null: return NfsOp::Null;
+    case Proc2::Getattr: return NfsOp::Getattr;
+    case Proc2::Setattr: return NfsOp::Setattr;
+    case Proc2::Root: return NfsOp::Unknown;
+    case Proc2::Lookup: return NfsOp::Lookup;
+    case Proc2::Readlink: return NfsOp::Readlink;
+    case Proc2::Read: return NfsOp::Read;
+    case Proc2::Writecache: return NfsOp::Unknown;
+    case Proc2::Write: return NfsOp::Write;
+    case Proc2::Create: return NfsOp::Create;
+    case Proc2::Remove: return NfsOp::Remove;
+    case Proc2::Rename: return NfsOp::Rename;
+    case Proc2::Link: return NfsOp::Link;
+    case Proc2::Symlink: return NfsOp::Symlink;
+    case Proc2::Mkdir: return NfsOp::Mkdir;
+    case Proc2::Rmdir: return NfsOp::Rmdir;
+    case Proc2::Readdir: return NfsOp::Readdir;
+    case Proc2::Statfs: return NfsOp::Fsstat;
+  }
+  return NfsOp::Unknown;
+}
+
+bool procForOp3(NfsOp op, Proc3& out) {
+  switch (op) {
+    case NfsOp::Null: out = Proc3::Null; return true;
+    case NfsOp::Getattr: out = Proc3::Getattr; return true;
+    case NfsOp::Setattr: out = Proc3::Setattr; return true;
+    case NfsOp::Lookup: out = Proc3::Lookup; return true;
+    case NfsOp::Access: out = Proc3::Access; return true;
+    case NfsOp::Readlink: out = Proc3::Readlink; return true;
+    case NfsOp::Read: out = Proc3::Read; return true;
+    case NfsOp::Write: out = Proc3::Write; return true;
+    case NfsOp::Create: out = Proc3::Create; return true;
+    case NfsOp::Mkdir: out = Proc3::Mkdir; return true;
+    case NfsOp::Symlink: out = Proc3::Symlink; return true;
+    case NfsOp::Mknod: out = Proc3::Mknod; return true;
+    case NfsOp::Remove: out = Proc3::Remove; return true;
+    case NfsOp::Rmdir: out = Proc3::Rmdir; return true;
+    case NfsOp::Rename: out = Proc3::Rename; return true;
+    case NfsOp::Link: out = Proc3::Link; return true;
+    case NfsOp::Readdir: out = Proc3::Readdir; return true;
+    case NfsOp::Readdirplus: out = Proc3::Readdirplus; return true;
+    case NfsOp::Fsstat: out = Proc3::Fsstat; return true;
+    case NfsOp::Fsinfo: out = Proc3::Fsinfo; return true;
+    case NfsOp::Pathconf: out = Proc3::Pathconf; return true;
+    case NfsOp::Commit: out = Proc3::Commit; return true;
+    case NfsOp::Unknown: return false;
+  }
+  return false;
+}
+
+bool procForOp2(NfsOp op, Proc2& out) {
+  switch (op) {
+    case NfsOp::Null: out = Proc2::Null; return true;
+    case NfsOp::Getattr: out = Proc2::Getattr; return true;
+    case NfsOp::Setattr: out = Proc2::Setattr; return true;
+    case NfsOp::Lookup: out = Proc2::Lookup; return true;
+    case NfsOp::Readlink: out = Proc2::Readlink; return true;
+    case NfsOp::Read: out = Proc2::Read; return true;
+    case NfsOp::Write: out = Proc2::Write; return true;
+    case NfsOp::Create: out = Proc2::Create; return true;
+    case NfsOp::Remove: out = Proc2::Remove; return true;
+    case NfsOp::Rename: out = Proc2::Rename; return true;
+    case NfsOp::Link: out = Proc2::Link; return true;
+    case NfsOp::Symlink: out = Proc2::Symlink; return true;
+    case NfsOp::Mkdir: out = Proc2::Mkdir; return true;
+    case NfsOp::Rmdir: out = Proc2::Rmdir; return true;
+    case NfsOp::Readdir: out = Proc2::Readdir; return true;
+    case NfsOp::Fsstat: out = Proc2::Statfs; return true;
+    default: return false;  // ACCESS, READDIRPLUS, etc. have no v2 form
+  }
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,114 @@
+// NFS procedure numbers for versions 2 and 3, plus a version-independent
+// operation taxonomy used by the trace format and the analyses.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace nfstrace {
+
+/// NFSv3 procedures (RFC 1813 §3).
+enum class Proc3 : std::uint32_t {
+  Null = 0,
+  Getattr = 1,
+  Setattr = 2,
+  Lookup = 3,
+  Access = 4,
+  Readlink = 5,
+  Read = 6,
+  Write = 7,
+  Create = 8,
+  Mkdir = 9,
+  Symlink = 10,
+  Mknod = 11,
+  Remove = 12,
+  Rmdir = 13,
+  Rename = 14,
+  Link = 15,
+  Readdir = 16,
+  Readdirplus = 17,
+  Fsstat = 18,
+  Fsinfo = 19,
+  Pathconf = 20,
+  Commit = 21,
+};
+inline constexpr std::uint32_t kProc3Count = 22;
+
+/// NFSv2 procedures (RFC 1094 §2.2).
+enum class Proc2 : std::uint32_t {
+  Null = 0,
+  Getattr = 1,
+  Setattr = 2,
+  Root = 3,  // obsolete
+  Lookup = 4,
+  Readlink = 5,
+  Read = 6,
+  Writecache = 7,  // obsolete
+  Write = 8,
+  Create = 9,
+  Remove = 10,
+  Rename = 11,
+  Link = 12,
+  Symlink = 13,
+  Mkdir = 14,
+  Rmdir = 15,
+  Readdir = 16,
+  Statfs = 17,
+};
+inline constexpr std::uint32_t kProc2Count = 18;
+
+/// Version-independent operation kind; both v2 and v3 procedures map here,
+/// and the trace records / analyses use only this.
+enum class NfsOp : std::uint8_t {
+  Null,
+  Getattr,
+  Setattr,
+  Lookup,
+  Access,      // v3 only
+  Readlink,
+  Read,
+  Write,
+  Create,
+  Mkdir,
+  Symlink,
+  Mknod,       // v3 only
+  Remove,
+  Rmdir,
+  Rename,
+  Link,
+  Readdir,
+  Readdirplus, // v3 only
+  Fsstat,
+  Fsinfo,      // v3 only
+  Pathconf,    // v3 only
+  Commit,      // v3 only
+  Unknown,
+};
+inline constexpr std::size_t kNfsOpCount =
+    static_cast<std::size_t>(NfsOp::Unknown) + 1;
+
+std::string_view nfsOpName(NfsOp op);
+NfsOp nfsOpFromName(std::string_view name);
+
+NfsOp opFromProc3(Proc3 p);
+NfsOp opFromProc2(Proc2 p);
+/// Inverse mappings; ops with no equivalent in a version return false.
+bool procForOp3(NfsOp op, Proc3& out);
+bool procForOp2(NfsOp op, Proc2& out);
+
+/// Operation classification used by the summary statistics: the paper
+/// groups calls into data operations (read/write) and metadata operations
+/// (everything else, dominated by getattr/lookup/access).
+constexpr bool isDataOp(NfsOp op) {
+  return op == NfsOp::Read || op == NfsOp::Write;
+}
+constexpr bool isMetadataQueryOp(NfsOp op) {
+  return op == NfsOp::Getattr || op == NfsOp::Lookup || op == NfsOp::Access;
+}
+constexpr bool isDirectoryModOp(NfsOp op) {
+  return op == NfsOp::Create || op == NfsOp::Mkdir || op == NfsOp::Symlink ||
+         op == NfsOp::Mknod || op == NfsOp::Remove || op == NfsOp::Rmdir ||
+         op == NfsOp::Rename || op == NfsOp::Link;
+}
+
+}  // namespace nfstrace

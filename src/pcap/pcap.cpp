@@ -1,0 +1,165 @@
+#include "pcap/pcap.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace nfstrace {
+namespace {
+
+void put32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  // pcap headers are host-endian in real files; we write little-endian and
+  // the reader handles either order.
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+}  // namespace
+
+struct PcapWriter::Impl {
+  std::FILE* f = nullptr;
+};
+
+PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen,
+                       bool nanosecond)
+    : impl_(new Impl), snaplen_(snaplen), nano_(nanosecond) {
+  impl_->f = std::fopen(path.c_str(), "wb");
+  if (!impl_->f) {
+    delete impl_;
+    throw std::runtime_error("pcap: cannot open for write: " + path);
+  }
+  std::vector<std::uint8_t> hdr;
+  put32(hdr, nano_ ? kPcapMagicNano : kPcapMagicMicro);
+  put16(hdr, 2);   // version major
+  put16(hdr, 4);   // version minor
+  put32(hdr, 0);   // thiszone
+  put32(hdr, 0);   // sigfigs
+  put32(hdr, snaplen_);
+  put32(hdr, kLinktypeEthernet);
+  if (std::fwrite(hdr.data(), 1, hdr.size(), impl_->f) != hdr.size()) {
+    std::fclose(impl_->f);
+    delete impl_;
+    throw std::runtime_error("pcap: header write failed");
+  }
+}
+
+PcapWriter::~PcapWriter() {
+  if (impl_->f) std::fclose(impl_->f);
+  delete impl_;
+}
+
+void PcapWriter::write(const CapturedPacket& pkt) {
+  std::uint32_t incl =
+      std::min(static_cast<std::uint32_t>(pkt.data.size()), snaplen_);
+  std::vector<std::uint8_t> hdr;
+  auto sec = static_cast<std::uint32_t>(pkt.ts / kMicrosPerSecond);
+  auto frac = static_cast<std::uint32_t>(pkt.ts % kMicrosPerSecond);
+  if (nano_) frac *= 1000;
+  put32(hdr, sec);
+  put32(hdr, frac);
+  put32(hdr, incl);
+  put32(hdr, pkt.origLen ? pkt.origLen
+                         : static_cast<std::uint32_t>(pkt.data.size()));
+  if (std::fwrite(hdr.data(), 1, hdr.size(), impl_->f) != hdr.size() ||
+      std::fwrite(pkt.data.data(), 1, incl, impl_->f) != incl) {
+    throw std::runtime_error("pcap: packet write failed");
+  }
+  ++count_;
+}
+
+void PcapWriter::flush() { std::fflush(impl_->f); }
+
+struct PcapReader::Impl {
+  std::FILE* f = nullptr;
+
+  bool readExact(void* buf, std::size_t n) {
+    return std::fread(buf, 1, n, f) == n;
+  }
+};
+
+namespace {
+
+std::uint32_t get32(const std::uint8_t* p, bool swapped) {
+  std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                    (static_cast<std::uint32_t>(p[1]) << 8) |
+                    (static_cast<std::uint32_t>(p[2]) << 16) |
+                    (static_cast<std::uint32_t>(p[3]) << 24);
+  if (swapped) {
+    v = ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) |
+        (v >> 24);
+  }
+  return v;
+}
+
+}  // namespace
+
+PcapReader::PcapReader(const std::string& path) : impl_(new Impl) {
+  impl_->f = std::fopen(path.c_str(), "rb");
+  if (!impl_->f) {
+    delete impl_;
+    throw std::runtime_error("pcap: cannot open for read: " + path);
+  }
+  std::uint8_t hdr[24];
+  if (!impl_->readExact(hdr, sizeof(hdr))) {
+    std::fclose(impl_->f);
+    delete impl_;
+    throw std::runtime_error("pcap: short global header");
+  }
+  std::uint32_t magic = get32(hdr, false);
+  if (magic == kPcapMagicMicro) {
+    swapped_ = false;
+    nano_ = false;
+  } else if (magic == kPcapMagicNano) {
+    swapped_ = false;
+    nano_ = true;
+  } else {
+    std::uint32_t sw = get32(hdr, true);
+    if (sw == kPcapMagicMicro) {
+      swapped_ = true;
+      nano_ = false;
+    } else if (sw == kPcapMagicNano) {
+      swapped_ = true;
+      nano_ = true;
+    } else {
+      std::fclose(impl_->f);
+      delete impl_;
+      throw std::runtime_error("pcap: bad magic");
+    }
+  }
+  snaplen_ = get32(hdr + 16, swapped_);
+  linktype_ = get32(hdr + 20, swapped_);
+}
+
+PcapReader::~PcapReader() {
+  if (impl_->f) std::fclose(impl_->f);
+  delete impl_;
+}
+
+std::optional<CapturedPacket> PcapReader::next() {
+  std::uint8_t hdr[16];
+  std::size_t got = std::fread(hdr, 1, sizeof(hdr), impl_->f);
+  if (got == 0) return std::nullopt;  // clean EOF
+  if (got != sizeof(hdr)) throw std::runtime_error("pcap: truncated record header");
+
+  CapturedPacket pkt;
+  std::uint32_t sec = get32(hdr, swapped_);
+  std::uint32_t frac = get32(hdr + 4, swapped_);
+  std::uint32_t incl = get32(hdr + 8, swapped_);
+  pkt.origLen = get32(hdr + 12, swapped_);
+  pkt.ts = static_cast<MicroTime>(sec) * kMicrosPerSecond +
+           (nano_ ? frac / 1000 : frac);
+  if (incl > 256 * 1024 * 1024) throw std::runtime_error("pcap: absurd record size");
+  pkt.data.resize(incl);
+  if (!impl_->readExact(pkt.data.data(), incl)) {
+    throw std::runtime_error("pcap: truncated packet body");
+  }
+  return pkt;
+}
+
+}  // namespace nfstrace

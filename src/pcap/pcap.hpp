@@ -1,0 +1,78 @@
+// pcap savefile reader/writer, implemented from the file-format
+// specification (no libpcap dependency).
+//
+// Supports both byte orders (the magic tells us which), microsecond and
+// nanosecond timestamp variants, and snaplen truncation on write — the
+// properties a tracing tool meets in the wild.  Linktype is Ethernet.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace nfstrace {
+
+inline constexpr std::uint32_t kPcapMagicMicro = 0xa1b2c3d4;
+inline constexpr std::uint32_t kPcapMagicNano = 0xa1b23c4d;
+inline constexpr std::uint32_t kLinktypeEthernet = 1;
+
+/// One captured frame: timestamp plus (possibly snaplen-truncated) bytes.
+struct CapturedPacket {
+  MicroTime ts = 0;
+  std::uint32_t origLen = 0;  // length on the wire
+  std::vector<std::uint8_t> data;  // captured bytes (<= origLen)
+};
+
+class PcapWriter {
+ public:
+  /// Opens `path` and writes the global header.  Throws std::runtime_error
+  /// on I/O failure.
+  PcapWriter(const std::string& path, std::uint32_t snaplen = 65535,
+             bool nanosecond = false);
+  ~PcapWriter();
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  void write(const CapturedPacket& pkt);
+  std::uint64_t packetsWritten() const { return count_; }
+  void flush();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::uint32_t snaplen_;
+  bool nano_;
+  std::uint64_t count_ = 0;
+};
+
+class PcapReader {
+ public:
+  /// Opens `path` and parses the global header; detects byte order and
+  /// timestamp resolution.  Throws std::runtime_error on malformed files.
+  explicit PcapReader(const std::string& path);
+  ~PcapReader();
+  PcapReader(const PcapReader&) = delete;
+  PcapReader& operator=(const PcapReader&) = delete;
+
+  /// Next packet, or nullopt at end of file.  Throws on truncated records.
+  std::optional<CapturedPacket> next();
+
+  std::uint32_t snaplen() const { return snaplen_; }
+  std::uint32_t linktype() const { return linktype_; }
+  bool swapped() const { return swapped_; }
+  bool nanosecond() const { return nano_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  bool swapped_ = false;
+  bool nano_ = false;
+  std::uint32_t snaplen_ = 0;
+  std::uint32_t linktype_ = 0;
+};
+
+}  // namespace nfstrace

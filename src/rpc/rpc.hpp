@@ -1,0 +1,109 @@
+// ONC RPC version 2 (RFC 1831) message framing.
+//
+// Only what NFS-over-the-wire needs: CALL and REPLY headers, AUTH_NONE and
+// AUTH_UNIX credentials, and the record-marking standard used to delimit
+// RPC messages on TCP streams.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "xdr/xdr.hpp"
+
+namespace nfstrace {
+
+inline constexpr std::uint32_t kRpcVersion = 2;
+inline constexpr std::uint32_t kNfsProgram = 100003;
+
+enum class RpcMsgType : std::uint32_t { Call = 0, Reply = 1 };
+enum class RpcReplyStat : std::uint32_t { Accepted = 0, Denied = 1 };
+enum class RpcAcceptStat : std::uint32_t {
+  Success = 0,
+  ProgUnavail = 1,
+  ProgMismatch = 2,
+  ProcUnavail = 3,
+  GarbageArgs = 4,
+  SystemErr = 5,
+};
+
+enum class AuthFlavor : std::uint32_t { None = 0, Unix = 1 };
+
+/// AUTH_UNIX credential body (RFC 1831 appendix A) — this is where the
+/// tracer learns UIDs and GIDs.
+struct AuthUnix {
+  std::uint32_t stamp = 0;
+  std::string machineName;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::vector<std::uint32_t> gids;
+
+  void encode(XdrEncoder& enc) const;
+  static AuthUnix decode(XdrDecoder& dec);
+};
+
+/// Decoded RPC call header; `argsOffset` is the byte offset of the
+/// procedure arguments within the original message body.
+struct RpcCall {
+  std::uint32_t xid = 0;
+  std::uint32_t prog = kNfsProgram;
+  std::uint32_t vers = 3;
+  std::uint32_t proc = 0;
+  std::optional<AuthUnix> cred;  // nullopt => AUTH_NONE
+  std::size_t argsOffset = 0;
+};
+
+/// Decoded RPC reply header (accepted replies only carry results).
+struct RpcReply {
+  std::uint32_t xid = 0;
+  RpcReplyStat replyStat = RpcReplyStat::Accepted;
+  RpcAcceptStat acceptStat = RpcAcceptStat::Success;
+  std::size_t resultsOffset = 0;
+};
+
+/// Either side of an RPC message, as seen by the sniffer.
+struct RpcMessage {
+  RpcMsgType type = RpcMsgType::Call;
+  RpcCall call;
+  RpcReply reply;
+};
+
+/// Serialize a call header (through the verifier); procedure arguments are
+/// appended by the caller.
+void encodeRpcCall(XdrEncoder& enc, std::uint32_t xid, std::uint32_t prog,
+                   std::uint32_t vers, std::uint32_t proc,
+                   const std::optional<AuthUnix>& cred);
+
+/// Serialize an accepted-reply header; results are appended by the caller.
+void encodeRpcReplySuccess(XdrEncoder& enc, std::uint32_t xid);
+void encodeRpcReplyError(XdrEncoder& enc, std::uint32_t xid,
+                         RpcAcceptStat stat);
+
+/// Parse an RPC message header.  Throws XdrError on malformed input.
+RpcMessage decodeRpcMessage(std::span<const std::uint8_t> body);
+
+/// RFC 1831 record marking: prepend a 4-byte header with the high bit set
+/// (last fragment) and the fragment length.  We always emit single-fragment
+/// records, as real NFS implementations overwhelmingly do.
+std::vector<std::uint8_t> recordMark(std::span<const std::uint8_t> body);
+
+/// Incremental record-marking parser for reassembled TCP byte streams.
+/// Feed bytes in any chunking; complete records pop out.  Multi-fragment
+/// records are supported on the read side.
+class RecordMarkReader {
+ public:
+  void feed(std::span<const std::uint8_t> data);
+  /// Next complete RPC message body, if any.
+  std::optional<std::vector<std::uint8_t>> next();
+  /// Discard all buffered state (e.g. after detected stream loss).
+  void reset();
+
+ private:
+  std::vector<std::uint8_t> buf_;       // unconsumed stream bytes
+  std::vector<std::uint8_t> assembly_;  // fragments of the current record
+  std::vector<std::vector<std::uint8_t>> ready_;
+};
+
+}  // namespace nfstrace

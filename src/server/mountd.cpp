@@ -1,0 +1,61 @@
+#include "server/mountd.hpp"
+
+#include <algorithm>
+
+namespace nfstrace {
+
+MountServer::MntResult MountServer::mnt(const std::string& dirpath) const {
+  // Only configured exports may be mounted.
+  bool exported = std::any_of(
+      exports_.begin(), exports_.end(),
+      [&](const std::string& e) { return e == dirpath; });
+  if (!exported) return {MountStat::ErrAcces, {}};
+
+  auto node = fs_.resolve(dirpath);
+  if (!node) return {MountStat::ErrNoEnt, {}};
+  if (node->attrs.type != FileType::Directory) {
+    return {MountStat::ErrNotDir, {}};
+  }
+  ++mounts_;
+  return {MountStat::Ok, node->fh};
+}
+
+bool MountServer::handle(MountProc proc, XdrDecoder& dec,
+                         XdrEncoder& enc) const {
+  switch (proc) {
+    case MountProc::Null:
+      return true;
+    case MountProc::Mnt: {
+      std::string dirpath = dec.getString(1024);
+      MntResult r = mnt(dirpath);
+      enc.putUint32(static_cast<std::uint32_t>(r.status));
+      if (r.status == MountStat::Ok) {
+        enc.putOpaque(r.fh.bytes());
+        enc.putUint32(1);  // one auth flavor
+        enc.putUint32(1);  // AUTH_UNIX
+      }
+      return true;
+    }
+    case MountProc::Umnt:
+    case MountProc::UmntAll: {
+      if (proc == MountProc::Umnt) dec.getString(1024);  // dirpath
+      return true;  // void reply
+    }
+    case MountProc::Dump: {
+      enc.putBool(false);  // empty mount list
+      return true;
+    }
+    case MountProc::Export: {
+      for (const auto& e : exports_) {
+        enc.putBool(true);
+        enc.putString(e);
+        enc.putBool(false);  // empty group list
+      }
+      enc.putBool(false);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace nfstrace

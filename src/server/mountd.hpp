@@ -1,0 +1,71 @@
+// The MOUNT v3 protocol (RFC 1813, Appendix I): how an NFS client turns
+// an export path into its root file handle.  Real deployments run this as
+// mountd (RPC program 100005); EECS workstations mounted home directories
+// through it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/fs.hpp"
+#include "xdr/xdr.hpp"
+
+namespace nfstrace {
+
+inline constexpr std::uint32_t kMountProgram = 100005;
+inline constexpr std::uint32_t kMountVersion = 3;
+
+enum class MountProc : std::uint32_t {
+  Null = 0,
+  Mnt = 1,
+  Dump = 2,
+  Umnt = 3,
+  UmntAll = 4,
+  Export = 5,
+};
+
+/// mountstat3 values (subset).
+enum class MountStat : std::uint32_t {
+  Ok = 0,
+  ErrPerm = 1,
+  ErrNoEnt = 2,
+  ErrAcces = 13,
+  ErrNotDir = 20,
+  ErrInval = 22,
+  ErrNameTooLong = 63,
+  ErrNotSupp = 10004,
+  ErrServerFault = 10006,
+};
+
+class MountServer {
+ public:
+  /// Export the whole file system under `exportPath` ("/" exports the
+  /// root).  Multiple exports may map distinct subtrees.
+  explicit MountServer(InMemoryFs& fs) : fs_(fs) {}
+
+  void addExport(const std::string& path) { exports_.push_back(path); }
+
+  struct MntResult {
+    MountStat status = MountStat::Ok;
+    FileHandle fh;
+  };
+  /// MNT: resolve an export path to its root handle.
+  MntResult mnt(const std::string& dirpath) const;
+
+  /// EXPORT: list the export paths.
+  const std::vector<std::string>& exportList() const { return exports_; }
+
+  /// Serve a decoded MOUNT call; arguments start at `dec`, the reply body
+  /// is appended to `enc`.  Returns false for unknown procedures.
+  bool handle(MountProc proc, XdrDecoder& dec, XdrEncoder& enc) const;
+
+  std::uint64_t mountsServed() const { return mounts_; }
+
+ private:
+  InMemoryFs& fs_;
+  std::vector<std::string> exports_;
+  mutable std::uint64_t mounts_ = 0;
+};
+
+}  // namespace nfstrace

@@ -1,0 +1,54 @@
+#include "server/portmap.hpp"
+
+namespace nfstrace {
+
+bool Portmapper::handle(PortmapProc proc, XdrDecoder& dec, XdrEncoder& enc) {
+  switch (proc) {
+    case PortmapProc::Null:
+      return true;
+    case PortmapProc::Set: {
+      Mapping m;
+      m.prog = dec.getUint32();
+      m.vers = dec.getUint32();
+      m.proto = dec.getUint32();
+      m.port = dec.getUint32();
+      bool fresh = !table_.count(key(m.prog, m.vers, m.proto));
+      if (fresh) set(m);
+      enc.putBool(fresh);
+      return true;
+    }
+    case PortmapProc::Unset: {
+      std::uint32_t prog = dec.getUint32();
+      std::uint32_t vers = dec.getUint32();
+      dec.getUint32();  // proto, ignored per the protocol
+      dec.getUint32();  // port, ignored
+      unset(prog, vers);
+      enc.putBool(true);
+      return true;
+    }
+    case PortmapProc::Getport: {
+      std::uint32_t prog = dec.getUint32();
+      std::uint32_t vers = dec.getUint32();
+      std::uint32_t proto = dec.getUint32();
+      dec.getUint32();  // port, ignored in the query
+      enc.putUint32(getport(prog, vers, proto));
+      return true;
+    }
+    case PortmapProc::Dump: {
+      for (const auto& [k, m] : table_) {
+        enc.putBool(true);
+        enc.putUint32(m.prog);
+        enc.putUint32(m.vers);
+        enc.putUint32(m.proto);
+        enc.putUint32(m.port);
+      }
+      enc.putBool(false);
+      return true;
+    }
+    case PortmapProc::Callit:
+      return false;  // indirect calls are not modelled
+  }
+  return false;
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,69 @@
+// The portmapper (RPCBIND v2, RFC 1833): program 100000, the service an
+// RPC client consults first to learn which UDP/TCP port a program
+// listens on.  Real NFS mounts go portmap GETPORT(mountd) -> MNT ->
+// portmap GETPORT(nfs) -> NFS traffic; the simulated stack offers the
+// same bootstrap so captures contain the whole conversation shape.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "xdr/xdr.hpp"
+
+namespace nfstrace {
+
+inline constexpr std::uint32_t kPortmapProgram = 100000;
+inline constexpr std::uint32_t kPortmapVersion = 2;
+inline constexpr std::uint16_t kPortmapPort = 111;
+
+enum class PortmapProc : std::uint32_t {
+  Null = 0,
+  Set = 1,
+  Unset = 2,
+  Getport = 3,
+  Dump = 4,
+  Callit = 5,
+};
+
+class Portmapper {
+ public:
+  struct Mapping {
+    std::uint32_t prog = 0;
+    std::uint32_t vers = 0;
+    std::uint32_t proto = 0;  // 6 = TCP, 17 = UDP
+    std::uint32_t port = 0;
+  };
+
+  /// Register a service (the simulated host's boot-time pmap_set).
+  void set(const Mapping& m) { table_[key(m.prog, m.vers, m.proto)] = m; }
+  void unset(std::uint32_t prog, std::uint32_t vers) {
+    for (auto it = table_.begin(); it != table_.end();) {
+      if (it->second.prog == prog && it->second.vers == vers) {
+        it = table_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// GETPORT: 0 means not registered.
+  std::uint32_t getport(std::uint32_t prog, std::uint32_t vers,
+                        std::uint32_t proto) const {
+    auto it = table_.find(key(prog, vers, proto));
+    return it == table_.end() ? 0 : it->second.port;
+  }
+
+  /// Serve a decoded portmap call; returns false for unknown procedures.
+  bool handle(PortmapProc proc, XdrDecoder& dec, XdrEncoder& enc);
+
+  std::size_t registered() const { return table_.size(); }
+
+ private:
+  static std::uint64_t key(std::uint32_t prog, std::uint32_t vers,
+                           std::uint32_t proto) {
+    return (static_cast<std::uint64_t>(prog) << 32) ^ (vers << 8) ^ proto;
+  }
+  std::map<std::uint64_t, Mapping> table_;
+};
+
+}  // namespace nfstrace

@@ -1,0 +1,94 @@
+#include "server/readahead.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nfstrace {
+
+std::int64_t DiskModel::read(std::uint64_t fileKey, std::uint64_t block,
+                             std::uint32_t readAheadBlocks) {
+  std::int64_t cost = 0;
+  std::uint64_t a = addr(fileKey, block);
+
+  if (cached_.count(a)) {
+    ++hits_;
+    cost += costs_.cacheHitUs;
+  } else {
+    ++misses_;
+    bool adjacent = head_ != ~0ULL && a >= head_ && a - head_ <= 1;
+    if (!adjacent) {
+      cost += costs_.seekUs;
+      ++seeks_;
+    }
+    cost += costs_.transferUsPerBlock;
+    cached_[a] = true;
+    head_ = a;
+
+    // Prefetch rides the same head position; only fetched on a miss (a
+    // cached demand block means the stream was already prefetched).
+    for (std::uint32_t i = 1; i <= readAheadBlocks; ++i) {
+      std::uint64_t pa = addr(fileKey, block + i);
+      if (!cached_.count(pa)) {
+        cached_[pa] = true;
+        cost += costs_.transferUsPerBlock;
+        head_ = pa;
+        ++prefetched_;
+      }
+    }
+  }
+
+  totalUs_ += cost;
+  return cost;
+}
+
+std::uint32_t ReadAheadEngine::onRead(std::uint64_t fileKey,
+                                      std::uint64_t block,
+                                      std::uint32_t blocks) {
+  FileState& st = files_[fileKey];
+
+  if (config_.policy == ReadAheadPolicy::StrictSequential) {
+    if (st.nextExpected != ~0ULL && block == st.nextExpected) {
+      st.streak = std::min(st.streak + 1, config_.maxReadAheadBlocks);
+    } else {
+      st.streak = 0;  // one reordered call relegates the run to "random"
+    }
+    st.nextExpected = block + blocks;
+    return st.streak;
+  }
+
+  // SequentialityMetric policy: fraction of recent accesses that land
+  // within kConsecutive blocks ahead of *some* recent access.
+  std::uint32_t sequentialish = 0;
+  for (std::uint64_t prev : st.recent) {
+    std::uint64_t prevEnd = prev + 1;
+    if (block >= prev && block <= prevEnd + config_.kConsecutive) {
+      ++sequentialish;
+      break;
+    }
+  }
+  st.recent.push_back(block);
+  // Track a per-file running score over the window.
+  if (st.recent.size() > config_.window) st.recent.pop_front();
+
+  if (sequentialish) {
+    st.streak = std::min<std::uint32_t>(
+        st.streak + 1,
+        config_.maxReadAheadBlocks +
+            static_cast<std::uint32_t>(config_.window));
+  } else if (st.streak > 0) {
+    --st.streak;  // degrade gently instead of resetting
+  }
+
+  double metric =
+      st.recent.size() < 4
+          ? 0.0
+          : static_cast<double>(std::min<std::size_t>(st.streak,
+                                                      st.recent.size())) /
+                static_cast<double>(st.recent.size());
+  if (metric >= config_.threshold || st.streak >= 4) {
+    return config_.maxReadAheadBlocks;
+  }
+  return 0;
+}
+
+}  // namespace nfstrace

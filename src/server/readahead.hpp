@@ -1,0 +1,103 @@
+// Server-side read-ahead heuristics and a simple disk service-time model,
+// used to reproduce the paper's §6.4 experiment: on a loaded system where
+// ~10% of READ requests arrive reordered, replacing the classic
+// strictly-sequential read-ahead trigger (FreeBSD 4.4's) with one driven by
+// the paper's sequentiality metric improved large sequential transfers by
+// more than 5%.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "nfs/types.hpp"
+
+namespace nfstrace {
+
+/// Service-time model of one disk + server cache, in microseconds.  The
+/// disk has ONE head; files live in distinct regions of the platter, so on
+/// a loaded server with interleaved per-file streams every uncached demand
+/// read of a different file pays a seek.  Read-ahead amortizes that seek
+/// across the prefetched blocks (they stream after the demand block on the
+/// same rotation), which is exactly the benefit a reordering-fragile
+/// heuristic forfeits.  Cache hits are nearly free.
+class DiskModel {
+ public:
+  struct Costs {
+    std::int64_t seekUs = 5000;        // average seek + rotational delay
+    std::int64_t transferUsPerBlock = 180;  // 8 KB at ~45 MB/s
+    std::int64_t cacheHitUs = 20;      // memory copy + interrupt
+  };
+
+  DiskModel() : DiskModel(Costs{}) {}
+  explicit DiskModel(Costs costs) : costs_(costs) {}
+
+  /// Service a demand read of `block` of `fileKey`, prefetching
+  /// `readAheadBlocks` more.  Returns the service time in microseconds.
+  std::int64_t read(std::uint64_t fileKey, std::uint64_t block,
+                    std::uint32_t readAheadBlocks);
+
+  std::int64_t totalServiceUs() const { return totalUs_; }
+  std::uint64_t cacheHits() const { return hits_; }
+  std::uint64_t cacheMisses() const { return misses_; }
+  std::uint64_t blocksPrefetched() const { return prefetched_; }
+  std::uint64_t seeks() const { return seeks_; }
+
+ private:
+  /// Disk address of a file block: files laid out contiguously in
+  /// well-separated regions.
+  static std::uint64_t addr(std::uint64_t fileKey, std::uint64_t block) {
+    return fileKey * (1ULL << 20) + block;
+  }
+
+  Costs costs_;
+  std::unordered_map<std::uint64_t, bool> cached_;  // by disk address
+  std::uint64_t head_ = ~0ULL;
+  std::int64_t totalUs_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t prefetched_ = 0;
+  std::uint64_t seeks_ = 0;
+};
+
+/// Read-ahead decision policies.
+enum class ReadAheadPolicy {
+  /// Classic trigger: read-ahead grows only while each request starts
+  /// exactly where the previous one ended; any out-of-order request resets
+  /// the streak to zero (the "fragile metric" the paper warns about).
+  StrictSequential,
+  /// The paper's proposal: keep a sliding window of recent accesses and
+  /// compute the fraction that are k-consecutive; read-ahead stays on while
+  /// the metric is high, so isolated reorderings do not kill prefetch.
+  SequentialityMetric,
+};
+
+class ReadAheadEngine {
+ public:
+  struct Config {
+    ReadAheadPolicy policy = ReadAheadPolicy::StrictSequential;
+    std::uint32_t maxReadAheadBlocks = 8;
+    /// SequentialityMetric parameters:
+    std::size_t window = 16;       // accesses remembered per file
+    double threshold = 0.6;        // metric needed to keep prefetching
+    std::uint32_t kConsecutive = 10;  // jump tolerance, in blocks
+  };
+
+  explicit ReadAheadEngine(Config config) : config_(config) {}
+
+  /// Observe a demand read and decide how many blocks to prefetch after it.
+  std::uint32_t onRead(std::uint64_t fileKey, std::uint64_t block,
+                       std::uint32_t blocks);
+
+ private:
+  struct FileState {
+    std::uint64_t nextExpected = ~0ULL;
+    std::uint32_t streak = 0;
+    std::deque<std::uint64_t> recent;  // recent block positions
+  };
+
+  Config config_;
+  std::unordered_map<std::uint64_t, FileState> files_;
+};
+
+}  // namespace nfstrace

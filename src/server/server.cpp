@@ -1,0 +1,241 @@
+#include "server/server.hpp"
+
+namespace nfstrace {
+namespace {
+
+WccData wccFrom(const Fattr& pre, const Fattr& post) {
+  WccData w;
+  w.hasPre = true;
+  w.pre = WccAttr::fromFattr(pre);
+  w.hasPost = true;
+  w.post = post;
+  return w;
+}
+
+WccData wccPostOnly(const InMemoryFs& fs, const FileHandle& fh) {
+  WccData w;
+  Fattr attrs;
+  if (fs.getattr(fh, attrs) == NfsStat::Ok) {
+    w.hasPost = true;
+    w.post = attrs;
+  }
+  return w;
+}
+
+}  // namespace
+
+NfsReplyRes NfsServer::handle(const NfsCallArgs& args, std::uint32_t uid,
+                              std::uint32_t gid, MicroTime now) {
+  counts_[static_cast<std::size_t>(opOf(args))]++;
+  ++total_;
+
+  return std::visit(
+      [&](const auto& a) -> NfsReplyRes {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, NullArgs>) {
+          return NullRes{};
+        } else if constexpr (std::is_same_v<T, GetattrArgs>) {
+          GetattrRes r;
+          r.status = fs_.getattr(a.fh, r.attrs);
+          return r;
+        } else if constexpr (std::is_same_v<T, SetattrArgs>) {
+          SetattrRes r;
+          Fattr pre;
+          bool hadPre = fs_.getattr(a.fh, pre) == NfsStat::Ok;
+          Fattr post;
+          r.status = fs_.setattr(a.fh, a.attrs, now, post);
+          if (r.status == NfsStat::Ok && hadPre) {
+            r.wcc = wccFrom(pre, post);
+          } else if (hadPre) {
+            r.wcc.hasPre = true;
+            r.wcc.pre = WccAttr::fromFattr(pre);
+          }
+          return r;
+        } else if constexpr (std::is_same_v<T, LookupArgs>) {
+          LookupRes r;
+          FsNode node;
+          r.status = fs_.lookup(a.dir, a.name, node);
+          if (r.status == NfsStat::Ok) {
+            r.fh = node.fh;
+            r.objAttrs = node.attrs;
+            r.hasObjAttrs = true;
+          }
+          Fattr dirAttrs;
+          if (fs_.getattr(a.dir, dirAttrs) == NfsStat::Ok) {
+            r.hasDirAttrs = true;
+            r.dirAttrs = dirAttrs;
+          }
+          return r;
+        } else if constexpr (std::is_same_v<T, AccessArgs>) {
+          AccessRes r;
+          r.status = fs_.getattr(a.fh, r.attrs);
+          r.hasAttrs = r.status == NfsStat::Ok;
+          // Permissive model: grant whatever was asked.  The study never
+          // analyzes permission failures, only the call mix.
+          r.access = a.access;
+          return r;
+        } else if constexpr (std::is_same_v<T, ReadlinkArgs>) {
+          ReadlinkRes r;
+          r.status = fs_.readlink(a.fh, r.target);
+          Fattr attrs;
+          if (fs_.getattr(a.fh, attrs) == NfsStat::Ok) {
+            r.hasAttrs = true;
+            r.attrs = attrs;
+          }
+          return r;
+        } else if constexpr (std::is_same_v<T, ReadArgs>) {
+          ReadRes r;
+          r.status = fs_.read(a.fh, a.offset, a.count, now, r.count, r.eof,
+                              r.attrs);
+          r.hasAttrs = r.status == NfsStat::Ok;
+          return r;
+        } else if constexpr (std::is_same_v<T, WriteArgs>) {
+          WriteRes r;
+          Fattr pre, post;
+          r.status = fs_.write(a.fh, a.offset, a.count, now, pre, post);
+          if (r.status == NfsStat::Ok) {
+            r.wcc = wccFrom(pre, post);
+            r.count = a.count;
+            // UNSTABLE writes are acknowledged as such; COMMIT makes them
+            // durable.  v2 callers set FileSync.
+            r.committed = a.stable == StableHow::Unstable ? StableHow::Unstable
+                                                          : StableHow::FileSync;
+            r.verifier = 0x6e667374;  // constant per server boot
+          }
+          return r;
+        } else if constexpr (std::is_same_v<T, CreateArgs>) {
+          CreateRes r;
+          FsNode node;
+          r.status = fs_.create(a.dir, a.name, a.attrs,
+                                a.mode == CreateMode::Exclusive ||
+                                    a.mode == CreateMode::Guarded,
+                                uid, gid, now, node);
+          if (r.status == NfsStat::Ok) {
+            r.hasFh = true;
+            r.fh = node.fh;
+            r.hasAttrs = true;
+            r.attrs = node.attrs;
+          }
+          r.dirWcc = wccPostOnly(fs_, a.dir);
+          return r;
+        } else if constexpr (std::is_same_v<T, MkdirArgs>) {
+          CreateRes r;
+          FsNode node;
+          r.status = fs_.mkdir(a.dir, a.name, a.attrs, uid, gid, now, node);
+          if (r.status == NfsStat::Ok) {
+            r.hasFh = true;
+            r.fh = node.fh;
+            r.hasAttrs = true;
+            r.attrs = node.attrs;
+          }
+          r.dirWcc = wccPostOnly(fs_, a.dir);
+          return r;
+        } else if constexpr (std::is_same_v<T, SymlinkArgs>) {
+          CreateRes r;
+          FsNode node;
+          r.status =
+              fs_.symlink(a.dir, a.name, a.target, uid, gid, now, node);
+          if (r.status == NfsStat::Ok) {
+            r.hasFh = true;
+            r.fh = node.fh;
+            r.hasAttrs = true;
+            r.attrs = node.attrs;
+          }
+          r.dirWcc = wccPostOnly(fs_, a.dir);
+          return r;
+        } else if constexpr (std::is_same_v<T, MknodArgs>) {
+          CreateRes r;
+          r.status = NfsStat::ErrNotSupp;  // no device nodes in this study
+          r.dirWcc = wccPostOnly(fs_, a.dir);
+          return r;
+        } else if constexpr (std::is_same_v<T, RemoveArgs>) {
+          RemoveRes r;
+          r.status = fs_.remove(a.dir, a.name, now);
+          r.dirWcc = wccPostOnly(fs_, a.dir);
+          return r;
+        } else if constexpr (std::is_same_v<T, RmdirArgs>) {
+          RemoveRes r;
+          r.status = fs_.rmdir(a.dir, a.name, now);
+          r.dirWcc = wccPostOnly(fs_, a.dir);
+          return r;
+        } else if constexpr (std::is_same_v<T, RenameArgs>) {
+          RenameRes r;
+          r.status = fs_.rename(a.fromDir, a.fromName, a.toDir, a.toName, now);
+          r.fromDirWcc = wccPostOnly(fs_, a.fromDir);
+          r.toDirWcc = wccPostOnly(fs_, a.toDir);
+          return r;
+        } else if constexpr (std::is_same_v<T, LinkArgs>) {
+          LinkRes r;
+          r.status = fs_.link(a.fh, a.dir, a.name, now);
+          Fattr attrs;
+          if (fs_.getattr(a.fh, attrs) == NfsStat::Ok) {
+            r.hasAttrs = true;
+            r.attrs = attrs;
+          }
+          r.dirWcc = wccPostOnly(fs_, a.dir);
+          return r;
+        } else if constexpr (std::is_same_v<T, ReaddirArgs>) {
+          ReaddirRes r;
+          std::uint32_t maxEntries = std::max<std::uint32_t>(1, a.count / 32);
+          r.status = fs_.readdir(a.dir, a.cookie, maxEntries, r.entries, r.eof);
+          Fattr attrs;
+          if (fs_.getattr(a.dir, attrs) == NfsStat::Ok) {
+            r.hasDirAttrs = true;
+            r.dirAttrs = attrs;
+          }
+          // Plain READDIR carries no per-entry attrs/handles.
+          for (auto& e : r.entries) {
+            e.hasAttrs = false;
+            e.hasFh = false;
+          }
+          return r;
+        } else if constexpr (std::is_same_v<T, ReaddirplusArgs>) {
+          ReaddirRes r;
+          r.plus = true;
+          std::uint32_t maxEntries = std::max<std::uint32_t>(1, a.maxCount / 128);
+          r.status = fs_.readdir(a.dir, a.cookie, maxEntries, r.entries, r.eof);
+          Fattr attrs;
+          if (fs_.getattr(a.dir, attrs) == NfsStat::Ok) {
+            r.hasDirAttrs = true;
+            r.dirAttrs = attrs;
+          }
+          return r;
+        } else if constexpr (std::is_same_v<T, FsstatArgs>) {
+          FsstatRes r;
+          r.status = fs_.fsstat(r);
+          Fattr attrs;
+          if (fs_.getattr(a.fh, attrs) == NfsStat::Ok) {
+            r.hasAttrs = true;
+            r.attrs = attrs;
+          }
+          return r;
+        } else if constexpr (std::is_same_v<T, FsinfoArgs>) {
+          FsinfoRes r;
+          Fattr attrs;
+          if (fs_.getattr(a.fh, attrs) == NfsStat::Ok) {
+            r.hasAttrs = true;
+            r.attrs = attrs;
+          }
+          return r;
+        } else if constexpr (std::is_same_v<T, PathconfArgs>) {
+          PathconfRes r;
+          Fattr attrs;
+          if (fs_.getattr(a.fh, attrs) == NfsStat::Ok) {
+            r.hasAttrs = true;
+            r.attrs = attrs;
+          }
+          return r;
+        } else if constexpr (std::is_same_v<T, CommitArgs>) {
+          CommitRes r;
+          r.wcc = wccPostOnly(fs_, a.fh);
+          r.status = r.wcc.hasPost ? NfsStat::Ok : NfsStat::ErrStale;
+          r.verifier = 0x6e667374;
+          return r;
+        } else {
+          return NullRes{};
+        }
+      },
+      args);
+}
+
+}  // namespace nfstrace

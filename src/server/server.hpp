@@ -1,0 +1,35 @@
+// Simulated NFS server: executes decoded NFS calls against an InMemoryFs
+// and produces protocol-correct replies (including weak-cache-consistency
+// data), exactly as the traced Network Appliance filer / CAMPUS arrays
+// would appear on the wire.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fs/fs.hpp"
+#include "nfs/messages.hpp"
+
+namespace nfstrace {
+
+class NfsServer {
+ public:
+  explicit NfsServer(InMemoryFs& fs) : fs_(fs) {}
+
+  /// Handle one call.  `uid`/`gid` come from the RPC AUTH_UNIX credential.
+  NfsReplyRes handle(const NfsCallArgs& args, std::uint32_t uid,
+                     std::uint32_t gid, MicroTime now);
+
+  /// Per-operation call counter (server-side accounting).
+  std::uint64_t callCount(NfsOp op) const {
+    return counts_[static_cast<std::size_t>(op)];
+  }
+  std::uint64_t totalCalls() const { return total_; }
+
+ private:
+  InMemoryFs& fs_;
+  std::array<std::uint64_t, kNfsOpCount> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nfstrace

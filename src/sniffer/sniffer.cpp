@@ -1,0 +1,340 @@
+#include "sniffer/sniffer.hpp"
+
+#include "pcap/pcap.hpp"
+
+namespace nfstrace {
+
+Sniffer::Sniffer(Config config, RecordCallback callback)
+    : config_(config), callback_(std::move(callback)) {}
+
+void Sniffer::onFrame(const CapturedPacket& pkt) {
+  ++stats_.framesSeen;
+  auto parsed = parseFrame(pkt.data);
+  if (!parsed) {
+    ++stats_.framesUndecodable;
+    return;
+  }
+
+  expirePending(pkt.ts);
+
+  bool toServer = parsed->dstPort == config_.nfsPort;
+  bool fromServer = parsed->srcPort == config_.nfsPort;
+
+  if (parsed->proto == IpProto::Udp || parsed->isFragment()) {
+    // For fragments the ports are only visible in the first fragment; we
+    // recover direction after reassembly by decoding the RPC header.
+    auto payload = ipReassembler_.feed(*parsed, pkt.ts);
+    stats_.fragmentsExpired = ipReassembler_.expired();
+    if (!payload) return;
+    if (!parsed->isFragment() && !toServer && !fromServer) return;
+    onRpcBytes(pkt.ts, parsed->src, parsed->dst, false, *payload,
+               parsed->isFragment() ? true /* resolved inside */ : toServer);
+    return;
+  }
+
+  // TCP path.
+  if (!toServer && !fromServer) return;
+  FlowKey key{parsed->src, parsed->dst, parsed->srcPort, parsed->dstPort};
+  TcpFlow& flow = tcpFlows_[key];
+  auto bytes = flow.reassembler.feed(parsed->tcpSeq, parsed->payload,
+                                     parsed->tcpSyn);
+  if (bytes.empty()) {
+    // A gap can stall the stream forever if the missing segment was
+    // dropped by the mirror; resynchronize at the newest segment.  The RPC
+    // record-marker scanner below tolerates the resulting garbage.
+    if (flow.reassembler.hasGap() && !parsed->payload.empty()) {
+      flow.reassembler.resyncTo(parsed->tcpSeq);
+      flow.records.reset();
+      bytes = flow.reassembler.feed(parsed->tcpSeq, parsed->payload, false);
+    }
+    if (bytes.empty()) return;
+  }
+  flow.records.feed(bytes);
+  while (auto body = flow.records.next()) {
+    onRpcBytes(pkt.ts, parsed->src, parsed->dst, true, *body, toServer);
+  }
+}
+
+void Sniffer::onRpcBytes(MicroTime ts, IpAddr src, IpAddr dst, bool overTcp,
+                         std::span<const std::uint8_t> body, bool toServer) {
+  (void)toServer;
+  RpcMessage msg;
+  try {
+    msg = decodeRpcMessage(body);
+  } catch (const XdrError&) {
+    ++stats_.framesUndecodable;
+    return;
+  }
+
+  if (msg.type == RpcMsgType::Call) {
+    handleCall(ts, src, dst, overTcp, msg.call, body);
+  } else {
+    // For replies the client is normally the destination, but reassembled
+    // IP fragments lose their transport direction; probe dst then src.
+    if (!pending_.count({dst, msg.reply.xid}) &&
+        pending_.count({src, msg.reply.xid})) {
+      handleReply(ts, src, msg.reply, body);
+    } else {
+      handleReply(ts, dst, msg.reply, body);
+    }
+  }
+}
+
+void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
+                         bool overTcp, const RpcCall& call,
+                         std::span<const std::uint8_t> body) {
+  if (call.prog != kNfsProgram) {
+    // MOUNT/portmap traffic shares the wire; remember the xid so its
+    // reply is not miscounted as an orphan.
+    ++stats_.nonNfsCalls;
+    ignoredXids_.insert({client, call.xid});
+    return;
+  }
+  ++stats_.rpcCalls;
+
+  PendingCall pc;
+  pc.ts = ts;
+  pc.client = client;
+  pc.server = server;
+  pc.vers = call.vers;
+  pc.proc = call.proc;
+  pc.overTcp = overTcp;
+  if (call.cred) {
+    pc.uid = call.cred->uid;
+    pc.gid = call.cred->gid;
+  }
+
+  XdrDecoder dec(body.subspan(call.argsOffset));
+  try {
+    if (call.vers == 3) {
+      pc.args = decodeCall3(static_cast<Proc3>(call.proc), dec);
+    } else if (call.vers == 2) {
+      pc.args = decodeCall2(static_cast<Proc2>(call.proc), dec);
+    } else {
+      return;
+    }
+  } catch (const XdrError&) {
+    ++stats_.framesUndecodable;
+    return;
+  }
+
+  pending_[{client, call.xid}] = std::move(pc);
+}
+
+void Sniffer::handleReply(MicroTime ts, IpAddr client, const RpcReply& reply,
+                          std::span<const std::uint8_t> body) {
+  ++stats_.rpcReplies;
+  auto it = pending_.find({client, reply.xid});
+  if (it == pending_.end()) {
+    if (ignoredXids_.erase({client, reply.xid})) return;  // non-NFS
+    // The reply's call was never seen — this is exactly how capture loss
+    // manifests, and what the paper counted to estimate it.
+    ++stats_.orphanReplies;
+    return;
+  }
+  const PendingCall& pc = it->second;
+
+  TraceRecord rec = recordFromCall(reply.xid, pc);
+  rec.hasReply = true;
+  rec.replyTs = ts;
+
+  if (reply.acceptStat == RpcAcceptStat::Success) {
+    XdrDecoder dec(body.subspan(reply.resultsOffset));
+    try {
+      NfsReplyRes res;
+      if (pc.vers == 3) {
+        res = decodeReply3(static_cast<Proc3>(pc.proc), dec);
+      } else {
+        res = decodeReply2(static_cast<Proc2>(pc.proc), dec);
+      }
+      fillReply(rec, pc, res);
+    } catch (const XdrError&) {
+      rec.status = NfsStat::ErrServerFault;
+    }
+  } else {
+    rec.status = NfsStat::ErrServerFault;
+  }
+
+  pending_.erase(it);
+  callback_(rec);
+}
+
+void Sniffer::expirePending(MicroTime now) {
+  // pending_ is ordered by (client, xid), not time, so scan lazily: this
+  // is called per frame but the map stays small because replies normally
+  // arrive within milliseconds.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.ts > config_.pendingTimeout) {
+      TraceRecord rec = recordFromCall(it->first.second, it->second);
+      ++stats_.expiredCalls;
+      callback_(rec);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Sniffer::flush() {
+  for (auto& [key, pc] : pending_) {
+    TraceRecord rec = recordFromCall(key.second, pc);
+    ++stats_.expiredCalls;
+    callback_(rec);
+  }
+  pending_.clear();
+}
+
+TraceRecord Sniffer::recordFromCall(std::uint32_t xid,
+                                    const PendingCall& pc) const {
+  TraceRecord rec;
+  rec.ts = pc.ts;
+  rec.client = pc.client;
+  rec.server = pc.server;
+  rec.xid = xid;
+  rec.vers = static_cast<std::uint8_t>(pc.vers);
+  rec.overTcp = pc.overTcp;
+  rec.op = pc.vers == 3 ? opFromProc3(static_cast<Proc3>(pc.proc))
+                        : opFromProc2(static_cast<Proc2>(pc.proc));
+  rec.uid = pc.uid;
+  rec.gid = pc.gid;
+
+  std::visit(
+      [&](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, GetattrArgs> ||
+                      std::is_same_v<T, ReadlinkArgs> ||
+                      std::is_same_v<T, FsstatArgs> ||
+                      std::is_same_v<T, FsinfoArgs> ||
+                      std::is_same_v<T, PathconfArgs>) {
+          rec.fh = a.fh;
+        } else if constexpr (std::is_same_v<T, SetattrArgs> ||
+                             std::is_same_v<T, AccessArgs>) {
+          rec.fh = a.fh;
+        } else if constexpr (std::is_same_v<T, LookupArgs> ||
+                             std::is_same_v<T, RemoveArgs> ||
+                             std::is_same_v<T, RmdirArgs>) {
+          rec.fh = a.dir;
+          rec.name = a.name;
+        } else if constexpr (std::is_same_v<T, CreateArgs> ||
+                             std::is_same_v<T, MkdirArgs> ||
+                             std::is_same_v<T, MknodArgs>) {
+          rec.fh = a.dir;
+          rec.name = a.name;
+        } else if constexpr (std::is_same_v<T, SymlinkArgs>) {
+          rec.fh = a.dir;
+          rec.name = a.name;
+          rec.name2 = a.target;
+        } else if constexpr (std::is_same_v<T, ReadArgs>) {
+          rec.fh = a.fh;
+          rec.offset = a.offset;
+          rec.count = a.count;
+        } else if constexpr (std::is_same_v<T, WriteArgs>) {
+          rec.fh = a.fh;
+          rec.offset = a.offset;
+          rec.count = a.count;
+        } else if constexpr (std::is_same_v<T, CommitArgs>) {
+          rec.fh = a.fh;
+          rec.offset = a.offset;
+          rec.count = a.count;
+        } else if constexpr (std::is_same_v<T, RenameArgs>) {
+          rec.fh = a.fromDir;
+          rec.name = a.fromName;
+          rec.fh2 = a.toDir;
+          rec.name2 = a.toName;
+        } else if constexpr (std::is_same_v<T, LinkArgs>) {
+          rec.fh = a.fh;
+          rec.fh2 = a.dir;
+          rec.name = a.name;
+        } else if constexpr (std::is_same_v<T, ReaddirArgs> ||
+                             std::is_same_v<T, ReaddirplusArgs>) {
+          rec.fh = a.dir;
+        }
+      },
+      pc.args);
+  return rec;
+}
+
+void Sniffer::fillReply(TraceRecord& rec, const PendingCall& pc,
+                        const NfsReplyRes& res) const {
+  (void)pc;
+  rec.status = statusOf(res);
+
+  auto takeAttrs = [&](const Fattr& a) {
+    rec.hasAttrs = true;
+    rec.ftype = a.type;
+    rec.fileSize = a.size;
+    rec.fileMtime = a.mtime.toMicro();
+    rec.fileId = a.fileid;
+  };
+
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, GetattrRes>) {
+          if (r.status == NfsStat::Ok) takeAttrs(r.attrs);
+        } else if constexpr (std::is_same_v<T, SetattrRes>) {
+          if (r.wcc.hasPost) takeAttrs(r.wcc.post);
+          if (r.wcc.hasPre) {
+            rec.hasPre = true;
+            rec.preSize = r.wcc.pre.size;
+            rec.preMtime = r.wcc.pre.mtime.toMicro();
+          }
+        } else if constexpr (std::is_same_v<T, LookupRes>) {
+          if (r.status == NfsStat::Ok) {
+            rec.resFh = r.fh;
+            rec.hasResFh = true;
+            if (r.hasObjAttrs) takeAttrs(r.objAttrs);
+          }
+        } else if constexpr (std::is_same_v<T, AccessRes> ||
+                             std::is_same_v<T, ReadlinkRes>) {
+          if (r.hasAttrs) takeAttrs(r.attrs);
+        } else if constexpr (std::is_same_v<T, ReadRes>) {
+          if (r.hasAttrs) takeAttrs(r.attrs);
+          rec.retCount = r.count;
+          rec.eof = r.eof;
+          // v2 replies carry no EOF flag; infer it from the returned
+          // attributes, which v2 always includes on success.
+          if (rec.vers == 2 && r.hasAttrs) {
+            rec.eof = rec.offset + r.count >= r.attrs.size;
+          }
+        } else if constexpr (std::is_same_v<T, WriteRes>) {
+          if (r.wcc.hasPost) takeAttrs(r.wcc.post);
+          if (r.wcc.hasPre) {
+            rec.hasPre = true;
+            rec.preSize = r.wcc.pre.size;
+            rec.preMtime = r.wcc.pre.mtime.toMicro();
+          }
+          rec.retCount = r.count ? r.count : rec.count;
+        } else if constexpr (std::is_same_v<T, CreateRes>) {
+          if (r.hasFh) {
+            rec.resFh = r.fh;
+            rec.hasResFh = true;
+          }
+          if (r.hasAttrs) takeAttrs(r.attrs);
+        } else if constexpr (std::is_same_v<T, LinkRes>) {
+          if (r.hasAttrs) takeAttrs(r.attrs);
+        } else if constexpr (std::is_same_v<T, ReaddirRes>) {
+          if (r.hasDirAttrs) takeAttrs(r.dirAttrs);
+        } else if constexpr (std::is_same_v<T, FsstatRes> ||
+                             std::is_same_v<T, FsinfoRes> ||
+                             std::is_same_v<T, PathconfRes>) {
+          if (r.hasAttrs) takeAttrs(r.attrs);
+        } else if constexpr (std::is_same_v<T, CommitRes>) {
+          if (r.wcc.hasPost) takeAttrs(r.wcc.post);
+        }
+      },
+      res);
+}
+
+std::vector<TraceRecord> sniffPcap(const std::string& pcapPath,
+                                   Sniffer::Stats* statsOut) {
+  std::vector<TraceRecord> out;
+  Sniffer sniffer({}, [&](const TraceRecord& rec) { out.push_back(rec); });
+  PcapReader reader(pcapPath);
+  while (auto pkt = reader.next()) sniffer.onFrame(*pkt);
+  sniffer.flush();
+  if (statsOut) *statsOut = sniffer.stats();
+  return out;
+}
+
+}  // namespace nfstrace

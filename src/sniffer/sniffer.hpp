@@ -1,0 +1,106 @@
+// The passive NFS tracer (the paper's modified-tcpdump equivalent).
+//
+// Consumes raw captured frames, reassembles IP fragments and TCP streams,
+// decodes ONC RPC and NFSv2/v3, pairs calls with replies by XID, and emits
+// one TraceRecord per call.  Losing a call makes its reply undecodable
+// (§4.1.4) — the sniffer counts those orphan replies, which is how the
+// paper estimated its capture loss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "netcap/netcap.hpp"
+#include "nfs/messages.hpp"
+#include "rpc/rpc.hpp"
+#include "trace/record.hpp"
+
+namespace nfstrace {
+
+class Sniffer : public FrameSink {
+ public:
+  struct Config {
+    std::uint16_t nfsPort = 2049;
+    /// A call with no reply after this long is emitted reply-less.
+    MicroTime pendingTimeout = 60 * kMicrosPerSecond;
+  };
+
+  struct Stats {
+    std::uint64_t framesSeen = 0;
+    std::uint64_t framesUndecodable = 0;
+    std::uint64_t rpcCalls = 0;
+    std::uint64_t rpcReplies = 0;
+    std::uint64_t nonNfsCalls = 0;   // MOUNT, portmap, ... (not traced)
+    std::uint64_t orphanReplies = 0;   // reply whose call was lost
+    std::uint64_t expiredCalls = 0;    // call whose reply was lost
+    std::uint64_t fragmentsExpired = 0;
+  };
+
+  using RecordCallback = std::function<void(const TraceRecord&)>;
+
+  Sniffer(Config config, RecordCallback callback);
+
+  void onFrame(const CapturedPacket& pkt) override;
+
+  /// Emit all still-pending calls as reply-less records (end of capture).
+  void flush();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct FlowKey {
+    IpAddr src, dst;
+    std::uint16_t srcPort, dstPort;
+    bool operator<(const FlowKey& o) const {
+      return std::tie(src, dst, srcPort, dstPort) <
+             std::tie(o.src, o.dst, o.srcPort, o.dstPort);
+    }
+  };
+  struct TcpFlow {
+    TcpReassembler reassembler;
+    RecordMarkReader records;
+  };
+  struct PendingCall {
+    MicroTime ts = 0;
+    IpAddr client = 0;
+    IpAddr server = 0;
+    std::uint32_t vers = 3;
+    std::uint32_t proc = 0;
+    bool overTcp = false;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    NfsCallArgs args;
+  };
+
+  void onRpcBytes(MicroTime ts, IpAddr src, IpAddr dst, bool overTcp,
+                  std::span<const std::uint8_t> body, bool toServer);
+  void handleCall(MicroTime ts, IpAddr client, IpAddr server, bool overTcp,
+                  const RpcCall& call, std::span<const std::uint8_t> body);
+  void handleReply(MicroTime ts, IpAddr client, const RpcReply& reply,
+                   std::span<const std::uint8_t> body);
+  void expirePending(MicroTime now);
+  TraceRecord recordFromCall(std::uint32_t xid, const PendingCall& pc) const;
+  void fillReply(TraceRecord& rec, const PendingCall& pc,
+                 const NfsReplyRes& res) const;
+
+  Config config_;
+  RecordCallback callback_;
+  Stats stats_;
+  IpReassembler ipReassembler_;
+  std::map<FlowKey, TcpFlow> tcpFlows_;
+  /// Pending calls keyed by (client ip, xid).
+  std::map<std::pair<IpAddr, std::uint32_t>, PendingCall> pending_;
+  /// Calls for other RPC programs whose replies we must skip silently.
+  std::set<std::pair<IpAddr, std::uint32_t>> ignoredXids_;
+};
+
+/// Convenience front-end: run the sniffer over a pcap file, returning the
+/// extracted trace (the `nfsdump`-style conversion tool).
+std::vector<TraceRecord> sniffPcap(const std::string& pcapPath,
+                                   Sniffer::Stats* statsOut = nullptr);
+
+}  // namespace nfstrace

@@ -1,0 +1,403 @@
+#include "trace/tracefile.hpp"
+
+#include <cinttypes>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace nfstrace {
+namespace {
+
+std::string encodeField(const std::string& s) {
+  // Percent-encode the characters that would break the line format.
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c <= ' ' || c == '%' || c == '=' || c == 0x7f) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", c);
+      out += buf;
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+std::string decodeField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+std::string timeField(MicroTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64,
+                t / kMicrosPerSecond, t % kMicrosPerSecond);
+  return buf;
+}
+
+MicroTime parseTimeField(std::string_view v) {
+  auto dot = v.find('.');
+  std::int64_t sec = 0, usec = 0;
+  sec = std::strtoll(std::string(v.substr(0, dot)).c_str(), nullptr, 10);
+  if (dot != std::string_view::npos) {
+    std::string frac(v.substr(dot + 1));
+    frac.resize(6, '0');
+    usec = std::strtoll(frac.c_str(), nullptr, 10);
+  }
+  return sec * kMicrosPerSecond + usec;
+}
+
+}  // namespace
+
+std::string formatRecord(const TraceRecord& rec) {
+  std::ostringstream o;
+  o << "t=" << timeField(rec.ts);
+  if (rec.hasReply) o << " r=" << timeField(rec.replyTs);
+  o << " c=" << ipToString(rec.client) << " s=" << ipToString(rec.server);
+  char xidBuf[12];
+  std::snprintf(xidBuf, sizeof(xidBuf), "%08x", rec.xid);
+  o << " xid=" << xidBuf << " v=" << static_cast<int>(rec.vers)
+    << " p=" << (rec.overTcp ? "tcp" : "udp") << " op=" << nfsOpName(rec.op)
+    << " uid=" << rec.uid << " gid=" << rec.gid;
+  if (rec.fh.len) o << " fh=" << rec.fh.toHex();
+  if (!rec.name.empty()) o << " nm=" << encodeField(rec.name);
+  if (!rec.name2.empty()) o << " nm2=" << encodeField(rec.name2);
+  if (rec.fh2.len) o << " fh2=" << rec.fh2.toHex();
+  if (rec.op == NfsOp::Read || rec.op == NfsOp::Write ||
+      rec.op == NfsOp::Commit) {
+    o << " off=" << rec.offset << " cnt=" << rec.count;
+  }
+  if (rec.hasReply) {
+    o << " st=" << nfsStatName(rec.status);
+    if (rec.op == NfsOp::Read || rec.op == NfsOp::Write) {
+      o << " ret=" << rec.retCount;
+    }
+    if (rec.op == NfsOp::Read) o << " eof=" << (rec.eof ? 1 : 0);
+    if (rec.hasResFh) o << " rfh=" << rec.resFh.toHex();
+    if (rec.hasAttrs) {
+      o << " ft=" << static_cast<std::uint32_t>(rec.ftype)
+        << " sz=" << rec.fileSize << " mt=" << timeField(rec.fileMtime)
+        << " fid=" << rec.fileId;
+    }
+    if (rec.hasPre) {
+      o << " psz=" << rec.preSize << " pmt=" << timeField(rec.preMtime);
+    }
+  }
+  return o.str();
+}
+
+std::optional<TraceRecord> parseRecord(const std::string& line) {
+  if (line.empty() || line[0] == '#') return std::nullopt;
+  TraceRecord rec;
+  bool sawTime = false;
+  for (const auto& tok : split(line, ' ')) {
+    if (tok.empty()) continue;
+    auto eq = tok.find('=');
+    if (eq == std::string::npos) continue;
+    std::string_view key(tok.data(), eq);
+    std::string_view val(tok.data() + eq + 1, tok.size() - eq - 1);
+    if (key == "t") {
+      rec.ts = parseTimeField(val);
+      sawTime = true;
+    } else if (key == "r") {
+      rec.replyTs = parseTimeField(val);
+      rec.hasReply = true;
+    } else if (key == "c") {
+      auto ip = ipFromString(val);
+      if (!ip) throw std::runtime_error("trace: bad client ip");
+      rec.client = *ip;
+    } else if (key == "s") {
+      auto ip = ipFromString(val);
+      if (!ip) throw std::runtime_error("trace: bad server ip");
+      rec.server = *ip;
+    } else if (key == "xid") {
+      rec.xid = static_cast<std::uint32_t>(
+          std::strtoul(std::string(val).c_str(), nullptr, 16));
+    } else if (key == "v") {
+      rec.vers = static_cast<std::uint8_t>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+    } else if (key == "p") {
+      rec.overTcp = val == "tcp";
+    } else if (key == "op") {
+      rec.op = nfsOpFromName(val);
+    } else if (key == "uid") {
+      rec.uid = static_cast<std::uint32_t>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+    } else if (key == "gid") {
+      rec.gid = static_cast<std::uint32_t>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+    } else if (key == "fh") {
+      rec.fh = FileHandle::fromHex(val);
+    } else if (key == "nm") {
+      rec.name = decodeField(val);
+    } else if (key == "nm2") {
+      rec.name2 = decodeField(val);
+    } else if (key == "fh2") {
+      rec.fh2 = FileHandle::fromHex(val);
+    } else if (key == "off") {
+      rec.offset = std::strtoull(std::string(val).c_str(), nullptr, 10);
+    } else if (key == "cnt") {
+      rec.count = static_cast<std::uint32_t>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+    } else if (key == "st") {
+      // Match by name; unknown statuses parse as ServerFault.
+      rec.status = NfsStat::ErrServerFault;
+      for (auto cand : {NfsStat::Ok, NfsStat::ErrPerm, NfsStat::ErrNoEnt,
+                        NfsStat::ErrIo, NfsStat::ErrAcces, NfsStat::ErrExist,
+                        NfsStat::ErrNotDir, NfsStat::ErrIsDir,
+                        NfsStat::ErrInval, NfsStat::ErrFBig, NfsStat::ErrNoSpc,
+                        NfsStat::ErrRoFs, NfsStat::ErrNameTooLong,
+                        NfsStat::ErrNotEmpty, NfsStat::ErrDQuot,
+                        NfsStat::ErrStale, NfsStat::ErrNotSupp}) {
+        if (val == nfsStatName(cand)) {
+          rec.status = cand;
+          break;
+        }
+      }
+    } else if (key == "ret") {
+      rec.retCount = static_cast<std::uint32_t>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+    } else if (key == "eof") {
+      rec.eof = val == "1";
+    } else if (key == "rfh") {
+      rec.resFh = FileHandle::fromHex(val);
+      rec.hasResFh = true;
+    } else if (key == "ft") {
+      rec.ftype = static_cast<FileType>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+      rec.hasAttrs = true;
+    } else if (key == "sz") {
+      rec.fileSize = std::strtoull(std::string(val).c_str(), nullptr, 10);
+      rec.hasAttrs = true;
+    } else if (key == "mt") {
+      rec.fileMtime = parseTimeField(val);
+      rec.hasAttrs = true;
+    } else if (key == "fid") {
+      rec.fileId = std::strtoull(std::string(val).c_str(), nullptr, 10);
+    } else if (key == "psz") {
+      rec.preSize = std::strtoull(std::string(val).c_str(), nullptr, 10);
+      rec.hasPre = true;
+    } else if (key == "pmt") {
+      rec.preMtime = parseTimeField(val);
+      rec.hasPre = true;
+    }
+    // Unknown keys are intentionally ignored.
+  }
+  if (!sawTime) throw std::runtime_error("trace: record missing timestamp");
+  return rec;
+}
+
+// ------------------------------------------------------------ binary format
+
+namespace {
+
+constexpr char kBinMagic[6] = {'N', 'F', 'S', 'T', '1', '\n'};
+
+void putU(std::string& b, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) b.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint64_t getU(const std::uint8_t* p, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = bytes - 1; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::string packBinary(const TraceRecord& r) {
+  std::string b;
+  putU(b, static_cast<std::uint64_t>(r.ts), 8);
+  putU(b, static_cast<std::uint64_t>(r.replyTs), 8);
+  putU(b, r.client, 4);
+  putU(b, r.server, 4);
+  putU(b, r.xid, 4);
+  std::uint8_t flags = (r.hasReply ? 1 : 0) | (r.overTcp ? 2 : 0) |
+                       (r.eof ? 4 : 0) | (r.hasResFh ? 8 : 0) |
+                       (r.hasAttrs ? 16 : 0) | (r.hasPre ? 32 : 0);
+  putU(b, flags, 1);
+  putU(b, r.vers, 1);
+  putU(b, static_cast<std::uint8_t>(r.op), 1);
+  putU(b, r.uid, 4);
+  putU(b, r.gid, 4);
+  putU(b, r.fh.len, 1);
+  b.append(reinterpret_cast<const char*>(r.fh.data.data()), r.fh.len);
+  putU(b, r.fh2.len, 1);
+  b.append(reinterpret_cast<const char*>(r.fh2.data.data()), r.fh2.len);
+  putU(b, r.resFh.len, 1);
+  b.append(reinterpret_cast<const char*>(r.resFh.data.data()), r.resFh.len);
+  putU(b, r.name.size(), 2);
+  b += r.name;
+  putU(b, r.name2.size(), 2);
+  b += r.name2;
+  putU(b, r.offset, 8);
+  putU(b, r.count, 4);
+  putU(b, static_cast<std::uint32_t>(r.status), 4);
+  putU(b, r.retCount, 4);
+  putU(b, static_cast<std::uint32_t>(r.ftype), 1);
+  putU(b, r.fileSize, 8);
+  putU(b, static_cast<std::uint64_t>(r.fileMtime), 8);
+  putU(b, r.fileId, 8);
+  putU(b, r.preSize, 8);
+  putU(b, static_cast<std::uint64_t>(r.preMtime), 8);
+  std::string out;
+  putU(out, b.size(), 4);
+  out += b;
+  return out;
+}
+
+std::optional<TraceRecord> unpackBinary(std::FILE* f) {
+  std::uint8_t lenBuf[4];
+  std::size_t got = std::fread(lenBuf, 1, 4, f);
+  if (got == 0) return std::nullopt;
+  if (got != 4) throw std::runtime_error("trace: truncated binary record");
+  std::size_t len = static_cast<std::size_t>(getU(lenBuf, 4));
+  if (len > 1 << 20) throw std::runtime_error("trace: absurd binary record");
+  std::vector<std::uint8_t> buf(len);
+  if (std::fread(buf.data(), 1, len, f) != len) {
+    throw std::runtime_error("trace: truncated binary record body");
+  }
+  const std::uint8_t* p = buf.data();
+  const std::uint8_t* end = buf.data() + buf.size();
+  auto need = [&](std::size_t n) {
+    if (static_cast<std::size_t>(end - p) < n) {
+      throw std::runtime_error("trace: binary record underrun");
+    }
+  };
+  TraceRecord r;
+  need(8 + 8 + 4 + 4 + 4 + 1 + 1 + 1 + 4 + 4);
+  r.ts = static_cast<MicroTime>(getU(p, 8)); p += 8;
+  r.replyTs = static_cast<MicroTime>(getU(p, 8)); p += 8;
+  r.client = static_cast<IpAddr>(getU(p, 4)); p += 4;
+  r.server = static_cast<IpAddr>(getU(p, 4)); p += 4;
+  r.xid = static_cast<std::uint32_t>(getU(p, 4)); p += 4;
+  std::uint8_t flags = *p++;
+  r.hasReply = flags & 1;
+  r.overTcp = flags & 2;
+  r.eof = flags & 4;
+  r.hasResFh = flags & 8;
+  r.hasAttrs = flags & 16;
+  r.hasPre = flags & 32;
+  r.vers = *p++;
+  r.op = static_cast<NfsOp>(*p++);
+  r.uid = static_cast<std::uint32_t>(getU(p, 4)); p += 4;
+  r.gid = static_cast<std::uint32_t>(getU(p, 4)); p += 4;
+  auto readFh = [&](FileHandle& fh) {
+    need(1);
+    std::uint8_t n = *p++;
+    need(n);
+    fh = FileHandle::fromBytes({p, n});
+    p += n;
+  };
+  readFh(r.fh);
+  readFh(r.fh2);
+  readFh(r.resFh);
+  auto readStr = [&](std::string& s) {
+    need(2);
+    std::size_t n = static_cast<std::size_t>(getU(p, 2));
+    p += 2;
+    need(n);
+    s.assign(reinterpret_cast<const char*>(p), n);
+    p += n;
+  };
+  readStr(r.name);
+  readStr(r.name2);
+  need(8 + 4 + 4 + 4 + 1 + 8 + 8 + 8 + 8 + 8);
+  r.offset = getU(p, 8); p += 8;
+  r.count = static_cast<std::uint32_t>(getU(p, 4)); p += 4;
+  r.status = static_cast<NfsStat>(getU(p, 4)); p += 4;
+  r.retCount = static_cast<std::uint32_t>(getU(p, 4)); p += 4;
+  r.ftype = static_cast<FileType>(*p++);
+  r.fileSize = getU(p, 8); p += 8;
+  r.fileMtime = static_cast<MicroTime>(getU(p, 8)); p += 8;
+  r.fileId = getU(p, 8); p += 8;
+  r.preSize = getU(p, 8); p += 8;
+  r.preMtime = static_cast<MicroTime>(getU(p, 8)); p += 8;
+  return r;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, Format format)
+    : format_(format) {
+  f_ = std::fopen(path.c_str(), "wb");
+  if (!f_) throw std::runtime_error("trace: cannot open for write: " + path);
+  if (format_ == Format::Binary) {
+    std::fwrite(kBinMagic, 1, sizeof(kBinMagic), f_);
+  }
+}
+
+TraceWriter::~TraceWriter() {
+  if (f_) std::fclose(f_);
+}
+
+void TraceWriter::write(const TraceRecord& rec) {
+  if (format_ == Format::Text) {
+    std::string line = formatRecord(rec);
+    line.push_back('\n');
+    if (std::fwrite(line.data(), 1, line.size(), f_) != line.size()) {
+      throw std::runtime_error("trace: write failed");
+    }
+  } else {
+    std::string packed = packBinary(rec);
+    if (std::fwrite(packed.data(), 1, packed.size(), f_) != packed.size()) {
+      throw std::runtime_error("trace: write failed");
+    }
+  }
+  ++count_;
+}
+
+TraceReader::TraceReader(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "rb");
+  if (!f_) throw std::runtime_error("trace: cannot open for read: " + path);
+  char magic[sizeof(kBinMagic)];
+  std::size_t got = std::fread(magic, 1, sizeof(magic), f_);
+  if (got == sizeof(magic) && std::memcmp(magic, kBinMagic, sizeof(magic)) == 0) {
+    binary_ = true;
+  } else {
+    std::rewind(f_);
+  }
+}
+
+TraceReader::~TraceReader() {
+  if (f_) std::fclose(f_);
+}
+
+std::optional<TraceRecord> TraceReader::next() {
+  if (binary_) return unpackBinary(f_);
+  std::string line;
+  int c;
+  while ((c = std::fgetc(f_)) != EOF) {
+    if (c == '\n') {
+      auto rec = parseRecord(line);
+      if (rec) return rec;
+      line.clear();
+      continue;
+    }
+    line.push_back(static_cast<char>(c));
+  }
+  if (!line.empty()) return parseRecord(line);
+  return std::nullopt;
+}
+
+std::vector<TraceRecord> TraceReader::readAll(const std::string& path) {
+  TraceReader reader(path);
+  std::vector<TraceRecord> out;
+  while (auto rec = reader.next()) out.push_back(std::move(*rec));
+  return out;
+}
+
+}  // namespace nfstrace

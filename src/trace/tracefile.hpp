@@ -1,0 +1,63 @@
+// Trace file I/O.
+//
+// Text format: one record per line of space-separated key=value pairs,
+// nfsdump-style, human-greppable:
+//
+//   t=0.013202 r=0.013514 c=10.1.0.5 s=10.0.0.1 xid=1a2b v=3 p=udp op=read
+//   fh=0001...:  off=0 cnt=8192 st=OK ret=8192 eof=1 sz=123456 mt=999.0
+//
+// Unknown keys are skipped on read, so the format can grow.  A compact
+// binary format (magic "NFST") is also provided for large traces.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace nfstrace {
+
+/// Render one record as a text line (no trailing newline).
+std::string formatRecord(const TraceRecord& rec);
+/// Parse a text line; nullopt for blank/comment lines; throws
+/// std::runtime_error on malformed records.
+std::optional<TraceRecord> parseRecord(const std::string& line);
+
+class TraceWriter {
+ public:
+  enum class Format { Text, Binary };
+
+  TraceWriter(const std::string& path, Format format = Format::Text);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const TraceRecord& rec);
+  std::uint64_t recordsWritten() const { return count_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  Format format_;
+  std::uint64_t count_ = 0;
+};
+
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+  ~TraceReader();
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  std::optional<TraceRecord> next();
+
+  /// Convenience: read a whole trace file into memory.
+  static std::vector<TraceRecord> readAll(const std::string& path);
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool binary_ = false;
+};
+
+}  // namespace nfstrace

@@ -1,0 +1,49 @@
+// Minimal key = value configuration files for the tools.
+//
+// The paper stresses that its tracer is "easy to configure [and] runs
+// unattended"; this is the configuration substrate: '#' comments, blank
+// lines ignored, repeated keys collect into lists, whitespace trimmed.
+//
+//   # anonymizer policy
+//   keep_name = CVS
+//   keep_name = .inbox
+//   keep_suffix = .lock
+//   seed = 12345
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nfstrace {
+
+class ConfigFile {
+ public:
+  /// Parse from a file.  Throws std::runtime_error on I/O failure or a
+  /// malformed line (anything non-blank without '=').
+  static ConfigFile load(const std::string& path);
+  /// Parse from a string (for tests and embedded defaults).
+  static ConfigFile parse(const std::string& text);
+
+  bool has(const std::string& key) const;
+  /// Last value wins for scalars; nullopt if absent.
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  /// All values for a repeated key, in file order.
+  std::vector<std::string> getAll(const std::string& key) const;
+
+  /// Typed accessors; throw std::runtime_error on unparseable values.
+  std::int64_t getInt(const std::string& key, std::int64_t fallback) const;
+  double getDouble(const std::string& key, double fallback) const;
+  bool getBool(const std::string& key, bool fallback) const;
+
+  /// Keys present in the file (sorted, unique).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+};
+
+}  // namespace nfstrace

@@ -1,0 +1,91 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace nfstrace {
+
+LogHistogram::LogHistogram(double base, double ratio, std::size_t buckets)
+    : base_(base), logRatio_(std::log(ratio)), counts_(buckets, 0.0) {}
+
+std::size_t LogHistogram::bucketFor(double value) const {
+  if (value < base_) return counts_.size();  // signals underflow
+  auto i = static_cast<std::size_t>(std::log(value / base_) / logRatio_);
+  return std::min(i, counts_.size() - 1);
+}
+
+void LogHistogram::add(double value, double weight) {
+  total_ += weight;
+  std::size_t i = bucketFor(value);
+  if (i >= counts_.size()) {
+    underflow_ += weight;
+  } else {
+    counts_[i] += weight;
+  }
+}
+
+double LogHistogram::bucketLow(std::size_t i) const {
+  return base_ * std::exp(logRatio_ * static_cast<double>(i));
+}
+
+double LogHistogram::cumulativeAt(double x) const {
+  if (total_ <= 0.0) return 0.0;
+  double acc = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bucketHigh(i) <= x) {
+      acc += counts_[i];
+    } else if (bucketLow(i) < x) {
+      // Partial bucket: interpolate linearly in log-space position.
+      double frac = (std::log(x) - std::log(bucketLow(i))) / logRatio_;
+      acc += counts_[i] * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return acc / total_;
+}
+
+double LogHistogram::quantile(double fraction) const {
+  if (total_ <= 0.0) return 0.0;
+  double target = fraction * total_;
+  double acc = underflow_;
+  if (acc >= target) return base_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (acc + counts_[i] >= target && counts_[i] > 0.0) {
+      double frac = (target - acc) / counts_[i];
+      return bucketLow(i) * std::exp(logRatio_ * frac);
+    }
+    acc += counts_[i];
+  }
+  return bucketHigh(counts_.size() - 1);
+}
+
+void EmpiricalCdf::ensureSorted() {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::fractionAtOrBelow(double x) {
+  if (values_.empty()) return 0.0;
+  ensureSorted();
+  auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double EmpiricalCdf::quantile(double q) {
+  if (values_.empty()) return 0.0;
+  ensureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  auto idx = static_cast<std::size_t>(q * static_cast<double>(values_.size() - 1));
+  return values_[idx];
+}
+
+double EmpiricalCdf::mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+}  // namespace nfstrace

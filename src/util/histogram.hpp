@@ -1,0 +1,65 @@
+// Histograms and empirical CDFs used throughout the analysis suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nfstrace {
+
+/// Log-spaced histogram over positive values; bucket i covers
+/// [base * ratio^i, base * ratio^(i+1)).  Used for block lifetimes and
+/// run-size distributions (which span microseconds to days and bytes to
+/// hundreds of megabytes).
+class LogHistogram {
+ public:
+  /// base: lower edge of bucket 0; ratio: geometric bucket growth (> 1).
+  LogHistogram(double base, double ratio, std::size_t buckets);
+
+  void add(double value, double weight = 1.0);
+
+  double totalWeight() const { return total_; }
+  std::size_t bucketCount() const { return counts_.size(); }
+  double bucketLow(std::size_t i) const;
+  double bucketHigh(std::size_t i) const { return bucketLow(i + 1); }
+  double bucketWeight(std::size_t i) const { return counts_[i]; }
+
+  /// Cumulative fraction of weight at values <= x (interpreted at bucket
+  /// upper edges; monotone in x).
+  double cumulativeAt(double x) const;
+
+  /// Value below which `fraction` of the weight lies (inverse CDF,
+  /// linearly interpolated within a bucket).
+  double quantile(double fraction) const;
+
+ private:
+  std::size_t bucketFor(double value) const;
+
+  double base_;
+  double logRatio_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Exact empirical distribution; stores all samples.  Fine for per-day
+/// simulation volumes; gives exact quantiles for the figures.
+class EmpiricalCdf {
+ public:
+  void add(double v) { values_.push_back(v); sorted_ = false; }
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Fraction of samples <= x.
+  double fractionAtOrBelow(double x);
+  /// q-quantile, q in [0, 1].
+  double quantile(double q);
+  double mean() const;
+
+ private:
+  void ensureSorted();
+  std::vector<double> values_;
+  bool sorted_ = true;
+};
+
+}  // namespace nfstrace

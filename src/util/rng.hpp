@@ -1,0 +1,87 @@
+// Deterministic pseudo-random source for the simulators.
+//
+// Everything in this repository that needs randomness draws from Rng so that
+// runs are reproducible given a seed.  The generator is xoshiro256++ (public
+// domain construction by Blackman & Vigna); the distribution helpers cover
+// what the workload models need: uniform, exponential inter-arrivals,
+// Poisson counts, lognormal file sizes, Zipf user popularity and normals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nfstrace {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  /// True with probability p.
+  bool chance(double p);
+
+  /// Exponential with the given mean (inter-arrival times).
+  double exponential(double mean);
+  /// Poisson-distributed count with the given mean.
+  std::uint64_t poisson(double mean);
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  /// Pareto with scale xm and shape alpha (heavy-tailed sizes).
+  double pareto(double xm, double alpha);
+
+  /// Derive an independent generator (for per-entity streams).
+  Rng fork();
+
+  /// Shuffle a vector in place (Fisher-Yates).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf sampler over ranks 1..n with exponent s, using the rejection-
+/// inversion method of Hörmann & Derflinger; O(1) per sample after O(1)
+/// setup, exact for all n.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// A rank in [1, n]; rank 1 is the most popular.
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double h(double x) const;
+  double hInv(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double hX1_;
+  double hN_;
+  double base_;
+};
+
+}  // namespace nfstrace

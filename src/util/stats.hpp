@@ -1,0 +1,45 @@
+// Streaming moment accumulator (Welford) for the hourly-variance tables.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace nfstrace {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Standard deviation as a percentage of the mean — the parenthesized
+  /// numbers in the paper's Table 5.
+  double stddevPercentOfMean() const {
+    return mean() != 0.0 ? 100.0 * stddev() / mean() : 0.0;
+  }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace nfstrace

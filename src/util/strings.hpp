@@ -1,0 +1,29 @@
+// Small string helpers shared by the anonymizer, trace codec, and name
+// classifier.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nfstrace {
+
+/// Split on a delimiter; empty fields are preserved ("a//b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join with a delimiter.
+std::string join(const std::vector<std::string>& parts, char delim);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/// The extension-like suffix of a filename: everything from the last '.'
+/// (inclusive) if one exists past position 0; otherwise empty.  Matches the
+/// anonymizer's rule that "all files that share the same suffix will have
+/// anonymized names that end in the anonymized form of that suffix".
+std::string_view filenameSuffix(std::string_view name);
+
+/// Lowercase ASCII copy.
+std::string toLower(std::string_view s);
+
+}  // namespace nfstrace

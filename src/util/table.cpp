@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace nfstrace {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::addRule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto renderRule = [&](std::ostringstream& out) {
+    out << '+';
+    for (auto w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  auto renderCells = [&](std::ostringstream& out,
+                         const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      out << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ') << '|';
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  renderRule(out);
+  renderCells(out, header_);
+  renderRule(out);
+  for (const auto& row : rows_) {
+    if (row.rule_before) renderRule(out);
+    renderCells(out, row.cells);
+  }
+  renderRule(out);
+  return out.str();
+}
+
+std::string TextTable::fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, 100.0 * fraction);
+  return buf;
+}
+
+std::string TextTable::withCommas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace nfstrace

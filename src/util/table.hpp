@@ -1,0 +1,36 @@
+// Plain-text table rendering for the bench binaries, which reprint the
+// paper's tables from regenerated data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nfstrace {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void addRule();
+
+  std::string render() const;
+
+  /// Number formatting helpers shared by the benches.
+  static std::string fixed(double v, int decimals);
+  static std::string percent(double fraction, int decimals = 1);
+  static std::string withCommas(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace nfstrace

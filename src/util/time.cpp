@@ -1,0 +1,25 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace nfstrace {
+
+const char* weekdayName(int dow) {
+  static const char* kNames[7] = {"Sun", "Mon", "Tue", "Wed",
+                                  "Thu", "Fri", "Sat"};
+  return kNames[((dow % 7) + 7) % 7];
+}
+
+std::string formatTime(MicroTime t) {
+  MicroTime inDay = ((t % kMicrosPerDay) + kMicrosPerDay) % kMicrosPerDay;
+  int h = static_cast<int>(inDay / kMicrosPerHour);
+  int m = static_cast<int>((inDay / kMicrosPerMinute) % 60);
+  int s = static_cast<int>((inDay / kMicrosPerSecond) % 60);
+  int us = static_cast<int>(inDay % kMicrosPerSecond);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s %02d:%02d:%02d.%06d",
+                weekdayName(dayOfWeek(t)), h, m, s, us);
+  return buf;
+}
+
+}  // namespace nfstrace

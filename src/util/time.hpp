@@ -1,0 +1,68 @@
+// Simulation time: microseconds since an arbitrary epoch.
+//
+// The traces in the paper cover the week of Sunday 2001-10-21 through
+// Saturday 2001-10-27.  We anchor the simulation epoch at local midnight at
+// the start of that Sunday so that day-of-week / hour-of-day arithmetic is
+// trivial and matches the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nfstrace {
+
+/// Microseconds since the simulation epoch (midnight, Sunday 2001-10-21).
+using MicroTime = std::int64_t;
+
+inline constexpr MicroTime kMicrosPerSecond = 1'000'000;
+inline constexpr MicroTime kMicrosPerMinute = 60 * kMicrosPerSecond;
+inline constexpr MicroTime kMicrosPerHour = 60 * kMicrosPerMinute;
+inline constexpr MicroTime kMicrosPerDay = 24 * kMicrosPerHour;
+inline constexpr MicroTime kMicrosPerWeek = 7 * kMicrosPerDay;
+
+constexpr MicroTime seconds(double s) {
+  return static_cast<MicroTime>(s * static_cast<double>(kMicrosPerSecond));
+}
+constexpr MicroTime minutes(double m) { return seconds(m * 60.0); }
+constexpr MicroTime hours(double h) { return minutes(h * 60.0); }
+constexpr MicroTime days(double d) { return hours(d * 24.0); }
+
+constexpr double toSeconds(MicroTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerSecond);
+}
+
+/// Day of week for a timestamp: 0 = Sunday ... 6 = Saturday.
+constexpr int dayOfWeek(MicroTime t) {
+  auto d = (t / kMicrosPerDay) % 7;
+  if (d < 0) d += 7;
+  return static_cast<int>(d);
+}
+
+/// Hour of day, 0..23.
+constexpr int hourOfDay(MicroTime t) {
+  auto h = (t / kMicrosPerHour) % 24;
+  if (h < 0) h += 24;
+  return static_cast<int>(h);
+}
+
+/// Hour index within the week, 0..167 (0 = Sunday midnight-1am).
+constexpr int hourOfWeek(MicroTime t) {
+  auto h = (t / kMicrosPerHour) % 168;
+  if (h < 0) h += 168;
+  return static_cast<int>(h);
+}
+
+/// Peak hours per the paper: 9am-6pm, Monday through Friday.
+constexpr bool isPeakHour(MicroTime t) {
+  int dow = dayOfWeek(t);
+  int hod = hourOfDay(t);
+  return dow >= 1 && dow <= 5 && hod >= 9 && hod < 18;
+}
+
+/// "Tue 14:05:09.123456" style rendering for logs and trace files.
+std::string formatTime(MicroTime t);
+
+/// Short weekday name for a day index 0..6.
+const char* weekdayName(int dow);
+
+}  // namespace nfstrace

@@ -1,0 +1,71 @@
+#include "workload/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nfstrace {
+
+double WeeklySchedule::weight(MicroTime t) const {
+  return hourWeight_[static_cast<std::size_t>(hourOfWeek(t))];
+}
+
+MicroTime WeeklySchedule::nextEvent(Rng& rng, MicroTime now,
+                                    double peakEventsPerHour) const {
+  // Thinning (Lewis & Shedler): draw from the peak-rate process and accept
+  // with probability weight(t).
+  MicroTime t = now;
+  double meanGapUs =
+      static_cast<double>(kMicrosPerHour) / std::max(peakEventsPerHour, 1e-9);
+  for (int guard = 0; guard < 100000; ++guard) {
+    t += static_cast<MicroTime>(rng.exponential(meanGapUs)) + 1;
+    if (rng.uniform() < weight(t)) return t;
+  }
+  return t;
+}
+
+namespace {
+
+double diurnalShape(int hour, bool weekend, double nightFloor,
+                    double eveningShoulder) {
+  // Peak plateau 9-18, shoulder until 23, floor overnight.
+  double w;
+  if (hour >= 9 && hour < 18) {
+    w = 1.0;
+  } else if (hour >= 18 && hour < 23) {
+    w = eveningShoulder;
+  } else if (hour >= 7 && hour < 9) {
+    w = 0.5;
+  } else {
+    w = nightFloor;
+  }
+  if (weekend) w *= 0.35;
+  return w;
+}
+
+}  // namespace
+
+WeeklySchedule WeeklySchedule::campus() {
+  WeeklySchedule s;
+  for (int h = 0; h < 168; ++h) {
+    int dow = h / 24;
+    bool weekend = dow == 0 || dow == 6;
+    s.hourWeight_[static_cast<std::size_t>(h)] =
+        diurnalShape(h % 24, weekend, 0.06, 0.55);
+  }
+  return s;
+}
+
+WeeklySchedule WeeklySchedule::eecs() {
+  WeeklySchedule s;
+  for (int h = 0; h < 168; ++h) {
+    int dow = h / 24;
+    bool weekend = dow == 0 || dow == 6;
+    double w = diurnalShape(h % 24, weekend, 0.15, 0.7);
+    // CS grad students: the evening is nearly as busy as the afternoon.
+    if (!weekend && (h % 24) >= 20) w = std::max(w, 0.45);
+    s.hourWeight_[static_cast<std::size_t>(h)] = w;
+  }
+  return s;
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,34 @@
+// Weekly activity schedules (§6.2).
+//
+// CAMPUS load is "utterly dominated by the daily rhythms of user
+// activity": strong 9am-6pm weekday peaks, an evening shoulder, quiet
+// nights, and lighter weekends.  EECS shows the same peak hours but with
+// far more variance, plus cron-driven night spikes (builds, experiments,
+// data processing).
+#pragma once
+
+#include <array>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace nfstrace {
+
+class WeeklySchedule {
+ public:
+  /// Relative activity weight (0..1] for a point in time.
+  double weight(MicroTime t) const;
+
+  /// Draw the next event time for a Poisson process whose *peak* rate is
+  /// `peakEventsPerHour`, thinned by the schedule weight.
+  MicroTime nextEvent(Rng& rng, MicroTime now,
+                      double peakEventsPerHour) const;
+
+  static WeeklySchedule campus();
+  static WeeklySchedule eecs();
+
+ private:
+  std::array<double, 168> hourWeight_{};  // indexed by hour-of-week
+};
+
+}  // namespace nfstrace

@@ -1,0 +1,90 @@
+#include "xdr/xdr.hpp"
+
+namespace nfstrace {
+
+void XdrEncoder::putUint32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void XdrEncoder::putUint64(std::uint64_t v) {
+  putUint32(static_cast<std::uint32_t>(v >> 32));
+  putUint32(static_cast<std::uint32_t>(v));
+}
+
+void XdrEncoder::pad() {
+  while (buf_.size() % 4 != 0) buf_.push_back(0);
+}
+
+void XdrEncoder::putOpaque(std::span<const std::uint8_t> data) {
+  putUint32(static_cast<std::uint32_t>(data.size()));
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  pad();
+}
+
+void XdrEncoder::putFixedOpaque(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  pad();
+}
+
+void XdrEncoder::putString(std::string_view s) {
+  putOpaque({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+void XdrEncoder::putRaw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void XdrDecoder::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw XdrError("XDR underrun: need " + std::to_string(n) + " bytes, have " +
+                   std::to_string(remaining()));
+  }
+}
+
+std::uint32_t XdrDecoder::getUint32() {
+  need(4);
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t XdrDecoder::getUint64() {
+  std::uint64_t hi = getUint32();
+  std::uint64_t lo = getUint32();
+  return (hi << 32) | lo;
+}
+
+std::vector<std::uint8_t> XdrDecoder::getOpaque(std::uint32_t maxLen) {
+  std::uint32_t len = getUint32();
+  if (len > maxLen) throw XdrError("XDR opaque too long: " + std::to_string(len));
+  return getFixedOpaque(len);
+}
+
+std::vector<std::uint8_t> XdrDecoder::getFixedOpaque(std::size_t len) {
+  need(padded(len));
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += padded(len);
+  return out;
+}
+
+std::string XdrDecoder::getString(std::uint32_t maxLen) {
+  auto bytes = getOpaque(maxLen);
+  return {bytes.begin(), bytes.end()};
+}
+
+std::uint32_t XdrDecoder::skipOpaque(std::uint32_t maxLen) {
+  std::uint32_t len = getUint32();
+  if (len > maxLen) throw XdrError("XDR opaque too long: " + std::to_string(len));
+  need(padded(len));
+  pos_ += padded(len);
+  return len;
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,77 @@
+// XDR (External Data Representation, RFC 4506) encoding and decoding.
+//
+// This is the wire substrate for ONC RPC and the NFS protocol codecs.  All
+// quantities are big-endian; opaque and string data are padded to 4-byte
+// boundaries.  The decoder never reads past its buffer: all accessors
+// either succeed or throw XdrError, so callers (the sniffer in particular,
+// which decodes possibly-truncated packets) can treat a throw as "not
+// decodable" without undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nfstrace {
+
+class XdrError : public std::runtime_error {
+ public:
+  explicit XdrError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class XdrEncoder {
+ public:
+  void putUint32(std::uint32_t v);
+  void putInt32(std::int32_t v) { putUint32(static_cast<std::uint32_t>(v)); }
+  void putUint64(std::uint64_t v);
+  void putInt64(std::int64_t v) { putUint64(static_cast<std::uint64_t>(v)); }
+  void putBool(bool v) { putUint32(v ? 1 : 0); }
+  /// Variable-length opaque: length word then padded bytes.
+  void putOpaque(std::span<const std::uint8_t> data);
+  /// Fixed-length opaque: padded bytes, no length word.
+  void putFixedOpaque(std::span<const std::uint8_t> data);
+  void putString(std::string_view s);
+
+  /// Raw access for embedding pre-encoded bodies.
+  void putRaw(std::span<const std::uint8_t> data);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void pad();
+  std::vector<std::uint8_t> buf_;
+};
+
+class XdrDecoder {
+ public:
+  explicit XdrDecoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint32_t getUint32();
+  std::int32_t getInt32() { return static_cast<std::int32_t>(getUint32()); }
+  std::uint64_t getUint64();
+  std::int64_t getInt64() { return static_cast<std::int64_t>(getUint64()); }
+  bool getBool() { return getUint32() != 0; }
+  /// Variable-length opaque with a sanity cap on the length word.
+  std::vector<std::uint8_t> getOpaque(std::uint32_t maxLen = 1 << 22);
+  std::vector<std::uint8_t> getFixedOpaque(std::size_t len);
+  std::string getString(std::uint32_t maxLen = 1 << 16);
+  /// Skip a variable-length opaque without copying (e.g. WRITE payloads).
+  std::uint32_t skipOpaque(std::uint32_t maxLen = 1 << 22);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool atEnd() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+  static std::size_t padded(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nfstrace

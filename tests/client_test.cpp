@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include "workload/sim.hpp"
+
+namespace nfstrace {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  static SimEnvironment::Config baseConfig() {
+    SimEnvironment::Config c;
+    c.clientHosts = 1;
+    return c;
+  }
+
+  ClientTest() : env_(baseConfig()) {
+    env_.fs().mkfile("/home/u1/data.txt", 100 * 1024, 1, 1, 0);
+    env_.fs().mkfile("/home/u1/.cshrc", 800, 1, 1, 0);
+  }
+
+  SimEnvironment env_;
+  MicroTime now_ = seconds(100);
+};
+
+TEST_F(ClientTest, LookupPathEmitsLookupsOnce) {
+  NfsClient& c = env_.client(0);
+  auto before = env_.server().callCount(NfsOp::Lookup);
+  auto fh = c.lookupPath(now_, "/home/u1/data.txt");
+  ASSERT_TRUE(fh.has_value());
+  auto after = env_.server().callCount(NfsOp::Lookup);
+  EXPECT_EQ(after - before, 3u);  // home, u1, data.txt
+
+  // Second resolution hits the dnlc: no new lookups.
+  auto fh2 = c.lookupPath(now_, "/home/u1/data.txt");
+  EXPECT_EQ(env_.server().callCount(NfsOp::Lookup), after);
+  EXPECT_EQ(*fh, *fh2);
+}
+
+TEST_F(ClientTest, AttrCacheAbsorbsGetattr) {
+  NfsClient& c = env_.client(0);
+  auto fh = *c.lookupPath(now_, "/home/u1/data.txt");
+  c.getattr(now_, fh);  // may hit server
+  auto count = env_.server().callCount(NfsOp::Getattr);
+  c.getattr(now_, fh);  // must be cached
+  c.getattr(now_, fh);
+  EXPECT_EQ(env_.server().callCount(NfsOp::Getattr), count);
+  EXPECT_GE(c.stats().cacheHitsAttr, 2u);
+}
+
+TEST_F(ClientTest, AttrCacheExpires) {
+  NfsClient& c = env_.client(0);
+  auto fh = *c.lookupPath(now_, "/home/u1/data.txt");
+  c.getattr(now_, fh);
+  auto count = env_.server().callCount(NfsOp::Getattr);
+  now_ += minutes(5);  // past the attribute timeout
+  c.getattr(now_, fh);
+  EXPECT_EQ(env_.server().callCount(NfsOp::Getattr), count + 1);
+}
+
+TEST_F(ClientTest, ReadFileIssuesSequentialReads) {
+  NfsClient& c = env_.client(0);
+  auto fh = *c.lookupPath(now_, "/home/u1/data.txt");
+  std::uint64_t wire = c.readFile(now_, fh);
+  EXPECT_EQ(wire, 100 * 1024u);
+  EXPECT_EQ(env_.server().callCount(NfsOp::Read), (100 * 1024 + 8191) / 8192);
+}
+
+TEST_F(ClientTest, DataCacheAbsorbsRereads) {
+  NfsClient& c = env_.client(0);
+  auto fh = *c.lookupPath(now_, "/home/u1/data.txt");
+  c.readFile(now_, fh);
+  auto reads = env_.server().callCount(NfsOp::Read);
+  std::uint64_t wire = c.readFile(now_, fh);  // warm cache
+  EXPECT_EQ(wire, 0u);
+  EXPECT_EQ(env_.server().callCount(NfsOp::Read), reads);
+  EXPECT_GE(c.stats().cacheHitsData, 1u);
+}
+
+TEST_F(ClientTest, MtimeChangeInvalidatesWholeFile) {
+  NfsClient& c = env_.client(0);
+  auto fh = *c.lookupPath(now_, "/home/u1/data.txt");
+  c.readFile(now_, fh);
+  auto reads = env_.server().callCount(NfsOp::Read);
+
+  // Another party (the fs directly) modifies the file.
+  now_ += minutes(2);
+  Fattr pre, post;
+  ASSERT_EQ(env_.fs().write(fh, 0, 100, now_, pre, post), NfsStat::Ok);
+
+  // After the attribute cache expires, the client revalidates, sees the
+  // new mtime, drops its cached copy, and re-reads everything — the
+  // CAMPUS inbox effect.
+  now_ += minutes(5);
+  std::uint64_t wire = c.readFile(now_, fh);
+  EXPECT_EQ(wire, 100 * 1024u);
+  EXPECT_GT(env_.server().callCount(NfsOp::Read), reads);
+}
+
+TEST_F(ClientTest, WriteThenCommit) {
+  NfsClient& c = env_.client(0);
+  auto fh = *c.lookupPath(now_, "/home/u1/data.txt");
+  auto commits = env_.server().callCount(NfsOp::Commit);
+  c.writeRange(now_, fh, 0, 32 * 1024);
+  EXPECT_EQ(env_.server().callCount(NfsOp::Write), 4u);
+  EXPECT_EQ(env_.server().callCount(NfsOp::Commit), commits + 1);
+}
+
+TEST_F(ClientTest, StableWriteSkipsCommit) {
+  NfsClient& c = env_.client(0);
+  auto fh = *c.lookupPath(now_, "/home/u1/data.txt");
+  auto commits = env_.server().callCount(NfsOp::Commit);
+  c.writeRange(now_, fh, 0, 8192, /*stable=*/true);
+  EXPECT_EQ(env_.server().callCount(NfsOp::Commit), commits);
+}
+
+TEST_F(ClientTest, AppendExtends) {
+  NfsClient& c = env_.client(0);
+  auto fh = *c.lookupPath(now_, "/home/u1/data.txt");
+  c.append(now_, fh, 5000);
+  auto attrs = c.getattr(now_, fh, true);
+  ASSERT_TRUE(attrs.has_value());
+  EXPECT_EQ(attrs->size, 100 * 1024 + 5000u);
+}
+
+TEST_F(ClientTest, ExclusiveCreateLocking) {
+  NfsClient& c = env_.client(0);
+  auto dir = *c.lookupPath(now_, "/home/u1");
+  auto lock1 = c.create(now_, dir, ".inbox.lock", true);
+  ASSERT_TRUE(lock1.has_value());
+  auto lock2 = c.create(now_, dir, ".inbox.lock", true);
+  EXPECT_FALSE(lock2.has_value());  // held
+  EXPECT_TRUE(c.remove(now_, dir, ".inbox.lock"));
+  EXPECT_TRUE(c.create(now_, dir, ".inbox.lock", true).has_value());
+}
+
+TEST_F(ClientTest, MkdirRenameRmdir) {
+  NfsClient& c = env_.client(0);
+  auto root = c.rootHandle();
+  auto dir = c.mkdir(now_, root, "newdir");
+  ASSERT_TRUE(dir.has_value());
+  EXPECT_TRUE(c.rename(now_, root, "newdir", root, "renamed"));
+  EXPECT_TRUE(c.rmdir(now_, root, "renamed"));
+  EXPECT_FALSE(c.lookupPath(now_, "/renamed").has_value());
+}
+
+TEST_F(ClientTest, ReaddirListsEntries) {
+  NfsClient& c = env_.client(0);
+  auto dir = *c.lookupPath(now_, "/home/u1");
+  auto entries = c.readdir(now_, dir);
+  // . .. data.txt .cshrc
+  EXPECT_EQ(entries.size(), 4u);
+}
+
+TEST_F(ClientTest, SymlinkReadlink) {
+  NfsClient& c = env_.client(0);
+  auto root = c.rootHandle();
+  auto sl = c.symlink(now_, root, "link", "home/u1/data.txt");
+  ASSERT_TRUE(sl.has_value());
+  auto target = c.readlink(now_, *sl);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, "home/u1/data.txt");
+}
+
+TEST_F(ClientTest, TruncateUpdatesSize) {
+  NfsClient& c = env_.client(0);
+  auto fh = *c.lookupPath(now_, "/home/u1/data.txt");
+  EXPECT_TRUE(c.truncate(now_, fh, 10));
+  auto attrs = c.getattr(now_, fh, true);
+  EXPECT_EQ(attrs->size, 10u);
+}
+
+TEST_F(ClientTest, DropCachesForcesRevalidation) {
+  NfsClient& c = env_.client(0);
+  auto fh = *c.lookupPath(now_, "/home/u1/data.txt");
+  c.readFile(now_, fh);
+  c.dropCaches();
+  auto reads = env_.server().callCount(NfsOp::Read);
+  c.readFile(now_, fh);
+  EXPECT_GT(env_.server().callCount(NfsOp::Read), reads);
+}
+
+// ------------------------------------- cache granularity & delegations
+
+TEST(CacheGranularity, BlockBasedKeepsPrefixOnAppend) {
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 2;
+  cfg.clientConfig.cacheGranularity = CacheGranularity::BlockBased;
+  SimEnvironment env(cfg);
+  env.fs().mkfile("/inbox", 1 << 20, 1, 1, 0);
+  MicroTime now = seconds(10);
+  NfsClient& reader = env.client(0);
+  NfsClient& appender = env.client(1);
+  auto fh = *reader.lookupPath(now, "/inbox");
+  reader.readFile(now, fh);
+
+  // Another client appends (a mail delivery).
+  auto fh2 = *appender.lookupPath(now, "/inbox");
+  appender.append(now, fh2, 64 * 1024, true);
+
+  // After revalidation the reader fetches ONLY the new tail.
+  now += minutes(5);
+  std::uint64_t wire = reader.readFile(now, fh);
+  EXPECT_EQ(wire, 64 * 1024u);
+}
+
+TEST(CacheGranularity, WholeFileRefetchesEverythingOnAppend) {
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 2;
+  SimEnvironment env(cfg);  // default: whole-file invalidation
+  env.fs().mkfile("/inbox", 1 << 20, 1, 1, 0);
+  MicroTime now = seconds(10);
+  NfsClient& reader = env.client(0);
+  NfsClient& appender = env.client(1);
+  auto fh = *reader.lookupPath(now, "/inbox");
+  reader.readFile(now, fh);
+  auto fh2 = *appender.lookupPath(now, "/inbox");
+  appender.append(now, fh2, 64 * 1024, true);
+  now += minutes(5);
+  std::uint64_t wire = reader.readFile(now, fh);
+  EXPECT_EQ(wire, (1 << 20) + 64 * 1024u);  // the read storm
+}
+
+TEST(CacheGranularity, BlockBasedStillDropsOnShrink) {
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 2;
+  cfg.clientConfig.cacheGranularity = CacheGranularity::BlockBased;
+  SimEnvironment env(cfg);
+  env.fs().mkfile("/inbox", 1 << 20, 1, 1, 0);
+  MicroTime now = seconds(10);
+  NfsClient& reader = env.client(0);
+  NfsClient& writer = env.client(1);
+  auto fh = *reader.lookupPath(now, "/inbox");
+  reader.readFile(now, fh);
+  // The other client rewrites and truncates (an expunge).
+  auto fh2 = *writer.lookupPath(now, "/inbox");
+  writer.truncate(now, fh2, 512 * 1024);
+  now += minutes(5);
+  std::uint64_t wire = reader.readFile(now, fh);
+  EXPECT_EQ(wire, 512 * 1024u);  // full re-read of the new contents
+}
+
+TEST(Delegations, AbsorbRevalidation) {
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 1;
+  cfg.clientConfig.nfsv4Delegations = true;
+  SimEnvironment env(cfg);
+  env.fs().mkfile("/f", 8192, 1, 1, 0);
+  MicroTime now = seconds(10);
+  NfsClient& c = env.client(0);
+  auto fh = *c.lookupPath(now, "/f");
+  c.getattr(now, fh);
+  auto getattrs = env.server().callCount(NfsOp::Getattr);
+  auto accesses = env.server().callCount(NfsOp::Access);
+  // Even a forced-fresh getattr long after the attr timeout is absorbed.
+  now += hours(2);
+  c.getattr(now, fh, /*forceFresh=*/true);
+  c.access(now, fh);
+  EXPECT_EQ(env.server().callCount(NfsOp::Getattr), getattrs);
+  EXPECT_EQ(env.server().callCount(NfsOp::Access), accesses);
+  EXPECT_GE(c.stats().delegationHits, 2u);
+}
+
+TEST(Delegations, DisabledByDefault) {
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 1;
+  SimEnvironment env(cfg);
+  env.fs().mkfile("/f", 8192, 1, 1, 0);
+  MicroTime now = seconds(10);
+  NfsClient& c = env.client(0);
+  auto fh = *c.lookupPath(now, "/f");
+  c.getattr(now, fh);
+  auto getattrs = env.server().callCount(NfsOp::Getattr);
+  now += hours(2);
+  c.getattr(now, fh);
+  EXPECT_GT(env.server().callCount(NfsOp::Getattr), getattrs);
+}
+
+TEST(Segments, ReadSegmentsIssuesOnlyRequestedExtents) {
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 1;
+  SimEnvironment env(cfg);
+  env.fs().mkfile("/f", 1 << 20, 1, 1, 0);
+  MicroTime now = seconds(10);
+  NfsClient& c = env.client(0);
+  auto fh = *c.lookupPath(now, "/f");
+  std::uint64_t wire = c.readSegments(
+      now, fh, {{0, 16384}, {65536, 8192}, {900 * 1024, 8192}});
+  EXPECT_EQ(wire, 16384u + 8192 + 8192);
+  EXPECT_EQ(env.server().callCount(NfsOp::Read), 4u);
+}
+
+TEST(Segments, WriteSegmentsSingleCommit) {
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 1;
+  SimEnvironment env(cfg);
+  env.fs().mkfile("/f", 1 << 20, 1, 1, 0);
+  MicroTime now = seconds(10);
+  NfsClient& c = env.client(0);
+  auto fh = *c.lookupPath(now, "/f");
+  auto commits = env.server().callCount(NfsOp::Commit);
+  c.writeSegments(now, fh, {{0, 16384}, {131072, 16384}});
+  EXPECT_EQ(env.server().callCount(NfsOp::Write), 4u);
+  EXPECT_EQ(env.server().callCount(NfsOp::Commit), commits + 1);
+}
+
+TEST(Segments, ReadSegmentsClippedToFileSize) {
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 1;
+  SimEnvironment env(cfg);
+  env.fs().mkfile("/f", 10000, 1, 1, 0);
+  MicroTime now = seconds(10);
+  NfsClient& c = env.client(0);
+  auto fh = *c.lookupPath(now, "/f");
+  std::uint64_t wire = c.readSegments(now, fh, {{8192, 65536}, {50000, 100}});
+  EXPECT_EQ(wire, 10000u - 8192);
+}
+
+// ---------------------------------------------------- nfsiod reordering
+
+TEST(NfsiodPool, SingleIodNeverReorders) {
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 1;
+  cfg.clientConfig.nfsiods = 1;
+  SimEnvironment env(cfg);
+  env.fs().mkfile("/big", 2 << 20, 1, 1, 0);
+  MicroTime now = seconds(10);
+  NfsClient& c = env.client(0);
+  auto fh = *c.lookupPath(now, "/big");
+  c.readFile(now, fh);
+  EXPECT_EQ(c.stats().reorderedCalls, 0u);
+}
+
+TEST(NfsiodPool, ManyIodsReorder) {
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 1;
+  cfg.clientConfig.nfsiods = 8;
+  cfg.clientConfig.iodJitterMean = 800;
+  SimEnvironment env(cfg);
+  env.fs().mkfile("/big", 8 << 20, 1, 1, 0);
+  MicroTime now = seconds(10);
+  NfsClient& c = env.client(0);
+  auto fh = *c.lookupPath(now, "/big");
+  c.readFile(now, fh);
+  EXPECT_GT(c.stats().reorderedCalls, 0u);
+}
+
+}  // namespace
+}  // namespace nfstrace

@@ -1,0 +1,199 @@
+// Failure injection: the sniffer and its decode stack must survive
+// corrupted, truncated, bit-flipped, and adversarial input without
+// crashing and without fabricating records — a tap on a production
+// network sees all of these.
+#include <gtest/gtest.h>
+
+#include "server/portmap.hpp"
+#include "sniffer/sniffer.hpp"
+#include "util/rng.hpp"
+#include "workload/sim.hpp"
+
+namespace nfstrace {
+namespace {
+
+CapturedPacket pkt(MicroTime ts, std::vector<std::uint8_t> data) {
+  CapturedPacket p;
+  p.ts = ts;
+  p.origLen = static_cast<std::uint32_t>(data.size());
+  p.data = std::move(data);
+  return p;
+}
+
+std::vector<std::uint8_t> validNfsCallFrame(std::uint32_t xid) {
+  XdrEncoder enc;
+  AuthUnix cred;
+  cred.uid = 1;
+  cred.gid = 1;
+  encodeRpcCall(enc, xid, kNfsProgram, 3,
+                static_cast<std::uint32_t>(Proc3::Getattr), cred);
+  encodeCall3(enc, GetattrArgs{FileHandle::make(1, 7, 1)});
+  return buildUdpFrame(makeIp(10, 1, 0, 2), 1023, makeIp(10, 0, 0, 1), 2049,
+                       enc.bytes());
+}
+
+TEST(FailureInjection, RandomBytesNeverCrashSniffer) {
+  std::uint64_t emitted = 0;
+  Sniffer sniffer({}, [&](const TraceRecord&) { ++emitted; });
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> junk(rng.below(300));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    sniffer.onFrame(pkt(i, std::move(junk)));
+  }
+  sniffer.flush();
+  EXPECT_EQ(emitted, 0u);
+  EXPECT_EQ(sniffer.stats().framesSeen, 2000u);
+}
+
+TEST(FailureInjection, BitFlippedFramesAreContained) {
+  // Flip one byte at every position of a valid frame; the sniffer must
+  // never crash, and any record it does emit must carry the right op or
+  // none at all.
+  auto frame = validNfsCallFrame(42);
+  Rng rng(7);
+  for (std::size_t flip = 0; flip < frame.size(); ++flip) {
+    Sniffer sniffer({}, [&](const TraceRecord&) {});
+    auto mutated = frame;
+    mutated[flip] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    sniffer.onFrame(pkt(0, std::move(mutated)));
+    sniffer.flush();
+  }
+  SUCCEED();
+}
+
+TEST(FailureInjection, TruncatedFramesAreContained) {
+  auto frame = validNfsCallFrame(43);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    Sniffer sniffer({}, [&](const TraceRecord&) {});
+    std::vector<std::uint8_t> shortFrame(frame.begin(),
+                                         frame.begin() +
+                                             static_cast<std::ptrdiff_t>(cut));
+    sniffer.onFrame(pkt(0, std::move(shortFrame)));
+    sniffer.flush();
+  }
+  SUCCEED();
+}
+
+TEST(FailureInjection, DuplicatedCallIsOneRecord) {
+  // Retransmitted calls (same xid) must not double-emit when the single
+  // reply arrives.
+  std::uint64_t emitted = 0;
+  Sniffer sniffer({}, [&](const TraceRecord&) { ++emitted; });
+  auto frame = validNfsCallFrame(77);
+  sniffer.onFrame(pkt(0, frame));
+  sniffer.onFrame(pkt(10, frame));  // retransmission
+
+  XdrEncoder reply;
+  encodeRpcReplySuccess(reply, 77);
+  GetattrRes res;
+  res.status = NfsStat::ErrStale;
+  encodeReply3(reply, Proc3::Getattr, NfsReplyRes{res});
+  auto replyFrame = buildUdpFrame(makeIp(10, 0, 0, 1), 2049,
+                                  makeIp(10, 1, 0, 2), 1023, reply.bytes());
+  sniffer.onFrame(pkt(20, replyFrame));
+  sniffer.flush();
+  EXPECT_EQ(emitted, 1u);
+}
+
+TEST(FailureInjection, PendingCallExpiresAfterTimeout) {
+  std::vector<TraceRecord> out;
+  Sniffer::Config cfg;
+  cfg.pendingTimeout = seconds(5);
+  Sniffer sniffer(cfg, [&](const TraceRecord& r) { out.push_back(r); });
+  sniffer.onFrame(pkt(0, validNfsCallFrame(1)));
+  // A later unrelated frame advances the clock past the timeout.
+  sniffer.onFrame(pkt(seconds(10), validNfsCallFrame(2)));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].hasReply);
+  EXPECT_EQ(out[0].xid, 1u);
+  EXPECT_EQ(sniffer.stats().expiredCalls, 1u);
+}
+
+TEST(FailureInjection, TcpStreamLossResyncsAndRecovers) {
+  // Drop a TCP segment mid-stream; later records must still decode after
+  // the reassembler resynchronizes.
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 1;
+  cfg.useMirror = true;
+  cfg.mirrorConfig.bandwidthBitsPerSec = 80e6;
+  cfg.mirrorConfig.bufferBytes = 128 * 1024;
+  SimEnvironment env(cfg);
+  env.fs().mkfile("/a", 2 << 20, 1, 1, 0);
+  env.fs().mkfile("/b", 64 * 1024, 1, 1, 0);
+  MicroTime now = seconds(1);
+  NfsClient& c = env.client(0);
+  auto fa = *c.lookupPath(now, "/a");
+  c.readFile(now, fa);  // the burst that overflows the mirror
+  now += seconds(30);   // quiet period: mirror drains
+  auto fb = *c.lookupPath(now, "/b");
+  c.readFile(now, fb);  // must be captured cleanly after resync
+  env.finishCapture();
+
+  ASSERT_GT(env.mirror()->dropped(), 0u);
+  std::uint64_t lateReads = 0;
+  for (const auto& r : env.records()) {
+    if (r.op == NfsOp::Read && r.ts > seconds(25) && r.hasReply) ++lateReads;
+  }
+  EXPECT_EQ(lateReads, (64 * 1024) / 8192);
+}
+
+TEST(FailureInjection, PortmapRejectsGarbage) {
+  Portmapper pm;
+  XdrEncoder garbage;
+  garbage.putUint32(1);  // too short for a GETPORT query
+  XdrDecoder dec(garbage.bytes());
+  XdrEncoder out;
+  EXPECT_THROW(pm.handle(PortmapProc::Getport, dec, out), XdrError);
+}
+
+TEST(FailureInjection, PortmapLifecycle) {
+  Portmapper pm;
+  pm.set({kNfsProgram, 3, 17, 2049});
+  EXPECT_EQ(pm.getport(kNfsProgram, 3, 17), 2049u);
+  EXPECT_EQ(pm.getport(kNfsProgram, 3, 6), 0u);   // wrong proto
+  EXPECT_EQ(pm.getport(kNfsProgram, 4, 17), 0u);  // wrong version
+  pm.unset(kNfsProgram, 3);
+  EXPECT_EQ(pm.getport(kNfsProgram, 3, 17), 0u);
+}
+
+TEST(FailureInjection, PortmapWireGetport) {
+  InMemoryFs fs{InMemoryFs::Config{}};
+  NfsServer server(fs);
+  Portmapper pm;
+  pm.set({kNfsProgram, 3, 17, 2049});
+  NfsTransport transport({}, server, nullptr, 1, nullptr, &pm);
+  MicroTime now = seconds(1);
+  EXPECT_EQ(transport.getport(now, kNfsProgram, 3, 17), 2049u);
+  EXPECT_EQ(transport.getport(now, kMountProgram, 3, 17), 0u);
+}
+
+TEST(FailureInjection, EnvironmentRegistersBootServices) {
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 1;
+  SimEnvironment env(cfg);
+  EXPECT_EQ(env.portmap().getport(kNfsProgram, 3, 6), 2049u);
+  EXPECT_EQ(env.portmap().getport(kMountProgram, 3, 17), 635u);
+}
+
+TEST(FailureInjection, ServerErrorsSurfaceInTrace) {
+  // A call that fails on the server must appear in the trace with its
+  // error status, not vanish.
+  SimEnvironment::Config cfg;
+  cfg.clientHosts = 1;
+  SimEnvironment env(cfg);
+  MicroTime now = seconds(1);
+  NfsClient& c = env.client(0);
+  EXPECT_FALSE(c.lookupPath(now, "/no/such/path").has_value());
+  env.finishCapture();
+  bool sawError = false;
+  for (const auto& r : env.records()) {
+    if (r.op == NfsOp::Lookup && r.status == NfsStat::ErrNoEnt) {
+      sawError = true;
+    }
+  }
+  EXPECT_TRUE(sawError);
+}
+
+}  // namespace
+}  // namespace nfstrace

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "fs/fs.hpp"
+
+namespace nfstrace {
+namespace {
+
+InMemoryFs::Config smallFs(std::uint64_t quota = 0) {
+  InMemoryFs::Config c;
+  c.fsid = 3;
+  c.capacityBytes = 1ULL << 30;
+  c.defaultQuotaBytes = quota;
+  return c;
+}
+
+class FsTest : public ::testing::Test {
+ protected:
+  InMemoryFs fs_{smallFs()};
+  MicroTime t_ = seconds(100);
+
+  FsNode mustCreate(const FileHandle& dir, const std::string& name,
+                    std::uint64_t size = 0) {
+    Sattr attrs;
+    attrs.setSize = size > 0;
+    attrs.size = size;
+    FsNode node;
+    EXPECT_EQ(fs_.create(dir, name, attrs, false, 10, 10, t_, node),
+              NfsStat::Ok);
+    return node;
+  }
+};
+
+TEST_F(FsTest, RootExists) {
+  Fattr attrs;
+  ASSERT_EQ(fs_.getattr(fs_.rootHandle(), attrs), NfsStat::Ok);
+  EXPECT_EQ(attrs.type, FileType::Directory);
+  EXPECT_EQ(attrs.fileid, 1u);
+}
+
+TEST_F(FsTest, CreateAndLookup) {
+  auto node = mustCreate(fs_.rootHandle(), "hello.txt", 1000);
+  EXPECT_EQ(node.attrs.size, 1000u);
+  EXPECT_EQ(node.attrs.uid, 10u);
+
+  FsNode found;
+  ASSERT_EQ(fs_.lookup(fs_.rootHandle(), "hello.txt", found), NfsStat::Ok);
+  EXPECT_EQ(found.fh, node.fh);
+}
+
+TEST_F(FsTest, LookupMissing) {
+  FsNode node;
+  EXPECT_EQ(fs_.lookup(fs_.rootHandle(), "nope", node), NfsStat::ErrNoEnt);
+}
+
+TEST_F(FsTest, LookupDotAndDotDot) {
+  FileHandle dir = fs_.mkdirs("/a/b", 0, 0, t_);
+  FsNode dot, dotdot;
+  ASSERT_EQ(fs_.lookup(dir, ".", dot), NfsStat::Ok);
+  EXPECT_EQ(dot.fh, dir);
+  ASSERT_EQ(fs_.lookup(dir, "..", dotdot), NfsStat::Ok);
+  auto a = fs_.resolve("/a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(dotdot.fh, a->fh);
+}
+
+TEST_F(FsTest, ExclusiveCreateFailsIfExists) {
+  mustCreate(fs_.rootHandle(), "lockfile");
+  Sattr attrs;
+  FsNode node;
+  EXPECT_EQ(fs_.create(fs_.rootHandle(), "lockfile", attrs, true, 0, 0, t_,
+                       node),
+            NfsStat::ErrExist);
+}
+
+TEST_F(FsTest, UncheckedCreateTruncatesExisting) {
+  auto orig = mustCreate(fs_.rootHandle(), "f", 5000);
+  Sattr attrs;
+  attrs.setSize = true;
+  attrs.size = 0;
+  FsNode node;
+  ASSERT_EQ(fs_.create(fs_.rootHandle(), "f", attrs, false, 0, 0, t_, node),
+            NfsStat::Ok);
+  EXPECT_EQ(node.fh, orig.fh);  // same file
+  EXPECT_EQ(node.attrs.size, 0u);
+}
+
+TEST_F(FsTest, WriteExtendsAndUpdatesTimes) {
+  auto node = mustCreate(fs_.rootHandle(), "f");
+  Fattr pre, post;
+  MicroTime later = t_ + seconds(5);
+  ASSERT_EQ(fs_.write(node.fh, 0, 4096, later, pre, post), NfsStat::Ok);
+  EXPECT_EQ(pre.size, 0u);
+  EXPECT_EQ(post.size, 4096u);
+  EXPECT_EQ(post.mtime.toMicro(), later);
+
+  // Write past EOF creates a hole.
+  ASSERT_EQ(fs_.write(node.fh, 100000, 100, later + 1, pre, post),
+            NfsStat::Ok);
+  EXPECT_EQ(post.size, 100100u);
+}
+
+TEST_F(FsTest, ReadRespectsEof) {
+  auto node = mustCreate(fs_.rootHandle(), "f", 10000);
+  std::uint32_t got;
+  bool eof;
+  Fattr attrs;
+  ASSERT_EQ(fs_.read(node.fh, 0, 8192, t_, got, eof, attrs), NfsStat::Ok);
+  EXPECT_EQ(got, 8192u);
+  EXPECT_FALSE(eof);
+  ASSERT_EQ(fs_.read(node.fh, 8192, 8192, t_, got, eof, attrs), NfsStat::Ok);
+  EXPECT_EQ(got, 10000u - 8192u);
+  EXPECT_TRUE(eof);
+  ASSERT_EQ(fs_.read(node.fh, 20000, 100, t_, got, eof, attrs), NfsStat::Ok);
+  EXPECT_EQ(got, 0u);
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(FsTest, RemoveMakesHandleStale) {
+  auto node = mustCreate(fs_.rootHandle(), "f", 100);
+  ASSERT_EQ(fs_.remove(fs_.rootHandle(), "f", t_), NfsStat::Ok);
+  Fattr attrs;
+  EXPECT_EQ(fs_.getattr(node.fh, attrs), NfsStat::ErrStale);
+  EXPECT_EQ(fs_.remove(fs_.rootHandle(), "f", t_), NfsStat::ErrNoEnt);
+}
+
+TEST_F(FsTest, RemoveDirectoryFails) {
+  Sattr attrs;
+  FsNode node;
+  ASSERT_EQ(fs_.mkdir(fs_.rootHandle(), "d", attrs, 0, 0, t_, node),
+            NfsStat::Ok);
+  EXPECT_EQ(fs_.remove(fs_.rootHandle(), "d", t_), NfsStat::ErrIsDir);
+  EXPECT_EQ(fs_.rmdir(fs_.rootHandle(), "d", t_), NfsStat::Ok);
+}
+
+TEST_F(FsTest, RmdirNonEmptyFails) {
+  FileHandle dir = fs_.mkdirs("/d", 0, 0, t_);
+  mustCreate(dir, "child");
+  EXPECT_EQ(fs_.rmdir(fs_.rootHandle(), "d", t_), NfsStat::ErrNotEmpty);
+}
+
+TEST_F(FsTest, RenameMovesFile) {
+  FileHandle d1 = fs_.mkdirs("/d1", 0, 0, t_);
+  FileHandle d2 = fs_.mkdirs("/d2", 0, 0, t_);
+  auto node = mustCreate(d1, "f", 100);
+  ASSERT_EQ(fs_.rename(d1, "f", d2, "g", t_), NfsStat::Ok);
+  FsNode found;
+  EXPECT_EQ(fs_.lookup(d1, "f", found), NfsStat::ErrNoEnt);
+  ASSERT_EQ(fs_.lookup(d2, "g", found), NfsStat::Ok);
+  EXPECT_EQ(found.fh, node.fh);  // same object, same handle
+}
+
+TEST_F(FsTest, RenameReplacesTarget) {
+  auto victim = mustCreate(fs_.rootHandle(), "b", 100);
+  mustCreate(fs_.rootHandle(), "a", 50);
+  ASSERT_EQ(fs_.rename(fs_.rootHandle(), "a", fs_.rootHandle(), "b", t_),
+            NfsStat::Ok);
+  Fattr attrs;
+  EXPECT_EQ(fs_.getattr(victim.fh, attrs), NfsStat::ErrStale);
+  FsNode found;
+  ASSERT_EQ(fs_.lookup(fs_.rootHandle(), "b", found), NfsStat::Ok);
+  EXPECT_EQ(found.attrs.size, 50u);
+}
+
+TEST_F(FsTest, HardLinkSharesInode) {
+  auto node = mustCreate(fs_.rootHandle(), "orig", 77);
+  ASSERT_EQ(fs_.link(node.fh, fs_.rootHandle(), "alias", t_), NfsStat::Ok);
+  FsNode found;
+  ASSERT_EQ(fs_.lookup(fs_.rootHandle(), "alias", found), NfsStat::Ok);
+  EXPECT_EQ(found.fh, node.fh);
+  EXPECT_EQ(found.attrs.nlink, 2u);
+  // Removing one name keeps the file alive.
+  ASSERT_EQ(fs_.remove(fs_.rootHandle(), "orig", t_), NfsStat::Ok);
+  Fattr attrs;
+  EXPECT_EQ(fs_.getattr(node.fh, attrs), NfsStat::Ok);
+  EXPECT_EQ(attrs.nlink, 1u);
+}
+
+TEST_F(FsTest, SymlinkAndReadlink) {
+  FsNode node;
+  ASSERT_EQ(fs_.symlink(fs_.rootHandle(), "sl", "/target/path", 0, 0, t_,
+                        node),
+            NfsStat::Ok);
+  std::string target;
+  ASSERT_EQ(fs_.readlink(node.fh, target), NfsStat::Ok);
+  EXPECT_EQ(target, "/target/path");
+  // readlink on a regular file fails.
+  auto reg = mustCreate(fs_.rootHandle(), "reg");
+  EXPECT_EQ(fs_.readlink(reg.fh, target), NfsStat::ErrInval);
+}
+
+TEST_F(FsTest, SetattrTruncate) {
+  auto node = mustCreate(fs_.rootHandle(), "f", 100000);
+  Sattr sattr;
+  sattr.setSize = true;
+  sattr.size = 1000;
+  Fattr out;
+  ASSERT_EQ(fs_.setattr(node.fh, sattr, t_ + 1, out), NfsStat::Ok);
+  EXPECT_EQ(out.size, 1000u);
+}
+
+TEST_F(FsTest, ReaddirPagination) {
+  FileHandle dir = fs_.mkdirs("/big", 0, 0, t_);
+  for (int i = 0; i < 10; ++i) {
+    mustCreate(dir, "f" + std::to_string(i));
+  }
+  std::vector<DirEntry> all;
+  std::uint64_t cookie = 0;
+  bool eof = false;
+  int pages = 0;
+  while (!eof) {
+    std::vector<DirEntry> page;
+    ASSERT_EQ(fs_.readdir(dir, cookie, 4, page, eof), NfsStat::Ok);
+    for (const auto& e : page) {
+      all.push_back(e);
+      cookie = e.cookie;
+    }
+    ASSERT_LT(++pages, 10);
+  }
+  // 10 files + . and ..
+  EXPECT_EQ(all.size(), 12u);
+  EXPECT_EQ(all[0].name, ".");
+  EXPECT_EQ(all[1].name, "..");
+}
+
+TEST_F(FsTest, QuotaEnforced) {
+  InMemoryFs fs(smallFs(/*quota=*/64 * 1024));
+  FileHandle fh = fs.mkfile("/u/f", 0, 42, 42, t_);
+  ASSERT_NE(fh.len, 0);
+  Fattr pre, post;
+  EXPECT_EQ(fs.write(fh, 0, 60 * 1024, t_, pre, post), NfsStat::Ok);
+  // Next write exceeds the 64 KB quota.
+  EXPECT_EQ(fs.write(fh, 60 * 1024, 16 * 1024, t_, pre, post),
+            NfsStat::ErrDQuot);
+  // Shrinking releases quota.
+  Sattr sattr;
+  sattr.setSize = true;
+  sattr.size = 0;
+  Fattr out;
+  ASSERT_EQ(fs.setattr(fh, sattr, t_, out), NfsStat::Ok);
+  EXPECT_EQ(fs.quotaUsed(42), 0u);
+  EXPECT_EQ(fs.write(fh, 0, 16 * 1024, t_, pre, post), NfsStat::Ok);
+}
+
+TEST_F(FsTest, QuotaIsPerUid) {
+  InMemoryFs fs(smallFs(/*quota=*/32 * 1024));
+  FileHandle f1 = fs.mkfile("/u1/f", 0, 1, 1, t_);
+  FileHandle f2 = fs.mkfile("/u2/f", 0, 2, 2, t_);
+  Fattr pre, post;
+  EXPECT_EQ(fs.write(f1, 0, 30 * 1024, t_, pre, post), NfsStat::Ok);
+  // A different user still has full quota.
+  EXPECT_EQ(fs.write(f2, 0, 30 * 1024, t_, pre, post), NfsStat::Ok);
+}
+
+TEST_F(FsTest, MkdirsAndResolve) {
+  FileHandle leaf = fs_.mkdirs("/a/b/c", 5, 5, t_);
+  ASSERT_NE(leaf.len, 0);
+  auto resolved = fs_.resolve("/a/b/c");
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->fh, leaf);
+  EXPECT_EQ(fs_.pathOf(leaf), "/a/b/c");
+  // mkdirs is idempotent.
+  EXPECT_EQ(fs_.mkdirs("/a/b/c", 5, 5, t_), leaf);
+}
+
+TEST_F(FsTest, MkfileCreatesParents) {
+  FileHandle fh = fs_.mkfile("/x/y/z.txt", 500, 9, 9, t_);
+  ASSERT_NE(fh.len, 0);
+  auto node = fs_.resolve("/x/y/z.txt");
+  ASSERT_TRUE(node.has_value());
+  EXPECT_EQ(node->attrs.size, 500u);
+  EXPECT_EQ(node->attrs.uid, 9u);
+}
+
+TEST_F(FsTest, StaleHandleAfterRecycle) {
+  auto node = mustCreate(fs_.rootHandle(), "f");
+  ASSERT_EQ(fs_.remove(fs_.rootHandle(), "f", t_), NfsStat::Ok);
+  // New files get new generations; the old handle must stay stale.
+  mustCreate(fs_.rootHandle(), "g");
+  Fattr attrs;
+  EXPECT_EQ(fs_.getattr(node.fh, attrs), NfsStat::ErrStale);
+}
+
+TEST_F(FsTest, WrongFsidIsStale) {
+  auto node = mustCreate(fs_.rootHandle(), "f");
+  FileHandle other = FileHandle::make(99, node.fh.fileid(), 1);
+  Fattr attrs;
+  EXPECT_EQ(fs_.getattr(other, attrs), NfsStat::ErrStale);
+}
+
+TEST_F(FsTest, FsstatTracksUsage) {
+  mustCreate(fs_.rootHandle(), "f", 1 << 20);
+  FsstatRes st;
+  ASSERT_EQ(fs_.fsstat(st), NfsStat::Ok);
+  EXPECT_EQ(st.totalBytes, 1ULL << 30);
+  EXPECT_EQ(st.totalBytes - st.freeBytes, 1ULL << 20);
+}
+
+TEST_F(FsTest, BytesUsedAccounting) {
+  EXPECT_EQ(fs_.bytesUsed(), 0u);
+  auto node = mustCreate(fs_.rootHandle(), "f", 10000);
+  // Charged in 8 KB blocks: 10000 -> 16384.
+  EXPECT_EQ(fs_.bytesUsed(), 16384u);
+  ASSERT_EQ(fs_.remove(fs_.rootHandle(), "f", t_), NfsStat::Ok);
+  EXPECT_EQ(fs_.bytesUsed(), 0u);
+  (void)node;
+}
+
+}  // namespace
+}  // namespace nfstrace

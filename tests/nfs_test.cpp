@@ -1,0 +1,524 @@
+#include <gtest/gtest.h>
+
+#include "nfs/messages.hpp"
+#include "nfs/proc.hpp"
+#include "nfs/types.hpp"
+
+namespace nfstrace {
+namespace {
+
+FileHandle testFh(std::uint64_t fileid) {
+  return FileHandle::make(7, fileid, 3);
+}
+
+Fattr testAttrs() {
+  Fattr a;
+  a.type = FileType::Regular;
+  a.mode = 0644;
+  a.nlink = 2;
+  a.uid = 1000;
+  a.gid = 100;
+  a.size = 123456;
+  a.used = 131072;
+  a.fsid = 7;
+  a.fileid = 42;
+  a.atime = {100, 2000};
+  a.mtime = {200, 3000};
+  a.ctime = {300, 4000};
+  return a;
+}
+
+// ------------------------------------------------------------- handles
+
+TEST(FileHandle, MakeAndAccessors) {
+  auto fh = FileHandle::make(0xabcd, 0x123456789abcdef0ULL, 99);
+  EXPECT_EQ(fh.len, kFhSize2);
+  EXPECT_EQ(fh.fsid(), 0xabcdu);
+  EXPECT_EQ(fh.fileid(), 0x123456789abcdef0ULL);
+}
+
+TEST(FileHandle, EqualityAndOrdering) {
+  auto a = testFh(1), b = testFh(1), c = testFh(2);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c || c < a);
+}
+
+TEST(FileHandle, HexRoundTrip) {
+  auto fh = testFh(77);
+  auto back = FileHandle::fromHex(fh.toHex());
+  EXPECT_EQ(fh, back);
+}
+
+TEST(FileHandle, BadHexThrows) {
+  EXPECT_THROW(FileHandle::fromHex("zz"), XdrError);
+  EXPECT_THROW(FileHandle::fromHex("abc"), XdrError);  // odd length
+  EXPECT_THROW(FileHandle::fromHex(std::string(200, 'a')), XdrError);
+}
+
+TEST(FileHandle, HashDistinguishes) {
+  FileHandleHash h;
+  EXPECT_NE(h(testFh(1)), h(testFh(2)));
+  EXPECT_EQ(h(testFh(5)), h(testFh(5)));
+}
+
+TEST(FileHandle, V3CodecRoundTrip) {
+  XdrEncoder enc;
+  encodeFh3(enc, testFh(9));
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(decodeFh3(dec), testFh(9));
+}
+
+TEST(FileHandle, V2CodecRoundTripSameIdentity) {
+  // The same canonical handle must survive the v2 fixed-32-byte encoding.
+  XdrEncoder enc;
+  encodeFh2(enc, testFh(9));
+  EXPECT_EQ(enc.size(), kFhSize2);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(decodeFh2(dec), testFh(9));
+}
+
+// --------------------------------------------------------------- fattr
+
+TEST(Fattr, V3RoundTrip) {
+  XdrEncoder enc;
+  testAttrs().encode3(enc);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(Fattr::decode3(dec), testAttrs());
+}
+
+TEST(Fattr, V2RoundTripLosesNanoseconds) {
+  auto a = testAttrs();
+  XdrEncoder enc;
+  a.encode2(enc);
+  XdrDecoder dec(enc.bytes());
+  Fattr back = Fattr::decode2(dec);
+  EXPECT_EQ(back.size, a.size);
+  EXPECT_EQ(back.uid, a.uid);
+  EXPECT_EQ(back.fileid, a.fileid);
+  // v2 times are microsecond-granular.
+  EXPECT_EQ(back.mtime.seconds, a.mtime.seconds);
+  EXPECT_EQ(back.mtime.nseconds / 1000, a.mtime.nseconds / 1000);
+}
+
+TEST(NfsTime, MicroConversion) {
+  MicroTime t = 12345 * kMicrosPerSecond + 678;
+  EXPECT_EQ(NfsTime::fromMicro(t).toMicro(), t);
+  EXPECT_EQ(NfsTime::fromMicro(-5).toMicro(), 0);  // clamped
+}
+
+TEST(Sattr, RoundTripAllFields) {
+  Sattr s;
+  s.setMode = true;
+  s.mode = 0600;
+  s.setUid = true;
+  s.uid = 12;
+  s.setSize = true;
+  s.size = 9999;
+  s.setMtime = true;
+  s.mtime = {55, 66};
+  XdrEncoder enc;
+  s.encode3(enc);
+  XdrDecoder dec(enc.bytes());
+  Sattr back = Sattr::decode3(dec);
+  EXPECT_TRUE(back.setMode);
+  EXPECT_EQ(back.mode, 0600u);
+  EXPECT_TRUE(back.setUid);
+  EXPECT_FALSE(back.setGid);
+  EXPECT_TRUE(back.setSize);
+  EXPECT_EQ(back.size, 9999u);
+  EXPECT_FALSE(back.setAtime);
+  EXPECT_TRUE(back.setMtime);
+  EXPECT_EQ(back.mtime.seconds, 55u);
+}
+
+TEST(WccData, RoundTrip) {
+  WccData w;
+  w.hasPre = true;
+  w.pre = {1000, {1, 2}, {3, 4}};
+  w.hasPost = true;
+  w.post = testAttrs();
+  XdrEncoder enc;
+  w.encode(enc);
+  XdrDecoder dec(enc.bytes());
+  WccData back = WccData::decode(dec);
+  EXPECT_TRUE(back.hasPre);
+  EXPECT_EQ(back.pre.size, 1000u);
+  EXPECT_TRUE(back.hasPost);
+  EXPECT_EQ(back.post, testAttrs());
+}
+
+// ---------------------------------------------------- proc enumerations
+
+TEST(Proc, OpNamesRoundTrip) {
+  for (std::size_t i = 0; i < kNfsOpCount; ++i) {
+    auto op = static_cast<NfsOp>(i);
+    EXPECT_EQ(nfsOpFromName(nfsOpName(op)), op);
+  }
+}
+
+TEST(Proc, V3MappingBijective) {
+  for (std::uint32_t p = 0; p < kProc3Count; ++p) {
+    NfsOp op = opFromProc3(static_cast<Proc3>(p));
+    Proc3 back;
+    ASSERT_TRUE(procForOp3(op, back));
+    EXPECT_EQ(back, static_cast<Proc3>(p));
+  }
+}
+
+TEST(Proc, V2ObsoleteProcsMapToUnknown) {
+  EXPECT_EQ(opFromProc2(Proc2::Root), NfsOp::Unknown);
+  EXPECT_EQ(opFromProc2(Proc2::Writecache), NfsOp::Unknown);
+}
+
+TEST(Proc, V3OnlyOpsHaveNoV2Form) {
+  Proc2 out;
+  EXPECT_FALSE(procForOp2(NfsOp::Access, out));
+  EXPECT_FALSE(procForOp2(NfsOp::Readdirplus, out));
+  EXPECT_FALSE(procForOp2(NfsOp::Commit, out));
+  EXPECT_TRUE(procForOp2(NfsOp::Read, out));
+}
+
+TEST(Proc, Classification) {
+  EXPECT_TRUE(isDataOp(NfsOp::Read));
+  EXPECT_TRUE(isDataOp(NfsOp::Write));
+  EXPECT_FALSE(isDataOp(NfsOp::Getattr));
+  EXPECT_TRUE(isMetadataQueryOp(NfsOp::Lookup));
+  EXPECT_TRUE(isDirectoryModOp(NfsOp::Rename));
+  EXPECT_FALSE(isDirectoryModOp(NfsOp::Read));
+}
+
+// ----------------------------------------- v3 call codec round trips
+
+// Each case encodes typed args, decodes them, and compares the fields.
+TEST(CallCodec3, AllProceduresRoundTrip) {
+  std::vector<NfsCallArgs> cases = {
+      NullArgs{},
+      GetattrArgs{testFh(1)},
+      SetattrArgs{testFh(2), [] {
+                    Sattr s;
+                    s.setSize = true;
+                    s.size = 100;
+                    return s;
+                  }()},
+      LookupArgs{testFh(3), "file.txt"},
+      AccessArgs{testFh(4), 0x1f},
+      ReadlinkArgs{testFh(5)},
+      ReadArgs{testFh(6), 8192, 4096},
+      WriteArgs{testFh(7), 16384, 1000, StableHow::Unstable},
+      CreateArgs{testFh(8), "new.c", CreateMode::Unchecked, {}, 0},
+      CreateArgs{testFh(8), ".inbox.lock", CreateMode::Exclusive, {}, 77},
+      MkdirArgs{testFh(9), "subdir", {}},
+      SymlinkArgs{testFh(10), "link", {}, "../target"},
+      MknodArgs{testFh(11), "fifo", FileType::Fifo, {}},
+      RemoveArgs{testFh(12), "gone"},
+      RmdirArgs{testFh(13), "dir"},
+      RenameArgs{testFh(14), "a", testFh(15), "b"},
+      LinkArgs{testFh(16), testFh(17), "hard"},
+      ReaddirArgs{testFh(18), 5, 1, 2048},
+      ReaddirplusArgs{testFh(19), 0, 0, 512, 4096},
+      FsstatArgs{testFh(20)},
+      FsinfoArgs{testFh(21)},
+      PathconfArgs{testFh(22)},
+      CommitArgs{testFh(23), 0, 65536},
+  };
+
+  for (const auto& args : cases) {
+    NfsOp op = opOf(args);
+    Proc3 proc;
+    ASSERT_TRUE(procForOp3(op, proc)) << nfsOpName(op);
+    XdrEncoder enc;
+    encodeCall3(enc, args);
+    XdrDecoder dec(enc.bytes());
+    NfsCallArgs back = decodeCall3(proc, dec);
+    EXPECT_EQ(opOf(back), op) << nfsOpName(op);
+    EXPECT_TRUE(dec.atEnd()) << "trailing bytes for " << nfsOpName(op);
+  }
+}
+
+TEST(CallCodec3, ReadFieldsSurvive) {
+  XdrEncoder enc;
+  encodeCall3(enc, ReadArgs{testFh(5), 123456789012ULL, 32768});
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<ReadArgs>(decodeCall3(Proc3::Read, dec));
+  EXPECT_EQ(back.fh, testFh(5));
+  EXPECT_EQ(back.offset, 123456789012ULL);
+  EXPECT_EQ(back.count, 32768u);
+}
+
+TEST(CallCodec3, WritePayloadSizeOnWire) {
+  WriteArgs w{testFh(5), 0, 8192, StableHow::FileSync};
+  XdrEncoder enc;
+  encodeCall3(enc, w);
+  // fh(4+32) + offset(8) + count(4) + stable(4) + data(4+8192).
+  EXPECT_EQ(enc.size(), 4u + 32 + 8 + 4 + 4 + 4 + 8192);
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<WriteArgs>(decodeCall3(Proc3::Write, dec));
+  EXPECT_EQ(back.count, 8192u);
+  EXPECT_EQ(back.stable, StableHow::FileSync);
+}
+
+TEST(CallCodec3, RenameBothDirections) {
+  XdrEncoder enc;
+  encodeCall3(enc, RenameArgs{testFh(1), "from", testFh(2), "to"});
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<RenameArgs>(decodeCall3(Proc3::Rename, dec));
+  EXPECT_EQ(back.fromName, "from");
+  EXPECT_EQ(back.toName, "to");
+  EXPECT_EQ(back.fromDir, testFh(1));
+  EXPECT_EQ(back.toDir, testFh(2));
+}
+
+// ----------------------------------------- v3 reply codec round trips
+
+TEST(ReplyCodec3, GetattrOkAndError) {
+  {
+    GetattrRes r;
+    r.status = NfsStat::Ok;
+    r.attrs = testAttrs();
+    XdrEncoder enc;
+    encodeReply3(enc, Proc3::Getattr, r);
+    XdrDecoder dec(enc.bytes());
+    auto back = std::get<GetattrRes>(decodeReply3(Proc3::Getattr, dec));
+    EXPECT_EQ(back.attrs, testAttrs());
+  }
+  {
+    GetattrRes r;
+    r.status = NfsStat::ErrStale;
+    XdrEncoder enc;
+    encodeReply3(enc, Proc3::Getattr, r);
+    XdrDecoder dec(enc.bytes());
+    auto back = std::get<GetattrRes>(decodeReply3(Proc3::Getattr, dec));
+    EXPECT_EQ(back.status, NfsStat::ErrStale);
+  }
+}
+
+TEST(ReplyCodec3, LookupCarriesBothAttrSets) {
+  LookupRes r;
+  r.status = NfsStat::Ok;
+  r.fh = testFh(33);
+  r.hasObjAttrs = true;
+  r.objAttrs = testAttrs();
+  r.hasDirAttrs = true;
+  r.dirAttrs = testAttrs();
+  r.dirAttrs.type = FileType::Directory;
+  XdrEncoder enc;
+  encodeReply3(enc, Proc3::Lookup, r);
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<LookupRes>(decodeReply3(Proc3::Lookup, dec));
+  EXPECT_EQ(back.fh, testFh(33));
+  EXPECT_TRUE(back.hasObjAttrs);
+  EXPECT_TRUE(back.hasDirAttrs);
+  EXPECT_EQ(back.dirAttrs.type, FileType::Directory);
+}
+
+TEST(ReplyCodec3, ReadCarriesEofAndData) {
+  ReadRes r;
+  r.status = NfsStat::Ok;
+  r.hasAttrs = true;
+  r.attrs = testAttrs();
+  r.count = 4096;
+  r.eof = true;
+  XdrEncoder enc;
+  encodeReply3(enc, Proc3::Read, r);
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<ReadRes>(decodeReply3(Proc3::Read, dec));
+  EXPECT_EQ(back.count, 4096u);
+  EXPECT_TRUE(back.eof);
+  EXPECT_TRUE(back.hasAttrs);
+}
+
+TEST(ReplyCodec3, WriteCarriesWccAndCommitLevel) {
+  WriteRes r;
+  r.status = NfsStat::Ok;
+  r.wcc.hasPre = true;
+  r.wcc.pre = {500, {1, 0}, {2, 0}};
+  r.wcc.hasPost = true;
+  r.wcc.post = testAttrs();
+  r.count = 1000;
+  r.committed = StableHow::Unstable;
+  r.verifier = 0xfeed;
+  XdrEncoder enc;
+  encodeReply3(enc, Proc3::Write, r);
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<WriteRes>(decodeReply3(Proc3::Write, dec));
+  EXPECT_EQ(back.count, 1000u);
+  EXPECT_EQ(back.committed, StableHow::Unstable);
+  EXPECT_EQ(back.verifier, 0xfeedu);
+  EXPECT_EQ(back.wcc.pre.size, 500u);
+}
+
+TEST(ReplyCodec3, ReaddirEntries) {
+  ReaddirRes r;
+  r.status = NfsStat::Ok;
+  r.cookieVerf = 42;
+  r.entries = {{1, ".", 1, false, {}, false, {}},
+               {2, "..", 2, false, {}, false, {}},
+               {10, "file.txt", 3, false, {}, false, {}}};
+  r.eof = true;
+  XdrEncoder enc;
+  encodeReply3(enc, Proc3::Readdir, r);
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<ReaddirRes>(decodeReply3(Proc3::Readdir, dec));
+  ASSERT_EQ(back.entries.size(), 3u);
+  EXPECT_EQ(back.entries[2].name, "file.txt");
+  EXPECT_TRUE(back.eof);
+}
+
+TEST(ReplyCodec3, ReaddirplusEntriesWithHandles) {
+  ReaddirRes r;
+  r.plus = true;
+  r.status = NfsStat::Ok;
+  DirEntry e;
+  e.fileid = 5;
+  e.name = "x";
+  e.cookie = 1;
+  e.hasAttrs = true;
+  e.attrs = testAttrs();
+  e.hasFh = true;
+  e.fh = testFh(5);
+  r.entries = {e};
+  XdrEncoder enc;
+  encodeReply3(enc, Proc3::Readdirplus, r);
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<ReaddirRes>(decodeReply3(Proc3::Readdirplus, dec));
+  ASSERT_EQ(back.entries.size(), 1u);
+  EXPECT_TRUE(back.entries[0].hasFh);
+  EXPECT_EQ(back.entries[0].fh, testFh(5));
+}
+
+TEST(ReplyCodec3, FsstatFsinfoPathconfCommit) {
+  {
+    FsstatRes r;
+    r.status = NfsStat::Ok;
+    r.totalBytes = 53ULL << 30;
+    r.freeBytes = 10ULL << 30;
+    r.availBytes = 9ULL << 30;
+    XdrEncoder enc;
+    encodeReply3(enc, Proc3::Fsstat, r);
+    XdrDecoder dec(enc.bytes());
+    auto back = std::get<FsstatRes>(decodeReply3(Proc3::Fsstat, dec));
+    EXPECT_EQ(back.totalBytes, 53ULL << 30);
+  }
+  {
+    FsinfoRes r;
+    XdrEncoder enc;
+    encodeReply3(enc, Proc3::Fsinfo, r);
+    XdrDecoder dec(enc.bytes());
+    auto back = std::get<FsinfoRes>(decodeReply3(Proc3::Fsinfo, dec));
+    EXPECT_EQ(back.rtmax, 32768u);
+  }
+  {
+    PathconfRes r;
+    XdrEncoder enc;
+    encodeReply3(enc, Proc3::Pathconf, r);
+    XdrDecoder dec(enc.bytes());
+    auto back = std::get<PathconfRes>(decodeReply3(Proc3::Pathconf, dec));
+    EXPECT_EQ(back.nameMax, 255u);
+    EXPECT_TRUE(back.noTrunc);
+  }
+  {
+    CommitRes r;
+    r.verifier = 77;
+    XdrEncoder enc;
+    encodeReply3(enc, Proc3::Commit, r);
+    XdrDecoder dec(enc.bytes());
+    auto back = std::get<CommitRes>(decodeReply3(Proc3::Commit, dec));
+    EXPECT_EQ(back.verifier, 77u);
+  }
+}
+
+// ------------------------------------------------ v2 codec round trips
+
+TEST(CallCodec2, CoreProceduresRoundTrip) {
+  std::vector<NfsCallArgs> cases = {
+      GetattrArgs{testFh(1)},
+      LookupArgs{testFh(3), "file.txt"},
+      ReadArgs{testFh(6), 8192, 4096},
+      WriteArgs{testFh(7), 16384, 512, StableHow::FileSync},
+      CreateArgs{testFh(8), "new.c", CreateMode::Unchecked, {}, 0},
+      RemoveArgs{testFh(12), "gone"},
+      RenameArgs{testFh(14), "a", testFh(15), "b"},
+      ReaddirArgs{testFh(18), 5, 0, 2048},
+      FsstatArgs{testFh(20)},
+  };
+  for (const auto& args : cases) {
+    NfsOp op = opOf(args);
+    Proc2 proc;
+    ASSERT_TRUE(procForOp2(op, proc)) << nfsOpName(op);
+    XdrEncoder enc;
+    encodeCall2(enc, args);
+    XdrDecoder dec(enc.bytes());
+    NfsCallArgs back = decodeCall2(proc, dec);
+    EXPECT_EQ(opOf(back), op);
+    EXPECT_TRUE(dec.atEnd()) << nfsOpName(op);
+  }
+}
+
+TEST(CallCodec2, V2WriteIsAlwaysSync) {
+  XdrEncoder enc;
+  encodeCall2(enc, WriteArgs{testFh(1), 100, 50, StableHow::Unstable});
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<WriteArgs>(decodeCall2(Proc2::Write, dec));
+  EXPECT_EQ(back.stable, StableHow::FileSync);
+  EXPECT_EQ(back.offset, 100u);
+  EXPECT_EQ(back.count, 50u);
+}
+
+TEST(CallCodec2, AccessHasNoV2Encoding) {
+  XdrEncoder enc;
+  EXPECT_THROW(encodeCall2(enc, AccessArgs{testFh(1), 1}), XdrError);
+}
+
+TEST(ReplyCodec2, ReadReplyCarriesAttrs) {
+  ReadRes r;
+  r.status = NfsStat::Ok;
+  r.hasAttrs = true;
+  r.attrs = testAttrs();
+  r.count = 2048;
+  XdrEncoder enc;
+  encodeReply2(enc, Proc2::Read, r);
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<ReadRes>(decodeReply2(Proc2::Read, dec));
+  EXPECT_EQ(back.count, 2048u);
+  EXPECT_TRUE(back.hasAttrs);
+  EXPECT_EQ(back.attrs.size, testAttrs().size);
+}
+
+TEST(ReplyCodec2, WriteReplyMapsToWcc) {
+  WriteRes r;
+  r.status = NfsStat::Ok;
+  r.wcc.hasPost = true;
+  r.wcc.post = testAttrs();
+  XdrEncoder enc;
+  encodeReply2(enc, Proc2::Write, r);
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<WriteRes>(decodeReply2(Proc2::Write, dec));
+  EXPECT_TRUE(back.wcc.hasPost);
+  EXPECT_EQ(back.committed, StableHow::FileSync);
+}
+
+TEST(ReplyCodec2, CreateDiropRes) {
+  CreateRes r;
+  r.status = NfsStat::Ok;
+  r.hasFh = true;
+  r.fh = testFh(90);
+  r.hasAttrs = true;
+  r.attrs = testAttrs();
+  XdrEncoder enc;
+  encodeReply2(enc, Proc2::Create, r);
+  XdrDecoder dec(enc.bytes());
+  auto back = std::get<CreateRes>(decodeReply2(Proc2::Create, dec));
+  EXPECT_TRUE(back.hasFh);
+  EXPECT_EQ(back.fh, testFh(90));
+}
+
+TEST(NfsStatNames, Coverage) {
+  EXPECT_STREQ(nfsStatName(NfsStat::Ok), "OK");
+  EXPECT_STREQ(nfsStatName(NfsStat::ErrNoEnt), "ENOENT");
+  EXPECT_STREQ(nfsStatName(NfsStat::ErrStale), "ESTALE");
+  EXPECT_STREQ(nfsStatName(NfsStat::ErrDQuot), "EDQUOT");
+}
+
+}  // namespace
+}  // namespace nfstrace

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "pcap/pcap.hpp"
+
+namespace nfstrace {
+namespace {
+
+class PcapTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       ("pcap_test_" + std::to_string(::getpid()) + ".pcap"))
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+CapturedPacket makePkt(MicroTime ts, std::size_t len, std::uint8_t fill) {
+  CapturedPacket p;
+  p.ts = ts;
+  p.origLen = static_cast<std::uint32_t>(len);
+  p.data.assign(len, fill);
+  return p;
+}
+
+TEST_F(PcapTest, WriteReadRoundTrip) {
+  {
+    PcapWriter w(path_);
+    w.write(makePkt(1'000'123, 60, 0xaa));
+    w.write(makePkt(2'000'456, 1500, 0xbb));
+    EXPECT_EQ(w.packetsWritten(), 2u);
+  }
+  PcapReader r(path_);
+  EXPECT_EQ(r.linktype(), kLinktypeEthernet);
+  EXPECT_FALSE(r.nanosecond());
+
+  auto p1 = r.next();
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->ts, 1'000'123);
+  EXPECT_EQ(p1->data.size(), 60u);
+  EXPECT_EQ(p1->data[0], 0xaa);
+
+  auto p2 = r.next();
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->ts, 2'000'456);
+  EXPECT_EQ(p2->data.size(), 1500u);
+
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST_F(PcapTest, NanosecondVariant) {
+  {
+    PcapWriter w(path_, 65535, /*nanosecond=*/true);
+    w.write(makePkt(5'000'042, 100, 1));
+  }
+  PcapReader r(path_);
+  EXPECT_TRUE(r.nanosecond());
+  auto p = r.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ts, 5'000'042);
+}
+
+TEST_F(PcapTest, SnaplenTruncation) {
+  {
+    PcapWriter w(path_, /*snaplen=*/64);
+    w.write(makePkt(0, 9000, 7));  // jumbo frame, truncated on write
+  }
+  PcapReader r(path_);
+  EXPECT_EQ(r.snaplen(), 64u);
+  auto p = r.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->data.size(), 64u);
+  EXPECT_EQ(p->origLen, 9000u);  // original length preserved in the header
+}
+
+TEST_F(PcapTest, SwappedByteOrder) {
+  // Hand-craft a big-endian pcap file; the reader must detect the
+  // byte order from the magic.
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  auto be32 = [&](std::uint32_t v) {
+    std::uint8_t b[4] = {static_cast<std::uint8_t>(v >> 24),
+                         static_cast<std::uint8_t>(v >> 16),
+                         static_cast<std::uint8_t>(v >> 8),
+                         static_cast<std::uint8_t>(v)};
+    std::fwrite(b, 1, 4, f);
+  };
+  auto be16 = [&](std::uint16_t v) {
+    std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8),
+                         static_cast<std::uint8_t>(v)};
+    std::fwrite(b, 1, 2, f);
+  };
+  be32(kPcapMagicMicro);
+  be16(2);
+  be16(4);
+  be32(0);
+  be32(0);
+  be32(65535);
+  be32(kLinktypeEthernet);
+  // One packet: ts=3s+9us, 4 bytes.
+  be32(3);
+  be32(9);
+  be32(4);
+  be32(4);
+  std::uint8_t body[4] = {1, 2, 3, 4};
+  std::fwrite(body, 1, 4, f);
+  std::fclose(f);
+
+  PcapReader r(path_);
+  EXPECT_TRUE(r.swapped());
+  EXPECT_EQ(r.snaplen(), 65535u);
+  auto p = r.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ts, 3 * kMicrosPerSecond + 9);
+  EXPECT_EQ(p->data, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST_F(PcapTest, BadMagicThrows) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::uint8_t junk[24] = {1, 2, 3};
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_THROW(PcapReader r(path_), std::runtime_error);
+}
+
+TEST_F(PcapTest, TruncatedRecordThrows) {
+  {
+    PcapWriter w(path_);
+    w.write(makePkt(0, 100, 5));
+  }
+  // Chop the last 10 bytes off.
+  std::filesystem::resize_file(path_,
+                               std::filesystem::file_size(path_) - 10);
+  PcapReader r(path_);
+  EXPECT_THROW(r.next(), std::runtime_error);
+}
+
+TEST_F(PcapTest, MissingFileThrows) {
+  EXPECT_THROW(PcapReader r("/nonexistent/nope.pcap"), std::runtime_error);
+}
+
+TEST_F(PcapTest, EmptyFileJustHeader) {
+  { PcapWriter w(path_); }
+  PcapReader r(path_);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+}  // namespace
+}  // namespace nfstrace

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "rpc/rpc.hpp"
+
+namespace nfstrace {
+namespace {
+
+TEST(Rpc, CallHeaderRoundTrip) {
+  AuthUnix cred;
+  cred.stamp = 99;
+  cred.machineName = "wks17";
+  cred.uid = 1042;
+  cred.gid = 30;
+  cred.gids = {30, 31};
+
+  XdrEncoder enc;
+  encodeRpcCall(enc, 0xabcd1234, kNfsProgram, 3, 6, cred);
+  enc.putUint32(77);  // pretend argument
+
+  auto msg = decodeRpcMessage(enc.bytes());
+  ASSERT_EQ(msg.type, RpcMsgType::Call);
+  EXPECT_EQ(msg.call.xid, 0xabcd1234u);
+  EXPECT_EQ(msg.call.prog, kNfsProgram);
+  EXPECT_EQ(msg.call.vers, 3u);
+  EXPECT_EQ(msg.call.proc, 6u);
+  ASSERT_TRUE(msg.call.cred.has_value());
+  EXPECT_EQ(msg.call.cred->uid, 1042u);
+  EXPECT_EQ(msg.call.cred->gid, 30u);
+  EXPECT_EQ(msg.call.cred->machineName, "wks17");
+  ASSERT_EQ(msg.call.cred->gids.size(), 2u);
+
+  XdrDecoder args(std::span<const std::uint8_t>(enc.bytes())
+                      .subspan(msg.call.argsOffset));
+  EXPECT_EQ(args.getUint32(), 77u);
+}
+
+TEST(Rpc, CallWithAuthNone) {
+  XdrEncoder enc;
+  encodeRpcCall(enc, 1, kNfsProgram, 2, 0, std::nullopt);
+  auto msg = decodeRpcMessage(enc.bytes());
+  EXPECT_FALSE(msg.call.cred.has_value());
+  EXPECT_EQ(msg.call.vers, 2u);
+}
+
+TEST(Rpc, ReplyHeaderRoundTrip) {
+  XdrEncoder enc;
+  encodeRpcReplySuccess(enc, 0x55aa55aa);
+  enc.putUint32(123);
+  auto msg = decodeRpcMessage(enc.bytes());
+  ASSERT_EQ(msg.type, RpcMsgType::Reply);
+  EXPECT_EQ(msg.reply.xid, 0x55aa55aau);
+  EXPECT_EQ(msg.reply.acceptStat, RpcAcceptStat::Success);
+  XdrDecoder res(std::span<const std::uint8_t>(enc.bytes())
+                     .subspan(msg.reply.resultsOffset));
+  EXPECT_EQ(res.getUint32(), 123u);
+}
+
+TEST(Rpc, ErrorReply) {
+  XdrEncoder enc;
+  encodeRpcReplyError(enc, 9, RpcAcceptStat::GarbageArgs);
+  auto msg = decodeRpcMessage(enc.bytes());
+  EXPECT_EQ(msg.reply.acceptStat, RpcAcceptStat::GarbageArgs);
+}
+
+TEST(Rpc, BadVersionThrows) {
+  XdrEncoder enc;
+  enc.putUint32(1);  // xid
+  enc.putUint32(0);  // CALL
+  enc.putUint32(3);  // rpc version 3 does not exist
+  EXPECT_THROW(decodeRpcMessage(enc.bytes()), XdrError);
+}
+
+TEST(Rpc, GarbageThrows) {
+  std::vector<std::uint8_t> junk{1, 2, 3};
+  EXPECT_THROW(decodeRpcMessage(junk), XdrError);
+}
+
+TEST(RecordMark, SingleRecord) {
+  std::vector<std::uint8_t> body{1, 2, 3, 4, 5};
+  auto marked = recordMark(body);
+  ASSERT_EQ(marked.size(), 9u);
+  EXPECT_EQ(marked[0], 0x80);  // last-fragment bit
+  EXPECT_EQ(marked[3], 5);
+
+  RecordMarkReader reader;
+  reader.feed(marked);
+  auto out = reader.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, body);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(RecordMark, ByteAtATimeFeeding) {
+  std::vector<std::uint8_t> body{9, 9, 9, 9};
+  auto marked = recordMark(body);
+  RecordMarkReader reader;
+  for (auto b : marked) {
+    reader.feed(std::span<const std::uint8_t>(&b, 1));
+  }
+  auto out = reader.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, body);
+}
+
+TEST(RecordMark, CoalescedRecords) {
+  // Two records in one TCP segment — the coalescing case the paper's
+  // tracer had to handle.
+  std::vector<std::uint8_t> a{1, 2, 3};
+  std::vector<std::uint8_t> b{4, 5, 6, 7};
+  auto stream = recordMark(a);
+  auto mb = recordMark(b);
+  stream.insert(stream.end(), mb.begin(), mb.end());
+
+  RecordMarkReader reader;
+  reader.feed(stream);
+  EXPECT_EQ(*reader.next(), a);
+  EXPECT_EQ(*reader.next(), b);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(RecordMark, MultiFragmentRecord) {
+  // A record split across two fragments (non-final then final).
+  std::vector<std::uint8_t> stream;
+  auto pushFrag = [&](std::vector<std::uint8_t> frag, bool last) {
+    std::uint32_t hdr = static_cast<std::uint32_t>(frag.size()) |
+                        (last ? 0x80000000u : 0u);
+    stream.push_back(static_cast<std::uint8_t>(hdr >> 24));
+    stream.push_back(static_cast<std::uint8_t>(hdr >> 16));
+    stream.push_back(static_cast<std::uint8_t>(hdr >> 8));
+    stream.push_back(static_cast<std::uint8_t>(hdr));
+    stream.insert(stream.end(), frag.begin(), frag.end());
+  };
+  pushFrag({1, 2}, false);
+  pushFrag({3, 4, 5}, true);
+
+  RecordMarkReader reader;
+  reader.feed(stream);
+  auto out = reader.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(RecordMark, ResetDiscardsPartialState) {
+  RecordMarkReader reader;
+  std::vector<std::uint8_t> partial{0x80, 0, 0, 10, 1, 2};  // incomplete
+  reader.feed(partial);
+  reader.reset();
+  std::vector<std::uint8_t> body{7};
+  reader.feed(recordMark(body));
+  EXPECT_EQ(*reader.next(), body);
+}
+
+TEST(Rpc, AuthUnixGidListCap) {
+  XdrEncoder enc;
+  enc.putUint32(0);
+  enc.putString("m");
+  enc.putUint32(1);
+  enc.putUint32(2);
+  enc.putUint32(200);  // absurd gid count
+  XdrDecoder dec(enc.bytes());
+  EXPECT_THROW(AuthUnix::decode(dec), XdrError);
+}
+
+}  // namespace
+}  // namespace nfstrace

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "server/readahead.hpp"
+#include "server/server.hpp"
+
+namespace nfstrace {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : fs_(InMemoryFs::Config{}), server_(fs_) {}
+
+  NfsReplyRes call(const NfsCallArgs& args) {
+    return server_.handle(args, 100, 100, t_ += 1000);
+  }
+
+  FileHandle createFile(const std::string& name, std::uint64_t size = 0) {
+    CreateArgs args;
+    args.dir = fs_.rootHandle();
+    args.name = name;
+    args.attrs.setSize = size > 0;
+    args.attrs.size = size;
+    auto res = std::get<CreateRes>(call(NfsCallArgs{args}));
+    EXPECT_EQ(res.status, NfsStat::Ok);
+    EXPECT_TRUE(res.hasFh);
+    return res.fh;
+  }
+
+  InMemoryFs fs_;
+  NfsServer server_;
+  MicroTime t_ = seconds(10);
+};
+
+TEST_F(ServerTest, NullOp) {
+  auto res = call(NullArgs{});
+  EXPECT_TRUE(std::holds_alternative<NullRes>(res));
+}
+
+TEST_F(ServerTest, GetattrAfterCreate) {
+  FileHandle fh = createFile("f", 1234);
+  auto res = std::get<GetattrRes>(call(GetattrArgs{fh}));
+  EXPECT_EQ(res.status, NfsStat::Ok);
+  EXPECT_EQ(res.attrs.size, 1234u);
+  EXPECT_EQ(res.attrs.uid, 100u);  // from the AUTH_UNIX credential
+}
+
+TEST_F(ServerTest, LookupReturnsDirAttrsEvenOnMiss) {
+  auto res = std::get<LookupRes>(call(LookupArgs{fs_.rootHandle(), "nope"}));
+  EXPECT_EQ(res.status, NfsStat::ErrNoEnt);
+  EXPECT_TRUE(res.hasDirAttrs);
+  EXPECT_EQ(res.dirAttrs.type, FileType::Directory);
+}
+
+TEST_F(ServerTest, WriteProducesWccPair) {
+  FileHandle fh = createFile("f", 1000);
+  auto res = std::get<WriteRes>(
+      call(WriteArgs{fh, 1000, 500, StableHow::Unstable}));
+  ASSERT_EQ(res.status, NfsStat::Ok);
+  ASSERT_TRUE(res.wcc.hasPre);
+  ASSERT_TRUE(res.wcc.hasPost);
+  EXPECT_EQ(res.wcc.pre.size, 1000u);
+  EXPECT_EQ(res.wcc.post.size, 1500u);
+  EXPECT_EQ(res.count, 500u);
+  EXPECT_EQ(res.committed, StableHow::Unstable);
+}
+
+TEST_F(ServerTest, ReadReturnsEof) {
+  FileHandle fh = createFile("f", 100);
+  auto res = std::get<ReadRes>(call(ReadArgs{fh, 0, 8192}));
+  EXPECT_EQ(res.status, NfsStat::Ok);
+  EXPECT_EQ(res.count, 100u);
+  EXPECT_TRUE(res.eof);
+  EXPECT_TRUE(res.hasAttrs);
+}
+
+TEST_F(ServerTest, ExclusiveCreateConflict) {
+  createFile("lock");
+  CreateArgs args;
+  args.dir = fs_.rootHandle();
+  args.name = "lock";
+  args.mode = CreateMode::Exclusive;
+  auto res = std::get<CreateRes>(call(NfsCallArgs{args}));
+  EXPECT_EQ(res.status, NfsStat::ErrExist);
+  EXPECT_TRUE(res.dirWcc.hasPost);  // dir wcc present even on failure
+}
+
+TEST_F(ServerTest, RemoveAndStale) {
+  FileHandle fh = createFile("f");
+  auto rm = std::get<RemoveRes>(call(RemoveArgs{fs_.rootHandle(), "f"}));
+  EXPECT_EQ(rm.status, NfsStat::Ok);
+  auto ga = std::get<GetattrRes>(call(GetattrArgs{fh}));
+  EXPECT_EQ(ga.status, NfsStat::ErrStale);
+}
+
+TEST_F(ServerTest, RenameWccBothDirs) {
+  createFile("a");
+  auto res = std::get<RenameRes>(
+      call(RenameArgs{fs_.rootHandle(), "a", fs_.rootHandle(), "b"}));
+  EXPECT_EQ(res.status, NfsStat::Ok);
+  EXPECT_TRUE(res.fromDirWcc.hasPost);
+  EXPECT_TRUE(res.toDirWcc.hasPost);
+}
+
+TEST_F(ServerTest, ReaddirPlusCarriesHandles) {
+  createFile("x");
+  createFile("y");
+  ReaddirplusArgs args;
+  args.dir = fs_.rootHandle();
+  auto res = std::get<ReaddirRes>(call(NfsCallArgs{args}));
+  ASSERT_EQ(res.status, NfsStat::Ok);
+  ASSERT_GE(res.entries.size(), 4u);  // . .. x y
+  bool sawX = false;
+  for (const auto& e : res.entries) {
+    if (e.name == "x") {
+      sawX = true;
+      EXPECT_TRUE(e.hasFh);
+      EXPECT_TRUE(e.hasAttrs);
+    }
+  }
+  EXPECT_TRUE(sawX);
+}
+
+TEST_F(ServerTest, ReaddirPlainHasNoHandles) {
+  createFile("x");
+  ReaddirArgs args;
+  args.dir = fs_.rootHandle();
+  auto res = std::get<ReaddirRes>(call(NfsCallArgs{args}));
+  ASSERT_EQ(res.status, NfsStat::Ok);
+  for (const auto& e : res.entries) {
+    EXPECT_FALSE(e.hasFh);
+    EXPECT_FALSE(e.hasAttrs);
+  }
+}
+
+TEST_F(ServerTest, CommitOnLiveAndStale) {
+  FileHandle fh = createFile("f", 100);
+  auto ok = std::get<CommitRes>(call(CommitArgs{fh, 0, 100}));
+  EXPECT_EQ(ok.status, NfsStat::Ok);
+  call(RemoveArgs{fs_.rootHandle(), "f"});
+  auto stale = std::get<CommitRes>(call(CommitArgs{fh, 0, 100}));
+  EXPECT_EQ(stale.status, NfsStat::ErrStale);
+}
+
+TEST_F(ServerTest, MknodUnsupported) {
+  MknodArgs args;
+  args.dir = fs_.rootHandle();
+  args.name = "fifo";
+  auto res = std::get<CreateRes>(call(NfsCallArgs{args}));
+  EXPECT_EQ(res.status, NfsStat::ErrNotSupp);
+}
+
+TEST_F(ServerTest, OpCounters) {
+  createFile("f");
+  call(GetattrArgs{fs_.rootHandle()});
+  call(GetattrArgs{fs_.rootHandle()});
+  EXPECT_EQ(server_.callCount(NfsOp::Getattr), 2u);
+  EXPECT_EQ(server_.callCount(NfsOp::Create), 1u);
+  EXPECT_EQ(server_.totalCalls(), 3u);
+}
+
+// ------------------------------------------------------------ read-ahead
+
+TEST(DiskModel, SeekVsSequentialCosts) {
+  DiskModel disk;
+  // First access: seek + transfer.
+  std::int64_t c1 = disk.read(1, 0, 0);
+  // Adjacent block: transfer only.
+  std::int64_t c2 = disk.read(1, 1, 0);
+  EXPECT_GT(c1, c2);
+  // Far block: seek again.
+  std::int64_t c3 = disk.read(1, 1000, 0);
+  EXPECT_GT(c3, c2);
+}
+
+TEST(DiskModel, CacheHitsAreCheap) {
+  DiskModel disk;
+  disk.read(1, 0, 4);  // prefetch blocks 1..4
+  std::int64_t hit = disk.read(1, 1, 0);
+  EXPECT_EQ(disk.cacheHits(), 1u);
+  EXPECT_LT(hit, 200);
+}
+
+TEST(ReadAhead, StrictGrowsOnSequential) {
+  ReadAheadEngine engine({ReadAheadPolicy::StrictSequential, 8, 16, 0.6, 10});
+  EXPECT_EQ(engine.onRead(1, 0, 1), 0u);  // no history yet
+  EXPECT_GE(engine.onRead(1, 1, 1), 1u);
+  EXPECT_GE(engine.onRead(1, 2, 1), 2u);
+}
+
+TEST(ReadAhead, StrictResetsOnReorder) {
+  ReadAheadEngine engine({ReadAheadPolicy::StrictSequential, 8, 16, 0.6, 10});
+  engine.onRead(1, 0, 1);
+  engine.onRead(1, 1, 1);
+  engine.onRead(1, 2, 1);
+  // A single out-of-order request relegates the stream to "random".
+  EXPECT_EQ(engine.onRead(1, 1, 1), 0u);
+}
+
+TEST(ReadAhead, MetricSurvivesIsolatedReorder) {
+  ReadAheadEngine engine(
+      {ReadAheadPolicy::SequentialityMetric, 8, 16, 0.6, 10});
+  // Warm up with a sequential stream.
+  for (std::uint64_t b = 0; b < 10; ++b) engine.onRead(1, b, 1);
+  EXPECT_GT(engine.onRead(1, 10, 1), 0u);
+  // One swapped pair must not kill the prefetch.
+  engine.onRead(1, 12, 1);
+  EXPECT_GT(engine.onRead(1, 11, 1), 0u);
+}
+
+TEST(ReadAhead, PerFileState) {
+  ReadAheadEngine engine({ReadAheadPolicy::StrictSequential, 8, 16, 0.6, 10});
+  engine.onRead(1, 0, 1);
+  engine.onRead(1, 1, 1);
+  // A different file starts fresh.
+  EXPECT_EQ(engine.onRead(2, 0, 1), 0u);
+}
+
+}  // namespace
+}  // namespace nfstrace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "xdr/xdr.hpp"
+
+namespace nfstrace {
+namespace {
+
+TEST(Xdr, Uint32RoundTrip) {
+  XdrEncoder enc;
+  enc.putUint32(0);
+  enc.putUint32(1);
+  enc.putUint32(0xdeadbeef);
+  enc.putUint32(0xffffffff);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.getUint32(), 0u);
+  EXPECT_EQ(dec.getUint32(), 1u);
+  EXPECT_EQ(dec.getUint32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.getUint32(), 0xffffffffu);
+  EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Xdr, BigEndianOnWire) {
+  XdrEncoder enc;
+  enc.putUint32(0x01020304);
+  ASSERT_EQ(enc.size(), 4u);
+  EXPECT_EQ(enc.bytes()[0], 0x01);
+  EXPECT_EQ(enc.bytes()[3], 0x04);
+}
+
+TEST(Xdr, Uint64RoundTrip) {
+  XdrEncoder enc;
+  enc.putUint64(0x0102030405060708ULL);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.getUint64(), 0x0102030405060708ULL);
+}
+
+TEST(Xdr, SignedRoundTrip) {
+  XdrEncoder enc;
+  enc.putInt32(-42);
+  enc.putInt64(-1234567890123LL);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.getInt32(), -42);
+  EXPECT_EQ(dec.getInt64(), -1234567890123LL);
+}
+
+TEST(Xdr, BoolRoundTrip) {
+  XdrEncoder enc;
+  enc.putBool(true);
+  enc.putBool(false);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_TRUE(dec.getBool());
+  EXPECT_FALSE(dec.getBool());
+}
+
+TEST(Xdr, OpaquePadding) {
+  XdrEncoder enc;
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  enc.putOpaque(data);
+  // 4 length + 5 data + 3 pad.
+  EXPECT_EQ(enc.size(), 12u);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.getOpaque(), data);
+  EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Xdr, EmptyOpaque) {
+  XdrEncoder enc;
+  enc.putOpaque({});
+  EXPECT_EQ(enc.size(), 4u);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_TRUE(dec.getOpaque().empty());
+}
+
+TEST(Xdr, FixedOpaqueNoLengthWord) {
+  XdrEncoder enc;
+  std::vector<std::uint8_t> data{9, 8, 7};
+  enc.putFixedOpaque(data);
+  EXPECT_EQ(enc.size(), 4u);  // 3 + 1 pad
+  XdrDecoder dec(enc.bytes());
+  auto out = dec.getFixedOpaque(3);
+  EXPECT_EQ(out, data);
+  EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Xdr, StringRoundTrip) {
+  XdrEncoder enc;
+  enc.putString("hello world");
+  enc.putString("");
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.getString(), "hello world");
+  EXPECT_EQ(dec.getString(), "");
+}
+
+TEST(Xdr, SkipOpaqueReturnsLength) {
+  XdrEncoder enc;
+  std::vector<std::uint8_t> data(100, 0xaa);
+  enc.putOpaque(data);
+  enc.putUint32(7);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.skipOpaque(), 100u);
+  EXPECT_EQ(dec.getUint32(), 7u);
+}
+
+TEST(Xdr, UnderrunThrows) {
+  std::vector<std::uint8_t> two{0, 1};
+  XdrDecoder dec(two);
+  EXPECT_THROW(dec.getUint32(), XdrError);
+}
+
+TEST(Xdr, OpaqueLengthSanityCap) {
+  XdrEncoder enc;
+  enc.putUint32(0x7fffffff);  // absurd length word
+  XdrDecoder dec(enc.bytes());
+  EXPECT_THROW(dec.getOpaque(1024), XdrError);
+}
+
+TEST(Xdr, TruncatedOpaqueThrows) {
+  XdrEncoder enc;
+  enc.putUint32(100);  // claims 100 bytes but provides none
+  XdrDecoder dec(enc.bytes());
+  EXPECT_THROW(dec.getOpaque(), XdrError);
+}
+
+TEST(Xdr, PositionTracking) {
+  XdrEncoder enc;
+  enc.putUint32(1);
+  enc.putUint64(2);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.position(), 0u);
+  dec.getUint32();
+  EXPECT_EQ(dec.position(), 4u);
+  EXPECT_EQ(dec.remaining(), 8u);
+}
+
+TEST(Xdr, RawEmbedding) {
+  XdrEncoder inner;
+  inner.putUint32(0xabcd);
+  XdrEncoder outer;
+  outer.putUint32(1);
+  outer.putRaw(inner.bytes());
+  XdrDecoder dec(outer.bytes());
+  EXPECT_EQ(dec.getUint32(), 1u);
+  EXPECT_EQ(dec.getUint32(), 0xabcdu);
+}
+
+TEST(Xdr, TakeMovesBuffer) {
+  XdrEncoder enc;
+  enc.putUint32(5);
+  auto buf = enc.take();
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(enc.size(), 0u);
+}
+
+}  // namespace
+}  // namespace nfstrace
