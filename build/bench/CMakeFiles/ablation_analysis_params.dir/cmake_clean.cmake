@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_analysis_params.dir/ablation_analysis_params.cpp.o"
+  "CMakeFiles/ablation_analysis_params.dir/ablation_analysis_params.cpp.o.d"
+  "ablation_analysis_params"
+  "ablation_analysis_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_analysis_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

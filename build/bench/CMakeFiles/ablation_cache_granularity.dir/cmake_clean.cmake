@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_granularity.dir/ablation_cache_granularity.cpp.o"
+  "CMakeFiles/ablation_cache_granularity.dir/ablation_cache_granularity.cpp.o.d"
+  "ablation_cache_granularity"
+  "ablation_cache_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delegation.dir/ablation_delegation.cpp.o"
+  "CMakeFiles/ablation_delegation.dir/ablation_delegation.cpp.o.d"
+  "ablation_delegation"
+  "ablation_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrays_similarity.dir/arrays_similarity.cpp.o"
+  "CMakeFiles/arrays_similarity.dir/arrays_similarity.cpp.o.d"
+  "arrays_similarity"
+  "arrays_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrays_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_reorder_window.dir/fig1_reorder_window.cpp.o"
+  "CMakeFiles/fig1_reorder_window.dir/fig1_reorder_window.cpp.o.d"
+  "fig1_reorder_window"
+  "fig1_reorder_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_reorder_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

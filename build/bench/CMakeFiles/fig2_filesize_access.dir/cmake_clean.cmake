@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_filesize_access.dir/fig2_filesize_access.cpp.o"
+  "CMakeFiles/fig2_filesize_access.dir/fig2_filesize_access.cpp.o.d"
+  "fig2_filesize_access"
+  "fig2_filesize_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_filesize_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

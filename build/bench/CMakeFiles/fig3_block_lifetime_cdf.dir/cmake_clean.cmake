@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_block_lifetime_cdf.dir/fig3_block_lifetime_cdf.cpp.o"
+  "CMakeFiles/fig3_block_lifetime_cdf.dir/fig3_block_lifetime_cdf.cpp.o.d"
+  "fig3_block_lifetime_cdf"
+  "fig3_block_lifetime_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_block_lifetime_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_block_lifetime_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_weekly_pattern.dir/fig4_weekly_pattern.cpp.o"
+  "CMakeFiles/fig4_weekly_pattern.dir/fig4_weekly_pattern.cpp.o.d"
+  "fig4_weekly_pattern"
+  "fig4_weekly_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_weekly_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sequentiality.dir/fig5_sequentiality.cpp.o"
+  "CMakeFiles/fig5_sequentiality.dir/fig5_sequentiality.cpp.o.d"
+  "fig5_sequentiality"
+  "fig5_sequentiality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sequentiality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_prediction.dir/name_prediction.cpp.o"
+  "CMakeFiles/name_prediction.dir/name_prediction.cpp.o.d"
+  "name_prediction"
+  "name_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfsiod_reorder.dir/nfsiod_reorder.cpp.o"
+  "CMakeFiles/nfsiod_reorder.dir/nfsiod_reorder.cpp.o.d"
+  "nfsiod_reorder"
+  "nfsiod_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfsiod_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

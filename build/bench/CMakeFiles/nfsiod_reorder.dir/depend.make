@@ -1,0 +1,2 @@
+# Empty dependencies file for nfsiod_reorder.
+# This may be replaced when dependencies are built.

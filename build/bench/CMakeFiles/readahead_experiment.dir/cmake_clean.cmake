@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readahead_experiment.dir/readahead_experiment.cpp.o"
+  "CMakeFiles/readahead_experiment.dir/readahead_experiment.cpp.o.d"
+  "readahead_experiment"
+  "readahead_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readahead_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

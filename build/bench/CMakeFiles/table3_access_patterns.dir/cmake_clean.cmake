@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_access_patterns.dir/table3_access_patterns.cpp.o"
+  "CMakeFiles/table3_access_patterns.dir/table3_access_patterns.cpp.o.d"
+  "table3_access_patterns"
+  "table3_access_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_access_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_block_life.dir/table4_block_life.cpp.o"
+  "CMakeFiles/table4_block_life.dir/table4_block_life.cpp.o.d"
+  "table4_block_life"
+  "table4_block_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_block_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

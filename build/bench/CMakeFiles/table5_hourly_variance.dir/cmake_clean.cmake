@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_hourly_variance.dir/table5_hourly_variance.cpp.o"
+  "CMakeFiles/table5_hourly_variance.dir/table5_hourly_variance.cpp.o.d"
+  "table5_hourly_variance"
+  "table5_hourly_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_hourly_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

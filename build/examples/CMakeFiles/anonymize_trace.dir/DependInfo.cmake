@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/anonymize_trace.cpp" "examples/CMakeFiles/anonymize_trace.dir/anonymize_trace.cpp.o" "gcc" "examples/CMakeFiles/anonymize_trace.dir/anonymize_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/nfstrace_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nfstrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/anon/CMakeFiles/nfstrace_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/nfstrace_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/sniffer/CMakeFiles/nfstrace_sniffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcap/CMakeFiles/nfstrace_netcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/nfstrace_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/nfstrace_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/nfstrace_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/nfstrace_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/nfstrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/nfstrace_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/nfstrace_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nfstrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nfstrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

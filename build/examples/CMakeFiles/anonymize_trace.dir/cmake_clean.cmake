@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymize_trace.dir/anonymize_trace.cpp.o"
+  "CMakeFiles/anonymize_trace.dir/anonymize_trace.cpp.o.d"
+  "anonymize_trace"
+  "anonymize_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymize_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

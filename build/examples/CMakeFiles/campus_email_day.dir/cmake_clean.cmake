@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_email_day.dir/campus_email_day.cpp.o"
+  "CMakeFiles/campus_email_day.dir/campus_email_day.cpp.o.d"
+  "campus_email_day"
+  "campus_email_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_email_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

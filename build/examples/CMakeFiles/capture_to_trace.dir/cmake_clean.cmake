@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_to_trace.dir/capture_to_trace.cpp.o"
+  "CMakeFiles/capture_to_trace.dir/capture_to_trace.cpp.o.d"
+  "capture_to_trace"
+  "capture_to_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_to_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

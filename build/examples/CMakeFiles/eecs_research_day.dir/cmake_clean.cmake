@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_research_day.dir/eecs_research_day.cpp.o"
+  "CMakeFiles/eecs_research_day.dir/eecs_research_day.cpp.o.d"
+  "eecs_research_day"
+  "eecs_research_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_research_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

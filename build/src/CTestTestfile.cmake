@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("xdr")
+subdirs("rpc")
+subdirs("nfs")
+subdirs("pcap")
+subdirs("net")
+subdirs("fs")
+subdirs("server")
+subdirs("client")
+subdirs("netcap")
+subdirs("sniffer")
+subdirs("trace")
+subdirs("anon")
+subdirs("workload")
+subdirs("analysis")

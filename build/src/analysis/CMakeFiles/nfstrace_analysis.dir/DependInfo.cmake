@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/blocklife.cpp" "src/analysis/CMakeFiles/nfstrace_analysis.dir/blocklife.cpp.o" "gcc" "src/analysis/CMakeFiles/nfstrace_analysis.dir/blocklife.cpp.o.d"
+  "/root/repo/src/analysis/hourly.cpp" "src/analysis/CMakeFiles/nfstrace_analysis.dir/hourly.cpp.o" "gcc" "src/analysis/CMakeFiles/nfstrace_analysis.dir/hourly.cpp.o.d"
+  "/root/repo/src/analysis/names.cpp" "src/analysis/CMakeFiles/nfstrace_analysis.dir/names.cpp.o" "gcc" "src/analysis/CMakeFiles/nfstrace_analysis.dir/names.cpp.o.d"
+  "/root/repo/src/analysis/pathrec.cpp" "src/analysis/CMakeFiles/nfstrace_analysis.dir/pathrec.cpp.o" "gcc" "src/analysis/CMakeFiles/nfstrace_analysis.dir/pathrec.cpp.o.d"
+  "/root/repo/src/analysis/reorder.cpp" "src/analysis/CMakeFiles/nfstrace_analysis.dir/reorder.cpp.o" "gcc" "src/analysis/CMakeFiles/nfstrace_analysis.dir/reorder.cpp.o.d"
+  "/root/repo/src/analysis/runs.cpp" "src/analysis/CMakeFiles/nfstrace_analysis.dir/runs.cpp.o" "gcc" "src/analysis/CMakeFiles/nfstrace_analysis.dir/runs.cpp.o.d"
+  "/root/repo/src/analysis/summary.cpp" "src/analysis/CMakeFiles/nfstrace_analysis.dir/summary.cpp.o" "gcc" "src/analysis/CMakeFiles/nfstrace_analysis.dir/summary.cpp.o.d"
+  "/root/repo/src/analysis/users.cpp" "src/analysis/CMakeFiles/nfstrace_analysis.dir/users.cpp.o" "gcc" "src/analysis/CMakeFiles/nfstrace_analysis.dir/users.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/nfstrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nfstrace_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/nfstrace_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/nfstrace_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nfstrace_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

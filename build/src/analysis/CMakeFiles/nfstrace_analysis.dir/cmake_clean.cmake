@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_analysis.dir/blocklife.cpp.o"
+  "CMakeFiles/nfstrace_analysis.dir/blocklife.cpp.o.d"
+  "CMakeFiles/nfstrace_analysis.dir/hourly.cpp.o"
+  "CMakeFiles/nfstrace_analysis.dir/hourly.cpp.o.d"
+  "CMakeFiles/nfstrace_analysis.dir/names.cpp.o"
+  "CMakeFiles/nfstrace_analysis.dir/names.cpp.o.d"
+  "CMakeFiles/nfstrace_analysis.dir/pathrec.cpp.o"
+  "CMakeFiles/nfstrace_analysis.dir/pathrec.cpp.o.d"
+  "CMakeFiles/nfstrace_analysis.dir/reorder.cpp.o"
+  "CMakeFiles/nfstrace_analysis.dir/reorder.cpp.o.d"
+  "CMakeFiles/nfstrace_analysis.dir/runs.cpp.o"
+  "CMakeFiles/nfstrace_analysis.dir/runs.cpp.o.d"
+  "CMakeFiles/nfstrace_analysis.dir/summary.cpp.o"
+  "CMakeFiles/nfstrace_analysis.dir/summary.cpp.o.d"
+  "CMakeFiles/nfstrace_analysis.dir/users.cpp.o"
+  "CMakeFiles/nfstrace_analysis.dir/users.cpp.o.d"
+  "libnfstrace_analysis.a"
+  "libnfstrace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_anon.dir/anon.cpp.o"
+  "CMakeFiles/nfstrace_anon.dir/anon.cpp.o.d"
+  "libnfstrace_anon.a"
+  "libnfstrace_anon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_client.dir/client.cpp.o"
+  "CMakeFiles/nfstrace_client.dir/client.cpp.o.d"
+  "libnfstrace_client.a"
+  "libnfstrace_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

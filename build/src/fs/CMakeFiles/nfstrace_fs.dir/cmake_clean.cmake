@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_fs.dir/fs.cpp.o"
+  "CMakeFiles/nfstrace_fs.dir/fs.cpp.o.d"
+  "libnfstrace_fs.a"
+  "libnfstrace_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

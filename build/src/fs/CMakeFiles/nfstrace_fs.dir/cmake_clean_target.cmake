@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnfstrace_fs.a"
+)

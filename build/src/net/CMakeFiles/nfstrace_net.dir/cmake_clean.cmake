@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_net.dir/packet.cpp.o"
+  "CMakeFiles/nfstrace_net.dir/packet.cpp.o.d"
+  "libnfstrace_net.a"
+  "libnfstrace_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_netcap.dir/netcap.cpp.o"
+  "CMakeFiles/nfstrace_netcap.dir/netcap.cpp.o.d"
+  "libnfstrace_netcap.a"
+  "libnfstrace_netcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_netcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

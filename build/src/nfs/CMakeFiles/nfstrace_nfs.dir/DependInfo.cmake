@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/messages2.cpp" "src/nfs/CMakeFiles/nfstrace_nfs.dir/messages2.cpp.o" "gcc" "src/nfs/CMakeFiles/nfstrace_nfs.dir/messages2.cpp.o.d"
+  "/root/repo/src/nfs/messages3.cpp" "src/nfs/CMakeFiles/nfstrace_nfs.dir/messages3.cpp.o" "gcc" "src/nfs/CMakeFiles/nfstrace_nfs.dir/messages3.cpp.o.d"
+  "/root/repo/src/nfs/proc.cpp" "src/nfs/CMakeFiles/nfstrace_nfs.dir/proc.cpp.o" "gcc" "src/nfs/CMakeFiles/nfstrace_nfs.dir/proc.cpp.o.d"
+  "/root/repo/src/nfs/types.cpp" "src/nfs/CMakeFiles/nfstrace_nfs.dir/types.cpp.o" "gcc" "src/nfs/CMakeFiles/nfstrace_nfs.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xdr/CMakeFiles/nfstrace_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nfstrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_nfs.dir/messages2.cpp.o"
+  "CMakeFiles/nfstrace_nfs.dir/messages2.cpp.o.d"
+  "CMakeFiles/nfstrace_nfs.dir/messages3.cpp.o"
+  "CMakeFiles/nfstrace_nfs.dir/messages3.cpp.o.d"
+  "CMakeFiles/nfstrace_nfs.dir/proc.cpp.o"
+  "CMakeFiles/nfstrace_nfs.dir/proc.cpp.o.d"
+  "CMakeFiles/nfstrace_nfs.dir/types.cpp.o"
+  "CMakeFiles/nfstrace_nfs.dir/types.cpp.o.d"
+  "libnfstrace_nfs.a"
+  "libnfstrace_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_pcap.dir/pcap.cpp.o"
+  "CMakeFiles/nfstrace_pcap.dir/pcap.cpp.o.d"
+  "libnfstrace_pcap.a"
+  "libnfstrace_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

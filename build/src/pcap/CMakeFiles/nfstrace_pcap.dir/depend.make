@@ -1,0 +1,2 @@
+# Empty dependencies file for nfstrace_pcap.
+# This may be replaced when dependencies are built.

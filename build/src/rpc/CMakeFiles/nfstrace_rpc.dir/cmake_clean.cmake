@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_rpc.dir/rpc.cpp.o"
+  "CMakeFiles/nfstrace_rpc.dir/rpc.cpp.o.d"
+  "libnfstrace_rpc.a"
+  "libnfstrace_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

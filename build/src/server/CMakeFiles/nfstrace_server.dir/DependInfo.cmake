@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/mountd.cpp" "src/server/CMakeFiles/nfstrace_server.dir/mountd.cpp.o" "gcc" "src/server/CMakeFiles/nfstrace_server.dir/mountd.cpp.o.d"
+  "/root/repo/src/server/portmap.cpp" "src/server/CMakeFiles/nfstrace_server.dir/portmap.cpp.o" "gcc" "src/server/CMakeFiles/nfstrace_server.dir/portmap.cpp.o.d"
+  "/root/repo/src/server/readahead.cpp" "src/server/CMakeFiles/nfstrace_server.dir/readahead.cpp.o" "gcc" "src/server/CMakeFiles/nfstrace_server.dir/readahead.cpp.o.d"
+  "/root/repo/src/server/server.cpp" "src/server/CMakeFiles/nfstrace_server.dir/server.cpp.o" "gcc" "src/server/CMakeFiles/nfstrace_server.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/nfstrace_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/nfstrace_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/nfstrace_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nfstrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_server.dir/mountd.cpp.o"
+  "CMakeFiles/nfstrace_server.dir/mountd.cpp.o.d"
+  "CMakeFiles/nfstrace_server.dir/portmap.cpp.o"
+  "CMakeFiles/nfstrace_server.dir/portmap.cpp.o.d"
+  "CMakeFiles/nfstrace_server.dir/readahead.cpp.o"
+  "CMakeFiles/nfstrace_server.dir/readahead.cpp.o.d"
+  "CMakeFiles/nfstrace_server.dir/server.cpp.o"
+  "CMakeFiles/nfstrace_server.dir/server.cpp.o.d"
+  "libnfstrace_server.a"
+  "libnfstrace_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

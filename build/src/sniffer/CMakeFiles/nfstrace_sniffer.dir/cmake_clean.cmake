@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_sniffer.dir/sniffer.cpp.o"
+  "CMakeFiles/nfstrace_sniffer.dir/sniffer.cpp.o.d"
+  "libnfstrace_sniffer.a"
+  "libnfstrace_sniffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_sniffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_trace.dir/tracefile.cpp.o"
+  "CMakeFiles/nfstrace_trace.dir/tracefile.cpp.o.d"
+  "libnfstrace_trace.a"
+  "libnfstrace_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_util.dir/config.cpp.o"
+  "CMakeFiles/nfstrace_util.dir/config.cpp.o.d"
+  "CMakeFiles/nfstrace_util.dir/histogram.cpp.o"
+  "CMakeFiles/nfstrace_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/nfstrace_util.dir/rng.cpp.o"
+  "CMakeFiles/nfstrace_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nfstrace_util.dir/strings.cpp.o"
+  "CMakeFiles/nfstrace_util.dir/strings.cpp.o.d"
+  "CMakeFiles/nfstrace_util.dir/table.cpp.o"
+  "CMakeFiles/nfstrace_util.dir/table.cpp.o.d"
+  "CMakeFiles/nfstrace_util.dir/time.cpp.o"
+  "CMakeFiles/nfstrace_util.dir/time.cpp.o.d"
+  "libnfstrace_util.a"
+  "libnfstrace_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_workload.dir/campus.cpp.o"
+  "CMakeFiles/nfstrace_workload.dir/campus.cpp.o.d"
+  "CMakeFiles/nfstrace_workload.dir/eecs.cpp.o"
+  "CMakeFiles/nfstrace_workload.dir/eecs.cpp.o.d"
+  "CMakeFiles/nfstrace_workload.dir/schedule.cpp.o"
+  "CMakeFiles/nfstrace_workload.dir/schedule.cpp.o.d"
+  "CMakeFiles/nfstrace_workload.dir/sim.cpp.o"
+  "CMakeFiles/nfstrace_workload.dir/sim.cpp.o.d"
+  "libnfstrace_workload.a"
+  "libnfstrace_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

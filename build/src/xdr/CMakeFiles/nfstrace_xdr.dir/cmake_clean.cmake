@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfstrace_xdr.dir/xdr.cpp.o"
+  "CMakeFiles/nfstrace_xdr.dir/xdr.cpp.o.d"
+  "libnfstrace_xdr.a"
+  "libnfstrace_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfstrace_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

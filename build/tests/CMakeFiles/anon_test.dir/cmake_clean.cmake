@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anon_test.dir/anon_test.cpp.o"
+  "CMakeFiles/anon_test.dir/anon_test.cpp.o.d"
+  "anon_test"
+  "anon_test.pdb"
+  "anon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcap_test.dir/netcap_test.cpp.o"
+  "CMakeFiles/netcap_test.dir/netcap_test.cpp.o.d"
+  "netcap_test"
+  "netcap_test.pdb"
+  "netcap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

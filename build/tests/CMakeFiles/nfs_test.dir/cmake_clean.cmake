@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs_test.dir/nfs_test.cpp.o"
+  "CMakeFiles/nfs_test.dir/nfs_test.cpp.o.d"
+  "nfs_test"
+  "nfs_test.pdb"
+  "nfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sniffer_test.dir/sniffer_test.cpp.o"
+  "CMakeFiles/sniffer_test.dir/sniffer_test.cpp.o.d"
+  "sniffer_test"
+  "sniffer_test.pdb"
+  "sniffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sniffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
