@@ -1,0 +1,563 @@
+// Frozen copy of the pre-optimization serial hot path, kept verbatim so
+// pipeline_throughput has a stable baseline to measure against:
+//   - std::map/std::set flow and pending-call tables (the seed sniffer),
+//   - an O(pending) expiry scan on *every* frame,
+//   - ostringstream record formatting with a fresh string per record,
+//   - one fwrite per record, no write buffering.
+// Decode helpers (parseFrame, RPC/NFS decoding, record semantics) are
+// shared with the live code — only the hot-path structure is frozen.
+// Do not "fix" anything here; improvements belong in src/.
+#pragma once
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/packet.hpp"
+#include "netcap/netcap.hpp"
+#include "nfs/messages.hpp"
+#include "rpc/rpc.hpp"
+#include "trace/record.hpp"
+
+namespace nfstrace::legacy {
+
+inline std::string encodeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c <= ' ' || c == '%' || c == '=' || c == 0x7f) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", c);
+      out += buf;
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+inline std::string timeField(MicroTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64,
+                t / kMicrosPerSecond, t % kMicrosPerSecond);
+  return buf;
+}
+
+inline std::string formatRecord(const TraceRecord& rec) {
+  std::ostringstream o;
+  o << "t=" << timeField(rec.ts);
+  if (rec.hasReply) o << " r=" << timeField(rec.replyTs);
+  o << " c=" << ipToString(rec.client) << " s=" << ipToString(rec.server);
+  char xidBuf[12];
+  std::snprintf(xidBuf, sizeof(xidBuf), "%08x", rec.xid);
+  o << " xid=" << xidBuf << " v=" << static_cast<int>(rec.vers)
+    << " p=" << (rec.overTcp ? "tcp" : "udp") << " op=" << nfsOpName(rec.op)
+    << " uid=" << rec.uid << " gid=" << rec.gid;
+  if (rec.fh.len) o << " fh=" << rec.fh.toHex();
+  if (!rec.name.empty()) o << " nm=" << encodeField(rec.name);
+  if (!rec.name2.empty()) o << " nm2=" << encodeField(rec.name2);
+  if (rec.fh2.len) o << " fh2=" << rec.fh2.toHex();
+  if (rec.op == NfsOp::Read || rec.op == NfsOp::Write ||
+      rec.op == NfsOp::Commit) {
+    o << " off=" << rec.offset << " cnt=" << rec.count;
+  }
+  if (rec.hasReply) {
+    o << " st=" << nfsStatName(rec.status);
+    if (rec.op == NfsOp::Read || rec.op == NfsOp::Write) {
+      o << " ret=" << rec.retCount;
+    }
+    if (rec.op == NfsOp::Read) o << " eof=" << (rec.eof ? 1 : 0);
+    if (rec.hasResFh) o << " rfh=" << rec.resFh.toHex();
+    if (rec.hasAttrs) {
+      o << " ft=" << static_cast<std::uint32_t>(rec.ftype)
+        << " sz=" << rec.fileSize << " mt=" << timeField(rec.fileMtime)
+        << " fid=" << rec.fileId;
+    }
+    if (rec.hasPre) {
+      o << " psz=" << rec.preSize << " pmt=" << timeField(rec.preMtime);
+    }
+  }
+  return o.str();
+}
+
+/// The seed's IP reassembler: buffers one payload copy per fragment, then
+/// concatenates into a fresh vector and copies again to strip the UDP
+/// header (the live one assembles in place).
+class IpReassembler {
+ public:
+  explicit IpReassembler(std::int64_t timeoutUs = 30'000'000)
+      : timeoutUs_(timeoutUs) {}
+
+  std::optional<std::vector<std::uint8_t>> feed(const ParsedFrame& frame,
+                                                std::int64_t now) {
+    if (!frame.isFragment()) {
+      return std::vector<std::uint8_t>(frame.payload.begin(),
+                                       frame.payload.end());
+    }
+
+    for (std::size_t i = 0; i < pending_.size();) {
+      if (now - pending_[i].second.firstSeen > timeoutUs_) {
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++expired_;
+      } else {
+        ++i;
+      }
+    }
+
+    Key key{frame.src, frame.dst, frame.ipId};
+    Pending* entry = nullptr;
+    for (auto& [k, p] : pending_) {
+      if (k == key) {
+        entry = &p;
+        break;
+      }
+    }
+    if (!entry) {
+      pending_.emplace_back(key, Pending{});
+      entry = &pending_.back().second;
+      entry->firstSeen = now;
+    }
+
+    entry->parts.emplace_back(
+        frame.fragOffsetBytes,
+        std::vector<std::uint8_t>(frame.payload.begin(), frame.payload.end()));
+    if (!frame.moreFragments) {
+      entry->haveLast = true;
+      entry->totalLen = frame.fragOffsetBytes +
+                        static_cast<std::uint32_t>(frame.payload.size());
+    }
+    if (!entry->haveLast) return std::nullopt;
+
+    std::sort(entry->parts.begin(), entry->parts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::uint32_t pos = 0;
+    for (const auto& [off, bytes] : entry->parts) {
+      if (off > pos) return std::nullopt;  // hole
+      pos = std::max(pos, off + static_cast<std::uint32_t>(bytes.size()));
+    }
+    if (pos < entry->totalLen) return std::nullopt;
+
+    std::vector<std::uint8_t> full(entry->totalLen);
+    for (const auto& [off, bytes] : entry->parts) {
+      std::size_t n = std::min<std::size_t>(bytes.size(), full.size() - off);
+      std::copy_n(bytes.begin(), n, full.begin() + off);
+    }
+    if (full.size() < 8) return std::nullopt;
+    std::vector<std::uint8_t> udpPayload(full.begin() + 8, full.end());
+
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].first == key) {
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    return udpPayload;
+  }
+
+  std::uint64_t expired() const { return expired_; }
+
+ private:
+  struct Key {
+    IpAddr src, dst;
+    std::uint16_t id;
+    bool operator==(const Key&) const = default;
+  };
+  struct Pending {
+    std::int64_t firstSeen = 0;
+    std::vector<std::pair<std::uint16_t, std::vector<std::uint8_t>>> parts;
+    bool haveLast = false;
+    std::uint32_t totalLen = 0;
+  };
+
+  std::vector<std::pair<Key, Pending>> pending_;
+  std::int64_t timeoutUs_;
+  std::uint64_t expired_ = 0;
+};
+
+/// One formatRecord + one fwrite per record, exactly like the seed writer.
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path) {
+    f_ = std::fopen(path.c_str(), "wb");
+    if (!f_) throw std::runtime_error("legacy: cannot open: " + path);
+  }
+  ~TraceWriter() {
+    if (f_) std::fclose(f_);
+  }
+  void write(const TraceRecord& rec) {
+    std::string line = formatRecord(rec);
+    line.push_back('\n');
+    if (std::fwrite(line.data(), 1, line.size(), f_) != line.size()) {
+      throw std::runtime_error("legacy: write failed");
+    }
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+};
+
+class Sniffer : public FrameSink {
+ public:
+  struct Config {
+    std::uint16_t nfsPort = 2049;
+    MicroTime pendingTimeout = 60 * kMicrosPerSecond;
+  };
+
+  struct Stats {
+    std::uint64_t framesSeen = 0;
+    std::uint64_t framesUndecodable = 0;
+    std::uint64_t rpcCalls = 0;
+    std::uint64_t rpcReplies = 0;
+    std::uint64_t nonNfsCalls = 0;
+    std::uint64_t orphanReplies = 0;
+    std::uint64_t expiredCalls = 0;
+    std::uint64_t fragmentsExpired = 0;
+  };
+
+  using RecordCallback = std::function<void(const TraceRecord&)>;
+
+  Sniffer(Config config, RecordCallback callback)
+      : config_(config), callback_(std::move(callback)) {}
+
+  void onFrame(const CapturedPacket& pkt) override {
+    ++stats_.framesSeen;
+    auto parsed = parseFrame(pkt.data);
+    if (!parsed) {
+      ++stats_.framesUndecodable;
+      return;
+    }
+
+    expirePending(pkt.ts);
+
+    bool toServer = parsed->dstPort == config_.nfsPort;
+    bool fromServer = parsed->srcPort == config_.nfsPort;
+
+    if (parsed->proto == IpProto::Udp || parsed->isFragment()) {
+      auto payload = ipReassembler_.feed(*parsed, pkt.ts);
+      stats_.fragmentsExpired = ipReassembler_.expired();
+      if (!payload) return;
+      if (!parsed->isFragment() && !toServer && !fromServer) return;
+      onRpcBytes(pkt.ts, parsed->src, parsed->dst, false, *payload,
+                 parsed->isFragment() ? true : toServer);
+      return;
+    }
+
+    if (!toServer && !fromServer) return;
+    FlowKey key{parsed->src, parsed->dst, parsed->srcPort, parsed->dstPort};
+    TcpFlow& flow = tcpFlows_[key];
+    auto bytes =
+        flow.reassembler.feed(parsed->tcpSeq, parsed->payload, parsed->tcpSyn);
+    if (bytes.empty()) {
+      if (flow.reassembler.hasGap() && !parsed->payload.empty()) {
+        flow.reassembler.resyncTo(parsed->tcpSeq);
+        flow.records.reset();
+        bytes = flow.reassembler.feed(parsed->tcpSeq, parsed->payload, false);
+      }
+      if (bytes.empty()) return;
+    }
+    flow.records.feed(bytes);
+    while (auto body = flow.records.next()) {
+      onRpcBytes(pkt.ts, parsed->src, parsed->dst, true, *body, toServer);
+    }
+  }
+
+  void flush() {
+    for (auto& [key, pc] : pending_) {
+      TraceRecord rec = recordFromCall(key.second, pc);
+      ++stats_.expiredCalls;
+      callback_(rec);
+    }
+    pending_.clear();
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct FlowKey {
+    IpAddr src, dst;
+    std::uint16_t srcPort, dstPort;
+    bool operator<(const FlowKey& o) const {
+      return std::tie(src, dst, srcPort, dstPort) <
+             std::tie(o.src, o.dst, o.srcPort, o.dstPort);
+    }
+  };
+  struct TcpFlow {
+    TcpReassembler reassembler;
+    RecordMarkReader records;
+  };
+  struct PendingCall {
+    MicroTime ts = 0;
+    IpAddr client = 0;
+    IpAddr server = 0;
+    std::uint32_t vers = 3;
+    std::uint32_t proc = 0;
+    bool overTcp = false;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    NfsCallArgs args;
+  };
+
+  void onRpcBytes(MicroTime ts, IpAddr src, IpAddr dst, bool overTcp,
+                  std::span<const std::uint8_t> body, bool toServer) {
+    (void)toServer;
+    RpcMessage msg;
+    try {
+      msg = decodeRpcMessage(body);
+    } catch (const XdrError&) {
+      ++stats_.framesUndecodable;
+      return;
+    }
+
+    if (msg.type == RpcMsgType::Call) {
+      handleCall(ts, src, dst, overTcp, msg.call, body);
+    } else {
+      if (!pending_.count({dst, msg.reply.xid}) &&
+          pending_.count({src, msg.reply.xid})) {
+        handleReply(ts, src, msg.reply, body);
+      } else {
+        handleReply(ts, dst, msg.reply, body);
+      }
+    }
+  }
+
+  void handleCall(MicroTime ts, IpAddr client, IpAddr server, bool overTcp,
+                  const RpcCall& call, std::span<const std::uint8_t> body) {
+    if (call.prog != kNfsProgram) {
+      ++stats_.nonNfsCalls;
+      ignoredXids_.insert({client, call.xid});
+      return;
+    }
+    ++stats_.rpcCalls;
+
+    PendingCall pc;
+    pc.ts = ts;
+    pc.client = client;
+    pc.server = server;
+    pc.vers = call.vers;
+    pc.proc = call.proc;
+    pc.overTcp = overTcp;
+    if (call.cred) {
+      pc.uid = call.cred->uid;
+      pc.gid = call.cred->gid;
+    }
+
+    XdrDecoder dec(body.subspan(call.argsOffset));
+    try {
+      if (call.vers == 3) {
+        pc.args = decodeCall3(static_cast<Proc3>(call.proc), dec);
+      } else if (call.vers == 2) {
+        pc.args = decodeCall2(static_cast<Proc2>(call.proc), dec);
+      } else {
+        return;
+      }
+    } catch (const XdrError&) {
+      ++stats_.framesUndecodable;
+      return;
+    }
+
+    pending_[{client, call.xid}] = std::move(pc);
+  }
+
+  void handleReply(MicroTime ts, IpAddr client, const RpcReply& reply,
+                   std::span<const std::uint8_t> body) {
+    ++stats_.rpcReplies;
+    auto it = pending_.find({client, reply.xid});
+    if (it == pending_.end()) {
+      if (ignoredXids_.erase({client, reply.xid})) return;
+      ++stats_.orphanReplies;
+      return;
+    }
+    const PendingCall& pc = it->second;
+
+    TraceRecord rec = recordFromCall(reply.xid, pc);
+    rec.hasReply = true;
+    rec.replyTs = ts;
+
+    if (reply.acceptStat == RpcAcceptStat::Success) {
+      XdrDecoder dec(body.subspan(reply.resultsOffset));
+      try {
+        NfsReplyRes res;
+        if (pc.vers == 3) {
+          res = decodeReply3(static_cast<Proc3>(pc.proc), dec);
+        } else {
+          res = decodeReply2(static_cast<Proc2>(pc.proc), dec);
+        }
+        fillReply(rec, pc, res);
+      } catch (const XdrError&) {
+        rec.status = NfsStat::ErrServerFault;
+      }
+    } else {
+      rec.status = NfsStat::ErrServerFault;
+    }
+
+    pending_.erase(it);
+    callback_(rec);
+  }
+
+  void expirePending(MicroTime now) {
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (now - it->second.ts > config_.pendingTimeout) {
+        TraceRecord rec = recordFromCall(it->first.second, it->second);
+        ++stats_.expiredCalls;
+        callback_(rec);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  TraceRecord recordFromCall(std::uint32_t xid, const PendingCall& pc) const {
+    TraceRecord rec;
+    rec.ts = pc.ts;
+    rec.client = pc.client;
+    rec.server = pc.server;
+    rec.xid = xid;
+    rec.vers = static_cast<std::uint8_t>(pc.vers);
+    rec.overTcp = pc.overTcp;
+    rec.op = pc.vers == 3 ? opFromProc3(static_cast<Proc3>(pc.proc))
+                          : opFromProc2(static_cast<Proc2>(pc.proc));
+    rec.uid = pc.uid;
+    rec.gid = pc.gid;
+
+    std::visit(
+        [&](const auto& a) {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, GetattrArgs> ||
+                        std::is_same_v<T, ReadlinkArgs> ||
+                        std::is_same_v<T, FsstatArgs> ||
+                        std::is_same_v<T, FsinfoArgs> ||
+                        std::is_same_v<T, PathconfArgs>) {
+            rec.fh = a.fh;
+          } else if constexpr (std::is_same_v<T, SetattrArgs> ||
+                               std::is_same_v<T, AccessArgs>) {
+            rec.fh = a.fh;
+          } else if constexpr (std::is_same_v<T, LookupArgs> ||
+                               std::is_same_v<T, RemoveArgs> ||
+                               std::is_same_v<T, RmdirArgs>) {
+            rec.fh = a.dir;
+            rec.name = a.name;
+          } else if constexpr (std::is_same_v<T, CreateArgs> ||
+                               std::is_same_v<T, MkdirArgs> ||
+                               std::is_same_v<T, MknodArgs>) {
+            rec.fh = a.dir;
+            rec.name = a.name;
+          } else if constexpr (std::is_same_v<T, SymlinkArgs>) {
+            rec.fh = a.dir;
+            rec.name = a.name;
+            rec.name2 = a.target;
+          } else if constexpr (std::is_same_v<T, ReadArgs>) {
+            rec.fh = a.fh;
+            rec.offset = a.offset;
+            rec.count = a.count;
+          } else if constexpr (std::is_same_v<T, WriteArgs>) {
+            rec.fh = a.fh;
+            rec.offset = a.offset;
+            rec.count = a.count;
+          } else if constexpr (std::is_same_v<T, CommitArgs>) {
+            rec.fh = a.fh;
+            rec.offset = a.offset;
+            rec.count = a.count;
+          } else if constexpr (std::is_same_v<T, RenameArgs>) {
+            rec.fh = a.fromDir;
+            rec.name = a.fromName;
+            rec.fh2 = a.toDir;
+            rec.name2 = a.toName;
+          } else if constexpr (std::is_same_v<T, LinkArgs>) {
+            rec.fh = a.fh;
+            rec.fh2 = a.dir;
+            rec.name = a.name;
+          } else if constexpr (std::is_same_v<T, ReaddirArgs> ||
+                               std::is_same_v<T, ReaddirplusArgs>) {
+            rec.fh = a.dir;
+          }
+        },
+        pc.args);
+    return rec;
+  }
+
+  void fillReply(TraceRecord& rec, const PendingCall& pc,
+                 const NfsReplyRes& res) const {
+    (void)pc;
+    rec.status = statusOf(res);
+
+    auto takeAttrs = [&](const Fattr& a) {
+      rec.hasAttrs = true;
+      rec.ftype = a.type;
+      rec.fileSize = a.size;
+      rec.fileMtime = a.mtime.toMicro();
+      rec.fileId = a.fileid;
+    };
+
+    std::visit(
+        [&](const auto& r) {
+          using T = std::decay_t<decltype(r)>;
+          if constexpr (std::is_same_v<T, GetattrRes>) {
+            if (r.status == NfsStat::Ok) takeAttrs(r.attrs);
+          } else if constexpr (std::is_same_v<T, SetattrRes>) {
+            if (r.wcc.hasPost) takeAttrs(r.wcc.post);
+            if (r.wcc.hasPre) {
+              rec.hasPre = true;
+              rec.preSize = r.wcc.pre.size;
+              rec.preMtime = r.wcc.pre.mtime.toMicro();
+            }
+          } else if constexpr (std::is_same_v<T, LookupRes>) {
+            if (r.status == NfsStat::Ok) {
+              rec.resFh = r.fh;
+              rec.hasResFh = true;
+              if (r.hasObjAttrs) takeAttrs(r.objAttrs);
+            }
+          } else if constexpr (std::is_same_v<T, AccessRes> ||
+                               std::is_same_v<T, ReadlinkRes>) {
+            if (r.hasAttrs) takeAttrs(r.attrs);
+          } else if constexpr (std::is_same_v<T, ReadRes>) {
+            if (r.hasAttrs) takeAttrs(r.attrs);
+            rec.retCount = r.count;
+            rec.eof = r.eof;
+            if (rec.vers == 2 && r.hasAttrs) {
+              rec.eof = rec.offset + r.count >= r.attrs.size;
+            }
+          } else if constexpr (std::is_same_v<T, WriteRes>) {
+            if (r.wcc.hasPost) takeAttrs(r.wcc.post);
+            if (r.wcc.hasPre) {
+              rec.hasPre = true;
+              rec.preSize = r.wcc.pre.size;
+              rec.preMtime = r.wcc.pre.mtime.toMicro();
+            }
+            rec.retCount = r.count ? r.count : rec.count;
+          } else if constexpr (std::is_same_v<T, CreateRes>) {
+            if (r.hasFh) {
+              rec.resFh = r.fh;
+              rec.hasResFh = true;
+            }
+            if (r.hasAttrs) takeAttrs(r.attrs);
+          } else if constexpr (std::is_same_v<T, LinkRes>) {
+            if (r.hasAttrs) takeAttrs(r.attrs);
+          } else if constexpr (std::is_same_v<T, ReaddirRes>) {
+            if (r.hasDirAttrs) takeAttrs(r.dirAttrs);
+          } else if constexpr (std::is_same_v<T, FsstatRes> ||
+                               std::is_same_v<T, FsinfoRes> ||
+                               std::is_same_v<T, PathconfRes>) {
+            if (r.hasAttrs) takeAttrs(r.attrs);
+          } else if constexpr (std::is_same_v<T, CommitRes>) {
+            if (r.wcc.hasPost) takeAttrs(r.wcc.post);
+          }
+        },
+        res);
+  }
+
+  Config config_;
+  RecordCallback callback_;
+  Stats stats_;
+  IpReassembler ipReassembler_;
+  std::map<FlowKey, TcpFlow> tcpFlows_;
+  std::map<std::pair<IpAddr, std::uint32_t>, PendingCall> pending_;
+  std::set<std::pair<IpAddr, std::uint32_t>> ignoredXids_;
+};
+
+}  // namespace nfstrace::legacy

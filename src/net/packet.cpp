@@ -209,35 +209,38 @@ std::optional<std::vector<std::uint8_t>> IpReassembler::feed(
     entry->firstSeen = now;
   }
 
-  entry->parts.emplace_back(
-      frame.fragOffsetBytes,
-      std::vector<std::uint8_t>(frame.payload.begin(), frame.payload.end()));
+  std::uint32_t off = frame.fragOffsetBytes;
+  std::uint32_t end = off + static_cast<std::uint32_t>(frame.payload.size());
+  if (end > entry->data.size()) {
+    if (end > entry->data.capacity()) {
+      entry->data.reserve(std::max<std::size_t>(2 * end, 4096));
+    }
+    entry->data.resize(end);
+  }
+  std::copy(frame.payload.begin(), frame.payload.end(),
+            entry->data.begin() + off);
+  entry->extents.emplace_back(off, end);
   if (!frame.moreFragments) {
     entry->haveLast = true;
-    entry->totalLen = frame.fragOffsetBytes +
-                      static_cast<std::uint32_t>(frame.payload.size());
+    entry->totalLen = end;
   }
   if (!entry->haveLast) return std::nullopt;
 
-  // Check for completeness by walking offsets.
-  std::sort(entry->parts.begin(), entry->parts.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Check for completeness by merging the covered extents.
+  std::sort(entry->extents.begin(), entry->extents.end());
   std::uint32_t pos = 0;
-  for (const auto& [off, bytes] : entry->parts) {
-    if (off > pos) return std::nullopt;  // hole
-    pos = std::max(pos, off + static_cast<std::uint32_t>(bytes.size()));
+  for (const auto& [b, e] : entry->extents) {
+    if (b > pos) return std::nullopt;  // hole
+    pos = std::max(pos, e);
   }
   if (pos < entry->totalLen) return std::nullopt;
 
-  std::vector<std::uint8_t> full(entry->totalLen);
-  for (const auto& [off, bytes] : entry->parts) {
-    std::size_t n = std::min<std::size_t>(bytes.size(), full.size() - off);
-    std::copy_n(bytes.begin(), n, full.begin() + off);
-  }
   // Strip the UDP header so the result matches parseFrame's payload for
   // unfragmented datagrams.
-  if (full.size() < 8) return std::nullopt;
-  std::vector<std::uint8_t> udpPayload(full.begin() + 8, full.end());
+  if (entry->totalLen < 8) return std::nullopt;
+  std::vector<std::uint8_t> udpPayload = std::move(entry->data);
+  udpPayload.resize(entry->totalLen);
+  udpPayload.erase(udpPayload.begin(), udpPayload.begin() + 8);
 
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     if (pending_[i].first == key) {

@@ -100,7 +100,11 @@ class IpReassembler {
   };
   struct Pending {
     std::int64_t firstSeen = 0;
-    std::vector<std::pair<std::uint16_t, std::vector<std::uint8_t>>> parts;
+    /// Fragments are written straight into their final position here
+    /// (IP-payload offsets), so completion needs no second assembly pass.
+    std::vector<std::uint8_t> data;
+    /// Covered [begin, end) byte ranges, unsorted; merged on completion.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> extents;
     bool haveLast = false;
     std::uint32_t totalLen = 0;
   };

@@ -1,0 +1,69 @@
+// Flow-hash partitioning for the parallel trace pipeline.
+//
+// The shard key is the *unordered* pair of IPv4 endpoint addresses.  That
+// single choice makes every stateful decode structure shard-local:
+//
+//  * XID call/reply pairing — a call (client -> server) and its reply
+//    (server -> client) carry the same address pair, so the sniffer that
+//    saw the call also sees the reply.  With one server this is exactly
+//    "shard by RPC client address".
+//  * IPv4 fragment reassembly — fragments are keyed (src, dst, ipId) and
+//    carry the addresses in every fragment, even when the transport ports
+//    are only present in the first one.
+//  * TCP stream reassembly — both directions of a connection map to the
+//    same shard, so record-mark scanning never splits across workers.
+//
+// The frame peek reads the addresses straight out of the IPv4 header
+// without a full parse: the partitioner runs once per frame on the
+// capture thread and must cost nanoseconds, not a protocol decode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/packet.hpp"
+#include "pcap/pcap.hpp"
+#include "util/hash.hpp"
+
+namespace nfstrace {
+
+/// Direction-independent hash of an address pair: both directions of a
+/// conversation land on the same value.
+constexpr std::uint64_t flowHash(IpAddr a, IpAddr b) {
+  IpAddr lo = a < b ? a : b;
+  IpAddr hi = a < b ? b : a;
+  return mix64((static_cast<std::uint64_t>(hi) << 32) | lo);
+}
+
+/// Extract src/dst from an Ethernet/IPv4 frame without a full parse.
+/// Returns false for frames that are not plain IPv4 (they are routed to
+/// shard 0, where the sniffer counts them as undecodable, exactly as the
+/// serial sniffer would).
+inline bool peekIpPair(std::span<const std::uint8_t> frame, IpAddr& src,
+                       IpAddr& dst) {
+  // Ethernet header (14) + the IPv4 header through the destination
+  // address (20) must be present.
+  if (frame.size() < kEthHeaderLen + 20) return false;
+  if (frame[12] != 0x08 || frame[13] != 0x00) return false;  // not IPv4
+  if ((frame[kEthHeaderLen] >> 4) != 4) return false;
+  auto rd32 = [&](std::size_t off) {
+    return (static_cast<std::uint32_t>(frame[off]) << 24) |
+           (static_cast<std::uint32_t>(frame[off + 1]) << 16) |
+           (static_cast<std::uint32_t>(frame[off + 2]) << 8) |
+           static_cast<std::uint32_t>(frame[off + 3]);
+  };
+  src = rd32(kEthHeaderLen + 12);
+  dst = rd32(kEthHeaderLen + 16);
+  return true;
+}
+
+/// Shard index for a captured frame.
+inline int shardOfFrame(const CapturedPacket& pkt, int shards) {
+  if (shards <= 1) return 0;
+  IpAddr src = 0, dst = 0;
+  if (!peekIpPair(pkt.data, src, dst)) return 0;
+  return static_cast<int>(flowHash(src, dst) %
+                          static_cast<std::uint64_t>(shards));
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,250 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+
+#include "pipeline/partition.hpp"
+
+namespace nfstrace {
+namespace {
+
+/// Producer-side dispatch batch per shard: push frames to the ring in
+/// bursts so each shard crossing costs one release store, not one per
+/// frame.
+constexpr std::size_t kStageBatch = 256;
+/// Worker-side pop batch.
+constexpr std::size_t kWorkerBatch = 1024;
+/// Merge-side pop batch per shard ring.
+constexpr std::size_t kMergeBatch = 1024;
+
+}  // namespace
+
+ParallelPipeline::Shard::Shard(const Config& config)
+    : in(config.frameRingCapacity), out(config.recordRingCapacity) {}
+
+ParallelPipeline::ParallelPipeline(Config config, RecordCallback sink)
+    : config_(config), sink_(std::move(sink)) {
+  if (config_.shards < 1) config_.shards = 1;
+  staged_.resize(static_cast<std::size_t>(config_.shards));
+  for (auto& s : staged_) s.reserve(kStageBatch);
+  for (int i = 0; i < config_.shards; ++i) {
+    auto sh = std::make_unique<Shard>(config_);
+    Shard* raw = sh.get();
+    // The per-shard sniffer tags every emitted record with the merge key
+    // of the message being processed and hands it to the merge stage.
+    sh->sniffer = std::make_unique<Sniffer>(
+        config_.sniffer, [this, raw](const TraceRecord& rec) {
+          TaggedRecord tr;
+          tr.key.seq = raw->curSeq;
+          tr.key.phase = raw->curPhase;
+          tr.key.sub = raw->curPhase == 0
+                           ? (static_cast<std::uint64_t>(rec.client) << 32) |
+                                 rec.xid
+                           : raw->emitIdx++;
+          tr.rec = rec;
+          while (!raw->out.tryPush(tr)) std::this_thread::yield();
+        });
+    shards_.push_back(std::move(sh));
+  }
+  for (auto& sh : shards_) {
+    Shard* raw = sh.get();
+    raw->thread = std::thread([this, raw] { workerLoop(*raw); });
+  }
+  merger_ = std::thread([this] { mergeLoop(); });
+}
+
+ParallelPipeline::~ParallelPipeline() { finish(); }
+
+void ParallelPipeline::pushToShard(Shard& sh, Msg&& msg) {
+  while (!sh.in.tryPush(msg)) std::this_thread::yield();
+}
+
+void ParallelPipeline::maybeTick(MicroTime ts) {
+  MicroTime boundary = ts / config_.sniffer.expiryScanInterval;
+  bool heartbeat = ++framesSinceHeartbeat_ >= config_.heartbeatFrames;
+  if (boundary <= lastTickBoundary_ && !heartbeat) return;
+  if (boundary > lastTickBoundary_) lastTickBoundary_ = boundary;
+  framesSinceHeartbeat_ = 0;
+  // Staged frames precede this tick in dispatch order; drain them first
+  // so per-shard ring order matches global sequence order.
+  for (std::size_t s = 0; s < staged_.size(); ++s) {
+    auto& batch = staged_[s];
+    std::size_t pushed = 0;
+    while (pushed < batch.size()) {
+      pushed += shards_[s]->in.tryPushBatch(
+          std::span<Msg>(batch.data() + pushed, batch.size() - pushed));
+      if (pushed < batch.size()) std::this_thread::yield();
+    }
+    batch.clear();
+  }
+  for (auto& sh : shards_) {
+    Msg tick;
+    tick.kind = Msg::Kind::Tick;
+    tick.seq = seq_ + 1;  // seq of the frame about to be dispatched
+    tick.ts = ts;
+    pushToShard(*sh, std::move(tick));
+  }
+}
+
+void ParallelPipeline::dispatch(Msg&& msg, int shard) {
+  maybeTick(msg.ts);
+  msg.seq = ++seq_;
+  auto& batch = staged_[static_cast<std::size_t>(shard)];
+  batch.push_back(std::move(msg));
+  if (batch.size() >= kStageBatch) {
+    Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+    std::size_t pushed = 0;
+    while (pushed < batch.size()) {
+      pushed += sh.in.tryPushBatch(
+          std::span<Msg>(batch.data() + pushed, batch.size() - pushed));
+      if (pushed < batch.size()) std::this_thread::yield();
+    }
+    batch.clear();
+  }
+}
+
+void ParallelPipeline::onFrame(const CapturedPacket& pkt) {
+  Msg msg;
+  msg.kind = Msg::Kind::FrameOwned;
+  msg.ts = pkt.ts;
+  msg.own = pkt;
+  dispatch(std::move(msg), shardOfFrame(pkt, config_.shards));
+}
+
+void ParallelPipeline::feed(const CapturedPacket* pkt) {
+  Msg msg;
+  msg.kind = Msg::Kind::FrameRef;
+  msg.ts = pkt->ts;
+  msg.ref = pkt;
+  dispatch(std::move(msg), shardOfFrame(*pkt, config_.shards));
+}
+
+void ParallelPipeline::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (std::size_t s = 0; s < staged_.size(); ++s) {
+    auto& batch = staged_[s];
+    std::size_t pushed = 0;
+    while (pushed < batch.size()) {
+      pushed += shards_[s]->in.tryPushBatch(
+          std::span<Msg>(batch.data() + pushed, batch.size() - pushed));
+      if (pushed < batch.size()) std::this_thread::yield();
+    }
+    batch.clear();
+  }
+  for (auto& sh : shards_) {
+    Msg end;
+    end.kind = Msg::Kind::End;
+    pushToShard(*sh, std::move(end));
+  }
+  for (auto& sh : shards_) sh->thread.join();
+  merger_.join();
+  for (const auto& sh : shards_) {
+    const Sniffer::Stats& st = sh->sniffer->stats();
+    aggregated_.framesSeen += st.framesSeen;
+    aggregated_.framesUndecodable += st.framesUndecodable;
+    aggregated_.rpcCalls += st.rpcCalls;
+    aggregated_.rpcReplies += st.rpcReplies;
+    aggregated_.nonNfsCalls += st.nonNfsCalls;
+    aggregated_.orphanReplies += st.orphanReplies;
+    aggregated_.expiredCalls += st.expiredCalls;
+    aggregated_.fragmentsExpired += st.fragmentsExpired;
+  }
+}
+
+Sniffer::Stats ParallelPipeline::stats() const { return aggregated_; }
+
+void ParallelPipeline::workerLoop(Shard& sh) {
+  std::vector<Msg> batch;
+  batch.reserve(kWorkerBatch);
+  for (;;) {
+    batch.clear();
+    if (sh.in.tryPopBatch(batch, kWorkerBatch) == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::uint64_t watermark = 0;
+    for (auto& m : batch) {
+      switch (m.kind) {
+        case Msg::Kind::Tick:
+          sh.curSeq = m.seq;
+          sh.curPhase = 0;
+          sh.sniffer->advanceTime(m.ts);
+          // The frame with this seq (if any) is not ours or not yet
+          // processed, so we only vouch for everything strictly before.
+          watermark = m.seq - 1;
+          break;
+        case Msg::Kind::FrameOwned:
+        case Msg::Kind::FrameRef:
+          sh.curSeq = m.seq;
+          sh.curPhase = 1;
+          sh.emitIdx = 0;
+          sh.sniffer->onFrame(m.kind == Msg::Kind::FrameRef ? *m.ref : m.own);
+          watermark = m.seq;
+          break;
+        case Msg::Kind::End:
+          sh.curSeq = kFlushSeq;
+          sh.curPhase = 0;
+          sh.sniffer->flush();
+          sh.watermark.store(kDoneSeq, std::memory_order_release);
+          return;
+      }
+    }
+    sh.watermark.store(watermark, std::memory_order_release);
+  }
+}
+
+void ParallelPipeline::mergeLoop() {
+  const std::size_t n = shards_.size();
+  std::vector<std::deque<TaggedRecord>> buf(n);
+  std::vector<std::uint64_t> wm(n, 0);
+  std::vector<TaggedRecord> popBuf;
+  popBuf.reserve(kMergeBatch);
+  for (;;) {
+    // Load watermarks first (acquire), then drain: everything a shard
+    // pushed before publishing its watermark is then visible, so `wm`
+    // is a sound lower bound on what may still arrive.
+    for (std::size_t s = 0; s < n; ++s) {
+      wm[s] = shards_[s]->watermark.load(std::memory_order_acquire);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      for (;;) {
+        popBuf.clear();
+        if (shards_[s]->out.tryPopBatch(popBuf, kMergeBatch) == 0) break;
+        for (auto& tr : popBuf) buf[s].push_back(std::move(tr));
+      }
+    }
+    bool progress = false;
+    for (;;) {
+      std::size_t best = n;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (buf[s].empty()) continue;
+        if (best == n || buf[s].front().key < buf[best].front().key) best = s;
+      }
+      if (best == n) break;
+      const MergeKey& k = buf[best].front().key;
+      // Releasable only if no other shard can still produce an earlier
+      // key.  Nonempty buffers vouch for themselves (streams are sorted);
+      // empty ones vouch via their watermark.
+      bool safe = true;
+      for (std::size_t s = 0; s < n && safe; ++s) {
+        if (s == best || !buf[s].empty()) continue;
+        if (wm[s] < k.seq) safe = false;
+      }
+      if (!safe) break;
+      sink_(buf[best].front().rec);
+      ++merged_;
+      buf[best].pop_front();
+      progress = true;
+    }
+    if (!progress) {
+      bool done = true;
+      for (std::size_t s = 0; s < n && done; ++s) {
+        if (wm[s] != kDoneSeq || !buf[s].empty()) done = false;
+      }
+      if (done) return;
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace nfstrace

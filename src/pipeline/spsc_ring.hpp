@@ -1,0 +1,109 @@
+// Bounded lock-free single-producer / single-consumer ring buffer.
+//
+// The classic Lamport queue with the two standard refinements:
+//
+//  * head (consumer cursor) and tail (producer cursor) live on their own
+//    cache lines, so the producer and consumer never false-share;
+//  * each side keeps a cached copy of the other side's cursor and only
+//    reloads it (an acquire load, i.e. a cache-line transfer) when the
+//    cached value says the ring looks full/empty.  A push or pop in
+//    steady state therefore touches no shared cache line at all.
+//
+// Batched push/pop amortize even those occasional reloads and the release
+// stores across whole bursts of frames, which is what the trace pipeline
+// feeds it.  Single producer thread, single consumer thread — exactly the
+// shape of one partitioner → worker or worker → merger edge.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nfstrace {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity)
+      : slots_(std::bit_ceil(capacity < 2 ? 2 : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side.  Moves from `v` on success; returns false when full.
+  bool tryPush(T& v) {
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cachedHead_ >= slots_.size()) {
+      cachedHead_ = head_.load(std::memory_order_acquire);
+      if (tail - cachedHead_ >= slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: move as many items from `vs` as fit, in order, with a
+  /// single release store.  Returns the number consumed from `vs`.
+  std::size_t tryPushBatch(std::span<T> vs) {
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = slots_.size() - (tail - cachedHead_);
+    if (free < vs.size()) {
+      cachedHead_ = head_.load(std::memory_order_acquire);
+      free = slots_.size() - (tail - cachedHead_);
+    }
+    std::size_t n = free < vs.size() ? free : vs.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(tail + i) & mask_] = std::move(vs[i]);
+    }
+    if (n) tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer side.  Returns false when empty.
+  bool tryPop(T& out) {
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cachedTail_) {
+      cachedTail_ = tail_.load(std::memory_order_acquire);
+      if (head == cachedTail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: move up to `max` items into `out` (appended), with a
+  /// single release store.  Returns the number popped.
+  std::size_t tryPopBatch(std::vector<T>& out, std::size_t max) {
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = cachedTail_ - head;
+    if (avail < max) {
+      cachedTail_ = tail_.load(std::memory_order_acquire);
+      avail = cachedTail_ - head;
+    }
+    std::size_t n = avail < max ? avail : max;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(slots_[(head + i) & mask_]));
+    }
+    if (n) head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> head_{0};
+  alignas(kCacheLineSize) std::uint64_t cachedHead_{0};   // producer-owned
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
+  alignas(kCacheLineSize) std::uint64_t cachedTail_{0};   // consumer-owned
+};
+
+}  // namespace nfstrace

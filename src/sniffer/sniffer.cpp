@@ -1,34 +1,48 @@
 #include "sniffer/sniffer.hpp"
 
+#include <algorithm>
+
 #include "pcap/pcap.hpp"
 
 namespace nfstrace {
 
 Sniffer::Sniffer(Config config, RecordCallback callback)
-    : config_(config), callback_(std::move(callback)) {}
+    : config_(config), callback_(std::move(callback)) {
+  // The per-frame path does one lookup in each of these; pre-size them so
+  // a gigabit-rate capture never rehashes mid-burst.
+  tcpFlows_.reserve(256);
+  pending_.reserve(4096);
+  ignoredXids_.reserve(1024);
+}
 
 void Sniffer::onFrame(const CapturedPacket& pkt) {
   ++stats_.framesSeen;
+  advanceTime(pkt.ts);
   auto parsed = parseFrame(pkt.data);
   if (!parsed) {
     ++stats_.framesUndecodable;
     return;
   }
 
-  expirePending(pkt.ts);
-
   bool toServer = parsed->dstPort == config_.nfsPort;
   bool fromServer = parsed->srcPort == config_.nfsPort;
 
-  if (parsed->proto == IpProto::Udp || parsed->isFragment()) {
+  if (parsed->proto == IpProto::Udp && !parsed->isFragment()) {
+    // Whole datagram: hand the in-frame payload span straight to the RPC
+    // decoder, skipping the reassembler's per-packet copy.
+    if (!toServer && !fromServer) return;
+    onRpcBytes(pkt.ts, parsed->src, parsed->dst, false, parsed->payload,
+               toServer);
+    return;
+  }
+
+  if (parsed->isFragment()) {
     // For fragments the ports are only visible in the first fragment; we
     // recover direction after reassembly by decoding the RPC header.
     auto payload = ipReassembler_.feed(*parsed, pkt.ts);
     stats_.fragmentsExpired = ipReassembler_.expired();
     if (!payload) return;
-    if (!parsed->isFragment() && !toServer && !fromServer) return;
-    onRpcBytes(pkt.ts, parsed->src, parsed->dst, false, *payload,
-               parsed->isFragment() ? true /* resolved inside */ : toServer);
+    onRpcBytes(pkt.ts, parsed->src, parsed->dst, false, *payload, true);
     return;
   }
 
@@ -71,8 +85,8 @@ void Sniffer::onRpcBytes(MicroTime ts, IpAddr src, IpAddr dst, bool overTcp,
   } else {
     // For replies the client is normally the destination, but reassembled
     // IP fragments lose their transport direction; probe dst then src.
-    if (!pending_.count({dst, msg.reply.xid}) &&
-        pending_.count({src, msg.reply.xid})) {
+    if (!pending_.count(xidKey(dst, msg.reply.xid)) &&
+        pending_.count(xidKey(src, msg.reply.xid))) {
       handleReply(ts, src, msg.reply, body);
     } else {
       handleReply(ts, dst, msg.reply, body);
@@ -87,7 +101,7 @@ void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
     // MOUNT/portmap traffic shares the wire; remember the xid so its
     // reply is not miscounted as an orphan.
     ++stats_.nonNfsCalls;
-    ignoredXids_.insert({client, call.xid});
+    ignoredXids_.insert(xidKey(client, call.xid));
     return;
   }
   ++stats_.rpcCalls;
@@ -118,15 +132,15 @@ void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
     return;
   }
 
-  pending_[{client, call.xid}] = std::move(pc);
+  pending_[xidKey(client, call.xid)] = std::move(pc);
 }
 
 void Sniffer::handleReply(MicroTime ts, IpAddr client, const RpcReply& reply,
                           std::span<const std::uint8_t> body) {
   ++stats_.rpcReplies;
-  auto it = pending_.find({client, reply.xid});
+  auto it = pending_.find(xidKey(client, reply.xid));
   if (it == pending_.end()) {
-    if (ignoredXids_.erase({client, reply.xid})) return;  // non-NFS
+    if (ignoredXids_.erase(xidKey(client, reply.xid))) return;  // non-NFS
     // The reply's call was never seen — this is exactly how capture loss
     // manifests, and what the paper counted to estimate it.
     ++stats_.orphanReplies;
@@ -159,25 +173,47 @@ void Sniffer::handleReply(MicroTime ts, IpAddr client, const RpcReply& reply,
   callback_(rec);
 }
 
+void Sniffer::advanceTime(MicroTime now) {
+  // The pending map is unordered, so a scan touches every entry; fire it
+  // only when the capture clock crosses a scan-interval boundary.  This
+  // both removes the per-frame O(pending) walk from the hot path and
+  // pins the scan points to absolute capture time, which the sharded
+  // pipeline relies on for deterministic output (see pipeline.hpp).
+  MicroTime boundary = now / config_.expiryScanInterval;
+  if (boundary <= lastScanBoundary_) return;
+  lastScanBoundary_ = boundary;
+  expirePending(now);
+}
+
 void Sniffer::expirePending(MicroTime now) {
-  // pending_ is ordered by (client, xid), not time, so scan lazily: this
-  // is called per frame but the map stays small because replies normally
-  // arrive within milliseconds.
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (now - it->second.ts > config_.pendingTimeout) {
-      TraceRecord rec = recordFromCall(it->first.second, it->second);
-      ++stats_.expiredCalls;
-      callback_(rec);
-      it = pending_.erase(it);
-    } else {
-      ++it;
-    }
+  // Collect first, then emit ordered by (client, xid): emission order must
+  // not depend on hash-table iteration order, or serial and sharded runs
+  // of the same capture would produce differently-ordered traces.
+  std::vector<std::uint64_t> expired;
+  for (const auto& [key, pc] : pending_) {
+    if (now - pc.ts > config_.pendingTimeout) expired.push_back(key);
+  }
+  if (expired.empty()) return;
+  std::sort(expired.begin(), expired.end());
+  for (std::uint64_t key : expired) {
+    auto it = pending_.find(key);
+    TraceRecord rec =
+        recordFromCall(static_cast<std::uint32_t>(key), it->second);
+    ++stats_.expiredCalls;
+    callback_(rec);
+    pending_.erase(it);
   }
 }
 
 void Sniffer::flush() {
-  for (auto& [key, pc] : pending_) {
-    TraceRecord rec = recordFromCall(key.second, pc);
+  // Same deterministic (client, xid) order the old std::map gave us.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(pending_.size());
+  for (const auto& [key, pc] : pending_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (std::uint64_t key : keys) {
+    TraceRecord rec =
+        recordFromCall(static_cast<std::uint32_t>(key), pending_[key]);
     ++stats_.expiredCalls;
     callback_(rec);
   }

@@ -9,15 +9,15 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "net/packet.hpp"
 #include "netcap/netcap.hpp"
 #include "nfs/messages.hpp"
 #include "rpc/rpc.hpp"
 #include "trace/record.hpp"
+#include "util/hash.hpp"
 
 namespace nfstrace {
 
@@ -27,6 +27,12 @@ class Sniffer : public FrameSink {
     std::uint16_t nfsPort = 2049;
     /// A call with no reply after this long is emitted reply-less.
     MicroTime pendingTimeout = 60 * kMicrosPerSecond;
+    /// The expiry scan fires when the capture clock crosses a multiple of
+    /// this interval (not on every frame).  Quantizing the scan makes the
+    /// emission points a function of absolute capture time only, so a
+    /// sharded pipeline (which broadcasts boundary crossings to every
+    /// shard) expires calls at exactly the same points as a serial run.
+    MicroTime expiryScanInterval = kMicrosPerSecond;
   };
 
   struct Stats {
@@ -46,7 +52,14 @@ class Sniffer : public FrameSink {
 
   void onFrame(const CapturedPacket& pkt) override;
 
-  /// Emit all still-pending calls as reply-less records (end of capture).
+  /// Advance the capture clock without a frame: runs the (quantized)
+  /// pending-call expiry scan if `now` crossed a scan boundary.  Called
+  /// internally on every frame; the parallel pipeline also calls it for
+  /// broadcast time ticks so all shards expire at the same global points.
+  void advanceTime(MicroTime now);
+
+  /// Emit all still-pending calls as reply-less records (end of capture),
+  /// ordered by (client, xid).
   void flush();
 
   const Stats& stats() const { return stats_; }
@@ -55,9 +68,15 @@ class Sniffer : public FrameSink {
   struct FlowKey {
     IpAddr src, dst;
     std::uint16_t srcPort, dstPort;
-    bool operator<(const FlowKey& o) const {
-      return std::tie(src, dst, srcPort, dstPort) <
-             std::tie(o.src, o.dst, o.srcPort, o.dstPort);
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const noexcept {
+      std::uint64_t ips =
+          (static_cast<std::uint64_t>(k.src) << 32) | k.dst;
+      std::uint64_t ports =
+          (static_cast<std::uint64_t>(k.srcPort) << 16) | k.dstPort;
+      return static_cast<std::size_t>(hashCombine(mix64(ips), ports));
     }
   };
   struct TcpFlow {
@@ -87,15 +106,22 @@ class Sniffer : public FrameSink {
   void fillReply(TraceRecord& rec, const PendingCall& pc,
                  const NfsReplyRes& res) const;
 
+  /// Pack the (client ip, xid) pair that keys call/reply matching.
+  static constexpr std::uint64_t xidKey(IpAddr client, std::uint32_t xid) {
+    return (static_cast<std::uint64_t>(client) << 32) | xid;
+  }
+
   Config config_;
   RecordCallback callback_;
   Stats stats_;
   IpReassembler ipReassembler_;
-  std::map<FlowKey, TcpFlow> tcpFlows_;
-  /// Pending calls keyed by (client ip, xid).
-  std::map<std::pair<IpAddr, std::uint32_t>, PendingCall> pending_;
+  /// Last expiry-scan boundary (floor(ts / expiryScanInterval)) crossed.
+  MicroTime lastScanBoundary_ = -1;
+  std::unordered_map<FlowKey, TcpFlow, FlowKeyHash> tcpFlows_;
+  /// Pending calls keyed by packed (client ip, xid).
+  std::unordered_map<std::uint64_t, PendingCall, U64Hash> pending_;
   /// Calls for other RPC programs whose replies we must skip silently.
-  std::set<std::pair<IpAddr, std::uint32_t>> ignoredXids_;
+  std::unordered_set<std::uint64_t, U64Hash> ignoredXids_;
 };
 
 /// Convenience front-end: run the sniffer over a pcap file, returning the

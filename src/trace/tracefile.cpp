@@ -1,8 +1,8 @@
 #include "trace/tracefile.hpp"
 
+#include <charconv>
 #include <cinttypes>
 #include <cstring>
-#include <sstream>
 #include <stdexcept>
 
 #include "util/strings.hpp"
@@ -10,20 +10,24 @@
 namespace nfstrace {
 namespace {
 
-std::string encodeField(const std::string& s) {
+/// Flush the writer's batch buffer once it grows past this.
+constexpr std::size_t kWriterFlushBytes = 64 * 1024;
+/// Reader chunk size for the text format.
+constexpr std::size_t kReaderChunkBytes = 64 * 1024;
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void appendEncodedField(std::string& out, const std::string& s) {
   // Percent-encode the characters that would break the line format.
-  std::string out;
-  out.reserve(s.size());
   for (unsigned char c : s) {
     if (c <= ' ' || c == '%' || c == '=' || c == 0x7f) {
-      char buf[4];
-      std::snprintf(buf, sizeof(buf), "%%%02x", c);
-      out += buf;
+      out.push_back('%');
+      out.push_back(kHexDigits[c >> 4]);
+      out.push_back(kHexDigits[c & 0xf]);
     } else {
       out.push_back(static_cast<char>(c));
     }
   }
-  return out;
 }
 
 std::string decodeField(std::string_view s) {
@@ -49,11 +53,46 @@ std::string decodeField(std::string_view s) {
   return out;
 }
 
-std::string timeField(MicroTime t) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64,
-                t / kMicrosPerSecond, t % kMicrosPerSecond);
-  return buf;
+void appendUint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void appendTime(std::string& out, MicroTime t) {
+  MicroTime sec = t / kMicrosPerSecond;
+  MicroTime usec = t % kMicrosPerSecond;
+  if (t < 0) {  // match printf semantics for negative times
+    char buf[40];
+    int n = std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64, sec,
+                          usec);
+    out.append(buf, static_cast<std::size_t>(n));
+    return;
+  }
+  appendUint(out, static_cast<std::uint64_t>(sec));
+  char frac[7] = {'.', '0', '0', '0', '0', '0', '0'};
+  for (int i = 6; usec && i >= 1; --i) {
+    frac[i] = static_cast<char>('0' + usec % 10);
+    usec /= 10;
+  }
+  out.append(frac, 7);
+}
+
+void appendIp(std::string& out, IpAddr ip) {
+  appendUint(out, (ip >> 24) & 0xff);
+  out.push_back('.');
+  appendUint(out, (ip >> 16) & 0xff);
+  out.push_back('.');
+  appendUint(out, (ip >> 8) & 0xff);
+  out.push_back('.');
+  appendUint(out, ip & 0xff);
+}
+
+void appendFhHex(std::string& out, const FileHandle& fh) {
+  for (std::size_t i = 0; i < fh.len; ++i) {
+    out.push_back(kHexDigits[fh.data[i] >> 4]);
+    out.push_back(kHexDigits[fh.data[i] & 0xf]);
+  }
 }
 
 MicroTime parseTimeField(std::string_view v) {
@@ -70,41 +109,88 @@ MicroTime parseTimeField(std::string_view v) {
 
 }  // namespace
 
-std::string formatRecord(const TraceRecord& rec) {
-  std::ostringstream o;
-  o << "t=" << timeField(rec.ts);
-  if (rec.hasReply) o << " r=" << timeField(rec.replyTs);
-  o << " c=" << ipToString(rec.client) << " s=" << ipToString(rec.server);
-  char xidBuf[12];
-  std::snprintf(xidBuf, sizeof(xidBuf), "%08x", rec.xid);
-  o << " xid=" << xidBuf << " v=" << static_cast<int>(rec.vers)
-    << " p=" << (rec.overTcp ? "tcp" : "udp") << " op=" << nfsOpName(rec.op)
-    << " uid=" << rec.uid << " gid=" << rec.gid;
-  if (rec.fh.len) o << " fh=" << rec.fh.toHex();
-  if (!rec.name.empty()) o << " nm=" << encodeField(rec.name);
-  if (!rec.name2.empty()) o << " nm2=" << encodeField(rec.name2);
-  if (rec.fh2.len) o << " fh2=" << rec.fh2.toHex();
+void appendRecord(std::string& out, const TraceRecord& rec) {
+  out += "t=";
+  appendTime(out, rec.ts);
+  if (rec.hasReply) {
+    out += " r=";
+    appendTime(out, rec.replyTs);
+  }
+  out += " c=";
+  appendIp(out, rec.client);
+  out += " s=";
+  appendIp(out, rec.server);
+  out += " xid=";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out.push_back(kHexDigits[(rec.xid >> shift) & 0xf]);
+  }
+  out += " v=";
+  appendUint(out, rec.vers);
+  out += rec.overTcp ? " p=tcp op=" : " p=udp op=";
+  out += nfsOpName(rec.op);
+  out += " uid=";
+  appendUint(out, rec.uid);
+  out += " gid=";
+  appendUint(out, rec.gid);
+  if (rec.fh.len) {
+    out += " fh=";
+    appendFhHex(out, rec.fh);
+  }
+  if (!rec.name.empty()) {
+    out += " nm=";
+    appendEncodedField(out, rec.name);
+  }
+  if (!rec.name2.empty()) {
+    out += " nm2=";
+    appendEncodedField(out, rec.name2);
+  }
+  if (rec.fh2.len) {
+    out += " fh2=";
+    appendFhHex(out, rec.fh2);
+  }
   if (rec.op == NfsOp::Read || rec.op == NfsOp::Write ||
       rec.op == NfsOp::Commit) {
-    o << " off=" << rec.offset << " cnt=" << rec.count;
+    out += " off=";
+    appendUint(out, rec.offset);
+    out += " cnt=";
+    appendUint(out, rec.count);
   }
   if (rec.hasReply) {
-    o << " st=" << nfsStatName(rec.status);
+    out += " st=";
+    out += nfsStatName(rec.status);
     if (rec.op == NfsOp::Read || rec.op == NfsOp::Write) {
-      o << " ret=" << rec.retCount;
+      out += " ret=";
+      appendUint(out, rec.retCount);
     }
-    if (rec.op == NfsOp::Read) o << " eof=" << (rec.eof ? 1 : 0);
-    if (rec.hasResFh) o << " rfh=" << rec.resFh.toHex();
+    if (rec.op == NfsOp::Read) out += rec.eof ? " eof=1" : " eof=0";
+    if (rec.hasResFh) {
+      out += " rfh=";
+      appendFhHex(out, rec.resFh);
+    }
     if (rec.hasAttrs) {
-      o << " ft=" << static_cast<std::uint32_t>(rec.ftype)
-        << " sz=" << rec.fileSize << " mt=" << timeField(rec.fileMtime)
-        << " fid=" << rec.fileId;
+      out += " ft=";
+      appendUint(out, static_cast<std::uint32_t>(rec.ftype));
+      out += " sz=";
+      appendUint(out, rec.fileSize);
+      out += " mt=";
+      appendTime(out, rec.fileMtime);
+      out += " fid=";
+      appendUint(out, rec.fileId);
     }
     if (rec.hasPre) {
-      o << " psz=" << rec.preSize << " pmt=" << timeField(rec.preMtime);
+      out += " psz=";
+      appendUint(out, rec.preSize);
+      out += " pmt=";
+      appendTime(out, rec.preMtime);
     }
   }
-  return o.str();
+}
+
+std::string formatRecord(const TraceRecord& rec) {
+  std::string out;
+  out.reserve(192);
+  appendRecord(out, rec);
+  return out;
 }
 
 std::optional<TraceRecord> parseRecord(const std::string& line) {
@@ -218,8 +304,12 @@ std::uint64_t getU(const std::uint8_t* p, int bytes) {
   return v;
 }
 
-std::string packBinary(const TraceRecord& r) {
-  std::string b;
+void packBinaryInto(std::string& out, const TraceRecord& r) {
+  // Length-prefixed record: reserve the prefix, append the body in place,
+  // then patch the length — no per-record temporary buffer.
+  std::size_t lenAt = out.size();
+  out.append(4, '\0');
+  std::string& b = out;
   putU(b, static_cast<std::uint64_t>(r.ts), 8);
   putU(b, static_cast<std::uint64_t>(r.replyTs), 8);
   putU(b, r.client, 4);
@@ -253,10 +343,11 @@ std::string packBinary(const TraceRecord& r) {
   putU(b, r.fileId, 8);
   putU(b, r.preSize, 8);
   putU(b, static_cast<std::uint64_t>(r.preMtime), 8);
-  std::string out;
-  putU(out, b.size(), 4);
-  out += b;
-  return out;
+  std::uint64_t bodyLen = out.size() - lenAt - 4;
+  for (int i = 0; i < 4; ++i) {
+    out[lenAt + static_cast<std::size_t>(i)] =
+        static_cast<char>(bodyLen >> (8 * i));
+  }
 }
 
 std::optional<TraceRecord> unpackBinary(std::FILE* f) {
@@ -335,29 +426,45 @@ TraceWriter::TraceWriter(const std::string& path, Format format)
     : format_(format) {
   f_ = std::fopen(path.c_str(), "wb");
   if (!f_) throw std::runtime_error("trace: cannot open for write: " + path);
+  buf_.reserve(kWriterFlushBytes + 4096);
   if (format_ == Format::Binary) {
     std::fwrite(kBinMagic, 1, sizeof(kBinMagic), f_);
   }
 }
 
 TraceWriter::~TraceWriter() {
-  if (f_) std::fclose(f_);
+  if (f_) {
+    try {
+      flushBuffer();
+    } catch (...) {
+      // Destructor must not throw; the close below still releases the fd.
+    }
+    std::fclose(f_);
+  }
 }
 
 void TraceWriter::write(const TraceRecord& rec) {
   if (format_ == Format::Text) {
-    std::string line = formatRecord(rec);
-    line.push_back('\n');
-    if (std::fwrite(line.data(), 1, line.size(), f_) != line.size()) {
-      throw std::runtime_error("trace: write failed");
-    }
+    appendRecord(buf_, rec);
+    buf_.push_back('\n');
   } else {
-    std::string packed = packBinary(rec);
-    if (std::fwrite(packed.data(), 1, packed.size(), f_) != packed.size()) {
-      throw std::runtime_error("trace: write failed");
-    }
+    packBinaryInto(buf_, rec);
   }
   ++count_;
+  if (buf_.size() >= kWriterFlushBytes) flushBuffer();
+}
+
+void TraceWriter::flushBuffer() {
+  if (buf_.empty()) return;
+  if (std::fwrite(buf_.data(), 1, buf_.size(), f_) != buf_.size()) {
+    throw std::runtime_error("trace: write failed");
+  }
+  buf_.clear();
+}
+
+void TraceWriter::flush() {
+  flushBuffer();
+  std::fflush(f_);
 }
 
 TraceReader::TraceReader(const std::string& path) {
@@ -376,20 +483,44 @@ TraceReader::~TraceReader() {
   if (f_) std::fclose(f_);
 }
 
+bool TraceReader::refill() {
+  chunk_.resize(kReaderChunkBytes);
+  std::size_t got = std::fread(chunk_.data(), 1, chunk_.size(), f_);
+  chunk_.resize(got);
+  pos_ = 0;
+  return got > 0;
+}
+
 std::optional<TraceRecord> TraceReader::next() {
   if (binary_) return unpackBinary(f_);
-  std::string line;
-  int c;
-  while ((c = std::fgetc(f_)) != EOF) {
-    if (c == '\n') {
-      auto rec = parseRecord(line);
-      if (rec) return rec;
-      line.clear();
+  for (;;) {
+    if (pos_ >= chunk_.size()) {
+      if (!refill()) break;
+    }
+    std::size_t nl = chunk_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      carry_.append(chunk_, pos_, chunk_.size() - pos_);
+      pos_ = chunk_.size();
       continue;
     }
-    line.push_back(static_cast<char>(c));
+    std::optional<TraceRecord> rec;
+    if (carry_.empty()) {
+      // Fast path: the whole line sits inside the current chunk.
+      std::string line = chunk_.substr(pos_, nl - pos_);
+      rec = parseRecord(line);
+    } else {
+      carry_.append(chunk_, pos_, nl - pos_);
+      rec = parseRecord(carry_);
+      carry_.clear();
+    }
+    pos_ = nl + 1;
+    if (rec) return rec;
   }
-  if (!line.empty()) return parseRecord(line);
+  if (!carry_.empty()) {
+    std::string line = std::move(carry_);
+    carry_.clear();
+    return parseRecord(line);
+  }
   return std::nullopt;
 }
 

@@ -19,12 +19,20 @@
 
 namespace nfstrace {
 
+/// Append one record as a text line (no trailing newline) to `out`.
+/// Allocation-light: everything is rendered with snprintf into the
+/// destination buffer, so a writer can format thousands of records into
+/// one flush buffer without a heap allocation per record.
+void appendRecord(std::string& out, const TraceRecord& rec);
 /// Render one record as a text line (no trailing newline).
 std::string formatRecord(const TraceRecord& rec);
 /// Parse a text line; nullopt for blank/comment lines; throws
 /// std::runtime_error on malformed records.
 std::optional<TraceRecord> parseRecord(const std::string& line);
 
+/// Buffered trace writer: records are formatted into an in-memory batch
+/// buffer and flushed to the file in large writes, so the per-record cost
+/// is formatting only (no per-record heap allocation or fwrite call).
 class TraceWriter {
  public:
   enum class Format { Text, Binary };
@@ -35,11 +43,16 @@ class TraceWriter {
   TraceWriter& operator=(const TraceWriter&) = delete;
 
   void write(const TraceRecord& rec);
+  /// Flush the batch buffer and the underlying stream.
+  void flush();
   std::uint64_t recordsWritten() const { return count_; }
 
  private:
+  void flushBuffer();
+
   std::FILE* f_ = nullptr;
   Format format_;
+  std::string buf_;
   std::uint64_t count_ = 0;
 };
 
@@ -56,8 +69,15 @@ class TraceReader {
   static std::vector<TraceRecord> readAll(const std::string& path);
 
  private:
+  /// Refill chunk_ from the file; returns false at EOF.
+  bool refill();
+
   std::FILE* f_ = nullptr;
   bool binary_ = false;
+  // Text path: chunked read buffer (replaces the old fgetc-per-byte loop).
+  std::string chunk_;
+  std::size_t pos_ = 0;
+  std::string carry_;  // partial line spanning chunk boundaries
 };
 
 }  // namespace nfstrace

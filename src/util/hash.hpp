@@ -1,0 +1,33 @@
+// Small non-cryptographic hash helpers for the hot-path hash tables.
+//
+// std::hash<integral> is the identity on libstdc++, which clusters badly
+// for keys like (client ip << 32 | xid) where the low bits barely vary
+// between clients.  splitmix64 is the standard cheap full-avalanche mixer
+// (Vigna's SplitMix64 finalizer, also used to seed xoshiro).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nfstrace {
+
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combine (for multi-field keys).
+constexpr std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t v) {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Hash functor usable with unordered containers keyed by a packed u64.
+struct U64Hash {
+  std::size_t operator()(std::uint64_t v) const noexcept {
+    return static_cast<std::size_t>(mix64(v));
+  }
+};
+
+}  // namespace nfstrace

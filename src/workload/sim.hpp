@@ -54,6 +54,11 @@ class SimEnvironment {
   const MirrorPort* mirror() const { return mirror_.get(); }
   Rng& rng() { return rng_; }
 
+  /// Attach an extra frame sink to the tap (a pcap writer, a frame
+  /// collector for replay through another pipeline, ...).  Sees the raw
+  /// pre-mirror frames.  Must outlive the simulation.
+  void addTapSink(FrameSink* sink) { tap_.addSink(sink); }
+
   /// Collected records (only when no callback was given).  Sorted by call
   /// timestamp on access.
   std::vector<TraceRecord>& records();
