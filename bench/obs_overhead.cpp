@@ -1,0 +1,218 @@
+// Overhead of the self-monitoring layer on the sharded pipeline.
+//
+// Replays the same lossy-mirror EECS capture as pipeline_throughput
+// through the 4-shard ParallelPipeline twice per repetition: once plain
+// and once fully instrumented (metrics registry wired into partitioner,
+// workers, sniffers, merge, and trace writer, with the snapshot thread
+// live and streaming JSON-lines).  Instrumentation whose cost you can
+// measure is instrumentation you can leave on in production — the budget
+// is 2%, and this bench exits nonzero beyond it so regressions are
+// mechanically caught.  Results land in BENCH_obs.json; the snapshot
+// stream from the last instrumented run is validated to cover ring
+// depth, stall counts, merge watermark lag, and the live §4.1.4 capture
+// loss estimate.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "pipeline/pipeline.hpp"
+#include "trace/tracefile.hpp"
+
+namespace nfstrace {
+namespace {
+
+using bench::kWeekStart;
+using bench::makeEecs;
+
+struct FrameCollector : FrameSink {
+  std::vector<CapturedPacket> frames;
+  void onFrame(const CapturedPacket& pkt) override { frames.push_back(pkt); }
+};
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Same pipeline configuration as pipeline_throughput's 4-shard run, so
+// the plain timing here reproduces BENCH_pipeline.json's shard4_rps.
+constexpr int kShards = 4;
+constexpr MicroTime kPendingTimeout = 7200 * kMicrosPerSecond;
+constexpr MicroTime kScanInterval = 30 * kMicrosPerSecond;
+constexpr int kReps = 5;
+// One pipeline pass over the capture lasts only ~0.25 s — too short to
+// resolve a 2% budget above scheduler noise.  Each timed run therefore
+// replays the capture several times back to back (fresh pipeline each
+// pass, same registry/exporter throughout) so the timed region is ~1 s.
+constexpr int kPasses = 4;
+
+struct RunResult {
+  double rps = 0;
+  std::uint64_t records = 0;
+};
+
+/// One 4-shard pipeline run; when `reg` is non-null the whole stack is
+/// instrumented and a snapshot thread scrapes every 100 ms into `jsonl`.
+RunResult runPipeline(const std::vector<CapturedPacket>& frames,
+                      const std::string& path, obs::Registry* reg,
+                      const std::string& jsonl) {
+  auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t n = 0;
+  std::unique_ptr<obs::SnapshotExporter> exporter;
+  if (reg) {
+    obs::SnapshotExporter::Config ec;
+    ec.intervalUs = 100'000;
+    ec.jsonlPath = jsonl;
+    exporter = std::make_unique<obs::SnapshotExporter>(*reg, ec);
+  }
+  for (int pass = 0; pass < kPasses; ++pass) {
+    n = 0;  // every pass rewrites `path`, so count just the last one
+    TraceWriter writer(path, TraceWriter::Format::Text);
+    if (reg) writer.attachMetrics(*reg);
+    ParallelPipeline::Config pc;
+    pc.shards = kShards;
+    pc.metrics = reg;
+    pc.sniffer.pendingTimeout = kPendingTimeout;
+    pc.sniffer.expiryScanInterval = kScanInterval;
+    ParallelPipeline pipe(pc, [&](const TraceRecord& r) {
+      writer.write(r);
+      ++n;
+    });
+    for (const auto& f : frames) pipe.feed(&f);
+    pipe.finish();
+    writer.flush();
+  }
+  if (exporter) exporter->stop();
+  double dt = secondsSince(t0);
+  return {static_cast<double>(n) * kPasses / dt, n};
+}
+
+/// Minimal JSON-lines sanity check plus coverage of the health metrics
+/// the acceptance criteria name.
+bool validateSnapshots(const std::string& jsonlPath, std::size_t* linesOut) {
+  std::ifstream in(jsonlPath);
+  if (!in) return false;
+  std::string line;
+  std::size_t lines = 0;
+  bool sawRingDepth = false, sawStalls = false, sawMergeLag = false,
+       sawLoss = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() != '{' || line.back() != '}') {
+      return false;
+    }
+    ++lines;
+    sawRingDepth |= line.find("\"pipeline.ring.frames.depth.s0\":") !=
+                    std::string::npos;
+    sawStalls |= line.find("\"pipeline.push_stalls\":") != std::string::npos &&
+                 line.find("\"pipeline.pop_stalls\":") != std::string::npos;
+    sawMergeLag |=
+        line.find("\"pipeline.merge_watermark_lag\":") != std::string::npos;
+    sawLoss |= line.find("\"sniffer.loss_estimate\":") != std::string::npos;
+  }
+  if (linesOut) *linesOut = lines;
+  return lines > 0 && sawRingDepth && sawStalls && sawMergeLag && sawLoss;
+}
+
+}  // namespace
+}  // namespace nfstrace
+
+int main(int argc, char** argv) {
+  using namespace nfstrace;
+  const std::string jsonPath = argc > 1 ? argv[1] : "BENCH_obs.json";
+  const std::string jsonlPath = "bench_obs_snapshots.jsonl";
+  const double simDays = 1.5;
+  constexpr double kBudgetPct = 2.0;
+
+  std::printf("generating synthetic EECS capture (%.1f days)...\n", simDays);
+  FrameCollector lossless;
+  {
+    auto eecs = makeEecs(24, [](const TraceRecord&) {});
+    eecs.env->addTapSink(&lossless);
+    eecs.workload->setup(kWeekStart);
+    eecs.workload->run(kWeekStart, kWeekStart + days(simDays));
+    eecs.env->finishCapture();
+  }
+  FrameCollector mirrored;
+  {
+    MirrorPort::Config mc;
+    mc.bandwidthBitsPerSec = 40e6;
+    mc.bufferBytes = 64 * 1024;
+    MirrorPort mirror(mc, mirrored);
+    for (const auto& f : lossless.frames) mirror.onFrame(f);
+    std::printf("mirror: %zu of %zu frames survived (%.2f%% loss)\n",
+                mirrored.frames.size(), lossless.frames.size(),
+                100.0 * mirror.dropRate());
+  }
+  const auto& frames = mirrored.frames;
+
+  // Warm-up (page cache / allocator parity with the timed runs).
+  runPipeline(frames, "bench_obs_warmup.trace", nullptr, "");
+
+  // Interleave plain and instrumented repetitions so slow drift on a
+  // shared box hits both variants equally; keep the best of each.
+  RunResult plain, inst;
+  for (int rep = 0; rep < kReps; ++rep) {
+    RunResult p = runPipeline(frames, "bench_obs_plain.trace", nullptr, "");
+    if (p.rps > plain.rps) plain = p;
+    std::remove(jsonlPath.c_str());  // keep only the last rep's stream
+    obs::Registry reg;
+    RunResult i =
+        runPipeline(frames, "bench_obs_inst.trace", &reg, jsonlPath);
+    if (i.rps > inst.rps) inst = i;
+  }
+  std::printf("plain x%d        : %10.0f rec/s  (%llu records)\n", kShards,
+              plain.rps, static_cast<unsigned long long>(plain.records));
+  std::printf("instrumented x%d : %10.0f rec/s\n", kShards, inst.rps);
+
+  bool identical = !slurp("bench_obs_plain.trace").empty() &&
+                   slurp("bench_obs_plain.trace") ==
+                       slurp("bench_obs_inst.trace");
+  double overheadPct = 100.0 * (1.0 - inst.rps / plain.rps);
+  std::size_t snapshotLines = 0;
+  bool snapshotsValid = validateSnapshots(jsonlPath, &snapshotLines);
+
+  std::printf("instrumentation overhead: %.2f%%  (budget %.1f%%)\n",
+              overheadPct, kBudgetPct);
+  std::printf("instrumented output identical: %s\n", identical ? "yes" : "NO");
+  std::printf("snapshot stream valid: %s  (%zu JSON lines)\n",
+              snapshotsValid ? "yes" : "NO", snapshotLines);
+
+  std::remove("bench_obs_warmup.trace");
+  std::remove("bench_obs_plain.trace");
+  std::remove("bench_obs_inst.trace");
+  std::remove(jsonlPath.c_str());
+
+  std::FILE* j = std::fopen(jsonPath.c_str(), "w");
+  if (!j) {
+    std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  std::fprintf(j,
+               "{\"bench\":\"obs_overhead\",\"frames\":%zu,\"records\":%llu,"
+               "\"shards\":%d,\"plain_rps\":%.0f,\"instrumented_rps\":%.0f,"
+               "\"overhead_pct\":%.3f,\"budget_pct\":%.1f,"
+               "\"snapshot_lines\":%zu,\"snapshots_valid\":%s,"
+               "\"output_identical\":%s}\n",
+               frames.size(), static_cast<unsigned long long>(plain.records),
+               kShards, plain.rps, inst.rps, overheadPct, kBudgetPct,
+               snapshotLines, snapshotsValid ? "true" : "false",
+               identical ? "true" : "false");
+  std::fclose(j);
+  std::printf("wrote %s\n", jsonPath.c_str());
+
+  // The budget is enforced, not advisory: blow it and the bench fails.
+  return (overheadPct <= kBudgetPct && snapshotsValid && identical) ? 0 : 1;
+}

@@ -72,6 +72,15 @@ int main(int argc, char** argv) {
   TraceWriter writer(output);
   for (const auto& rec : records) writer.write(rec);
 
+  // The paper's §4.1.4 capture-loss estimate: a reply whose call was
+  // never captured means the call frame was dropped at the tap, so
+  // orphans / (calls + orphans) estimates the fraction of calls lost.
+  double totalCalls = static_cast<double>(stats.rpcCalls) +
+                      static_cast<double>(stats.orphanReplies);
+  double lossEstimate =
+      totalCalls > 0 ? static_cast<double>(stats.orphanReplies) / totalCalls
+                     : 0.0;
+
   std::printf(
       "\n%s -> %s\n"
       "frames seen:        %llu\n"
@@ -80,6 +89,7 @@ int main(int argc, char** argv) {
       "orphan replies:     %llu   (their calls were lost -- the paper's\n"
       "                            capture-loss estimator)\n"
       "reply-less calls:   %llu\n"
+      "est. capture loss:  %.2f%%  (orphans / (calls + orphans), sec 4.1.4)\n"
       "trace records:      %llu\n",
       input.c_str(), output.c_str(),
       static_cast<unsigned long long>(stats.framesSeen),
@@ -87,6 +97,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.rpcReplies),
       static_cast<unsigned long long>(stats.orphanReplies),
       static_cast<unsigned long long>(stats.expiredCalls),
+      100.0 * lossEstimate,
       static_cast<unsigned long long>(records.size()));
 
   if (!records.empty()) {

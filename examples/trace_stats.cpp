@@ -1,11 +1,13 @@
 // Trace statistics tool: run the paper's analyses over any trace file —
 // the `nfsscan` counterpart to capture_to_trace's `nfsdump`.
 //
-//   trace_stats [trace-file]
+//   trace_stats [--json] [trace-file]
 //
 // Prints the operation mix, data volumes, hourly activity, run pattern
 // classification, block-lifetime summary, and name-category census.
-// With no argument it generates a demo trace first.
+// With --json the summary is emitted as one JSON object on stdout (via
+// the obs JSON exporter) for scripting; progress goes to stderr.
+// With no input argument it generates a demo trace first.
 #include <cstdio>
 #include <string>
 
@@ -15,6 +17,7 @@
 #include "analysis/runs.hpp"
 #include "analysis/summary.hpp"
 #include "analysis/users.hpp"
+#include "obs/json.hpp"
 #include "trace/tracefile.hpp"
 #include "util/table.hpp"
 #include "workload/campus.hpp"
@@ -24,10 +27,11 @@ using namespace nfstrace;
 
 namespace {
 
-std::string makeDemoTrace() {
+std::string makeDemoTrace(bool toStderr) {
   std::string path = "/tmp/trace_stats_demo.trace";
-  std::printf("no input given; generating a demo trace at %s\n\n",
-              path.c_str());
+  std::fprintf(toStderr ? stderr : stdout,
+               "no input given; generating a demo trace at %s\n\n",
+               path.c_str());
   SimEnvironment::Config cfg;
   cfg.fsConfig.fsid = 2;
   cfg.clientHosts = 3;
@@ -44,14 +48,131 @@ std::string makeDemoTrace() {
   return path;
 }
 
+/// --json: the whole summary as one machine-readable object on stdout,
+/// built with the obs JSON exporter instead of hand-rolled printf.
+void emitJson(const std::string& input,
+              const std::vector<TraceRecord>& records) {
+  auto s = summarize(records);
+  obs::JsonWriter w;
+  w.beginObject();
+  w.field("input", input);
+  w.field("records", s.totalOps);
+  w.field("days", s.days());
+
+  w.key("op_mix").beginArray();
+  for (std::size_t i = 0; i < kNfsOpCount; ++i) {
+    if (s.opCounts[i] == 0) continue;
+    w.beginObject();
+    w.field("op", nfsOpName(static_cast<NfsOp>(i)));
+    w.field("calls", s.opCounts[i]);
+    w.field("fraction", static_cast<double>(s.opCounts[i]) /
+                            static_cast<double>(s.totalOps));
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("data").beginObject();
+  w.field("bytes_read", s.bytesRead);
+  w.field("read_ops", s.readOps);
+  w.field("bytes_written", s.bytesWritten);
+  w.field("write_ops", s.writeOps);
+  w.field("rw_byte_ratio", s.readWriteByteRatio());
+  w.field("rw_op_ratio", s.readWriteOpRatio());
+  w.field("replies_missing", s.repliesMissing);
+  w.endObject();
+
+  {
+    auto sorted = sortWithReorderWindow(records, 10'000);
+    auto runs = detectRuns(sorted.records);
+    auto rp = summarizeRunPatterns(runs);
+    w.key("runs").beginObject();
+    w.field("total", static_cast<std::uint64_t>(runs.size()));
+    w.field("reorder_swapped_fraction", sorted.swappedFraction());
+    auto pattern = [&w](const char* name, double frac, double entire,
+                        double seq, double random) {
+      w.key(name).beginObject();
+      w.field("fraction", frac);
+      w.field("entire", entire);
+      w.field("sequential", seq);
+      w.field("random", random);
+      w.endObject();
+    };
+    pattern("read", rp.readFrac, rp.readEntire, rp.readSeq, rp.readRandom);
+    pattern("write", rp.writeFrac, rp.writeEntire, rp.writeSeq,
+            rp.writeRandom);
+    pattern("read_write", rp.rwFrac, rp.rwEntire, rp.rwSeq, rp.rwRandom);
+    w.endObject();
+  }
+
+  {
+    BlockLifeConfig cfg;
+    cfg.phase1Start = s.firstTs;
+    cfg.phase1Length = std::max<MicroTime>((s.lastTs - s.firstTs) / 2, 1);
+    cfg.phase2Length = cfg.phase1Length;
+    EmpiricalCdf lifetimes;
+    auto bl = analyzeBlockLife(records, cfg, &lifetimes);
+    w.key("block_life").beginObject();
+    w.field("births", bl.births);
+    w.field("deaths", bl.deaths);
+    w.field("births_write", bl.birthsWrite);
+    w.field("deaths_overwrite", bl.deathsOverwrite);
+    w.field("deaths_truncate", bl.deathsTruncate);
+    w.field("deaths_delete", bl.deathsDelete);
+    if (lifetimes.empty()) {
+      w.key("median_lifetime_s").valueNull();
+    } else {
+      w.field("median_lifetime_s", lifetimes.quantile(0.5));
+    }
+    w.endObject();
+  }
+
+  {
+    UserStats us;
+    for (const auto& r : records) us.observe(r);
+    w.key("users").beginObject();
+    w.field("count", static_cast<std::uint64_t>(us.userCount()));
+    w.field("top_decile_share", us.topUserShare(0.10));
+    w.field("imbalance", us.imbalance());
+    w.endObject();
+  }
+
+  {
+    FileLifeCensus census;
+    for (const auto& r : records) census.observe(r);
+    census.finish();
+    w.key("file_churn").beginObject();
+    w.field("created", census.totalCreated());
+    w.field("deleted", census.totalDeleted());
+    w.field("lock_fraction_of_deleted", census.lockFractionOfDeleted());
+    w.endObject();
+  }
+
+  w.endObject();
+  std::printf("%s\n", w.str().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string input = argc > 1 ? argv[1] : makeDemoTrace();
+  bool json = false;
+  std::string input;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else {
+      input = arg;
+    }
+  }
+  if (input.empty()) input = makeDemoTrace(json);
   auto records = TraceReader::readAll(input);
   if (records.empty()) {
-    std::printf("%s: no records\n", input.c_str());
+    std::fprintf(stderr, "%s: no records\n", input.c_str());
     return 1;
+  }
+  if (json) {
+    emitJson(input, records);
+    return 0;
   }
 
   auto s = summarize(records);

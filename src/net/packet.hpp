@@ -147,6 +147,14 @@ class TcpReassembler {
   bool hasGap() const { return !pending_.empty(); }
   std::uint64_t bytesDelivered() const { return delivered_; }
 
+  /// Bytes currently parked in out-of-order segments awaiting a gap fill
+  /// (the reassembly buffer a lossy mirror port makes grow — §4.1.4).
+  std::uint64_t bufferedBytes() const {
+    std::uint64_t n = 0;
+    for (const auto& [seq, seg] : pending_) n += seg.size();
+    return n;
+  }
+
  private:
   bool initialized_ = false;
   std::uint32_t expected_ = 0;

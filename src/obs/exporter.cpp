@@ -1,0 +1,154 @@
+#include "obs/exporter.hpp"
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace nfstrace::obs {
+
+SnapshotExporter::SnapshotExporter(Registry& registry, Config config)
+    : registry_(registry),
+      config_(std::move(config)),
+      start_(std::chrono::steady_clock::now()) {
+  if (!config_.jsonlPath.empty()) {
+    jsonl_ = std::fopen(config_.jsonlPath.c_str(), "ab");
+  }
+  if (config_.intervalUs > 0) {
+    thread_ = std::thread([this] { threadLoop(); });
+  }
+}
+
+SnapshotExporter::~SnapshotExporter() { stop(); }
+
+void SnapshotExporter::threadLoop() {
+  std::unique_lock lock(stopMu_);
+  for (;;) {
+    if (stopCv_.wait_for(lock, std::chrono::microseconds(config_.intervalUs),
+                         [this] { return stopping_; })) {
+      return;  // final snapshot is emitted by stop()
+    }
+    lock.unlock();
+    emit();
+    lock.lock();
+  }
+}
+
+void SnapshotExporter::exportOnce() { emit(); }
+
+void SnapshotExporter::stop() {
+  {
+    std::lock_guard lock(stopMu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  stopCv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  emit();  // end-of-run snapshot: final counter totals always land
+  {
+    std::lock_guard lock(stopMu_);
+    stopped_ = true;
+  }
+  if (jsonl_) {
+    std::fclose(jsonl_);
+    jsonl_ = nullptr;
+  }
+}
+
+void SnapshotExporter::emit() {
+  Snapshot snap = registry_.scrape();
+  auto uptime = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+  std::lock_guard lock(emitMu_);
+  std::uint64_t seqNo = seq_++;
+  if (config_.statusStream) {
+    std::string table = renderStatusTable(snap, seqNo, uptime);
+    std::fwrite(table.data(), 1, table.size(), config_.statusStream);
+    std::fflush(config_.statusStream);
+  }
+  if (jsonl_) {
+    std::string line = renderJsonLine(snap, seqNo, uptime);
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), jsonl_);
+    std::fflush(jsonl_);
+  }
+  written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string SnapshotExporter::renderStatusTable(const Snapshot& snap,
+                                                std::uint64_t seqNo,
+                                                std::int64_t uptimeUs) {
+  std::string out;
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "---- obs snapshot #%llu  (uptime %.3f s) ----\n",
+                static_cast<unsigned long long>(seqNo),
+                static_cast<double>(uptimeUs) / 1e6);
+  out += head;
+
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    TextTable t({"metric", "value"});
+    for (const auto& [name, v] : snap.counters) {
+      t.addRow({name, TextTable::withCommas(v)});
+    }
+    if (!snap.counters.empty() && !snap.gauges.empty()) t.addRule();
+    for (const auto& [name, v] : snap.gauges) {
+      t.addRow({name, TextTable::fixed(v, 3)});
+    }
+    out += t.render();
+  }
+  if (!snap.histograms.empty()) {
+    TextTable t({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : snap.histograms) {
+      t.addRow({name, TextTable::withCommas(h.count),
+                TextTable::fixed(h.mean(), 1), TextTable::fixed(h.quantile(0.5), 1),
+                TextTable::fixed(h.quantile(0.95), 1),
+                TextTable::fixed(h.quantile(0.99), 1),
+                TextTable::fixed(h.max(), 0)});
+    }
+    out += t.render();
+  }
+  return out;
+}
+
+std::string SnapshotExporter::renderJsonLine(const Snapshot& snap,
+                                             std::uint64_t seqNo,
+                                             std::int64_t uptimeUs) {
+  JsonWriter w;
+  w.beginObject();
+  w.field("snapshot", seqNo);
+  w.field("uptime_us", static_cast<std::int64_t>(uptimeUs));
+  w.key("counters").beginObject();
+  for (const auto& [name, v] : snap.counters) w.field(name, v);
+  w.endObject();
+  w.key("gauges").beginObject();
+  for (const auto& [name, v] : snap.gauges) w.field(name, v);
+  w.endObject();
+  w.key("histograms").beginObject();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name).beginObject();
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.field("mean", h.mean());
+    w.field("p50", h.quantile(0.5));
+    w.field("p95", h.quantile(0.95));
+    w.field("p99", h.quantile(0.99));
+    w.field("max", h.max());
+    // Sparse buckets: [low_edge, high_edge, count] triples, non-empty only.
+    w.key("buckets").beginArray();
+    for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      w.beginArray();
+      w.value(HistogramSnapshot::bucketLow(i));
+      w.value(HistogramSnapshot::bucketHigh(i));
+      w.value(h.buckets[i]);
+      w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace nfstrace::obs

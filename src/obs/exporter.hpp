@@ -1,0 +1,81 @@
+// Periodic snapshot exporter: a background thread scrapes the registry
+// every `intervalUs` of wall time and emits each snapshot as
+//
+//  * a human-readable status table on a stdio stream (typically stderr),
+//    for watching a live capture, and/or
+//  * one JSON object per line appended to a file (JSON-lines), for
+//    offline plotting of queue depths, stall counts, and loss estimates
+//    over the life of a run.
+//
+// stop() (also run by the destructor) emits one final snapshot so short
+// runs still leave a complete end-of-run record.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace nfstrace::obs {
+
+class SnapshotExporter {
+ public:
+  struct Config {
+    /// Wall-clock scrape period.  <= 0 disables the thread (snapshots
+    /// then come only from exportOnce()/stop()).
+    MicroTime intervalUs = kMicrosPerSecond;
+    /// Stream for the human-readable status table; null = off.
+    std::FILE* statusStream = nullptr;
+    /// Path for the JSON-lines file (appended); empty = off.
+    std::string jsonlPath;
+  };
+
+  SnapshotExporter(Registry& registry, Config config);
+  ~SnapshotExporter();
+
+  SnapshotExporter(const SnapshotExporter&) = delete;
+  SnapshotExporter& operator=(const SnapshotExporter&) = delete;
+
+  /// Scrape and emit one snapshot right now (thread-safe).
+  void exportOnce();
+
+  /// Emit a final snapshot, stop the thread, close the file.  Idempotent.
+  void stop();
+
+  std::uint64_t snapshotsWritten() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+
+  /// Rendering, exposed for tests and one-shot tooling.
+  static std::string renderStatusTable(const Snapshot& snap,
+                                       std::uint64_t seqNo,
+                                       std::int64_t uptimeUs);
+  static std::string renderJsonLine(const Snapshot& snap, std::uint64_t seqNo,
+                                    std::int64_t uptimeUs);
+
+ private:
+  void threadLoop();
+  void emit();
+
+  Registry& registry_;
+  Config config_;
+  std::FILE* jsonl_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> written_{0};
+  std::uint64_t seq_ = 0;  // guarded by emitMu_
+  std::mutex emitMu_;
+  std::mutex stopMu_;
+  std::condition_variable stopCv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace nfstrace::obs

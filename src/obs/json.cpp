@@ -1,0 +1,128 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nfstrace::obs {
+
+void JsonWriter::elem() {
+  if (afterKey_) {
+    afterKey_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_.push_back(',');
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  elem();
+  out_.push_back('{');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  out_.push_back('}');
+  if (!first_.empty()) first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  elem();
+  out_.push_back('[');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  out_.push_back(']');
+  if (!first_.empty()) first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  elem();
+  out_.push_back('"');
+  out_ += escape(k);
+  out_ += "\":";
+  afterKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  elem();
+  out_.push_back('"');
+  out_ += escape(s);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return valueNull();
+  elem();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  elem();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  elem();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  elem();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::valueNull() {
+  elem();
+  out_ += "null";
+  return *this;
+}
+
+void JsonWriter::clear() {
+  out_.clear();
+  first_.clear();
+  afterKey_ = false;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace nfstrace::obs

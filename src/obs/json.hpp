@@ -1,0 +1,54 @@
+// Minimal streaming JSON writer: comma placement and string escaping
+// handled by a container stack, output appended to one growable string.
+// Used by the snapshot exporter's JSON-lines stream and by tools that
+// emit machine-readable summaries (trace_stats --json).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nfstrace::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Member key inside an object; follow with a value or begin*().
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& valueNull();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  void clear();
+
+  static std::string escape(std::string_view s);
+
+ private:
+  /// Emit the separator a new element needs at the current position.
+  void elem();
+
+  std::string out_;
+  std::vector<bool> first_;    // per open container: no element written yet
+  bool afterKey_ = false;      // next value completes a key
+};
+
+}  // namespace nfstrace::obs

@@ -1,0 +1,118 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace nfstrace::obs {
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    double next = cum + static_cast<double>(buckets[i]);
+    if (next >= target) {
+      if (i == 0) return 0.0;
+      // Geometric interpolation inside the bucket: log-scale buckets make
+      // the geometric midpoint the unbiased choice.
+      double frac = (target - cum) / static_cast<double>(buckets[i]);
+      double lo = bucketLow(i), hi = bucketHigh(i);
+      return lo * std::pow(hi / lo, frac);
+    }
+    cum = next;
+  }
+  return max();
+}
+
+double HistogramSnapshot::max() const {
+  for (std::size_t i = kBuckets; i-- > 0;) {
+    if (buckets[i]) return bucketHigh(i);
+  }
+  return 0.0;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  for (const auto& slot : slots_) {
+    for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      std::uint64_t n = slot.buckets[i].load(std::memory_order_relaxed);
+      out.buckets[i] += n;
+      out.count += n;
+    }
+    out.sum += slot.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Map>
+auto& createOrGet(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    using Metric = typename Map::mapped_type::element_type;
+    it = map.emplace(std::string(name), std::make_unique<Metric>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  return createOrGet(counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  return createOrGet(gauges_, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  return createOrGet(histograms_, name);
+}
+
+void Registry::gaugeFn(std::string_view name, std::function<double()> fn) {
+  std::lock_guard lock(mu_);
+  gaugeFns_.emplace(std::string(name), std::move(fn));  // keep-first
+}
+
+void Registry::unregisterGaugeFn(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gaugeFns_.find(name);
+  if (it != gaugeFns_.end()) gaugeFns_.erase(it);
+}
+
+Snapshot Registry::scrape() const {
+  std::lock_guard lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->total());
+  }
+  snap.gauges.reserve(gauges_.size() + gaugeFns_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, fn] : gaugeFns_) {
+    snap.gauges.emplace_back(name, fn());
+  }
+  // Set and sampled gauges come from two maps; restore one sorted order.
+  std::sort(snap.gauges.begin(), snap.gauges.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+}  // namespace nfstrace::obs

@@ -1,0 +1,241 @@
+// Self-monitoring metrics registry (the tracer watching itself).
+//
+// Ellard et al. ran their tracer unattended for months and could only
+// estimate capture health *after the fact*, from orphan replies in the
+// finished trace (§4.1.4).  This registry gives every layer of the
+// pipeline live eyes — counters, gauges, and log-scale histograms — at
+// near-zero hot-path cost:
+//
+//  * Counters are arrays of cache-line-padded per-shard cells.  A bound
+//    handle increments its own cell with one relaxed fetch_add on a cache
+//    line no other thread writes, so the worker hot path never contends.
+//    Cells are summed only at scrape time.
+//  * Gauges are a single relaxed atomic double (last-writer-wins), plus
+//    callback gauges sampled at scrape time for values derived from other
+//    state (ring occupancy, loss estimates).
+//  * Histograms bucket by power of two (bucket i covers [2^(i-1), 2^i))
+//    with per-shard padded bucket arrays, merged at scrape time.
+//
+// All handles are null-safe no-ops when unbound, so instrumented code
+// runs unchanged (one predicted branch per event) when no registry is
+// attached.  Metric names are dotted lowercase `layer.metric`, with a
+// `.s<N>` suffix for per-shard instances and a `_ns` suffix for
+// nanosecond-valued histograms (see DESIGN.md, "Observability").
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nfstrace::obs {
+
+inline constexpr std::size_t kObsCacheLine = 64;
+
+/// Number of independent per-shard cells per counter/histogram (power of
+/// two; slot indices wrap).  16 covers the pipeline's practical shard
+/// counts with one line per worker to spare.
+inline constexpr std::size_t kMetricSlots = 16;
+
+struct alignas(kObsCacheLine) CounterCell {
+  std::atomic<std::uint64_t> n{0};
+};
+static_assert(sizeof(CounterCell) == kObsCacheLine);
+
+/// A named monotonic counter: kMetricSlots padded cells, wait-free
+/// increments, aggregated only when scraped.
+class Counter {
+ public:
+  CounterCell& cell(std::size_t slot) {
+    return cells_[slot & (kMetricSlots - 1)];
+  }
+
+  void inc(std::size_t slot, std::uint64_t by = 1) {
+    cell(slot).n.fetch_add(by, std::memory_order_relaxed);
+  }
+
+  /// Scrape-time aggregation over every cell.
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.n.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  std::array<CounterCell, kMetricSlots> cells_{};
+};
+
+/// Hot-path view of one counter cell.  Default-constructed handles are
+/// unbound and increment nothing, so call sites need no registry checks.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  CounterHandle(Counter& c, std::size_t slot) : cell_(&c.cell(slot)) {}
+
+  void inc(std::uint64_t by = 1) {
+    if (cell_) cell_->n.fetch_add(by, std::memory_order_relaxed);
+  }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  CounterCell* cell_ = nullptr;
+};
+
+/// Last-writer-wins instantaneous value (queue depth, table size).
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  explicit GaugeHandle(Gauge& g) : gauge_(&g) {}
+
+  void set(double v) {
+    if (gauge_) gauge_->set(v);
+  }
+  explicit operator bool() const { return gauge_ != nullptr; }
+
+ private:
+  Gauge* gauge_ = nullptr;
+};
+
+/// Merged (scrape-time) view of a histogram; also the unit of offline
+/// aggregation across snapshots or processes.
+struct HistogramSnapshot {
+  /// Bucket i counts values in [2^(i-1), 2^i); bucket 0 counts zeros.
+  static constexpr std::size_t kBuckets = 65;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  static double bucketLow(std::size_t i) {
+    return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+  }
+  static double bucketHigh(std::size_t i) {
+    return std::ldexp(1.0, static_cast<int>(i));
+  }
+
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+  /// Inverse CDF with geometric interpolation inside a bucket.
+  double quantile(double q) const;
+  /// Upper edge of the highest populated bucket (0 when empty).
+  double max() const;
+
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Log2-scale histogram with per-shard padded bucket arrays.  record() is
+/// wait-free (one relaxed add into the slot's own cache lines); slots are
+/// merged into a HistogramSnapshot only when scraped.
+class Histogram {
+ public:
+  struct alignas(kObsCacheLine) Slot {
+    std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
+        buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+
+  Slot& slot(std::size_t s) { return slots_[s & (kMetricSlots - 1)]; }
+
+  static std::size_t bucketFor(std::uint64_t value) {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+
+  void record(std::size_t slot_, std::uint64_t value) {
+    Slot& s = slot(slot_);
+    s.buckets[bucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<Slot, kMetricSlots> slots_{};
+};
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  HistogramHandle(Histogram& h, std::size_t slot) : slot_(&h.slot(slot)) {}
+
+  void record(std::uint64_t value) {
+    if (!slot_) return;
+    slot_->buckets[Histogram::bucketFor(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    slot_->sum.fetch_add(value, std::memory_order_relaxed);
+  }
+  explicit operator bool() const { return slot_ != nullptr; }
+
+ private:
+  Histogram::Slot* slot_ = nullptr;
+};
+
+/// One scrape of the whole registry, name-sorted (std::map order), ready
+/// for an exporter.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Central registry.  Metric creation (create-or-get by name) takes a
+/// mutex — do it once at setup, not per event; the returned references
+/// stay valid for the registry's lifetime.  scrape() also takes the
+/// mutex, which only the snapshot thread contends for.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Register a scrape-time sampled gauge (keep-first on name collision,
+  /// so per-shard instances can all register a shared derived metric).
+  /// `fn` runs under the registry mutex: it must not create metrics, and
+  /// must only read data that outlives its registration — unregister
+  /// before the captured state dies.
+  void gaugeFn(std::string_view name, std::function<double()> fn);
+  void unregisterGaugeFn(std::string_view name);
+
+  CounterHandle counterHandle(std::string_view name, std::size_t slot) {
+    return {counter(name), slot};
+  }
+  GaugeHandle gaugeHandle(std::string_view name) {
+    return GaugeHandle{gauge(name)};
+  }
+  HistogramHandle histogramHandle(std::string_view name, std::size_t slot) {
+    return {histogram(name), slot};
+  }
+
+  Snapshot scrape() const;
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr keeps metric addresses stable across map growth.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::function<double()>, std::less<>> gaugeFns_;
+};
+
+}  // namespace nfstrace::obs

@@ -1,0 +1,36 @@
+// RAII timer spans for hot-path sections: construct at section entry,
+// the destructor records the elapsed wall time (nanoseconds) into a
+// log-scale histogram.  An unbound handle skips even the clock reads, so
+// uninstrumented builds pay one predicted branch per span.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace nfstrace::obs {
+
+class TimerSpan {
+ public:
+  explicit TimerSpan(HistogramHandle hist) : hist_(hist) {
+    if (hist_) start_ = std::chrono::steady_clock::now();
+  }
+  ~TimerSpan() {
+    if (hist_) {
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+      hist_.record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
+  }
+
+  TimerSpan(const TimerSpan&) = delete;
+  TimerSpan& operator=(const TimerSpan&) = delete;
+
+ private:
+  HistogramHandle hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nfstrace::obs

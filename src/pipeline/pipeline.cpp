@@ -29,10 +29,15 @@ ParallelPipeline::ParallelPipeline(Config config, RecordCallback sink)
   for (int i = 0; i < config_.shards; ++i) {
     auto sh = std::make_unique<Shard>(config_);
     Shard* raw = sh.get();
+    // Shard sniffers publish into the shared registry with their shard
+    // index as the counter slot, so their increments never contend.
+    Sniffer::Config snifferCfg = config_.sniffer;
+    snifferCfg.metrics = config_.metrics;
+    snifferCfg.metricsShard = i;
     // The per-shard sniffer tags every emitted record with the merge key
     // of the message being processed and hands it to the merge stage.
     sh->sniffer = std::make_unique<Sniffer>(
-        config_.sniffer, [this, raw](const TraceRecord& rec) {
+        snifferCfg, [this, raw](const TraceRecord& rec) {
           TaggedRecord tr;
           tr.key.seq = raw->curSeq;
           tr.key.phase = raw->curPhase;
@@ -41,10 +46,14 @@ ParallelPipeline::ParallelPipeline(Config config, RecordCallback sink)
                                  rec.xid
                            : raw->emitIdx++;
           tr.rec = rec;
-          while (!raw->out.tryPush(tr)) std::this_thread::yield();
+          while (!raw->out.tryPush(tr)) {
+            raw->recordPushStallsC.inc();
+            std::this_thread::yield();
+          }
         });
     shards_.push_back(std::move(sh));
   }
+  bindMetrics();  // bind worker handles before any worker thread starts
   for (auto& sh : shards_) {
     Shard* raw = sh.get();
     raw->thread = std::thread([this, raw] { workerLoop(*raw); });
@@ -52,10 +61,48 @@ ParallelPipeline::ParallelPipeline(Config config, RecordCallback sink)
   merger_ = std::thread([this] { mergeLoop(); });
 }
 
-ParallelPipeline::~ParallelPipeline() { finish(); }
+ParallelPipeline::~ParallelPipeline() {
+  finish();
+  // The ring-depth gauge fns capture pointers into shards_; pull them
+  // out of the registry before the rings are destroyed.
+  if (config_.metrics) {
+    for (const auto& name : gaugeFnNames_) {
+      config_.metrics->unregisterGaugeFn(name);
+    }
+  }
+}
+
+void ParallelPipeline::bindMetrics() {
+  if (!config_.metrics) return;
+  obs::Registry& reg = *config_.metrics;
+  framesDispatchedC_ = reg.counterHandle("pipeline.frames_dispatched", 0);
+  pushStallsC_ = reg.counterHandle("pipeline.push_stalls", 0);
+  recordsReleasedC_ = reg.counterHandle("pipeline.records_released", 0);
+  mergeLagG_ = reg.gaugeHandle("pipeline.merge_watermark_lag");
+  mergeBufferedG_ = reg.gaugeHandle("pipeline.merge_buffered_records");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard* sh = shards_[i].get();
+    sh->popStallsC = reg.counterHandle("pipeline.pop_stalls", i);
+    sh->recordPushStallsC = reg.counterHandle("pipeline.record_push_stalls", i);
+    std::string suffix = ".s" + std::to_string(i);
+    std::string framesName = "pipeline.ring.frames.depth" + suffix;
+    reg.gaugeFn(framesName, [sh] {
+      return static_cast<double>(sh->in.sizeApprox());
+    });
+    gaugeFnNames_.push_back(framesName);
+    std::string recordsName = "pipeline.ring.records.depth" + suffix;
+    reg.gaugeFn(recordsName, [sh] {
+      return static_cast<double>(sh->out.sizeApprox());
+    });
+    gaugeFnNames_.push_back(recordsName);
+  }
+}
 
 void ParallelPipeline::pushToShard(Shard& sh, Msg&& msg) {
-  while (!sh.in.tryPush(msg)) std::this_thread::yield();
+  while (!sh.in.tryPush(msg)) {
+    pushStallsC_.inc();
+    std::this_thread::yield();
+  }
 }
 
 void ParallelPipeline::maybeTick(MicroTime ts) {
@@ -72,7 +119,10 @@ void ParallelPipeline::maybeTick(MicroTime ts) {
     while (pushed < batch.size()) {
       pushed += shards_[s]->in.tryPushBatch(
           std::span<Msg>(batch.data() + pushed, batch.size() - pushed));
-      if (pushed < batch.size()) std::this_thread::yield();
+      if (pushed < batch.size()) {
+        pushStallsC_.inc();
+        std::this_thread::yield();
+      }
     }
     batch.clear();
   }
@@ -88,6 +138,7 @@ void ParallelPipeline::maybeTick(MicroTime ts) {
 void ParallelPipeline::dispatch(Msg&& msg, int shard) {
   maybeTick(msg.ts);
   msg.seq = ++seq_;
+  framesDispatchedC_.inc();
   auto& batch = staged_[static_cast<std::size_t>(shard)];
   batch.push_back(std::move(msg));
   if (batch.size() >= kStageBatch) {
@@ -96,7 +147,10 @@ void ParallelPipeline::dispatch(Msg&& msg, int shard) {
     while (pushed < batch.size()) {
       pushed += sh.in.tryPushBatch(
           std::span<Msg>(batch.data() + pushed, batch.size() - pushed));
-      if (pushed < batch.size()) std::this_thread::yield();
+      if (pushed < batch.size()) {
+        pushStallsC_.inc();
+        std::this_thread::yield();
+      }
     }
     batch.clear();
   }
@@ -127,7 +181,10 @@ void ParallelPipeline::finish() {
     while (pushed < batch.size()) {
       pushed += shards_[s]->in.tryPushBatch(
           std::span<Msg>(batch.data() + pushed, batch.size() - pushed));
-      if (pushed < batch.size()) std::this_thread::yield();
+      if (pushed < batch.size()) {
+        pushStallsC_.inc();
+        std::this_thread::yield();
+      }
     }
     batch.clear();
   }
@@ -159,6 +216,7 @@ void ParallelPipeline::workerLoop(Shard& sh) {
   for (;;) {
     batch.clear();
     if (sh.in.tryPopBatch(batch, kWorkerBatch) == 0) {
+      sh.popStallsC.inc();
       std::this_thread::yield();
       continue;
     }
@@ -206,6 +264,21 @@ void ParallelPipeline::mergeLoop() {
     for (std::size_t s = 0; s < n; ++s) {
       wm[s] = shards_[s]->watermark.load(std::memory_order_acquire);
     }
+    if (config_.metrics) {
+      // Watermark lag: how far the slowest live shard trails the fastest
+      // — the imbalance the merge has to buffer around.  Done shards
+      // (kDoneSeq) no longer bound the merge, so they are excluded.
+      std::uint64_t lo = kDoneSeq, hi = 0, buffered = 0;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (wm[s] < kFlushSeq) {
+          lo = std::min(lo, wm[s]);
+          hi = std::max(hi, wm[s]);
+        }
+        buffered += buf[s].size();
+      }
+      mergeLagG_.set(lo == kDoneSeq ? 0.0 : static_cast<double>(hi - lo));
+      mergeBufferedG_.set(static_cast<double>(buffered));
+    }
     for (std::size_t s = 0; s < n; ++s) {
       for (;;) {
         popBuf.clear();
@@ -233,6 +306,7 @@ void ParallelPipeline::mergeLoop() {
       if (!safe) break;
       sink_(buf[best].front().rec);
       ++merged_;
+      recordsReleasedC_.inc();
       buf[best].pop_front();
       progress = true;
     }

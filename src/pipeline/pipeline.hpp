@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "netcap/netcap.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/spsc_ring.hpp"
 #include "sniffer/sniffer.hpp"
 
@@ -69,6 +70,12 @@ class ParallelPipeline : public FrameSink {
     std::size_t recordRingCapacity = 1 << 13;
     /// Broadcast a watermark heartbeat every this many frames.
     std::uint64_t heartbeatFrames = 4096;
+    /// Optional self-monitoring registry (src/obs).  When set, every
+    /// layer publishes pipeline health metrics: per-shard ring depths,
+    /// push/pop stall counts, merge watermark lag, records released, and
+    /// the per-shard sniffers' counters (Sniffer::Config::metrics is
+    /// overridden with this pointer and the shard index).
+    obs::Registry* metrics = nullptr;
     /// Configuration for every per-shard Sniffer.
     Sniffer::Config sniffer;
   };
@@ -135,6 +142,9 @@ class ParallelPipeline : public FrameSink {
     std::uint32_t curPhase = 1;
     std::uint64_t emitIdx = 0;
     std::unique_ptr<Sniffer> sniffer;
+    // Worker-side stall counters (unbound no-ops without Config::metrics).
+    obs::CounterHandle popStallsC;
+    obs::CounterHandle recordPushStallsC;
     std::thread thread;
   };
 
@@ -161,6 +171,16 @@ class ParallelPipeline : public FrameSink {
   // Merge state.
   std::uint64_t merged_ = 0;
   Sniffer::Stats aggregated_;
+  // Self-monitoring: producer/merge-side handles plus the names of the
+  // ring-depth gauge fns we registered (they capture ring pointers, so
+  // the destructor must unregister them before the rings die).
+  void bindMetrics();
+  obs::CounterHandle framesDispatchedC_;
+  obs::CounterHandle pushStallsC_;
+  obs::CounterHandle recordsReleasedC_;
+  obs::GaugeHandle mergeLagG_;
+  obs::GaugeHandle mergeBufferedG_;
+  std::vector<std::string> gaugeFnNames_;
 };
 
 }  // namespace nfstrace

@@ -39,6 +39,14 @@ class SpscRing {
 
   std::size_t capacity() const { return slots_.size(); }
 
+  /// Approximate occupancy from racy cursor reads — for monitoring
+  /// gauges only, never for flow control.
+  std::size_t sizeApprox() const {
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
   /// Producer side.  Moves from `v` on success; returns false when full.
   bool tryPush(T& v) {
     std::uint64_t tail = tail_.load(std::memory_order_relaxed);

@@ -1,5 +1,7 @@
 #include "server/server.hpp"
 
+#include "obs/timer.hpp"
+
 namespace nfstrace {
 namespace {
 
@@ -24,10 +26,20 @@ WccData wccPostOnly(const InMemoryFs& fs, const FileHandle& fh) {
 
 }  // namespace
 
+void NfsServer::attachMetrics(obs::Registry& registry) {
+  for (std::size_t i = 0; i < kNfsOpCount; ++i) {
+    std::string name = "server.op_ns.";
+    name += nfsOpName(static_cast<NfsOp>(i));
+    opLatency_[i] = registry.histogramHandle(name, 0);
+  }
+}
+
 NfsReplyRes NfsServer::handle(const NfsCallArgs& args, std::uint32_t uid,
                               std::uint32_t gid, MicroTime now) {
-  counts_[static_cast<std::size_t>(opOf(args))]++;
+  std::size_t op = static_cast<std::size_t>(opOf(args));
+  counts_[op]++;
   ++total_;
+  obs::TimerSpan span(opLatency_[op]);
 
   return std::visit(
       [&](const auto& a) -> NfsReplyRes {

@@ -9,6 +9,7 @@
 
 #include "fs/fs.hpp"
 #include "nfs/messages.hpp"
+#include "obs/metrics.hpp"
 
 namespace nfstrace {
 
@@ -26,10 +27,15 @@ class NfsServer {
   }
   std::uint64_t totalCalls() const { return total_; }
 
+  /// Bind self-monitoring: per-procedure execution-latency histograms
+  /// (server.op_ns.<proc>) recorded around every handle() call.
+  void attachMetrics(obs::Registry& registry);
+
  private:
   InMemoryFs& fs_;
   std::array<std::uint64_t, kNfsOpCount> counts_{};
   std::uint64_t total_ = 0;
+  std::array<obs::HistogramHandle, kNfsOpCount> opLatency_{};
 };
 
 }  // namespace nfstrace

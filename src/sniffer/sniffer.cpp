@@ -13,16 +13,59 @@ Sniffer::Sniffer(Config config, RecordCallback callback)
   tcpFlows_.reserve(256);
   pending_.reserve(4096);
   ignoredXids_.reserve(1024);
+  if (config_.metrics) bindMetrics();
+}
+
+void Sniffer::bindMetrics() {
+  obs::Registry& reg = *config_.metrics;
+  auto slot = static_cast<std::size_t>(config_.metricsShard);
+  framesC_ = reg.counterHandle("sniffer.frames", slot);
+  framesDecodedC_ = reg.counterHandle("sniffer.frames_decoded", slot);
+  malformedC_ = reg.counterHandle("sniffer.malformed_rpc", slot);
+  rpcCallsC_ = reg.counterHandle("sniffer.rpc_calls", slot);
+  rpcRepliesC_ = reg.counterHandle("sniffer.rpc_replies", slot);
+  nonNfsC_ = reg.counterHandle("sniffer.non_nfs_calls", slot);
+  orphansC_ = reg.counterHandle("sniffer.orphan_replies", slot);
+  expiredC_ = reg.counterHandle("sniffer.expired_calls", slot);
+  std::string suffix = ".s" + std::to_string(config_.metricsShard);
+  pendingG_ = reg.gaugeHandle("sniffer.pending_calls" + suffix);
+  tcpBufferedG_ = reg.gaugeHandle("sniffer.tcp_buffered_bytes" + suffix);
+  // The paper's live capture-loss estimate (§4.1.4): a reply whose call
+  // was never captured means the call frame was dropped, so
+  // orphans / (calls + orphans) estimates the fraction of calls lost.
+  // Derived from registry-owned counters at scrape time; keep-first on
+  // the name, so every shard may register it.
+  obs::Counter* calls = &reg.counter("sniffer.rpc_calls");
+  obs::Counter* orphans = &reg.counter("sniffer.orphan_replies");
+  reg.gaugeFn("sniffer.loss_estimate", [calls, orphans] {
+    double o = static_cast<double>(orphans->total());
+    double c = static_cast<double>(calls->total());
+    return o + c > 0 ? o / (o + c) : 0.0;
+  });
+}
+
+void Sniffer::updateResourceGauges() {
+  pendingG_.set(static_cast<double>(pending_.size()));
+  if (tcpBufferedG_) {
+    std::uint64_t buffered = 0;
+    for (const auto& [key, flow] : tcpFlows_) {
+      buffered += flow.reassembler.bufferedBytes();
+    }
+    tcpBufferedG_.set(static_cast<double>(buffered));
+  }
 }
 
 void Sniffer::onFrame(const CapturedPacket& pkt) {
   ++stats_.framesSeen;
+  framesC_.inc();
   advanceTime(pkt.ts);
   auto parsed = parseFrame(pkt.data);
   if (!parsed) {
     ++stats_.framesUndecodable;
+    malformedC_.inc();
     return;
   }
+  framesDecodedC_.inc();
 
   bool toServer = parsed->dstPort == config_.nfsPort;
   bool fromServer = parsed->srcPort == config_.nfsPort;
@@ -77,6 +120,7 @@ void Sniffer::onRpcBytes(MicroTime ts, IpAddr src, IpAddr dst, bool overTcp,
     msg = decodeRpcMessage(body);
   } catch (const XdrError&) {
     ++stats_.framesUndecodable;
+    malformedC_.inc();
     return;
   }
 
@@ -101,10 +145,12 @@ void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
     // MOUNT/portmap traffic shares the wire; remember the xid so its
     // reply is not miscounted as an orphan.
     ++stats_.nonNfsCalls;
+    nonNfsC_.inc();
     ignoredXids_.insert(xidKey(client, call.xid));
     return;
   }
   ++stats_.rpcCalls;
+  rpcCallsC_.inc();
 
   PendingCall pc;
   pc.ts = ts;
@@ -129,6 +175,7 @@ void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
     }
   } catch (const XdrError&) {
     ++stats_.framesUndecodable;
+    malformedC_.inc();
     return;
   }
 
@@ -138,12 +185,14 @@ void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
 void Sniffer::handleReply(MicroTime ts, IpAddr client, const RpcReply& reply,
                           std::span<const std::uint8_t> body) {
   ++stats_.rpcReplies;
+  rpcRepliesC_.inc();
   auto it = pending_.find(xidKey(client, reply.xid));
   if (it == pending_.end()) {
     if (ignoredXids_.erase(xidKey(client, reply.xid))) return;  // non-NFS
     // The reply's call was never seen — this is exactly how capture loss
     // manifests, and what the paper counted to estimate it.
     ++stats_.orphanReplies;
+    orphansC_.inc();
     return;
   }
   const PendingCall& pc = it->second;
@@ -183,6 +232,9 @@ void Sniffer::advanceTime(MicroTime now) {
   if (boundary <= lastScanBoundary_) return;
   lastScanBoundary_ = boundary;
   expirePending(now);
+  // Resource gauges (pending table, TCP reassembly buffers) are sampled
+  // at scan boundaries: off the per-frame path, frequent enough to watch.
+  if (config_.metrics) updateResourceGauges();
 }
 
 void Sniffer::expirePending(MicroTime now) {
@@ -200,6 +252,7 @@ void Sniffer::expirePending(MicroTime now) {
     TraceRecord rec =
         recordFromCall(static_cast<std::uint32_t>(key), it->second);
     ++stats_.expiredCalls;
+    expiredC_.inc();
     callback_(rec);
     pending_.erase(it);
   }
@@ -215,9 +268,11 @@ void Sniffer::flush() {
     TraceRecord rec =
         recordFromCall(static_cast<std::uint32_t>(key), pending_[key]);
     ++stats_.expiredCalls;
+    expiredC_.inc();
     callback_(rec);
   }
   pending_.clear();
+  if (config_.metrics) updateResourceGauges();
 }
 
 TraceRecord Sniffer::recordFromCall(std::uint32_t xid,

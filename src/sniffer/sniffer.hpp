@@ -15,6 +15,7 @@
 #include "net/packet.hpp"
 #include "netcap/netcap.hpp"
 #include "nfs/messages.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 #include "trace/record.hpp"
 #include "util/hash.hpp"
@@ -33,6 +34,12 @@ class Sniffer : public FrameSink {
     /// sharded pipeline (which broadcasts boundary crossings to every
     /// shard) expires calls at exactly the same points as a serial run.
     MicroTime expiryScanInterval = kMicrosPerSecond;
+    /// Optional self-monitoring registry (see src/obs); null disables
+    /// instrumentation entirely (handles stay unbound no-ops).
+    obs::Registry* metrics = nullptr;
+    /// Counter slot and per-shard gauge suffix for this instance — the
+    /// pipeline shard id, or 0 for a serial run.
+    int metricsShard = 0;
   };
 
   struct Stats {
@@ -122,6 +129,21 @@ class Sniffer : public FrameSink {
   std::unordered_map<std::uint64_t, PendingCall, U64Hash> pending_;
   /// Calls for other RPC programs whose replies we must skip silently.
   std::unordered_set<std::uint64_t, U64Hash> ignoredXids_;
+
+  // Self-monitoring (unbound no-ops unless Config::metrics is set).  Each
+  // counter increment is one relaxed add on this shard's own cache line.
+  void bindMetrics();
+  void updateResourceGauges();
+  obs::CounterHandle framesC_;
+  obs::CounterHandle framesDecodedC_;
+  obs::CounterHandle malformedC_;
+  obs::CounterHandle rpcCallsC_;
+  obs::CounterHandle rpcRepliesC_;
+  obs::CounterHandle nonNfsC_;
+  obs::CounterHandle orphansC_;
+  obs::CounterHandle expiredC_;
+  obs::GaugeHandle pendingG_;
+  obs::GaugeHandle tcpBufferedG_;
 };
 
 /// Convenience front-end: run the sniffer over a pcap file, returning the

@@ -1,5 +1,7 @@
 #include "trace/tracefile.hpp"
 
+#include "obs/timer.hpp"
+
 #include <charconv>
 #include <cinttypes>
 #include <cstring>
@@ -451,14 +453,23 @@ void TraceWriter::write(const TraceRecord& rec) {
     packBinaryInto(buf_, rec);
   }
   ++count_;
+  recordsC_.inc();
   if (buf_.size() >= kWriterFlushBytes) flushBuffer();
+}
+
+void TraceWriter::attachMetrics(obs::Registry& registry) {
+  recordsC_ = registry.counterHandle("trace.records_written", 0);
+  bytesC_ = registry.counterHandle("trace.bytes_written", 0);
+  flushNs_ = registry.histogramHandle("trace.flush_ns", 0);
 }
 
 void TraceWriter::flushBuffer() {
   if (buf_.empty()) return;
+  obs::TimerSpan span(flushNs_);
   if (std::fwrite(buf_.data(), 1, buf_.size(), f_) != buf_.size()) {
     throw std::runtime_error("trace: write failed");
   }
+  bytesC_.inc(buf_.size());
   buf_.clear();
 }
 

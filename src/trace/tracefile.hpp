@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "trace/record.hpp"
 
 namespace nfstrace {
@@ -47,6 +48,10 @@ class TraceWriter {
   void flush();
   std::uint64_t recordsWritten() const { return count_; }
 
+  /// Bind self-monitoring instruments: records/bytes written counters
+  /// and a flush-latency histogram (trace.flush_ns).
+  void attachMetrics(obs::Registry& registry);
+
  private:
   void flushBuffer();
 
@@ -54,6 +59,9 @@ class TraceWriter {
   Format format_;
   std::string buf_;
   std::uint64_t count_ = 0;
+  obs::CounterHandle recordsC_;
+  obs::CounterHandle bytesC_;
+  obs::HistogramHandle flushNs_;
 };
 
 class TraceReader {

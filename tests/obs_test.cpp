@@ -1,0 +1,265 @@
+// Self-monitoring layer tests: wait-free counter cells under concurrent
+// increments with live scrapes, histogram slot merging, gauge fns, JSON
+// escaping, and the snapshot exporter's two output formats.  Runs under
+// the `tsan` ctest label (ThreadSanitizer preset).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/exporter.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+namespace nfstrace::obs {
+namespace {
+
+TEST(Counter, SlotsAggregateAtScrape) {
+  Counter c;
+  c.inc(0, 5);
+  c.inc(1, 7);
+  c.inc(kMetricSlots, 1);  // wraps onto slot 0
+  EXPECT_EQ(c.total(), 13u);
+}
+
+TEST(Counter, ConcurrentIncrementsWithLiveScrapes) {
+  Registry reg;
+  Counter& c = reg.counter("test.hits");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 200'000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, t] {
+      CounterHandle h(c, static_cast<std::size_t>(t));
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.inc();
+    });
+  }
+  // Scrape while the increments are in flight: totals must be readable
+  // (no torn/invalid values) and monotically bounded by the final count.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    Snapshot snap = reg.scrape();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_GE(snap.counters[0].second, last);
+    last = snap.counters[0].second;
+    EXPECT_LE(last, kThreads * kPerThread);
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.total(), kThreads * kPerThread);
+}
+
+TEST(Histogram, ConcurrentRecordsMergeAtScrape) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      HistogramHandle handle(h, static_cast<std::size_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        handle.record(static_cast<std::uint64_t>(1) << (i % 16));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // 2^k lands in bucket k+1 ([2^k, 2^(k+1))); 16 distinct values, evenly.
+  for (int k = 0; k < 16; ++k) {
+    EXPECT_EQ(snap.buckets[static_cast<std::size_t>(k) + 1],
+              static_cast<std::uint64_t>(kThreads) * kPerThread / 16);
+  }
+}
+
+TEST(Histogram, SnapshotMergeAndQuantiles) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(0, 10);     // bucket [8,16)
+  for (int i = 0; i < 100; ++i) b.record(1, 1000);   // bucket [512,1024)
+  HistogramSnapshot sa = a.snapshot();
+  HistogramSnapshot sb = b.snapshot();
+  sa.merge(sb);
+  EXPECT_EQ(sa.count, 200u);
+  EXPECT_EQ(sa.sum, 100u * 10 + 100u * 1000);
+  double p25 = sa.quantile(0.25);
+  double p75 = sa.quantile(0.75);
+  EXPECT_GE(p25, 8.0);
+  EXPECT_LE(p25, 16.0);
+  EXPECT_GE(p75, 512.0);
+  EXPECT_LE(p75, 1024.0);
+  EXPECT_LE(sa.quantile(0.0), sa.quantile(1.0));
+  EXPECT_DOUBLE_EQ(sa.mean(), (100.0 * 10 + 100.0 * 1000) / 200.0);
+  EXPECT_EQ(sa.max(), 1024.0);
+}
+
+TEST(Histogram, ZeroAndEmptyEdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(h.snapshot().quantile(0.5), 0.0);
+  h.record(0, 0);
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.quantile(0.5), 0.0);
+}
+
+TEST(Registry, CreateOrGetReturnsSameMetric) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc(0, 3);
+  EXPECT_EQ(b.total(), 3u);
+}
+
+TEST(Registry, GaugesAndGaugeFns) {
+  Registry reg;
+  reg.gauge("g.set").set(2.5);
+  reg.gaugeFn("g.fn", [] { return 7.0; });
+  reg.gaugeFn("g.fn", [] { return 99.0; });  // keep-first
+  Snapshot snap = reg.scrape();
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  // Name-sorted: g.fn before g.set.
+  EXPECT_EQ(snap.gauges[0].first, "g.fn");
+  EXPECT_EQ(snap.gauges[0].second, 7.0);
+  EXPECT_EQ(snap.gauges[1].first, "g.set");
+  EXPECT_EQ(snap.gauges[1].second, 2.5);
+  reg.unregisterGaugeFn("g.fn");
+  EXPECT_EQ(reg.scrape().gauges.size(), 1u);
+}
+
+TEST(Registry, ScrapeIsNameSorted) {
+  Registry reg;
+  reg.counter("z.last");
+  reg.counter("a.first");
+  reg.counter("m.middle");
+  Snapshot snap = reg.scrape();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "m.middle");
+  EXPECT_EQ(snap.counters[2].first, "z.last");
+}
+
+TEST(TimerSpan, RecordsElapsedNanos) {
+  Registry reg;
+  HistogramHandle h = reg.histogramHandle("t.span_ns", 0);
+  {
+    TimerSpan span(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  HistogramSnapshot snap = reg.histogram("t.span_ns").snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.sum, 2'000'000u);  // at least the 2 ms we slept
+}
+
+TEST(TimerSpan, UnboundHandleIsNoop) {
+  HistogramHandle unbound;
+  TimerSpan span(unbound);  // must not crash; records nothing
+  CounterHandle c;
+  c.inc();  // same for counters
+  GaugeHandle g;
+  g.set(1.0);  // and gauges
+}
+
+TEST(Json, WriterNestingAndEscaping) {
+  JsonWriter w;
+  w.beginObject();
+  w.field("a", std::uint64_t{1});
+  w.key("s").value("quote\" back\\slash\nnewline\ttab\x01");
+  w.key("arr").beginArray().value(std::int64_t{-2}).value(true).valueNull().endArray();
+  w.key("nested").beginObject().field("pi", 3.5).endObject();
+  w.endObject();
+  EXPECT_EQ(w.str(),
+            "{\"a\":1,"
+            "\"s\":\"quote\\\" back\\\\slash\\nnewline\\ttab\\u0001\","
+            "\"arr\":[-2,true,null],"
+            "\"nested\":{\"pi\":3.5}}");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.beginArray();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.endArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Exporter, JsonLinesAndStatusTable) {
+  Registry reg;
+  reg.counter("pipeline.records_released").inc(0, 42);
+  reg.gauge("pipeline.merge_watermark_lag").set(3);
+  reg.histogram("trace.flush_ns").record(0, 5000);
+
+  Snapshot snap = reg.scrape();
+  std::string table = SnapshotExporter::renderStatusTable(snap, 0, 1000);
+  EXPECT_NE(table.find("pipeline.records_released"), std::string::npos);
+  EXPECT_NE(table.find("42"), std::string::npos);
+  EXPECT_NE(table.find("trace.flush_ns"), std::string::npos);
+
+  std::string line = SnapshotExporter::renderJsonLine(snap, 0, 1000);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"pipeline.records_released\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"pipeline.merge_watermark_lag\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"trace.flush_ns\""), std::string::npos);
+}
+
+TEST(Exporter, WritesJsonlFileWithFinalSnapshot) {
+  Registry reg;
+  reg.counter("c").inc(0, 1);
+  std::string path = "/tmp/obs_test_snapshots.jsonl";
+  std::remove(path.c_str());
+  {
+    SnapshotExporter::Config cfg;
+    cfg.intervalUs = 0;  // no thread; snapshots only via exportOnce/stop
+    cfg.jsonlPath = path;
+    SnapshotExporter exporter(reg, cfg);
+    exporter.exportOnce();
+    exporter.stop();  // emits the final snapshot
+    EXPECT_EQ(exporter.snapshotsWritten(), 2u);
+  }
+  std::ifstream in(path);
+  std::string lineStr;
+  int lines = 0;
+  while (std::getline(in, lineStr)) {
+    EXPECT_EQ(lineStr.front(), '{');
+    EXPECT_EQ(lineStr.back(), '}');
+    EXPECT_NE(lineStr.find("\"c\":1"), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Exporter, BackgroundThreadScrapesWhileCountersMove) {
+  Registry reg;
+  Counter& c = reg.counter("bg.hits");
+  std::string path = "/tmp/obs_test_bg.jsonl";
+  std::remove(path.c_str());
+  {
+    SnapshotExporter::Config cfg;
+    cfg.intervalUs = 2000;  // 2 ms
+    cfg.jsonlPath = path;
+    SnapshotExporter exporter(reg, cfg);
+    std::thread worker([&c] {
+      CounterHandle h(c, 1);
+      for (int i = 0; i < 100'000; ++i) h.inc();
+    });
+    worker.join();
+    exporter.stop();
+    EXPECT_GE(exporter.snapshotsWritten(), 1u);
+  }
+  // Final line must carry the complete total.
+  std::ifstream in(path);
+  std::string lineStr, last;
+  while (std::getline(in, lineStr)) last = lineStr;
+  EXPECT_NE(last.find("\"bg.hits\":100000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nfstrace::obs
