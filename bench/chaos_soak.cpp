@@ -1,0 +1,402 @@
+// Chaos soak: a lossy simulated day end to end, with every robustness
+// mechanism engaged and every invariant checked.
+//
+// The paper's tracer survived months on a live mirror port: burst loss,
+// malformed traffic, and full trace disks were routine, not exceptional.
+// This soak replays that life deterministically (configs/chaos.cfg rates,
+// fixed seed) across five phases:
+//
+//   A  clean control    — serial and sharded runs byte-identical, no loss
+//   B  wire chaos       — FaultySink + MirrorPort in front of the sniffer
+//                         and the 4-shard pipeline: identical fault
+//                         sequence (digest), identical merged trace, and a
+//                         §4.1.4 loss estimate that tracks injected loss
+//   C  bounded tables   — tiny pending/flow bounds under chaos: evictions
+//                         happen, peaks never exceed the bounds
+//   D  disk chaos       — trace writer under injected EIO/short writes is
+//                         byte-identical to a clean write; deterministic
+//                         corruption is then recovered with exact
+//                         record accounting via checkpoints
+//   E  overload shed    — tiny rings + shedding: finish() returns and
+//                         framesSeen + framesShed == framesDispatched
+//
+// Any violated invariant makes the bench exit nonzero; results land in
+// BENCH_chaos.json.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fault/fault.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sniffer/sniffer.hpp"
+#include "trace/tracefile.hpp"
+
+namespace nfstrace {
+namespace {
+
+using bench::kWeekStart;
+using bench::makeCampus;
+using bench::makeEecs;
+
+struct FrameCollector : FrameSink {
+  std::vector<CapturedPacket> frames;
+  void onFrame(const CapturedPacket& pkt) override { frames.push_back(pkt); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string renderAll(const std::vector<TraceRecord>& recs) {
+  std::string out;
+  for (const auto& r : recs) {
+    appendRecord(out, r);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+/// The committed chaos plan, inlined so the soak is self-contained (the
+/// same rates as configs/chaos.cfg).
+FaultPlan chaosPlan() {
+  return FaultPlan::fromConfig(ConfigFile::parse(
+      "seed = 20031\n"
+      "drop_rate = 0.01\n"
+      "burst_rate = 0.0002\n"
+      "burst_min = 8\n"
+      "burst_max = 48\n"
+      "truncate_rate = 0.001\n"
+      "bitflip_rate = 0.001\n"
+      "dup_rate = 0.002\n"
+      "reorder_rate = 0.005\n"
+      "io_short_write_rate = 0.05\n"
+      "io_eio_rate = 0.01\n"
+      "io_enospc_rate = 0.002\n"
+      "io_enospc_streak = 3\n"));
+}
+
+constexpr int kShards = 4;
+constexpr MicroTime kPendingTimeout = 120 * kMicrosPerSecond;
+
+Sniffer::Config soakSnifferConfig() {
+  Sniffer::Config cfg;
+  cfg.pendingTimeout = kPendingTimeout;
+  return cfg;
+}
+
+struct ChainResult {
+  std::vector<TraceRecord> records;
+  Sniffer::Stats stats;
+  std::uint64_t faultDigest = 0;
+  double wireLoss = 0;  // fraction of offered frames that never arrived
+};
+
+/// Replay `frames` through FaultySink -> MirrorPort -> serial Sniffer.
+ChainResult runSerialChaos(const std::vector<CapturedPacket>& frames,
+                           const FaultPlan& plan,
+                           const MirrorPort::Config& mc) {
+  ChainResult res;
+  Sniffer sniffer(soakSnifferConfig(),
+                  [&](const TraceRecord& r) { res.records.push_back(r); });
+  MirrorPort mirror(mc, sniffer);
+  FaultySink faulty(plan, mirror);
+  for (const auto& f : frames) faulty.onFrame(f);
+  faulty.flush();
+  sniffer.flush();
+  res.stats = sniffer.stats();
+  res.faultDigest = faulty.decisionDigest();
+  std::uint64_t offered = faulty.stats().frames;
+  std::uint64_t lost = faulty.stats().dropped + mirror.dropped();
+  res.wireLoss = offered ? static_cast<double>(lost) /
+                               static_cast<double>(offered)
+                         : 0.0;
+  return res;
+}
+
+/// Same chain, with the sharded pipeline in place of the serial sniffer.
+ChainResult runShardedChaos(const std::vector<CapturedPacket>& frames,
+                            const FaultPlan& plan,
+                            const MirrorPort::Config& mc) {
+  ChainResult res;
+  ParallelPipeline::Config pc;
+  pc.shards = kShards;
+  pc.sniffer = soakSnifferConfig();
+  ParallelPipeline pipe(pc,
+                        [&](const TraceRecord& r) { res.records.push_back(r); });
+  MirrorPort mirror(mc, pipe);
+  FaultySink faulty(plan, mirror);
+  for (const auto& f : frames) faulty.onFrame(f);
+  faulty.flush();
+  pipe.finish();
+  res.stats = pipe.stats();
+  res.faultDigest = faulty.decisionDigest();
+  return res;
+}
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+  if (!ok) ++failures;
+}
+
+}  // namespace
+}  // namespace nfstrace
+
+int main(int argc, char** argv) {
+  using namespace nfstrace;
+  const std::string jsonPath = argc > 1 ? argv[1] : "BENCH_chaos.json";
+  const double simDays = 1.0;
+
+  std::printf("generating synthetic EECS capture (%.1f day)...\n", simDays);
+  FrameCollector capture;
+  {
+    auto eecs = makeEecs(12, [](const TraceRecord&) {});
+    eecs.env->addTapSink(&capture);
+    eecs.workload->setup(kWeekStart);
+    eecs.workload->run(kWeekStart, kWeekStart + days(simDays));
+    eecs.env->finishCapture();
+  }
+  // The sim tap emits frames in generation order, which carries the
+  // nfsiod-style millisecond inversions the paper studies.  A physical
+  // mirror port sees arrival order by definition, so replay the stream
+  // time-sorted (the MirrorPort queue model assumes monotone arrivals).
+  std::stable_sort(capture.frames.begin(), capture.frames.end(),
+                   [](const CapturedPacket& a, const CapturedPacket& b) {
+                     return a.ts < b.ts;
+                   });
+  const auto& frames = capture.frames;
+  std::printf("  %zu frames\n", frames.size());
+
+  FaultPlan plan = chaosPlan();
+  FaultPlan quiet;  // phase A control: no injected faults
+  // A mirror port fast enough that it never drops on its own: the only
+  // wire loss in phase B is then the loss the plan injects, which is
+  // what the §4.1.4 estimate is checked against.
+  MirrorPort::Config fastMirror;
+  fastMirror.bandwidthBitsPerSec = 10e9;
+  fastMirror.bufferBytes = 4 * 1024 * 1024;
+
+  // Phase A: clean control.  Byte-identical serial/sharded, zero loss.
+  std::printf("\nphase A: clean control (serial vs %d shards)\n", kShards);
+  auto cleanSerial = runSerialChaos(frames, quiet, fastMirror);
+  auto cleanSharded = runShardedChaos(frames, quiet, fastMirror);
+  std::string cleanBytes = renderAll(cleanSerial.records);
+  bool aIdentical = renderAll(cleanSharded.records) == cleanBytes;
+  check(aIdentical, "sharded trace byte-identical to serial");
+  check(cleanSerial.stats.orphanReplies == 0, "no orphan replies");
+  check(!cleanSerial.records.empty(), "records produced");
+
+  // Phase B: wire chaos.  Same plan in front of both topologies.
+  std::printf("\nphase B: wire chaos (drops/bursts/corruption/reorder)\n");
+  auto chaosSerial = runSerialChaos(frames, plan, fastMirror);
+  auto chaosSharded = runShardedChaos(frames, plan, fastMirror);
+  check(chaosSerial.faultDigest == chaosSharded.faultDigest,
+        "fault decision stream independent of sharding");
+  bool bIdentical =
+      renderAll(chaosSharded.records) == renderAll(chaosSerial.records);
+  check(bIdentical, "sharded chaos trace byte-identical to serial");
+  double wireLoss = chaosSerial.wireLoss;
+  const Sniffer::Stats& cs = chaosSerial.stats;
+  double calls = static_cast<double>(cs.rpcCalls);
+  double orphans = static_cast<double>(cs.orphanReplies);
+  double lossEstimate = calls + orphans > 0 ? orphans / (calls + orphans) : 0;
+  std::printf("  wire loss injected: %.3f%%   estimated (sec 4.1.4): %.3f%%\n",
+              100 * wireLoss, 100 * lossEstimate);
+  check(wireLoss > 0, "faults actually injected");
+  check(lossEstimate > 0, "loss estimate nonzero under loss");
+  // Dropping any fragment of a multi-frame UDP datagram loses the whole
+  // call, so the call-level estimate runs above frame-level loss; it must
+  // still track it within an order of magnitude.
+  check(lossEstimate >= 0.25 * wireLoss && lossEstimate <= 8 * wireLoss + 0.01,
+        "loss estimate tracks injected loss");
+
+  // Phase C: graceful degradation under tiny table bounds (CAMPUS/TCP so
+  // the flow table is exercised too).
+  std::printf("\nphase C: bounded state tables under chaos\n");
+  FrameCollector campusCapture;
+  {
+    auto campus = makeCampus(12, [](const TraceRecord&) {});
+    campus.env->addTapSink(&campusCapture);
+    campus.workload->setup(kWeekStart);
+    campus.workload->run(kWeekStart, kWeekStart + days(0.25));
+    campus.env->finishCapture();
+  }
+  std::printf("  %zu CAMPUS frames\n", campusCapture.frames.size());
+  Sniffer::Config bounded = soakSnifferConfig();
+  bounded.pendingTimeout = 7200 * kMicrosPerSecond;  // replies only
+  bounded.maxPendingCalls = 2;
+  bounded.maxTcpFlows = 2;
+  std::uint64_t boundedRecords = 0;
+  Sniffer boundedSniffer(bounded,
+                         [&](const TraceRecord&) { ++boundedRecords; });
+  FaultySink campusFaulty(plan, boundedSniffer);
+  for (const auto& f : campusCapture.frames) campusFaulty.onFrame(f);
+  campusFaulty.flush();
+  boundedSniffer.flush();
+  const Sniffer::Stats& bs = boundedSniffer.stats();
+  std::printf("  evicted calls %llu (peak %llu <= 2)   "
+              "evicted flows %llu (peak %llu <= 2)\n",
+              static_cast<unsigned long long>(bs.evictedCalls),
+              static_cast<unsigned long long>(bs.pendingPeak),
+              static_cast<unsigned long long>(bs.evictedFlows),
+              static_cast<unsigned long long>(bs.tcpFlowsPeak));
+  check(bs.evictedCalls > 0, "pending-call evictions occurred");
+  check(bs.evictedFlows > 0, "TCP-flow evictions occurred");
+  check(bs.pendingPeak <= 2, "pending table stayed within its bound");
+  check(bs.tcpFlowsPeak <= 2, "flow table stayed within its bound");
+  check(boundedRecords > 0, "bounded sniffer still produced records");
+
+  // Phase D: disk chaos.  The writer must ride out transient faults with
+  // byte-identical output, and the recovering reader must account for a
+  // deterministically corrupted file exactly.
+  std::printf("\nphase D: trace disk chaos + recovery\n");
+  const std::string cleanPath = "bench_chaos_clean.trace";
+  const std::string faultyPath = "bench_chaos_faulty.trace";
+  const std::string corruptPath = "bench_chaos_corrupt.trace";
+  TraceWriter::Options wopts;
+  wopts.checkpointEveryRecords = 512;
+  {
+    TraceWriter w(cleanPath, wopts);
+    for (const auto& r : chaosSerial.records) w.write(r);
+  }
+  IoFaultInjector inj(plan);
+  TraceWriter::IoStats io;
+  {
+    TraceWriter::Options fo = wopts;
+    fo.faults = &inj;
+    fo.backoffInitialUs = 1;
+    fo.backoffMaxUs = 50;
+    TraceWriter w(faultyPath, fo);
+    for (const auto& r : chaosSerial.records) w.write(r);
+    w.flush();
+    io = w.ioStats();
+  }
+  std::printf("  %llu retries, %llu short writes, %llu checkpoints\n",
+              static_cast<unsigned long long>(io.retries),
+              static_cast<unsigned long long>(io.shortWrites),
+              static_cast<unsigned long long>(io.checkpoints));
+  check(io.retries + io.shortWrites > 0, "disk faults actually injected");
+  check(slurp(faultyPath) == slurp(cleanPath),
+        "faulty-disk trace byte-identical to clean write");
+
+  // Deterministic corruption: damage three record lines spread across the
+  // file (never the checkpoint comments), then recover.
+  std::string bytes = slurp(cleanPath);
+  std::istringstream in(bytes);
+  std::vector<std::string> lines;
+  std::string line;
+  std::vector<std::size_t> recordLineIdx;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') recordLineIdx.push_back(lines.size());
+    lines.push_back(line);
+  }
+  std::size_t nRecords = recordLineIdx.size();
+  for (std::size_t frac : {4, 2, 1}) {  // 25%, 50%, ~100% through the file
+    std::size_t idx = recordLineIdx[nRecords / frac - 1];
+    lines[idx] = "x#!corrupt line, neither comment nor parseable record";
+  }
+  std::string corrupted;
+  for (const auto& l : lines) {
+    corrupted += l;
+    corrupted.push_back('\n');
+  }
+  spew(corruptPath, corrupted);
+  TraceReader::RecoverStats rs;
+  auto recovered = TraceReader::recoverAll(corruptPath, &rs);
+  std::printf("  recovery: %llu recovered, %llu skipped, %llu resyncs, "
+              "%llu checkpoints\n",
+              static_cast<unsigned long long>(rs.recovered),
+              static_cast<unsigned long long>(rs.skipped),
+              static_cast<unsigned long long>(rs.resyncs),
+              static_cast<unsigned long long>(rs.checkpoints));
+  check(rs.skipped == 3, "exactly the three damaged records skipped");
+  check(rs.recovered == nRecords - 3, "every undamaged record recovered");
+  check(rs.recovered + rs.skipped == nRecords,
+        "recovered + skipped account for every record");
+  check(recovered.size() == rs.recovered, "recovered records returned");
+
+  // Phase E: overload shedding.  Rings far too small for the burst: the
+  // producer must shed rather than deadlock, and the books must balance.
+  std::printf("\nphase E: overload shedding on tiny rings\n");
+  ParallelPipeline::Config shedCfg;
+  shedCfg.shards = kShards;
+  shedCfg.sniffer = soakSnifferConfig();
+  shedCfg.frameRingCapacity = 8;
+  shedCfg.shedAfterStalls = 1;
+  std::uint64_t shedRecords = 0;
+  std::uint64_t shed = 0, dispatched = 0, seen = 0;
+  {
+    ParallelPipeline pipe(shedCfg,
+                          [&](const TraceRecord&) { ++shedRecords; });
+    for (const auto& f : frames) pipe.feed(&f);
+    pipe.finish();
+    shed = pipe.framesShed();
+    dispatched = pipe.framesDispatched();
+    seen = pipe.stats().framesSeen;
+  }
+  std::printf("  %llu dispatched, %llu shed, %llu records\n",
+              static_cast<unsigned long long>(dispatched),
+              static_cast<unsigned long long>(shed),
+              static_cast<unsigned long long>(shedRecords));
+  check(seen + shed == dispatched,
+        "framesSeen + framesShed == framesDispatched");
+  check(shed > 0, "overload actually forced shedding");
+  check(shedRecords > 0, "pipeline still produced records while shedding");
+
+  std::remove(cleanPath.c_str());
+  std::remove(faultyPath.c_str());
+  std::remove(corruptPath.c_str());
+
+  std::FILE* j = std::fopen(jsonPath.c_str(), "w");
+  if (!j) {
+    std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  std::fprintf(
+      j,
+      "{\"bench\":\"chaos_soak\",\"sim_days\":%.1f,\"frames\":%zu,"
+      "\"shards\":%d,\"clean_identical\":%s,\"chaos_identical\":%s,"
+      "\"wire_loss\":%.5f,\"loss_estimate\":%.5f,"
+      "\"evicted_calls\":%llu,\"evicted_flows\":%llu,"
+      "\"pending_peak\":%llu,\"flow_peak\":%llu,"
+      "\"io_retries\":%llu,\"io_short_writes\":%llu,\"checkpoints\":%llu,"
+      "\"records\":%zu,\"recovered\":%llu,\"skipped\":%llu,\"resyncs\":%llu,"
+      "\"frames_shed\":%llu,\"shed_invariant\":%s,\"failures\":%d}\n",
+      simDays, frames.size(), kShards, aIdentical ? "true" : "false",
+      bIdentical ? "true" : "false", wireLoss, lossEstimate,
+      static_cast<unsigned long long>(bs.evictedCalls),
+      static_cast<unsigned long long>(bs.evictedFlows),
+      static_cast<unsigned long long>(bs.pendingPeak),
+      static_cast<unsigned long long>(bs.tcpFlowsPeak),
+      static_cast<unsigned long long>(io.retries),
+      static_cast<unsigned long long>(io.shortWrites),
+      static_cast<unsigned long long>(io.checkpoints),
+      chaosSerial.records.size(),
+      static_cast<unsigned long long>(rs.recovered),
+      static_cast<unsigned long long>(rs.skipped),
+      static_cast<unsigned long long>(rs.resyncs),
+      static_cast<unsigned long long>(shed),
+      seen + shed == dispatched ? "true" : "false", failures);
+  std::fclose(j);
+  std::printf("\nwrote %s\n", jsonPath.c_str());
+
+  if (failures) {
+    std::printf("%d invariant(s) violated\n", failures);
+    return 1;
+  }
+  std::printf("all invariants held\n");
+  return 0;
+}

@@ -2,12 +2,18 @@
 // NFS traffic, and write a trace file.  Demonstrates the offline path of
 // the pipeline (capture once, analyze forever).
 //
-//   capture_to_trace [input.pcap [output.trace]]
+//   capture_to_trace [--chaos plan.cfg] [input.pcap [output.trace]]
 //
 // With no arguments it first generates a demo capture to convert.
+// --chaos runs the conversion under a deterministic fault plan (see
+// configs/chaos.cfg): frames are dropped/corrupted/reordered in front of
+// the sniffer and the trace writer suffers injected transient IO errors,
+// demonstrating the capture path's graceful degradation end to end.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "fault/fault.hpp"
 #include "pcap/pcap.hpp"
 #include "sniffer/sniffer.hpp"
 #include "trace/tracefile.hpp"
@@ -63,14 +69,48 @@ std::string makeDemoCapture() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string input = argc > 1 ? argv[1] : makeDemoCapture();
-  std::string output = argc > 2 ? argv[2] : "/tmp/capture_to_trace.trace";
+  std::string chaosPath;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--chaos" && i + 1 < argc) {
+      chaosPath = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  std::string input = !positional.empty() ? positional[0] : makeDemoCapture();
+  std::string output =
+      positional.size() > 1 ? positional[1] : "/tmp/capture_to_trace.trace";
 
-  Sniffer::Stats stats;
-  auto records = sniffPcap(input, &stats);
+  FaultPlan plan;
+  if (!chaosPath.empty()) {
+    plan = FaultPlan::load(chaosPath);
+    std::printf("chaos plan %s (seed %llu)\n", chaosPath.c_str(),
+                static_cast<unsigned long long>(plan.seed));
+  }
 
-  TraceWriter writer(output);
-  for (const auto& rec : records) writer.write(rec);
+  std::vector<TraceRecord> records;
+  Sniffer sniffer({}, [&](const TraceRecord& rec) { records.push_back(rec); });
+  FaultySink faulty(plan, sniffer);  // quiet plan = pass-through
+  {
+    PcapReader reader(input);
+    while (auto pkt = reader.next()) faulty.onFrame(*pkt);
+  }
+  faulty.flush();
+  sniffer.flush();
+  const Sniffer::Stats& stats = sniffer.stats();
+
+  IoFaultInjector ioFaults(plan);
+  TraceWriter::Options wopts;
+  if (!chaosPath.empty()) wopts.faults = &ioFaults;
+  TraceWriter::IoStats ioStats;
+  {
+    TraceWriter writer(output, wopts);
+    for (const auto& rec : records) writer.write(rec);
+    writer.flush();
+    ioStats = writer.ioStats();
+  }
 
   // The paper's §4.1.4 capture-loss estimate: a reply whose call was
   // never captured means the call frame was dropped at the tap, so
@@ -88,7 +128,7 @@ int main(int argc, char** argv) {
       "NFS replies:        %llu\n"
       "orphan replies:     %llu   (their calls were lost -- the paper's\n"
       "                            capture-loss estimator)\n"
-      "reply-less calls:   %llu\n"
+      "reply-less calls:   %llu   (timed out + drained at end of capture)\n"
       "est. capture loss:  %.2f%%  (orphans / (calls + orphans), sec 4.1.4)\n"
       "trace records:      %llu\n",
       input.c_str(), output.c_str(),
@@ -96,9 +136,29 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.rpcCalls),
       static_cast<unsigned long long>(stats.rpcReplies),
       static_cast<unsigned long long>(stats.orphanReplies),
-      static_cast<unsigned long long>(stats.expiredCalls),
+      static_cast<unsigned long long>(stats.expiredCalls + stats.flushedCalls),
       100.0 * lossEstimate,
       static_cast<unsigned long long>(records.size()));
+
+  if (!chaosPath.empty()) {
+    const FaultySink::Stats& fs = faulty.stats();
+    std::printf(
+        "\nchaos summary:\n"
+        "wire: %llu frames, %llu dropped (%llu in %llu bursts), "
+        "%llu dup, %llu reordered, %llu truncated, %llu bitflipped\n"
+        "disk: %llu write retries, %llu short writes, %llu checkpoints\n",
+        static_cast<unsigned long long>(fs.frames),
+        static_cast<unsigned long long>(fs.dropped),
+        static_cast<unsigned long long>(fs.burstDropped),
+        static_cast<unsigned long long>(fs.bursts),
+        static_cast<unsigned long long>(fs.duplicated),
+        static_cast<unsigned long long>(fs.reordered),
+        static_cast<unsigned long long>(fs.truncated),
+        static_cast<unsigned long long>(fs.bitflipped),
+        static_cast<unsigned long long>(ioStats.retries),
+        static_cast<unsigned long long>(ioStats.shortWrites),
+        static_cast<unsigned long long>(ioStats.checkpoints));
+  }
 
   if (!records.empty()) {
     std::printf("\nfirst records:\n");

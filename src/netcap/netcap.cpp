@@ -15,6 +15,8 @@ void MirrorPort::onFrame(const CapturedPacket& pkt) {
 
   if (queuedBytes_ + pkt.data.size() > config_.bufferBytes) {
     ++dropped_;
+    droppedC_.inc();
+    dropRateG_.set(dropRate());
     return;
   }
 
@@ -28,6 +30,7 @@ void MirrorPort::onFrame(const CapturedPacket& pkt) {
   forwardedPkt.ts = busyUntil_;  // timestamped when it leaves the mirror
   downstream_.onFrame(forwardedPkt);
   ++forwarded_;
+  forwardedC_.inc();
 }
 
 NfsTransport::NfsTransport(Config config, NfsServer& server, FrameSink* tap,

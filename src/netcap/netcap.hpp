@@ -13,6 +13,7 @@
 
 #include "net/packet.hpp"
 #include "nfs/messages.hpp"
+#include "obs/metrics.hpp"
 #include "pcap/pcap.hpp"
 #include "rpc/rpc.hpp"
 #include "server/mountd.hpp"
@@ -65,6 +66,15 @@ class MirrorPort : public FrameSink {
                  : 0.0;
   }
 
+  /// Publish forwarded/dropped counters and a drop-rate gauge
+  /// (netcap.mirror_*).  Plain handles updated inline — no captured
+  /// state, so the port may be destroyed before the registry.
+  void attachMetrics(obs::Registry& registry) {
+    forwardedC_ = registry.counterHandle("netcap.mirror_forwarded", 0);
+    droppedC_ = registry.counterHandle("netcap.mirror_dropped", 0);
+    dropRateG_ = registry.gaugeHandle("netcap.mirror_drop_rate");
+  }
+
  private:
   Config config_;
   FrameSink& downstream_;
@@ -72,6 +82,9 @@ class MirrorPort : public FrameSink {
   std::size_t queuedBytes_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;
+  obs::CounterHandle forwardedC_;
+  obs::CounterHandle droppedC_;
+  obs::GaugeHandle dropRateG_;
 };
 
 /// Network + server round trip for one client host.  Encodes calls to real

@@ -62,6 +62,7 @@ void SnapshotExporter::emit() {
   std::uint64_t seqNo = seq_++;
   if (config_.statusStream) {
     std::string table = renderStatusTable(snap, seqNo, uptime);
+    table += renderAlerts(snap, config_.alertCounters);
     std::fwrite(table.data(), 1, table.size(), config_.statusStream);
     std::fflush(config_.statusStream);
   }
@@ -107,6 +108,23 @@ std::string SnapshotExporter::renderStatusTable(const Snapshot& snap,
     }
     out += t.render();
   }
+  return out;
+}
+
+std::string SnapshotExporter::renderAlerts(
+    const Snapshot& snap, const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    for (const auto& [counter, v] : snap.counters) {
+      if (counter != name || v == 0) continue;
+      out += out.empty() ? "DEGRADED:" : "";
+      out += ' ';
+      out += name;
+      out += '=';
+      out += TextTable::withCommas(v);
+    }
+  }
+  if (!out.empty()) out += '\n';
   return out;
 }
 

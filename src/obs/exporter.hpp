@@ -19,6 +19,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "util/time.hpp"
@@ -35,6 +36,11 @@ class SnapshotExporter {
     std::FILE* statusStream = nullptr;
     /// Path for the JSON-lines file (appended); empty = off.
     std::string jsonlPath;
+    /// Degradation alerts: counters that are zero in a healthy run
+    /// (evictions, sheds, write retries, ...).  Any nonzero total adds a
+    /// DEGRADED line to the status stream, so graceful degradation is
+    /// loud even when the capture keeps running.
+    std::vector<std::string> alertCounters;
   };
 
   SnapshotExporter(Registry& registry, Config config);
@@ -59,6 +65,10 @@ class SnapshotExporter {
                                        std::int64_t uptimeUs);
   static std::string renderJsonLine(const Snapshot& snap, std::uint64_t seqNo,
                                     std::int64_t uptimeUs);
+  /// One "DEGRADED: name=value ..." line listing the alert counters with
+  /// nonzero totals; empty string when all are zero (or absent).
+  static std::string renderAlerts(const Snapshot& snap,
+                                  const std::vector<std::string>& names);
 
  private:
   void threadLoop();

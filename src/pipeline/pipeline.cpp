@@ -77,6 +77,7 @@ void ParallelPipeline::bindMetrics() {
   obs::Registry& reg = *config_.metrics;
   framesDispatchedC_ = reg.counterHandle("pipeline.frames_dispatched", 0);
   pushStallsC_ = reg.counterHandle("pipeline.push_stalls", 0);
+  framesShedC_ = reg.counterHandle("pipeline.frames_shed", 0);
   recordsReleasedC_ = reg.counterHandle("pipeline.records_released", 0);
   mergeLagG_ = reg.gaugeHandle("pipeline.merge_watermark_lag");
   mergeBufferedG_ = reg.gaugeHandle("pipeline.merge_buffered_records");
@@ -105,6 +106,34 @@ void ParallelPipeline::pushToShard(Shard& sh, Msg&& msg) {
   }
 }
 
+void ParallelPipeline::drainStaged(std::size_t s) {
+  auto& batch = staged_[s];
+  Shard& sh = *shards_[s];
+  std::size_t pushed = 0;
+  int stalls = 0;
+  while (pushed < batch.size()) {
+    std::size_t n = sh.in.tryPushBatch(
+        std::span<Msg>(batch.data() + pushed, batch.size() - pushed));
+    pushed += n;
+    if (pushed >= batch.size()) break;
+    pushStallsC_.inc();
+    if (n > 0) {
+      stalls = 0;  // partial progress: the consumer is alive, keep going
+    } else if (config_.shedAfterStalls > 0 &&
+               ++stalls >= config_.shedAfterStalls) {
+      // The ring has stayed full past the watermark: the shard cannot
+      // keep up.  Drop the rest of the batch (frames only — ticks and
+      // End never pass through staging) rather than stall the capture.
+      std::uint64_t dropped = batch.size() - pushed;
+      shed_ += dropped;
+      framesShedC_.inc(dropped);
+      break;
+    }
+    std::this_thread::yield();
+  }
+  batch.clear();
+}
+
 void ParallelPipeline::maybeTick(MicroTime ts) {
   MicroTime boundary = ts / config_.sniffer.expiryScanInterval;
   bool heartbeat = ++framesSinceHeartbeat_ >= config_.heartbeatFrames;
@@ -113,19 +142,7 @@ void ParallelPipeline::maybeTick(MicroTime ts) {
   framesSinceHeartbeat_ = 0;
   // Staged frames precede this tick in dispatch order; drain them first
   // so per-shard ring order matches global sequence order.
-  for (std::size_t s = 0; s < staged_.size(); ++s) {
-    auto& batch = staged_[s];
-    std::size_t pushed = 0;
-    while (pushed < batch.size()) {
-      pushed += shards_[s]->in.tryPushBatch(
-          std::span<Msg>(batch.data() + pushed, batch.size() - pushed));
-      if (pushed < batch.size()) {
-        pushStallsC_.inc();
-        std::this_thread::yield();
-      }
-    }
-    batch.clear();
-  }
+  for (std::size_t s = 0; s < staged_.size(); ++s) drainStaged(s);
   for (auto& sh : shards_) {
     Msg tick;
     tick.kind = Msg::Kind::Tick;
@@ -142,17 +159,7 @@ void ParallelPipeline::dispatch(Msg&& msg, int shard) {
   auto& batch = staged_[static_cast<std::size_t>(shard)];
   batch.push_back(std::move(msg));
   if (batch.size() >= kStageBatch) {
-    Shard& sh = *shards_[static_cast<std::size_t>(shard)];
-    std::size_t pushed = 0;
-    while (pushed < batch.size()) {
-      pushed += sh.in.tryPushBatch(
-          std::span<Msg>(batch.data() + pushed, batch.size() - pushed));
-      if (pushed < batch.size()) {
-        pushStallsC_.inc();
-        std::this_thread::yield();
-      }
-    }
-    batch.clear();
+    drainStaged(static_cast<std::size_t>(shard));
   }
 }
 
@@ -175,19 +182,7 @@ void ParallelPipeline::feed(const CapturedPacket* pkt) {
 void ParallelPipeline::finish() {
   if (finished_) return;
   finished_ = true;
-  for (std::size_t s = 0; s < staged_.size(); ++s) {
-    auto& batch = staged_[s];
-    std::size_t pushed = 0;
-    while (pushed < batch.size()) {
-      pushed += shards_[s]->in.tryPushBatch(
-          std::span<Msg>(batch.data() + pushed, batch.size() - pushed));
-      if (pushed < batch.size()) {
-        pushStallsC_.inc();
-        std::this_thread::yield();
-      }
-    }
-    batch.clear();
-  }
+  for (std::size_t s = 0; s < staged_.size(); ++s) drainStaged(s);
   for (auto& sh : shards_) {
     Msg end;
     end.kind = Msg::Kind::End;
@@ -205,6 +200,13 @@ void ParallelPipeline::finish() {
     aggregated_.orphanReplies += st.orphanReplies;
     aggregated_.expiredCalls += st.expiredCalls;
     aggregated_.fragmentsExpired += st.fragmentsExpired;
+    aggregated_.evictedCalls += st.evictedCalls;
+    aggregated_.evictedFlows += st.evictedFlows;
+    aggregated_.flushedCalls += st.flushedCalls;
+    // Peaks report the largest per-shard table, not a (meaningless) sum.
+    aggregated_.pendingPeak = std::max(aggregated_.pendingPeak, st.pendingPeak);
+    aggregated_.tcpFlowsPeak =
+        std::max(aggregated_.tcpFlowsPeak, st.tcpFlowsPeak);
   }
 }
 

@@ -70,6 +70,16 @@ class ParallelPipeline : public FrameSink {
     std::size_t recordRingCapacity = 1 << 13;
     /// Broadcast a watermark heartbeat every this many frames.
     std::uint64_t heartbeatFrames = 4096;
+    /// Overload shedding.  0 (default): the producer blocks (spin/yield)
+    /// until ring space appears — lossless, byte-identical to a serial
+    /// run.  > 0: after this many consecutive zero-progress push attempts
+    /// on a full shard ring, the producer drops the remaining frames of
+    /// the staged batch instead of stalling the capture source.  Shed
+    /// frames are counted (framesShed(), pipeline.frames_shed) and look
+    /// to the sniffer exactly like mirror-port loss, so they fold into
+    /// the §4.1.4 orphan-reply loss estimate organically.  Time ticks and
+    /// end-of-stream messages are never shed.
+    int shedAfterStalls = 0;
     /// Optional self-monitoring registry (src/obs).  When set, every
     /// layer publishes pipeline health metrics: per-shard ring depths,
     /// push/pop stall counts, merge watermark lag, records released, and
@@ -106,6 +116,9 @@ class ParallelPipeline : public FrameSink {
 
   std::uint64_t framesDispatched() const { return seq_; }
   std::uint64_t recordsMerged() const { return merged_; }
+  /// Frames dropped by overload shedding (Config::shedAfterStalls).
+  /// Invariant: stats().framesSeen + framesShed() == framesDispatched().
+  std::uint64_t framesShed() const { return shed_; }
   int shards() const { return static_cast<int>(shards_.size()); }
 
  private:
@@ -154,6 +167,9 @@ class ParallelPipeline : public FrameSink {
   void dispatch(Msg&& msg, int shard);
   void maybeTick(MicroTime ts);
   void pushToShard(Shard& sh, Msg&& msg);
+  /// Push a staged frame batch to shard `s`, shedding the tail if the
+  /// ring stays full past the stall watermark; clears the batch.
+  void drainStaged(std::size_t s);
   void stageFlush(int shard);
   void workerLoop(Shard& sh);
   void mergeLoop();
@@ -164,6 +180,7 @@ class ParallelPipeline : public FrameSink {
   std::thread merger_;
   // Producer state.
   std::uint64_t seq_ = 0;
+  std::uint64_t shed_ = 0;
   MicroTime lastTickBoundary_ = -1;
   std::uint64_t framesSinceHeartbeat_ = 0;
   std::vector<std::vector<Msg>> staged_;  // per-shard dispatch batches
@@ -177,6 +194,7 @@ class ParallelPipeline : public FrameSink {
   void bindMetrics();
   obs::CounterHandle framesDispatchedC_;
   obs::CounterHandle pushStallsC_;
+  obs::CounterHandle framesShedC_;
   obs::CounterHandle recordsReleasedC_;
   obs::GaugeHandle mergeLagG_;
   obs::GaugeHandle mergeBufferedG_;

@@ -1,6 +1,7 @@
 #include "sniffer/sniffer.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "pcap/pcap.hpp"
 
@@ -27,6 +28,9 @@ void Sniffer::bindMetrics() {
   nonNfsC_ = reg.counterHandle("sniffer.non_nfs_calls", slot);
   orphansC_ = reg.counterHandle("sniffer.orphan_replies", slot);
   expiredC_ = reg.counterHandle("sniffer.expired_calls", slot);
+  evictedC_ = reg.counterHandle("sniffer.evicted_calls", slot);
+  evictedFlowsC_ = reg.counterHandle("sniffer.evicted_flows", slot);
+  flushedC_ = reg.counterHandle("sniffer.flushed_calls", slot);
   std::string suffix = ".s" + std::to_string(config_.metricsShard);
   pendingG_ = reg.gaugeHandle("sniffer.pending_calls" + suffix);
   tcpBufferedG_ = reg.gaugeHandle("sniffer.tcp_buffered_bytes" + suffix);
@@ -41,6 +45,17 @@ void Sniffer::bindMetrics() {
     double o = static_cast<double>(orphans->total());
     double c = static_cast<double>(calls->total());
     return o + c > 0 ? o / (o + c) : 0.0;
+  });
+  // The complementary reply-loss estimate: captured calls whose reply
+  // never arrived, whether they timed out mid-capture or were still
+  // outstanding at the final flush (short captures report loss correctly
+  // only if the flushed tail is included).
+  obs::Counter* expired = &reg.counter("sniffer.expired_calls");
+  obs::Counter* flushed = &reg.counter("sniffer.flushed_calls");
+  reg.gaugeFn("sniffer.reply_loss_estimate", [calls, expired, flushed] {
+    double c = static_cast<double>(calls->total());
+    double e = static_cast<double>(expired->total() + flushed->total());
+    return c > 0 ? e / c : 0.0;
   });
 }
 
@@ -92,7 +107,18 @@ void Sniffer::onFrame(const CapturedPacket& pkt) {
   // TCP path.
   if (!toServer && !fromServer) return;
   FlowKey key{parsed->src, parsed->dst, parsed->srcPort, parsed->dstPort};
-  TcpFlow& flow = tcpFlows_[key];
+  auto fit = tcpFlows_.find(key);
+  if (fit == tcpFlows_.end()) {
+    if (config_.maxTcpFlows > 0 && tcpFlows_.size() >= config_.maxTcpFlows) {
+      evictColdestFlow();
+    }
+    fit = tcpFlows_.try_emplace(key).first;
+    if (tcpFlows_.size() > stats_.tcpFlowsPeak) {
+      stats_.tcpFlowsPeak = tcpFlows_.size();
+    }
+  }
+  TcpFlow& flow = fit->second;
+  flow.lastTs = pkt.ts;
   auto bytes = flow.reassembler.feed(parsed->tcpSeq, parsed->payload,
                                      parsed->tcpSyn);
   if (bytes.empty()) {
@@ -143,9 +169,15 @@ void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
                          std::span<const std::uint8_t> body) {
   if (call.prog != kNfsProgram) {
     // MOUNT/portmap traffic shares the wire; remember the xid so its
-    // reply is not miscounted as an orphan.
+    // reply is not miscounted as an orphan.  The set is advisory only —
+    // at capacity it is dropped wholesale, the cheapest bounded policy;
+    // the cost is a handful of non-NFS replies counted as orphans.
     ++stats_.nonNfsCalls;
     nonNfsC_.inc();
+    if (config_.maxIgnoredXids > 0 &&
+        ignoredXids_.size() >= config_.maxIgnoredXids) {
+      ignoredXids_.clear();
+    }
     ignoredXids_.insert(xidKey(client, call.xid));
     return;
   }
@@ -179,7 +211,67 @@ void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
     return;
   }
 
-  pending_[xidKey(client, call.xid)] = std::move(pc);
+  std::uint64_t key = xidKey(client, call.xid);
+  bool isNew = pending_.find(key) == pending_.end();
+  pending_[key] = std::move(pc);
+  if (isNew) {
+    pendingOrder_.push_back(key);
+    if (config_.maxPendingCalls > 0) {
+      while (pending_.size() > config_.maxPendingCalls) evictOldestPending();
+    }
+    compactPendingOrder();
+  }
+  if (pending_.size() > stats_.pendingPeak) {
+    stats_.pendingPeak = pending_.size();
+  }
+}
+
+void Sniffer::evictOldestPending() {
+  while (!pendingOrder_.empty()) {
+    std::uint64_t key = pendingOrder_.front();
+    pendingOrder_.pop_front();
+    auto it = pending_.find(key);
+    if (it == pending_.end()) continue;  // stale: replied or expired since
+    // Emit the evicted call reply-less, like a timeout: the record is
+    // preserved even though the table could not hold it any longer.
+    TraceRecord rec =
+        recordFromCall(static_cast<std::uint32_t>(key), it->second);
+    ++stats_.evictedCalls;
+    evictedC_.inc();
+    callback_(rec);
+    pending_.erase(it);
+    return;
+  }
+}
+
+void Sniffer::compactPendingOrder() {
+  if (pendingOrder_.size() <= 2 * pending_.size() + 64) return;
+  std::deque<std::uint64_t> keep;
+  for (std::uint64_t key : pendingOrder_) {
+    if (pending_.count(key)) keep.push_back(key);
+  }
+  pendingOrder_.swap(keep);
+}
+
+void Sniffer::evictColdestFlow() {
+  if (tcpFlows_.empty()) return;
+  auto flowKeyLess = [](const FlowKey& a, const FlowKey& b) {
+    return std::tie(a.src, a.dst, a.srcPort, a.dstPort) <
+           std::tie(b.src, b.dst, b.srcPort, b.dstPort);
+  };
+  auto coldest = tcpFlows_.begin();
+  for (auto it = std::next(tcpFlows_.begin()); it != tcpFlows_.end(); ++it) {
+    // Tie-break on the flow key so the victim does not depend on hash
+    // iteration order (serial and sharded runs must agree).
+    if (it->second.lastTs < coldest->second.lastTs ||
+        (it->second.lastTs == coldest->second.lastTs &&
+         flowKeyLess(it->first, coldest->first))) {
+      coldest = it;
+    }
+  }
+  tcpFlows_.erase(coldest);
+  ++stats_.evictedFlows;
+  evictedFlowsC_.inc();
 }
 
 void Sniffer::handleReply(MicroTime ts, IpAddr client, const RpcReply& reply,
@@ -267,11 +359,15 @@ void Sniffer::flush() {
   for (std::uint64_t key : keys) {
     TraceRecord rec =
         recordFromCall(static_cast<std::uint32_t>(key), pending_[key]);
-    ++stats_.expiredCalls;
-    expiredC_.inc();
+    // Counted separately from timeouts: on a short capture the drained
+    // tail dominates, and folding it into expiredCalls would make the
+    // reply-loss figure depend on when the capture happened to stop.
+    ++stats_.flushedCalls;
+    flushedC_.inc();
     callback_(rec);
   }
   pending_.clear();
+  pendingOrder_.clear();
   if (config_.metrics) updateResourceGauges();
 }
 

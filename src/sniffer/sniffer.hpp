@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
@@ -40,6 +41,16 @@ class Sniffer : public FrameSink {
     /// Counter slot and per-shard gauge suffix for this instance — the
     /// pipeline shard id, or 0 for a serial run.
     int metricsShard = 0;
+    /// Hard bounds on per-state tables so a hostile or badly lossy
+    /// capture cannot grow memory without limit.  Hitting a bound evicts
+    /// the oldest entry (pending calls: emitted reply-less and counted in
+    /// `evictedCalls`; TCP flows: coldest flow discarded).  The defaults
+    /// are far above anything a healthy capture reaches, so bounded and
+    /// unbounded runs behave identically unless the capture is sick.
+    /// 0 disables a bound.
+    std::size_t maxPendingCalls = 1 << 20;
+    std::size_t maxTcpFlows = 65536;
+    std::size_t maxIgnoredXids = 1 << 16;
   };
 
   struct Stats {
@@ -51,6 +62,11 @@ class Sniffer : public FrameSink {
     std::uint64_t orphanReplies = 0;   // reply whose call was lost
     std::uint64_t expiredCalls = 0;    // call whose reply was lost
     std::uint64_t fragmentsExpired = 0;
+    std::uint64_t evictedCalls = 0;  // oldest calls shed at maxPendingCalls
+    std::uint64_t evictedFlows = 0;  // coldest TCP flows shed at maxTcpFlows
+    std::uint64_t flushedCalls = 0;  // still-pending calls drained by flush()
+    std::uint64_t pendingPeak = 0;   // high-water mark of the pending table
+    std::uint64_t tcpFlowsPeak = 0;  // high-water mark of the flow table
   };
 
   using RecordCallback = std::function<void(const TraceRecord&)>;
@@ -89,6 +105,7 @@ class Sniffer : public FrameSink {
   struct TcpFlow {
     TcpReassembler reassembler;
     RecordMarkReader records;
+    MicroTime lastTs = 0;  // last segment time; LRU key for eviction
   };
   struct PendingCall {
     MicroTime ts = 0;
@@ -109,6 +126,12 @@ class Sniffer : public FrameSink {
   void handleReply(MicroTime ts, IpAddr client, const RpcReply& reply,
                    std::span<const std::uint8_t> body);
   void expirePending(MicroTime now);
+  /// Emit-and-erase the oldest live pending call (table at capacity).
+  void evictOldestPending();
+  /// Drop stale keys once the order queue outgrows the live table.
+  void compactPendingOrder();
+  /// Erase the least-recently-active TCP flow (table at capacity).
+  void evictColdestFlow();
   TraceRecord recordFromCall(std::uint32_t xid, const PendingCall& pc) const;
   void fillReply(TraceRecord& rec, const PendingCall& pc,
                  const NfsReplyRes& res) const;
@@ -127,6 +150,10 @@ class Sniffer : public FrameSink {
   std::unordered_map<FlowKey, TcpFlow, FlowKeyHash> tcpFlows_;
   /// Pending calls keyed by packed (client ip, xid).
   std::unordered_map<std::uint64_t, PendingCall, U64Hash> pending_;
+  /// Insertion order of pending keys, for oldest-first eviction.  Entries
+  /// go stale when a reply or expiry removes the call; eviction skips
+  /// them lazily and compactPendingOrder() trims the backlog.
+  std::deque<std::uint64_t> pendingOrder_;
   /// Calls for other RPC programs whose replies we must skip silently.
   std::unordered_set<std::uint64_t, U64Hash> ignoredXids_;
 
@@ -142,6 +169,9 @@ class Sniffer : public FrameSink {
   obs::CounterHandle nonNfsC_;
   obs::CounterHandle orphansC_;
   obs::CounterHandle expiredC_;
+  obs::CounterHandle evictedC_;
+  obs::CounterHandle evictedFlowsC_;
+  obs::CounterHandle flushedC_;
   obs::GaugeHandle pendingG_;
   obs::GaugeHandle tcpBufferedG_;
 };

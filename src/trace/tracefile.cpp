@@ -2,11 +2,15 @@
 
 #include "obs/timer.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cinttypes>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
+#include "fault/fault.hpp"
 #include "util/strings.hpp"
 
 namespace nfstrace {
@@ -296,6 +300,13 @@ namespace {
 
 constexpr char kBinMagic[6] = {'N', 'F', 'S', 'T', '1', '\n'};
 
+// Checkpoint sentinel: an impossible record length followed by an 8-byte
+// magic and the cumulative record count.  A recovering reader byte-scans
+// for the magic to resynchronise after corruption.
+constexpr std::uint32_t kCkptSentinel = 0xFFFFFFFFu;
+constexpr char kCkptMagic[8] = {'N', 'F', 'S', 'C', 'K', 'P', 'T', '1'};
+constexpr char kTextCkptPrefix[] = "#ckpt";
+
 void putU(std::string& b, std::uint64_t v, int bytes) {
   for (int i = 0; i < bytes; ++i) b.push_back(static_cast<char>(v >> (8 * i)));
 }
@@ -352,17 +363,7 @@ void packBinaryInto(std::string& out, const TraceRecord& r) {
   }
 }
 
-std::optional<TraceRecord> unpackBinary(std::FILE* f) {
-  std::uint8_t lenBuf[4];
-  std::size_t got = std::fread(lenBuf, 1, 4, f);
-  if (got == 0) return std::nullopt;
-  if (got != 4) throw std::runtime_error("trace: truncated binary record");
-  std::size_t len = static_cast<std::size_t>(getU(lenBuf, 4));
-  if (len > 1 << 20) throw std::runtime_error("trace: absurd binary record");
-  std::vector<std::uint8_t> buf(len);
-  if (std::fread(buf.data(), 1, len, f) != len) {
-    throw std::runtime_error("trace: truncated binary record body");
-  }
+TraceRecord unpackBinaryBody(const std::vector<std::uint8_t>& buf) {
   const std::uint8_t* p = buf.data();
   const std::uint8_t* end = buf.data() + buf.size();
   auto need = [&](std::size_t n) {
@@ -422,21 +423,74 @@ std::optional<TraceRecord> unpackBinary(std::FILE* f) {
   return r;
 }
 
+/// One framed item from a binary trace: a record, a checkpoint, or EOF.
+struct BinItem {
+  std::optional<TraceRecord> rec;
+  bool checkpoint = false;
+  std::uint64_t checkpointCount = 0;
+  bool eof = false;
+};
+
+BinItem readBinaryItem(std::FILE* f) {
+  BinItem item;
+  std::uint8_t lenBuf[4];
+  std::size_t got = std::fread(lenBuf, 1, 4, f);
+  if (got == 0) {
+    item.eof = true;
+    return item;
+  }
+  if (got != 4) throw std::runtime_error("trace: truncated binary record");
+  std::uint32_t len32 = static_cast<std::uint32_t>(getU(lenBuf, 4));
+  if (len32 == kCkptSentinel) {
+    std::uint8_t body[sizeof(kCkptMagic) + 8];
+    if (std::fread(body, 1, sizeof(body), f) != sizeof(body)) {
+      throw std::runtime_error("trace: truncated checkpoint");
+    }
+    if (std::memcmp(body, kCkptMagic, sizeof(kCkptMagic)) != 0) {
+      throw std::runtime_error("trace: bad checkpoint magic");
+    }
+    item.checkpoint = true;
+    item.checkpointCount = getU(body + sizeof(kCkptMagic), 8);
+    return item;
+  }
+  std::size_t len = static_cast<std::size_t>(len32);
+  if (len > 1 << 20) throw std::runtime_error("trace: absurd binary record");
+  std::vector<std::uint8_t> buf(len);
+  if (std::fread(buf.data(), 1, len, f) != len) {
+    throw std::runtime_error("trace: truncated binary record body");
+  }
+  item.rec = unpackBinaryBody(buf);
+  return item;
+}
+
+void sleepAndGrow(MicroTime& us, MicroTime maxUs) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+  us = std::min<MicroTime>(us * 2, maxUs > 0 ? maxUs : us * 2);
+}
+
 }  // namespace
 
 TraceWriter::TraceWriter(const std::string& path, Format format)
-    : format_(format) {
+    : TraceWriter(path, Options{.format = format}) {}
+
+TraceWriter::TraceWriter(const std::string& path, const Options& opts)
+    : format_(opts.format), opts_(opts) {
   f_ = std::fopen(path.c_str(), "wb");
   if (!f_) throw std::runtime_error("trace: cannot open for write: " + path);
   buf_.reserve(kWriterFlushBytes + 4096);
   if (format_ == Format::Binary) {
-    std::fwrite(kBinMagic, 1, sizeof(kBinMagic), f_);
+    writeAll(kBinMagic, sizeof(kBinMagic));
   }
 }
 
 TraceWriter::~TraceWriter() {
   if (f_) {
     try {
+      // A final checkpoint seals the tail so a recovering reader can
+      // account for every record even if the file is later damaged.
+      if (opts_.checkpointEveryRecords > 0 && count_ > lastCkptCount_) {
+        appendCheckpoint();
+      }
       flushBuffer();
     } catch (...) {
       // Destructor must not throw; the close below still releases the fd.
@@ -454,23 +508,98 @@ void TraceWriter::write(const TraceRecord& rec) {
   }
   ++count_;
   recordsC_.inc();
+  if (opts_.checkpointEveryRecords > 0 &&
+      count_ - lastCkptCount_ >= opts_.checkpointEveryRecords) {
+    appendCheckpoint();
+  }
   if (buf_.size() >= kWriterFlushBytes) flushBuffer();
+}
+
+void TraceWriter::appendCheckpoint() {
+  if (format_ == Format::Text) {
+    buf_ += kTextCkptPrefix;
+    buf_ += " n=";
+    appendUint(buf_, count_);
+    buf_.push_back('\n');
+  } else {
+    putU(buf_, kCkptSentinel, 4);
+    buf_.append(kCkptMagic, sizeof(kCkptMagic));
+    putU(buf_, count_, 8);
+  }
+  lastCkptCount_ = count_;
+  ++ioStats_.checkpoints;
+  ckptC_.inc();
+  // Crash consistency: everything up to and including the footer is
+  // pushed to the OS before more records are buffered.
+  flushBuffer();
+  std::fflush(f_);
 }
 
 void TraceWriter::attachMetrics(obs::Registry& registry) {
   recordsC_ = registry.counterHandle("trace.records_written", 0);
   bytesC_ = registry.counterHandle("trace.bytes_written", 0);
+  retriesC_ = registry.counterHandle("trace.write_retries", 0);
+  shortWritesC_ = registry.counterHandle("trace.short_writes", 0);
+  ckptC_ = registry.counterHandle("trace.checkpoints", 0);
   flushNs_ = registry.histogramHandle("trace.flush_ns", 0);
 }
 
 void TraceWriter::flushBuffer() {
   if (buf_.empty()) return;
   obs::TimerSpan span(flushNs_);
-  if (std::fwrite(buf_.data(), 1, buf_.size(), f_) != buf_.size()) {
-    throw std::runtime_error("trace: write failed");
-  }
+  writeAll(buf_.data(), buf_.size());
   bytesC_.inc(buf_.size());
   buf_.clear();
+}
+
+void TraceWriter::writeAll(const char* p, std::size_t n) {
+  int failures = 0;
+  MicroTime backoff = opts_.backoffInitialUs;
+  while (n > 0) {
+    std::size_t attempt = n;
+    if (opts_.faults) {
+      IoFaultInjector::Fault fault = opts_.faults->nextWrite(n);
+      if (fault.kind == IoFaultInjector::Kind::Eio ||
+          fault.kind == IoFaultInjector::Kind::Enospc) {
+        // Simulated transient error: nothing reached the disk.
+        ++ioStats_.retries;
+        retriesC_.inc();
+        if (++failures > opts_.maxRetries) {
+          throw std::runtime_error("trace: write failed after retries");
+        }
+        sleepAndGrow(backoff, opts_.backoffMaxUs);
+        continue;
+      }
+      if (fault.kind == IoFaultInjector::Kind::ShortWrite &&
+          fault.shortLen < n) {
+        attempt = fault.shortLen;
+        ++ioStats_.shortWrites;
+        shortWritesC_.inc();
+      }
+    }
+    std::size_t got = std::fwrite(p, 1, attempt, f_);
+    if (got > 0) {
+      // Progress (possibly partial) resets the failure clock, matching
+      // how short writes are handled on a real write(2) loop.
+      if (got < attempt) {
+        ++ioStats_.shortWrites;
+        shortWritesC_.inc();
+        std::clearerr(f_);
+      }
+      p += got;
+      n -= got;
+      failures = 0;
+      backoff = opts_.backoffInitialUs;
+      continue;
+    }
+    std::clearerr(f_);
+    ++ioStats_.retries;
+    retriesC_.inc();
+    if (++failures > opts_.maxRetries) {
+      throw std::runtime_error("trace: write failed after retries");
+    }
+    sleepAndGrow(backoff, opts_.backoffMaxUs);
+  }
 }
 
 void TraceWriter::flush() {
@@ -478,7 +607,8 @@ void TraceWriter::flush() {
   std::fflush(f_);
 }
 
-TraceReader::TraceReader(const std::string& path) {
+TraceReader::TraceReader(const std::string& path, bool recover)
+    : recover_(recover) {
   f_ = std::fopen(path.c_str(), "rb");
   if (!f_) throw std::runtime_error("trace: cannot open for read: " + path);
   char magic[sizeof(kBinMagic)];
@@ -503,7 +633,57 @@ bool TraceReader::refill() {
 }
 
 std::optional<TraceRecord> TraceReader::next() {
-  if (binary_) return unpackBinary(f_);
+  return binary_ ? nextBinary() : nextText();
+}
+
+void TraceReader::reconcileCheckpoint(std::uint64_t count) {
+  ++rstats_.checkpoints;
+  rstats_.checkpointRecords = count;
+  std::uint64_t seen = rstats_.recovered + rstats_.skipped;
+  if (recover_ && count > seen) {
+    // The footer knows exactly how many records precede it; anything we
+    // did not see (whole lines eaten, records merged by a corrupted
+    // newline, a skipped binary region) is charged to `skipped`.
+    rstats_.skipped += count - seen;
+  }
+}
+
+void TraceReader::noteTextCheckpoint(const std::string& line) {
+  if (line.rfind(kTextCkptPrefix, 0) != 0) return;
+  auto at = line.find("n=");
+  if (at == std::string::npos) return;
+  reconcileCheckpoint(std::strtoull(line.c_str() + at + 2, nullptr, 10));
+}
+
+std::optional<TraceRecord> TraceReader::nextText() {
+  // Parse one line, routing comments through checkpoint handling and —
+  // in recover mode — turning parse failures into skip-and-resync.
+  auto consume = [this](const std::string& line) -> std::optional<TraceRecord> {
+    if (!line.empty() && line[0] == '#') {
+      noteTextCheckpoint(line);
+      return std::nullopt;
+    }
+    if (!recover_) {
+      auto rec = parseRecord(line);
+      if (rec) ++rstats_.recovered;
+      return rec;
+    }
+    try {
+      auto rec = parseRecord(line);
+      if (rec) {
+        ++rstats_.recovered;
+        inBadRun_ = false;
+      }
+      return rec;
+    } catch (const std::exception&) {
+      ++rstats_.skipped;
+      if (!inBadRun_) {
+        ++rstats_.resyncs;
+        inBadRun_ = true;
+      }
+      return std::nullopt;
+    }
+  };
   for (;;) {
     if (pos_ >= chunk_.size()) {
       if (!refill()) break;
@@ -518,27 +698,87 @@ std::optional<TraceRecord> TraceReader::next() {
     if (carry_.empty()) {
       // Fast path: the whole line sits inside the current chunk.
       std::string line = chunk_.substr(pos_, nl - pos_);
-      rec = parseRecord(line);
+      pos_ = nl + 1;
+      rec = consume(line);
     } else {
       carry_.append(chunk_, pos_, nl - pos_);
-      rec = parseRecord(carry_);
+      pos_ = nl + 1;
+      std::string line = std::move(carry_);
       carry_.clear();
+      rec = consume(line);
     }
-    pos_ = nl + 1;
     if (rec) return rec;
   }
   if (!carry_.empty()) {
     std::string line = std::move(carry_);
     carry_.clear();
-    return parseRecord(line);
+    return consume(line);
   }
   return std::nullopt;
+}
+
+std::optional<TraceRecord> TraceReader::nextBinary() {
+  for (;;) {
+    if (!recover_) {
+      BinItem item = readBinaryItem(f_);
+      if (item.eof) return std::nullopt;
+      if (item.checkpoint) {
+        reconcileCheckpoint(item.checkpointCount);
+        continue;
+      }
+      ++rstats_.recovered;
+      return item.rec;
+    }
+    try {
+      BinItem item = readBinaryItem(f_);
+      if (item.eof) return std::nullopt;
+      if (item.checkpoint) {
+        reconcileCheckpoint(item.checkpointCount);
+        continue;
+      }
+      ++rstats_.recovered;
+      return item.rec;
+    } catch (const std::exception&) {
+      ++rstats_.resyncs;
+      if (!scanToBinaryCheckpoint()) return std::nullopt;
+    }
+  }
+}
+
+bool TraceReader::scanToBinaryCheckpoint() {
+  // Rolling byte-match for the checkpoint magic.  The magic has no
+  // repeated prefix, so a mismatch only needs to recheck the first byte.
+  std::size_t matched = 0;
+  int c;
+  while ((c = std::fgetc(f_)) != EOF) {
+    std::uint8_t b = static_cast<std::uint8_t>(c);
+    if (b == static_cast<std::uint8_t>(kCkptMagic[matched])) {
+      if (++matched == sizeof(kCkptMagic)) {
+        std::uint8_t cnt[8];
+        if (std::fread(cnt, 1, sizeof(cnt), f_) != sizeof(cnt)) return false;
+        reconcileCheckpoint(getU(cnt, 8));
+        return true;
+      }
+    } else {
+      matched = b == static_cast<std::uint8_t>(kCkptMagic[0]) ? 1 : 0;
+    }
+  }
+  return false;
 }
 
 std::vector<TraceRecord> TraceReader::readAll(const std::string& path) {
   TraceReader reader(path);
   std::vector<TraceRecord> out;
   while (auto rec = reader.next()) out.push_back(std::move(*rec));
+  return out;
+}
+
+std::vector<TraceRecord> TraceReader::recoverAll(const std::string& path,
+                                                 RecoverStats* stats) {
+  TraceReader reader(path, /*recover=*/true);
+  std::vector<TraceRecord> out;
+  while (auto rec = reader.next()) out.push_back(std::move(*rec));
+  if (stats) *stats = reader.recoverStats();
   return out;
 }
 

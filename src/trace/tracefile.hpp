@@ -17,8 +17,11 @@
 
 #include "obs/metrics.hpp"
 #include "trace/record.hpp"
+#include "util/time.hpp"
 
 namespace nfstrace {
+
+class IoFaultInjector;  // src/fault — optional write-fault hook
 
 /// Append one record as a text line (no trailing newline) to `out`.
 /// Allocation-light: everything is rendered with snprintf into the
@@ -38,7 +41,34 @@ class TraceWriter {
  public:
   enum class Format { Text, Binary };
 
+  /// Durability knobs.  Defaults match the historical writer except for
+  /// checkpoints, which are cheap (a comment line / sentinel record every
+  /// few thousand records) and make crash/corruption recovery exact.
+  struct Options {
+    Format format = Format::Text;
+    /// Append a checkpoint footer every N records (0 disables).  The
+    /// footer records the cumulative record count, so a recovering
+    /// reader can compute exactly how many records a corrupt region ate.
+    std::uint64_t checkpointEveryRecords = 4096;
+    /// Transient write errors (EIO, ENOSPC) are retried with exponential
+    /// backoff this many times before the writer gives up and throws.
+    int maxRetries = 8;
+    MicroTime backoffInitialUs = 50;
+    MicroTime backoffMaxUs = 10'000;
+    /// Optional deterministic fault hook consulted before each physical
+    /// write attempt (not owned; may be nullptr).
+    IoFaultInjector* faults = nullptr;
+  };
+
+  /// Write-path robustness stats.
+  struct IoStats {
+    std::uint64_t retries = 0;      // failed attempts that were retried
+    std::uint64_t shortWrites = 0;  // attempts that made partial progress
+    std::uint64_t checkpoints = 0;  // checkpoint footers appended
+  };
+
   TraceWriter(const std::string& path, Format format = Format::Text);
+  TraceWriter(const std::string& path, const Options& opts);
   ~TraceWriter();
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
@@ -47,41 +77,82 @@ class TraceWriter {
   /// Flush the batch buffer and the underlying stream.
   void flush();
   std::uint64_t recordsWritten() const { return count_; }
+  const IoStats& ioStats() const { return ioStats_; }
 
-  /// Bind self-monitoring instruments: records/bytes written counters
-  /// and a flush-latency histogram (trace.flush_ns).
+  /// Bind self-monitoring instruments: records/bytes written counters,
+  /// a flush-latency histogram (trace.flush_ns), and write-path
+  /// robustness counters (trace.write_retries / short_writes /
+  /// checkpoints).
   void attachMetrics(obs::Registry& registry);
 
  private:
   void flushBuffer();
+  /// Write [p, p+n) fully, retrying transient failures with backoff.
+  void writeAll(const char* p, std::size_t n);
+  void appendCheckpoint();
 
   std::FILE* f_ = nullptr;
   Format format_;
+  Options opts_;
   std::string buf_;
   std::uint64_t count_ = 0;
+  std::uint64_t lastCkptCount_ = 0;
+  IoStats ioStats_;
   obs::CounterHandle recordsC_;
   obs::CounterHandle bytesC_;
+  obs::CounterHandle retriesC_;
+  obs::CounterHandle shortWritesC_;
+  obs::CounterHandle ckptC_;
   obs::HistogramHandle flushNs_;
 };
 
 class TraceReader {
  public:
-  explicit TraceReader(const std::string& path);
+  /// Recovery bookkeeping (populated in recover mode; checkpoints are
+  /// counted in both modes).
+  struct RecoverStats {
+    std::uint64_t recovered = 0;          // records successfully returned
+    std::uint64_t skipped = 0;            // records lost to corruption
+    std::uint64_t resyncs = 0;            // distinct corrupt regions crossed
+    std::uint64_t checkpoints = 0;        // checkpoint footers seen
+    std::uint64_t checkpointRecords = 0;  // count in the last footer seen
+  };
+
+  /// `recover == false` (the default) preserves historical behaviour:
+  /// corruption throws.  `recover == true` skips corrupt bytes forward to
+  /// the next parseable boundary (text: next well-formed line; binary:
+  /// next checkpoint sentinel) and keeps going, tallying RecoverStats.
+  explicit TraceReader(const std::string& path, bool recover = false);
   ~TraceReader();
   TraceReader(const TraceReader&) = delete;
   TraceReader& operator=(const TraceReader&) = delete;
 
   std::optional<TraceRecord> next();
+  const RecoverStats& recoverStats() const { return rstats_; }
 
   /// Convenience: read a whole trace file into memory.
   static std::vector<TraceRecord> readAll(const std::string& path);
+  /// Read a possibly-corrupt trace end-to-end, skipping bad regions.
+  static std::vector<TraceRecord> recoverAll(const std::string& path,
+                                             RecoverStats* stats = nullptr);
 
  private:
   /// Refill chunk_ from the file; returns false at EOF.
   bool refill();
+  std::optional<TraceRecord> nextText();
+  std::optional<TraceRecord> nextBinary();
+  /// Handle a "#ckpt n=<count>" comment line (text format).
+  void noteTextCheckpoint(const std::string& line);
+  void reconcileCheckpoint(std::uint64_t count);
+  /// Binary recover mode: byte-scan forward for the next checkpoint
+  /// sentinel magic; returns false at EOF.
+  bool scanToBinaryCheckpoint();
 
   std::FILE* f_ = nullptr;
   bool binary_ = false;
+  bool recover_ = false;
+  bool inBadRun_ = false;  // inside a run of consecutive corrupt lines
+  RecoverStats rstats_;
   // Text path: chunked read buffer (replaces the old fgetc-per-byte loop).
   std::string chunk_;
   std::size_t pos_ = 0;

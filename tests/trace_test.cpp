@@ -194,5 +194,26 @@ TEST_F(TraceFileTest, MissingFileThrows) {
   EXPECT_THROW(TraceReader r("/no/such/trace"), std::runtime_error);
 }
 
+TEST_F(TraceFileTest, CheckpointFootersInvisibleToPlainReaders) {
+  // Checkpoint footers (written for crash/corruption recovery) must be
+  // format-compatible: a reader that knows nothing about recovery sees
+  // only the records, in both text and binary form.
+  for (auto format :
+       {TraceWriter::Format::Text, TraceWriter::Format::Binary}) {
+    TraceWriter::Options opts;
+    opts.format = format;
+    opts.checkpointEveryRecords = 1;  // footer after every record
+    {
+      TraceWriter w(path_, opts);
+      w.write(sampleRecord(NfsOp::Read));
+      w.write(sampleRecord(NfsOp::Write));
+      w.write(sampleRecord(NfsOp::Lookup));
+    }
+    auto back = TraceReader::readAll(path_);
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[1].op, NfsOp::Write);
+  }
+}
+
 }  // namespace
 }  // namespace nfstrace

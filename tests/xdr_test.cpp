@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "util/rng.hpp"
 #include "xdr/xdr.hpp"
 
 namespace nfstrace {
@@ -149,6 +150,111 @@ TEST(Xdr, TakeMovesBuffer) {
   auto buf = enc.take();
   EXPECT_EQ(buf.size(), 4u);
   EXPECT_EQ(enc.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded decode fuzzing.  The decoder's contract is value-or-XdrError with
+// no overread: whatever a hostile capture does to length words and field
+// boundaries, every accessor must either succeed inside the buffer or
+// throw, and the cursor must never pass the end.
+
+/// A representative message: fixed-width fields, variable opaques (empty,
+/// short, long), strings, and a fixed opaque, so every accessor has a
+/// boundary a mutation can break.
+std::vector<std::uint8_t> fuzzMessage() {
+  XdrEncoder enc;
+  enc.putUint32(0xdeadbeef);
+  enc.putOpaque(std::vector<std::uint8_t>(50, 0x5a));
+  enc.putString("fuzzing the wire substrate");
+  enc.putUint64(0x0102030405060708ULL);
+  enc.putOpaque({});
+  enc.putFixedOpaque(std::vector<std::uint8_t>(7, 0x11));
+  enc.putString("");
+  enc.putUint32(7);
+  return enc.take();
+}
+
+/// Run the matching accessor sequence; returns true if it completed.
+/// Throws only XdrError by contract — anything else fails the test.
+bool decodeFuzzMessage(std::span<const std::uint8_t> bytes) {
+  XdrDecoder dec(bytes);
+  try {
+    dec.getUint32();
+    dec.getOpaque();
+    dec.getString();
+    dec.getUint64();
+    dec.getOpaque();
+    dec.getFixedOpaque(7);
+    dec.getString();
+    dec.getUint32();
+  } catch (const XdrError&) {
+    EXPECT_LE(dec.position(), bytes.size());
+    return false;
+  }
+  EXPECT_LE(dec.position(), bytes.size());
+  return true;
+}
+
+TEST(XdrFuzz, TruncationAtEveryByteIsContained) {
+  auto msg = fuzzMessage();
+  EXPECT_TRUE(decodeFuzzMessage(msg));
+  for (std::size_t cut = 0; cut < msg.size(); ++cut) {
+    // A strict prefix can never decode fully: some accessor must throw.
+    EXPECT_FALSE(decodeFuzzMessage(std::span(msg.data(), cut))) << cut;
+  }
+}
+
+TEST(XdrFuzz, OverlongLengthClaimsAreContained) {
+  auto msg = fuzzMessage();
+  // Overwrite every aligned word with adversarial length claims: huge,
+  // just-past-the-end, and sign-bit values a naive cast would mangle.
+  const std::uint32_t claims[] = {0xffffffffu, 0x7fffffffu,
+                                  static_cast<std::uint32_t>(msg.size()),
+                                  static_cast<std::uint32_t>(msg.size()) + 1};
+  for (std::size_t at = 0; at + 4 <= msg.size(); at += 4) {
+    for (std::uint32_t claim : claims) {
+      auto mutated = msg;
+      mutated[at] = static_cast<std::uint8_t>(claim >> 24);
+      mutated[at + 1] = static_cast<std::uint8_t>(claim >> 16);
+      mutated[at + 2] = static_cast<std::uint8_t>(claim >> 8);
+      mutated[at + 3] = static_cast<std::uint8_t>(claim);
+      decodeFuzzMessage(mutated);  // must not crash or overread
+    }
+  }
+}
+
+TEST(XdrFuzz, SeededRandomMutationsNeverEscapeTheContract) {
+  auto msg = fuzzMessage();
+  Rng rng(20031);
+  for (int round = 0; round < 3000; ++round) {
+    auto mutated = msg;
+    // One to four byte-level mutations per round.
+    std::uint64_t edits = 1 + rng.below(4);
+    for (std::uint64_t e = 0; e < edits; ++e) {
+      mutated[rng.below(mutated.size())] =
+          static_cast<std::uint8_t>(rng.below(256));
+    }
+    // Random accessor order: the decoder's no-overread guarantee cannot
+    // depend on callers asking for fields in the encoded order.
+    XdrDecoder dec(mutated);
+    try {
+      for (int step = 0; step < 8; ++step) {
+        switch (rng.below(6)) {
+          case 0: dec.getUint32(); break;
+          case 1: dec.getUint64(); break;
+          case 2: dec.getOpaque(); break;
+          case 3: dec.getString(); break;
+          case 4: dec.skipOpaque(); break;
+          default: dec.getFixedOpaque(rng.below(64)); break;
+        }
+        ASSERT_LE(dec.position(), mutated.size());
+      }
+    } catch (const XdrError&) {
+      // Contained failure: the only acceptable outcome besides success.
+    }
+    ASSERT_LE(dec.position(), mutated.size());
+    ASSERT_EQ(dec.remaining(), mutated.size() - dec.position());
+  }
 }
 
 }  // namespace
