@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -85,6 +86,15 @@ inline EecsSetup makeEecs(int users, SimEnvironment::RecordCallback cb,
   wl.seed = seed + 1;
   s.workload = std::make_unique<EecsWorkload>(wl, *s.env);
   return s;
+}
+
+/// Smoke mode (NFSTRACE_SMOKE=1, the `bench-smoke` CMake target): run
+/// each bench with a tiny record budget and without exit-code
+/// enforcement, so the full bench suite can be exercised as a quick
+/// everything-still-runs check on any machine.
+inline bool smokeMode() {
+  const char* v = std::getenv("NFSTRACE_SMOKE");
+  return v && *v && *v != '0';
 }
 
 inline void banner(const std::string& what) {

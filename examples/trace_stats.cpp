@@ -1,28 +1,28 @@
 // Trace statistics tool: run the paper's analyses over any trace file —
 // the `nfsscan` counterpart to capture_to_trace's `nfsdump`.
 //
-//   trace_stats [--json] [--recover] [trace-file]
+//   trace_stats [--json] [--recover] [--workers N] [trace-file]
 //
 // Prints the operation mix, data volumes, hourly activity, run pattern
 // classification, block-lifetime summary, and name-category census.
-// With --json the summary is emitted as one JSON object on stdout (via
-// the obs JSON exporter) for scripting; progress goes to stderr.
+// The scan is one pass through the analysis engine: every record is
+// decoded once and fanned out to all eight standard passes, instead of
+// the historical one-decode-per-analysis loop.  --workers N runs the
+// scan on N threads; output is byte-identical at any worker count.
+// With --json the summary is emitted as one JSON object on stdout for
+// scripting; progress goes to stderr.
 // With --recover a damaged trace is read end-to-end anyway: corrupt
-// regions are skipped to the next parseable boundary and a recovery
-// summary (records recovered / skipped / resync count) goes to stderr.
+// regions are skipped to the next parseable boundary (resyncs land on
+// batch boundaries) and a recovery summary goes to stderr.
 // With no input argument it generates a demo trace first.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
-#include "analysis/blocklife.hpp"
-#include "analysis/names.hpp"
-#include "analysis/reorder.hpp"
-#include "analysis/runs.hpp"
-#include "analysis/summary.hpp"
-#include "analysis/users.hpp"
-#include "obs/json.hpp"
+#include "analysis/engine/engine.hpp"
+#include "analysis/engine/passes.hpp"
+#include "analysis/engine/report.hpp"
 #include "trace/tracefile.hpp"
-#include "util/table.hpp"
 #include "workload/campus.hpp"
 #include "workload/sim.hpp"
 
@@ -51,114 +51,12 @@ std::string makeDemoTrace(bool toStderr) {
   return path;
 }
 
-/// --json: the whole summary as one machine-readable object on stdout,
-/// built with the obs JSON exporter instead of hand-rolled printf.
-void emitJson(const std::string& input,
-              const std::vector<TraceRecord>& records) {
-  auto s = summarize(records);
-  obs::JsonWriter w;
-  w.beginObject();
-  w.field("input", input);
-  w.field("records", s.totalOps);
-  w.field("days", s.days());
-
-  w.key("op_mix").beginArray();
-  for (std::size_t i = 0; i < kNfsOpCount; ++i) {
-    if (s.opCounts[i] == 0) continue;
-    w.beginObject();
-    w.field("op", nfsOpName(static_cast<NfsOp>(i)));
-    w.field("calls", s.opCounts[i]);
-    w.field("fraction", static_cast<double>(s.opCounts[i]) /
-                            static_cast<double>(s.totalOps));
-    w.endObject();
-  }
-  w.endArray();
-
-  w.key("data").beginObject();
-  w.field("bytes_read", s.bytesRead);
-  w.field("read_ops", s.readOps);
-  w.field("bytes_written", s.bytesWritten);
-  w.field("write_ops", s.writeOps);
-  w.field("rw_byte_ratio", s.readWriteByteRatio());
-  w.field("rw_op_ratio", s.readWriteOpRatio());
-  w.field("replies_missing", s.repliesMissing);
-  w.endObject();
-
-  {
-    auto sorted = sortWithReorderWindow(records, 10'000);
-    auto runs = detectRuns(sorted.records);
-    auto rp = summarizeRunPatterns(runs);
-    w.key("runs").beginObject();
-    w.field("total", static_cast<std::uint64_t>(runs.size()));
-    w.field("reorder_swapped_fraction", sorted.swappedFraction());
-    auto pattern = [&w](const char* name, double frac, double entire,
-                        double seq, double random) {
-      w.key(name).beginObject();
-      w.field("fraction", frac);
-      w.field("entire", entire);
-      w.field("sequential", seq);
-      w.field("random", random);
-      w.endObject();
-    };
-    pattern("read", rp.readFrac, rp.readEntire, rp.readSeq, rp.readRandom);
-    pattern("write", rp.writeFrac, rp.writeEntire, rp.writeSeq,
-            rp.writeRandom);
-    pattern("read_write", rp.rwFrac, rp.rwEntire, rp.rwSeq, rp.rwRandom);
-    w.endObject();
-  }
-
-  {
-    BlockLifeConfig cfg;
-    cfg.phase1Start = s.firstTs;
-    cfg.phase1Length = std::max<MicroTime>((s.lastTs - s.firstTs) / 2, 1);
-    cfg.phase2Length = cfg.phase1Length;
-    EmpiricalCdf lifetimes;
-    auto bl = analyzeBlockLife(records, cfg, &lifetimes);
-    w.key("block_life").beginObject();
-    w.field("births", bl.births);
-    w.field("deaths", bl.deaths);
-    w.field("births_write", bl.birthsWrite);
-    w.field("deaths_overwrite", bl.deathsOverwrite);
-    w.field("deaths_truncate", bl.deathsTruncate);
-    w.field("deaths_delete", bl.deathsDelete);
-    if (lifetimes.empty()) {
-      w.key("median_lifetime_s").valueNull();
-    } else {
-      w.field("median_lifetime_s", lifetimes.quantile(0.5));
-    }
-    w.endObject();
-  }
-
-  {
-    UserStats us;
-    for (const auto& r : records) us.observe(r);
-    w.key("users").beginObject();
-    w.field("count", static_cast<std::uint64_t>(us.userCount()));
-    w.field("top_decile_share", us.topUserShare(0.10));
-    w.field("imbalance", us.imbalance());
-    w.endObject();
-  }
-
-  {
-    FileLifeCensus census;
-    for (const auto& r : records) census.observe(r);
-    census.finish();
-    w.key("file_churn").beginObject();
-    w.field("created", census.totalCreated());
-    w.field("deleted", census.totalDeleted());
-    w.field("lock_fraction_of_deleted", census.lockFractionOfDeleted());
-    w.endObject();
-  }
-
-  w.endObject();
-  std::printf("%s\n", w.str().c_str());
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
   bool recover = false;
+  std::size_t workers = 1;
   std::string input;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -166,15 +64,24 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--recover") {
       recover = true;
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       input = arg;
     }
   }
   if (input.empty()) input = makeDemoTrace(json);
-  std::vector<TraceRecord> records;
+
+  StandardAnalyses analyses;
+  AnalysisEngine::Config cfg;
+  cfg.workers = workers;
+  AnalysisEngine engine(cfg);
+  engine.addPasses(analyses.all());
+
+  TraceReader reader(input, recover);
+  const AnalysisEngine::Stats& st = engine.run(reader);
   if (recover) {
-    TraceReader::RecoverStats rs;
-    records = TraceReader::recoverAll(input, &rs);
+    const auto& rs = reader.recoverStats();
     std::fprintf(stderr,
                  "recovery: %llu records recovered, %llu skipped "
                  "(%llu resyncs, %llu checkpoints)\n",
@@ -182,141 +89,14 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(rs.skipped),
                  static_cast<unsigned long long>(rs.resyncs),
                  static_cast<unsigned long long>(rs.checkpoints));
-  } else {
-    records = TraceReader::readAll(input);
   }
-  if (records.empty()) {
+  if (st.records == 0) {
     std::fprintf(stderr, "%s: no records\n", input.c_str());
     return 1;
   }
-  if (json) {
-    emitJson(input, records);
-    return 0;
-  }
 
-  auto s = summarize(records);
-  std::printf("%s: %llu records, %.2f simulated days\n\n", input.c_str(),
-              static_cast<unsigned long long>(s.totalOps), s.days());
-
-  // Operation mix.
-  {
-    TextTable t({"Operation", "Calls", "% of total"});
-    for (std::size_t i = 0; i < kNfsOpCount; ++i) {
-      if (s.opCounts[i] == 0) continue;
-      t.addRow({std::string(nfsOpName(static_cast<NfsOp>(i))),
-                TextTable::withCommas(s.opCounts[i]),
-                TextTable::percent(static_cast<double>(s.opCounts[i]) /
-                                   static_cast<double>(s.totalOps))});
-    }
-    std::fputs(t.render().c_str(), stdout);
-  }
-  std::printf(
-      "\ndata: %.1f MB read (%llu ops), %.1f MB written (%llu ops)\n"
-      "R/W ratios: bytes %.2f, ops %.2f; replies missing: %llu\n\n",
-      static_cast<double>(s.bytesRead) / 1e6,
-      static_cast<unsigned long long>(s.readOps),
-      static_cast<double>(s.bytesWritten) / 1e6,
-      static_cast<unsigned long long>(s.writeOps), s.readWriteByteRatio(),
-      s.readWriteOpRatio(),
-      static_cast<unsigned long long>(s.repliesMissing));
-
-  // Run patterns (with the standard 10 ms reorder window).
-  {
-    auto sorted = sortWithReorderWindow(records, 10'000);
-    auto runs = detectRuns(sorted.records);
-    auto rp = summarizeRunPatterns(runs);
-    std::printf("runs: %zu total (%.2f%% of accesses reorder-swapped)\n",
-                runs.size(), 100.0 * sorted.swappedFraction());
-    TextTable t({"Type", "% of runs", "entire", "sequential", "random"});
-    t.addRow({"read", TextTable::percent(rp.readFrac),
-              TextTable::percent(rp.readEntire),
-              TextTable::percent(rp.readSeq),
-              TextTable::percent(rp.readRandom)});
-    t.addRow({"write", TextTable::percent(rp.writeFrac),
-              TextTable::percent(rp.writeEntire),
-              TextTable::percent(rp.writeSeq),
-              TextTable::percent(rp.writeRandom)});
-    t.addRow({"read-write", TextTable::percent(rp.rwFrac),
-              TextTable::percent(rp.rwEntire), TextTable::percent(rp.rwSeq),
-              TextTable::percent(rp.rwRandom)});
-    std::fputs(t.render().c_str(), stdout);
-  }
-
-  // Block lifetimes over the trace's own span.
-  {
-    BlockLifeConfig cfg;
-    cfg.phase1Start = s.firstTs;
-    cfg.phase1Length = std::max<MicroTime>((s.lastTs - s.firstTs) / 2, 1);
-    cfg.phase2Length = cfg.phase1Length;
-    EmpiricalCdf lifetimes;
-    auto bl = analyzeBlockLife(records, cfg, &lifetimes);
-    std::printf(
-        "\nblock life: %llu births (%.1f%% writes), %llu deaths "
-        "(%.1f%% overwrite, %.1f%% truncate, %.1f%% delete)\n",
-        static_cast<unsigned long long>(bl.births),
-        bl.births ? 100.0 * static_cast<double>(bl.birthsWrite) /
-                        static_cast<double>(bl.births)
-                  : 0.0,
-        static_cast<unsigned long long>(bl.deaths),
-        bl.deaths ? 100.0 * static_cast<double>(bl.deathsOverwrite) /
-                        static_cast<double>(bl.deaths)
-                  : 0.0,
-        bl.deaths ? 100.0 * static_cast<double>(bl.deathsTruncate) /
-                        static_cast<double>(bl.deaths)
-                  : 0.0,
-        bl.deaths ? 100.0 * static_cast<double>(bl.deathsDelete) /
-                        static_cast<double>(bl.deaths)
-                  : 0.0);
-    if (!lifetimes.empty()) {
-      std::printf("median block lifetime: %.1f s\n",
-                  lifetimes.quantile(0.5));
-    }
-  }
-
-  // Per-user activity (possible because the anonymizer keeps UIDs
-  // consistent).
-  {
-    UserStats us;
-    for (const auto& r : records) us.observe(r);
-    if (us.userCount() > 1) {
-      std::printf("\nusers: %zu distinct UIDs; top 10%% generate %.1f%% of "
-                  "calls (imbalance %.2f)\n",
-                  us.userCount(), 100.0 * us.topUserShare(0.10),
-                  us.imbalance());
-      auto top = us.byActivity();
-      TextTable t({"UID", "ops", "MB read", "MB written", "active hours"});
-      for (std::size_t i = 0; i < std::min<std::size_t>(5, top.size()); ++i) {
-        t.addRow({std::to_string(top[i].uid),
-                  TextTable::withCommas(top[i].totalOps),
-                  TextTable::fixed(static_cast<double>(top[i].bytesRead) / 1e6, 1),
-                  TextTable::fixed(static_cast<double>(top[i].bytesWritten) / 1e6, 1),
-                  std::to_string(top[i].activeHours)});
-      }
-      std::fputs(t.render().c_str(), stdout);
-    }
-  }
-
-  // Name census.
-  {
-    FileLifeCensus census;
-    for (const auto& r : records) census.observe(r);
-    census.finish();
-    if (census.totalCreated()) {
-      std::printf(
-          "\nfile churn: %llu created, %llu deleted (%.1f%% locks)\n",
-          static_cast<unsigned long long>(census.totalCreated()),
-          static_cast<unsigned long long>(census.totalDeleted()),
-          100.0 * census.lockFractionOfDeleted());
-      TextTable t({"Category", "created", "deleted", "p50 life (s)"});
-      for (const auto& [cat, cs] : census.byCategory()) {
-        auto& lt = const_cast<CategoryStats&>(cs).lifetimesSec;
-        t.addRow({std::string(nameCategoryLabel(cat)),
-                  TextTable::withCommas(cs.created),
-                  TextTable::withCommas(cs.deleted),
-                  lt.empty() ? "-" : TextTable::fixed(lt.quantile(0.5), 3)});
-      }
-      std::fputs(t.render().c_str(), stdout);
-    }
-  }
+  std::string report = json ? renderReportJson(input, analyses)
+                            : renderReportText(input, analyses);
+  std::fwrite(report.data(), 1, report.size(), stdout);
   return 0;
 }

@@ -1,0 +1,227 @@
+#include "analysis/engine/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/timer.hpp"
+#include "pipeline/spsc_ring.hpp"
+
+namespace nfstrace {
+namespace {
+
+/// A pooled batch plus its fan-out refcount.  The reader only reuses a
+/// slot after every worker's release-decrement has landed (acquire scan),
+/// so slot reuse never races a worker still reading the batch.
+struct BatchSlot {
+  TraceBatch batch;
+  std::atomic<std::uint32_t> refs{0};
+};
+
+}  // namespace
+
+AnalysisEngine::AnalysisEngine() : AnalysisEngine(Config()) {}
+
+AnalysisEngine::AnalysisEngine(const Config& config) : config_(config) {}
+
+void AnalysisEngine::addPass(AnalysisPass* pass) {
+  passes_.push_back(pass);
+  passHist_.push_back(nullptr);
+}
+
+void AnalysisEngine::addPasses(const std::vector<AnalysisPass*>& passes) {
+  for (AnalysisPass* p : passes) addPass(p);
+}
+
+void AnalysisEngine::attachMetrics(obs::Registry& registry) {
+  batchesC_ = registry.counterHandle("engine.batches", 0);
+  recordsC_ = registry.counterHandle("engine.records", 0);
+  resyncC_ = registry.counterHandle("engine.resync_cuts", 0);
+  mergeSkewC_ = registry.counterHandle("engine.merge_skew", 0);
+  internHighC_ = registry.counterHandle("engine.intern_high_water", 0);
+  internNamesG_ = registry.gaugeHandle("engine.intern_names");
+  internHandlesG_ = registry.gaugeHandle("engine.intern_handles");
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    std::string name = "engine.pass.";
+    name += passes_[i]->name();
+    name += ".observe_ns";
+    passHist_[i] = &registry.histogram(name);
+  }
+}
+
+const AnalysisEngine::Stats& AnalysisEngine::run(TraceReader& reader) {
+  stats_ = {};
+  std::size_t workers = std::max<std::size_t>(config_.workers, 1);
+  for (AnalysisPass* p : passes_) p->prepare(workers);
+  if (workers <= 1) {
+    runSerial(reader);
+  } else {
+    runParallel(reader);
+  }
+  finalizeAll();
+  return stats_;
+}
+
+void AnalysisEngine::runSerial(TraceReader& reader) {
+  TraceBatch batch;
+  std::vector<std::uint64_t> shardRecords(1, 0);
+  while (reader.nextBatch(batch, config_.batchRecords)) {
+    ++stats_.batches;
+    stats_.records += batch.n;
+    if (batch.endedAtResync) {
+      ++stats_.resyncCuts;
+      resyncC_.inc();
+    }
+    shardRecords[0] += batch.n;
+    batchesC_.inc();
+    recordsC_.inc(batch.n);
+    for (std::size_t i = 0; i < passes_.size(); ++i) {
+      obs::TimerSpan span(passHist_[i]
+                              ? obs::HistogramHandle(*passHist_[i], 0)
+                              : obs::HistogramHandle());
+      passes_[i]->observe(batch, 0);
+    }
+  }
+  noteScanDone(shardRecords, reader);
+}
+
+void AnalysisEngine::runParallel(TraceReader& reader) {
+  const std::size_t workers = config_.workers;
+  const std::size_t poolSize = workers * config_.queueBatches + 1;
+
+  std::vector<std::unique_ptr<BatchSlot>> pool;
+  pool.reserve(poolSize);
+  for (std::size_t i = 0; i < poolSize; ++i) {
+    pool.push_back(std::make_unique<BatchSlot>());
+  }
+  std::vector<std::unique_ptr<SpscRing<BatchSlot*>>> rings;
+  rings.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    rings.push_back(
+        std::make_unique<SpscRing<BatchSlot*>>(config_.queueBatches));
+  }
+
+  std::vector<std::uint64_t> shardRecords(workers, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([this, w, workers, &rings] {
+      SpscRing<BatchSlot*>& ring = *rings[w];
+      for (;;) {
+        BatchSlot* slot = nullptr;
+        while (!ring.tryPop(slot)) std::this_thread::yield();
+        if (!slot) break;  // EOF sentinel
+        const TraceBatch& batch = slot->batch;
+        for (std::size_t i = 0; i < passes_.size(); ++i) {
+          AnalysisPass* pass = passes_[i];
+          bool mine = pass->mergeable()
+                          ? batch.seq % workers == w
+                          : i % workers == w;
+          if (!mine) continue;
+          obs::TimerSpan span(passHist_[i]
+                                  ? obs::HistogramHandle(*passHist_[i], w)
+                                  : obs::HistogramHandle());
+          pass->observe(batch, pass->mergeable() ? w : 0);
+        }
+        slot->refs.fetch_sub(1, std::memory_order_release);
+      }
+    });
+  }
+
+  // Reader loop: decode into a free pooled slot, then hand the same
+  // pointer to every worker (refcount = workers).
+  std::size_t scan = 0;
+  for (;;) {
+    BatchSlot* slot = nullptr;
+    for (;;) {
+      for (std::size_t tries = 0; tries < poolSize; ++tries) {
+        BatchSlot* cand = pool[scan].get();
+        scan = (scan + 1) % poolSize;
+        if (cand->refs.load(std::memory_order_acquire) == 0) {
+          slot = cand;
+          break;
+        }
+      }
+      if (slot) break;
+      std::this_thread::yield();
+    }
+    if (!reader.nextBatch(slot->batch, config_.batchRecords)) break;
+    ++stats_.batches;
+    stats_.records += slot->batch.n;
+    if (slot->batch.endedAtResync) {
+      ++stats_.resyncCuts;
+      resyncC_.inc();
+    }
+    shardRecords[slot->batch.seq % workers] += slot->batch.n;
+    batchesC_.inc();
+    recordsC_.inc(slot->batch.n);
+    slot->refs.store(static_cast<std::uint32_t>(workers),
+                     std::memory_order_relaxed);
+    for (std::size_t w = 0; w < workers; ++w) {
+      BatchSlot* p = slot;
+      while (!rings[w]->tryPush(p)) {
+        std::this_thread::yield();
+        p = slot;  // tryPush moves from its argument
+      }
+    }
+  }
+  for (std::size_t w = 0; w < workers; ++w) {
+    BatchSlot* sentinel = nullptr;
+    while (!rings[w]->tryPush(sentinel)) {
+      std::this_thread::yield();
+      sentinel = nullptr;
+    }
+  }
+  for (auto& t : threads) t.join();
+  noteScanDone(shardRecords, reader);
+}
+
+void AnalysisEngine::noteScanDone(
+    const std::vector<std::uint64_t>& shardRecords, TraceReader& reader) {
+  stats_.internedNames = reader.nameInterner().size();
+  stats_.internedHandles = reader.handleInterner().size();
+  internNamesG_.set(static_cast<double>(stats_.internedNames));
+  internHandlesG_.set(static_cast<double>(stats_.internedHandles));
+  if (stats_.internedNames + stats_.internedHandles >
+      config_.internHighWater) {
+    ++stats_.internHighWaterAlerts;
+    internHighC_.inc();
+  }
+  if (shardRecords.size() > 1) {
+    auto [mn, mx] = std::minmax_element(shardRecords.begin(),
+                                        shardRecords.end());
+    double low = static_cast<double>(std::max<std::uint64_t>(*mn, 1));
+    if (static_cast<double>(*mx) > config_.mergeSkewFactor * low) {
+      ++stats_.mergeSkewAlerts;
+      mergeSkewC_.inc();
+    }
+  }
+}
+
+void AnalysisEngine::finalizeAll() {
+  std::size_t workers = std::max<std::size_t>(config_.workers, 1);
+  if (workers <= 1 || passes_.size() <= 1) {
+    for (AnalysisPass* p : passes_) p->finalize();
+    return;
+  }
+  // Passes are independent after the scan; finalize them concurrently
+  // (work-stealing over an atomic index).
+  std::atomic<std::size_t> next{0};
+  auto drain = [this, &next] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= passes_.size()) break;
+      passes_[i]->finalize();
+    }
+  };
+  std::size_t n = std::min(workers, passes_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) threads.emplace_back(drain);
+  drain();
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,101 @@
+// Single-pass, multi-consumer, parallel analysis driver.
+//
+// Legacy analysis tooling scanned the trace once per analysis — eight
+// decodes of the same bytes for the standard table set.  The engine
+// decodes each batch exactly once and fans it out to every registered
+// AnalysisPass:
+//
+//   reader thread:  TraceReader::nextBatch -> refcounted batch slot
+//                   -> one pointer push per worker SPSC ring
+//   worker w:       mergeable passes   — observe(batch, w) iff
+//                                        batch.seq % workers == w
+//                   sequential passes  — pass p is pinned to worker
+//                                        p % workers and sees every batch
+//                                        in stream order
+//   finalize:       passes finalize in parallel; mergeable passes fold
+//                   their shards with exact (integer/min-max/union)
+//                   merges
+//
+// Determinism: batches are numbered by the reader, shard assignment is
+// seq % workers, and every merge is exact — so results are byte-identical
+// to the serial path at any worker count (pinned in tests/engine_test).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/engine/pass.hpp"
+#include "obs/metrics.hpp"
+#include "trace/tracefile.hpp"
+
+namespace nfstrace {
+
+class AnalysisEngine {
+ public:
+  struct Config {
+    /// Worker threads; 0 or 1 runs the scan inline (no threads).
+    std::size_t workers = 1;
+    /// Records per batch.
+    std::size_t batchRecords = TraceBatch::kDefaultCapacity;
+    /// In-flight batches per worker ring; the pool holds
+    /// workers * queueBatches + 1 slots.
+    std::size_t queueBatches = 8;
+    /// Alert when the interners grow past this many ids combined
+    /// (engine.intern_high_water) — a runaway namespace or a corrupt
+    /// trace interning garbage.
+    std::size_t internHighWater = 1u << 20;
+    /// Alert (engine.merge_skew) when the busiest mergeable shard saw
+    /// more than this factor times the records of the laziest: the
+    /// deterministic seq % workers deal went pathological.
+    double mergeSkewFactor = 8.0;
+  };
+
+  struct Stats {
+    std::uint64_t batches = 0;
+    std::uint64_t records = 0;
+    std::uint64_t resyncCuts = 0;  // batches cut at a recovery resync
+    std::size_t internedNames = 0;
+    std::size_t internedHandles = 0;
+    std::uint64_t mergeSkewAlerts = 0;
+    std::uint64_t internHighWaterAlerts = 0;
+  };
+
+  AnalysisEngine();
+  explicit AnalysisEngine(const Config& config);
+
+  /// Register a pass (not owned; must outlive run()).
+  void addPass(AnalysisPass* pass);
+  void addPasses(const std::vector<AnalysisPass*>& passes);
+
+  /// Bind self-monitoring: batch/record counters, intern-table gauges,
+  /// per-pass observe-ns histograms, and the two alert counters.  Call
+  /// after the passes are registered.
+  void attachMetrics(obs::Registry& registry);
+
+  /// Drive every pass over the reader's stream in one scan (prepare ->
+  /// observe* -> finalize).  Reusable: each call re-prepares the passes.
+  const Stats& run(TraceReader& reader);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void runSerial(TraceReader& reader);
+  void runParallel(TraceReader& reader);
+  void finalizeAll();
+  void noteScanDone(const std::vector<std::uint64_t>& shardRecords,
+                    TraceReader& reader);
+
+  Config config_;
+  std::vector<AnalysisPass*> passes_;
+  Stats stats_;
+  obs::CounterHandle batchesC_;
+  obs::CounterHandle recordsC_;
+  obs::CounterHandle resyncC_;
+  obs::CounterHandle mergeSkewC_;
+  obs::CounterHandle internHighC_;
+  obs::GaugeHandle internNamesG_;
+  obs::GaugeHandle internHandlesG_;
+  std::vector<obs::Histogram*> passHist_;  // parallel to passes_
+};
+
+}  // namespace nfstrace

@@ -1,0 +1,45 @@
+// The analysis engine's consumer interface (DESIGN.md, "Analysis
+// engine").
+//
+// A pass receives the trace as a stream of TraceBatches and must produce
+// results *identical* to running its legacy whole-vector analysis over
+// the same records.  Two contracts are offered:
+//
+//  * mergeable() == true — the pass keeps one state shard per worker;
+//    observe(batch, shard) accumulates into that shard only, and
+//    finalize() folds the shards together.  Legal only when the fold is
+//    exact (integer sums, min/max, unions), so the merged result is
+//    byte-identical to serial accumulation at any worker count.
+//  * mergeable() == false — the pass keeps a single state; the engine
+//    pins it to one worker and guarantees observe() sees every batch in
+//    stream order (shard is always 0).  Order-dependent analyses
+//    (run detection, hierarchy reconstruction) use this contract.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "trace/batch.hpp"
+
+namespace nfstrace {
+
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+
+  /// Stable identifier, used for metric names (`engine.pass.<name>.*`).
+  virtual std::string_view name() const = 0;
+  /// See the contracts above.
+  virtual bool mergeable() const = 0;
+  /// Called once before the scan with the worker count; mergeable passes
+  /// allocate `shards` independent states, sequential passes one.
+  virtual void prepare(std::size_t shards) = 0;
+  /// Consume one batch.  `shard` is the state index for mergeable
+  /// passes; always 0 for sequential passes.
+  virtual void observe(const TraceBatch& batch, std::size_t shard) = 0;
+  /// Close the analysis: merge shards, replay deferred work, compute
+  /// derived tables.  Called once after the scan completes.
+  virtual void finalize() = 0;
+};
+
+}  // namespace nfstrace

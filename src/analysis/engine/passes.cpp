@@ -1,0 +1,260 @@
+#include "analysis/engine/passes.hpp"
+
+#include <algorithm>
+
+namespace nfstrace {
+namespace {
+
+/// The only records the reorder/runs analyses derive anything from
+/// (everything else passes through their legacy implementations
+/// untouched, so buffering just these reproduces their results exactly).
+bool isDataAccess(const TraceRecord& rec) {
+  return (rec.op == NfsOp::Read || rec.op == NfsOp::Write) && rec.fh.len > 0;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- mergeable
+
+void SummaryPass::prepare(std::size_t shards) {
+  shards_.assign(shards ? shards : 1, {});
+  result_ = {};
+}
+
+void SummaryPass::observe(const TraceBatch& batch, std::size_t shard) {
+  TraceSummary& s = shards_[shard].s;
+  for (std::size_t i = 0; i < batch.n; ++i) {
+    summaryObserve(s, batch.records[i]);
+  }
+}
+
+void SummaryPass::finalize() {
+  result_ = {};
+  for (const Shard& sh : shards_) summaryMerge(result_, sh.s);
+}
+
+void HourlyPass::prepare(std::size_t shards) {
+  shards_.assign(shards ? shards : 1, {});
+  result_ = {};
+}
+
+void HourlyPass::observe(const TraceBatch& batch, std::size_t shard) {
+  HourlyStats& s = shards_[shard].s;
+  for (std::size_t i = 0; i < batch.n; ++i) s.observe(batch.records[i]);
+}
+
+void HourlyPass::finalize() {
+  result_ = {};
+  for (const Shard& sh : shards_) result_.merge(sh.s);
+}
+
+void UsersPass::prepare(std::size_t shards) {
+  shards_.assign(shards ? shards : 1, {});
+  result_ = {};
+}
+
+void UsersPass::observe(const TraceBatch& batch, std::size_t shard) {
+  UserStats& s = shards_[shard].s;
+  for (std::size_t i = 0; i < batch.n; ++i) s.observe(batch.records[i]);
+}
+
+void UsersPass::finalize() {
+  result_ = {};
+  for (const Shard& sh : shards_) result_.merge(sh.s);
+}
+
+// ---------------------------------------------------------- sequential
+
+ReorderPass::ReorderPass(std::vector<MicroTime> sweepWindows)
+    : sweepWindows_(std::move(sweepWindows)) {}
+
+void ReorderPass::prepare(std::size_t) {
+  accesses_.clear();
+  sweep_.clear();
+}
+
+void ReorderPass::observe(const TraceBatch& batch, std::size_t) {
+  for (std::size_t i = 0; i < batch.n; ++i) {
+    if (isDataAccess(batch.records[i])) {
+      accesses_.push_back(batch.records[i]);
+    }
+  }
+}
+
+void ReorderPass::finalize() {
+  sweep_ = sweepReorderWindows(accesses_, sweepWindows_);
+  accesses_.clear();
+  accesses_.shrink_to_fit();
+}
+
+RunsPass::RunsPass(MicroTime reorderWindowUs)
+    : reorderWindowUs_(reorderWindowUs) {}
+
+void RunsPass::prepare(std::size_t) {
+  accesses_.clear();
+  runs_.clear();
+}
+
+void RunsPass::observe(const TraceBatch& batch, std::size_t) {
+  for (std::size_t i = 0; i < batch.n; ++i) {
+    if (isDataAccess(batch.records[i])) {
+      accesses_.push_back(batch.records[i]);
+    }
+  }
+}
+
+void RunsPass::finalize() {
+  // Identical to the legacy whole-trace path: stable-sorting and
+  // window-rotating the data-access subsequence yields the same relative
+  // order those records have after sorting the full trace (stable sort
+  // preserves subsequence order; non-accesses never move relative to
+  // them in any way detectRuns can see, since it skips them).
+  auto sorted = sortWithReorderWindow(accesses_, reorderWindowUs_);
+  swappedFraction_ = sorted.swappedFraction();
+  runs_ = detectRuns(sorted.records);
+  patterns_ = summarizeRunPatterns(runs_);
+  bytesBySize_ = bytesByFileSize(runs_);
+  readSeq_ = sequentialityBySize(runs_, /*writesOnly=*/false,
+                                 /*readsOnly=*/true);
+  writeSeq_ = sequentialityBySize(runs_, /*writesOnly=*/true,
+                                  /*readsOnly=*/false);
+  accesses_.clear();
+  accesses_.shrink_to_fit();
+}
+
+void BlockLifePass::prepare(std::size_t) {
+  compact_.clear();
+  names_ = nullptr;
+  handles_ = nullptr;
+  sawAny_ = false;
+  stats_ = {};
+  lifetimes_ = {};
+}
+
+void BlockLifePass::observe(const TraceBatch& batch, std::size_t) {
+  names_ = batch.nameInterner;
+  handles_ = batch.handleInterner;
+  for (std::size_t i = 0; i < batch.n; ++i) {
+    const TraceRecord& r = batch.records[i];
+    if (!sawAny_) {
+      firstTs_ = lastTs_ = r.ts;
+      sawAny_ = true;
+    } else {
+      firstTs_ = std::min(firstTs_, r.ts);
+      lastTs_ = std::max(lastTs_, r.ts);
+    }
+    CompactRecord c;
+    c.ts = r.ts;
+    c.replyTs = r.replyTs;
+    c.client = r.client;
+    c.server = r.server;
+    c.xid = r.xid;
+    c.offset = r.offset;
+    c.fileSize = r.fileSize;
+    c.fileId = r.fileId;
+    c.preSize = r.preSize;
+    c.fileMtime = r.fileMtime;
+    c.preMtime = r.preMtime;
+    c.uid = r.uid;
+    c.gid = r.gid;
+    c.count = r.count;
+    c.retCount = r.retCount;
+    c.fhId = batch.fhId[i];
+    c.fh2Id = batch.fh2Id[i];
+    c.resFhId = batch.resFhId[i];
+    c.nameId = batch.nameId[i];
+    c.name2Id = batch.name2Id[i];
+    c.op = r.op;
+    c.status = r.status;
+    c.ftype = r.ftype;
+    c.vers = r.vers;
+    c.overTcp = r.overTcp;
+    c.hasReply = r.hasReply;
+    c.eof = r.eof;
+    c.hasResFh = r.hasResFh;
+    c.hasAttrs = r.hasAttrs;
+    c.hasPre = r.hasPre;
+    compact_.push_back(c);
+  }
+}
+
+void BlockLifePass::finalize() {
+  if (!sawAny_) {
+    stats_ = {};
+    return;
+  }
+  // The same phase split trace_stats always used: phase 1 is the first
+  // half of the trace span, phase 2 (the end margin) the second half.
+  BlockLifeConfig cfg;
+  cfg.phase1Start = firstTs_;
+  cfg.phase1Length = std::max<MicroTime>((lastTs_ - firstTs_) / 2, 1);
+  cfg.phase2Length = cfg.phase1Length;
+  BlockLifeAnalyzer analyzer(cfg);
+
+  auto fhFromId = [&](std::uint32_t id) {
+    std::string_view v = handles_->view(id);
+    return FileHandle::fromBytes(
+        {reinterpret_cast<const std::uint8_t*>(v.data()), v.size()});
+  };
+  // Replay through one reused record; the string fields keep their
+  // capacity, so the whole replay allocates nothing per record.
+  TraceRecord r;
+  for (const CompactRecord& c : compact_) {
+    r.ts = c.ts;
+    r.replyTs = c.replyTs;
+    r.client = c.client;
+    r.server = c.server;
+    r.xid = c.xid;
+    r.vers = c.vers;
+    r.overTcp = c.overTcp;
+    r.op = c.op;
+    r.uid = c.uid;
+    r.gid = c.gid;
+    r.fh = fhFromId(c.fhId);
+    r.name.assign(names_->view(c.nameId));
+    r.name2.assign(names_->view(c.name2Id));
+    r.fh2 = fhFromId(c.fh2Id);
+    r.offset = c.offset;
+    r.count = c.count;
+    r.hasReply = c.hasReply;
+    r.status = c.status;
+    r.retCount = c.retCount;
+    r.eof = c.eof;
+    r.resFh = fhFromId(c.resFhId);
+    r.hasResFh = c.hasResFh;
+    r.hasAttrs = c.hasAttrs;
+    r.ftype = c.ftype;
+    r.fileSize = c.fileSize;
+    r.fileMtime = c.fileMtime;
+    r.fileId = c.fileId;
+    r.hasPre = c.hasPre;
+    r.preSize = c.preSize;
+    r.preMtime = c.preMtime;
+    analyzer.observe(r);
+  }
+  analyzer.finish();
+  stats_ = analyzer.stats();
+  lifetimes_ = analyzer.lifetimes();
+  compact_.clear();
+  compact_.shrink_to_fit();
+}
+
+void NamesPass::prepare(std::size_t) { census_ = {}; }
+
+void NamesPass::observe(const TraceBatch& batch, std::size_t) {
+  for (std::size_t i = 0; i < batch.n; ++i) census_.observe(batch.records[i]);
+}
+
+void NamesPass::finalize() { census_.finish(); }
+
+void PathRecPass::prepare(std::size_t) { pathrec_ = {}; }
+
+void PathRecPass::observe(const TraceBatch& batch, std::size_t) {
+  for (std::size_t i = 0; i < batch.n; ++i) {
+    pathrec_.observe(batch.records[i]);
+  }
+}
+
+void PathRecPass::finalize() {}
+
+}  // namespace nfstrace

@@ -1,0 +1,233 @@
+// The eight standard analyses as engine passes: one scan of the trace
+// feeds every table and figure the repo produces.
+//
+// Mergeable (per-worker shards, exact fold at finalize):
+//   summary, hourly, users — pure integer accumulation.
+//
+// Sequential (single state, sees every batch in stream order):
+//   reorder, runs   — buffer only the READ/WRITE data accesses (the only
+//                     records those analyses derive anything from; the
+//                     legacy functions pass everything else through) and
+//                     run the legacy algorithms at finalize, so results
+//                     are bit-identical to the whole-vector path;
+//   blocklife       — needs the trace's time span before it can observe
+//                     (phase boundaries), so records are deferred as
+//                     CompactRecords — every string/handle replaced by
+//                     its interned 32-bit id, ~1/3 the footprint of a
+//                     TraceRecord and zero heap per record — and
+//                     replayed at finalize;
+//   names, pathrec  — incremental order-dependent observers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/blocklife.hpp"
+#include "analysis/engine/pass.hpp"
+#include "analysis/hourly.hpp"
+#include "analysis/names.hpp"
+#include "analysis/pathrec.hpp"
+#include "analysis/reorder.hpp"
+#include "analysis/runs.hpp"
+#include "analysis/summary.hpp"
+#include "analysis/users.hpp"
+
+namespace nfstrace {
+
+// ----------------------------------------------------------- mergeable
+
+class SummaryPass final : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "summary"; }
+  bool mergeable() const override { return true; }
+  void prepare(std::size_t shards) override;
+  void observe(const TraceBatch& batch, std::size_t shard) override;
+  void finalize() override;
+  const TraceSummary& result() const { return result_; }
+
+ private:
+  struct alignas(64) Shard {
+    TraceSummary s;
+  };
+  std::vector<Shard> shards_;
+  TraceSummary result_;
+};
+
+class HourlyPass final : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "hourly"; }
+  bool mergeable() const override { return true; }
+  void prepare(std::size_t shards) override;
+  void observe(const TraceBatch& batch, std::size_t shard) override;
+  void finalize() override;
+  const HourlyStats& result() const { return result_; }
+
+ private:
+  struct alignas(64) Shard {
+    HourlyStats s;
+  };
+  std::vector<Shard> shards_;
+  HourlyStats result_;
+};
+
+class UsersPass final : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "users"; }
+  bool mergeable() const override { return true; }
+  void prepare(std::size_t shards) override;
+  void observe(const TraceBatch& batch, std::size_t shard) override;
+  void finalize() override;
+  const UserStats& result() const { return result_; }
+
+ private:
+  struct alignas(64) Shard {
+    UserStats s;
+  };
+  std::vector<Shard> shards_;
+  UserStats result_;
+};
+
+// ---------------------------------------------------------- sequential
+
+/// Figure 1: reorder-window sweep (fraction of accesses swapped per
+/// window size).
+class ReorderPass final : public AnalysisPass {
+ public:
+  explicit ReorderPass(std::vector<MicroTime> sweepWindows = {
+                           0, 1'000, 5'000, 10'000, 50'000, 100'000,
+                           1'000'000});
+  std::string_view name() const override { return "reorder"; }
+  bool mergeable() const override { return false; }
+  void prepare(std::size_t shards) override;
+  void observe(const TraceBatch& batch, std::size_t shard) override;
+  void finalize() override;
+  const std::vector<std::pair<MicroTime, double>>& sweep() const {
+    return sweep_;
+  }
+
+ private:
+  std::vector<MicroTime> sweepWindows_;
+  std::vector<TraceRecord> accesses_;
+  std::vector<std::pair<MicroTime, double>> sweep_;
+};
+
+/// Table 3 / Figures 2 and 5: reorder-sorted run detection, pattern
+/// classification, and the size-bucketed aggregates.
+class RunsPass final : public AnalysisPass {
+ public:
+  explicit RunsPass(MicroTime reorderWindowUs = 10'000);
+  std::string_view name() const override { return "runs"; }
+  bool mergeable() const override { return false; }
+  void prepare(std::size_t shards) override;
+  void observe(const TraceBatch& batch, std::size_t shard) override;
+  void finalize() override;
+
+  const std::vector<Run>& runs() const { return runs_; }
+  const RunPatternSummary& patterns() const { return patterns_; }
+  double reorderSwappedFraction() const { return swappedFraction_; }
+  const SizeBucketedBytes& bytesBySize() const { return bytesBySize_; }
+  const SeqMetricBySize& readSeqBySize() const { return readSeq_; }
+  const SeqMetricBySize& writeSeqBySize() const { return writeSeq_; }
+
+ private:
+  MicroTime reorderWindowUs_;
+  std::vector<TraceRecord> accesses_;
+  std::vector<Run> runs_;
+  RunPatternSummary patterns_;
+  double swappedFraction_ = 0.0;
+  SizeBucketedBytes bytesBySize_;
+  SeqMetricBySize readSeq_, writeSeq_;
+};
+
+/// Table 4 / Figure 3: block birth/death accounting.  The phase
+/// boundaries depend on the trace's span, so records are compacted
+/// (interned ids instead of strings/handles) and replayed at finalize.
+class BlockLifePass final : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "blocklife"; }
+  bool mergeable() const override { return false; }
+  void prepare(std::size_t shards) override;
+  void observe(const TraceBatch& batch, std::size_t shard) override;
+  void finalize() override;
+
+  const BlockLifeStats& stats() const { return stats_; }
+  const EmpiricalCdf& lifetimes() const { return lifetimes_; }
+  std::size_t deferredRecords() const { return compact_.size(); }
+
+ private:
+  /// A TraceRecord with every variable-length field interned: flat,
+  /// trivially copyable, no heap.
+  struct CompactRecord {
+    MicroTime ts = 0, replyTs = 0;
+    IpAddr client = 0, server = 0;
+    std::uint32_t xid = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t fileSize = 0, fileId = 0, preSize = 0;
+    MicroTime fileMtime = 0, preMtime = 0;
+    std::uint32_t uid = 0, gid = 0, count = 0, retCount = 0;
+    std::uint32_t fhId = 0, fh2Id = 0, resFhId = 0, nameId = 0,
+                  name2Id = 0;
+    NfsOp op = NfsOp::Unknown;
+    NfsStat status = NfsStat::Ok;
+    FileType ftype = FileType::Regular;
+    std::uint8_t vers = 3;
+    bool overTcp = false, hasReply = false, eof = false, hasResFh = false,
+         hasAttrs = false, hasPre = false;
+  };
+
+  std::vector<CompactRecord> compact_;
+  const StringInterner* names_ = nullptr;
+  const StringInterner* handles_ = nullptr;
+  MicroTime firstTs_ = 0, lastTs_ = 0;
+  bool sawAny_ = false;
+  BlockLifeStats stats_;
+  EmpiricalCdf lifetimes_;
+};
+
+/// §6.3: file churn census by name category.
+class NamesPass final : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "names"; }
+  bool mergeable() const override { return false; }
+  void prepare(std::size_t shards) override;
+  void observe(const TraceBatch& batch, std::size_t shard) override;
+  void finalize() override;
+  const FileLifeCensus& census() const { return census_; }
+
+ private:
+  FileLifeCensus census_;
+};
+
+/// §4.1.1: hierarchy reconstruction coverage.
+class PathRecPass final : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "pathrec"; }
+  bool mergeable() const override { return false; }
+  void prepare(std::size_t shards) override;
+  void observe(const TraceBatch& batch, std::size_t shard) override;
+  void finalize() override;
+  const PathReconstructor& reconstructor() const { return pathrec_; }
+
+ private:
+  PathReconstructor pathrec_;
+};
+
+/// The full standard bundle, in a fixed order (the order also spreads
+/// sequential passes round-robin across workers).
+struct StandardAnalyses {
+  SummaryPass summary;
+  HourlyPass hourly;
+  UsersPass users;
+  ReorderPass reorder;
+  RunsPass runs;
+  BlockLifePass blocklife;
+  NamesPass names;
+  PathRecPass pathrec;
+
+  std::vector<AnalysisPass*> all() {
+    return {&summary, &hourly, &users,     &reorder,
+            &runs,    &names,  &blocklife, &pathrec};
+  }
+};
+
+}  // namespace nfstrace

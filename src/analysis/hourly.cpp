@@ -19,6 +19,22 @@ void HourlyStats::observe(const TraceRecord& rec) {
   }
 }
 
+void HourlyStats::merge(const HourlyStats& other) {
+  if (other.hours_.size() > hours_.size()) {
+    hours_.resize(other.hours_.size());
+  }
+  for (std::size_t h = 0; h < other.hours_.size(); ++h) {
+    const HourBucket& from = other.hours_[h];
+    HourBucket& into = hours_[h];
+    into.totalOps += from.totalOps;
+    into.readOps += from.readOps;
+    into.writeOps += from.writeOps;
+    into.metadataOps += from.metadataOps;
+    into.bytesRead += from.bytesRead;
+    into.bytesWritten += from.bytesWritten;
+  }
+}
+
 HourlyStats::VarianceRow HourlyStats::accumulate(bool peakOnly) const {
   VarianceRow row;
   for (std::size_t h = 0; h < hours_.size(); ++h) {

@@ -35,6 +35,10 @@ class HourlyStats {
  public:
   void observe(const TraceRecord& rec);
 
+  /// Fold another partial into this one (bucket-wise sums), so sharded
+  /// accumulation merges to exactly the serial result.
+  void merge(const HourlyStats& other);
+
   /// Buckets indexed by absolute hour since the simulation epoch.
   const std::vector<HourBucket>& hours() const { return hours_; }
 

@@ -2,33 +2,54 @@
 
 namespace nfstrace {
 
+void summaryObserve(TraceSummary& s, const TraceRecord& rec) {
+  if (s.totalOps == 0) {
+    s.firstTs = s.lastTs = rec.ts;
+  } else {
+    s.firstTs = std::min(s.firstTs, rec.ts);
+    s.lastTs = std::max(s.lastTs, rec.ts);
+  }
+  ++s.totalOps;
+  s.opCounts[static_cast<std::size_t>(rec.op)]++;
+  if (!rec.hasReply) ++s.repliesMissing;
+  if (rec.op == NfsOp::Read) {
+    ++s.readOps;
+    ++s.dataOps;
+    s.bytesRead += rec.hasReply ? rec.retCount : rec.count;
+  } else if (rec.op == NfsOp::Write) {
+    ++s.writeOps;
+    ++s.dataOps;
+    s.bytesWritten += rec.hasReply && rec.retCount ? rec.retCount
+                                                   : rec.count;
+  } else {
+    ++s.metadataOps;
+  }
+}
+
+void summaryMerge(TraceSummary& into, const TraceSummary& from) {
+  if (from.totalOps == 0) return;
+  if (into.totalOps == 0) {
+    into = from;
+    return;
+  }
+  into.firstTs = std::min(into.firstTs, from.firstTs);
+  into.lastTs = std::max(into.lastTs, from.lastTs);
+  into.totalOps += from.totalOps;
+  for (std::size_t i = 0; i < kNfsOpCount; ++i) {
+    into.opCounts[i] += from.opCounts[i];
+  }
+  into.readOps += from.readOps;
+  into.writeOps += from.writeOps;
+  into.bytesRead += from.bytesRead;
+  into.bytesWritten += from.bytesWritten;
+  into.dataOps += from.dataOps;
+  into.metadataOps += from.metadataOps;
+  into.repliesMissing += from.repliesMissing;
+}
+
 TraceSummary summarize(const std::vector<TraceRecord>& records) {
   TraceSummary s;
-  bool first = true;
-  for (const auto& rec : records) {
-    ++s.totalOps;
-    s.opCounts[static_cast<std::size_t>(rec.op)]++;
-    if (first) {
-      s.firstTs = s.lastTs = rec.ts;
-      first = false;
-    } else {
-      s.firstTs = std::min(s.firstTs, rec.ts);
-      s.lastTs = std::max(s.lastTs, rec.ts);
-    }
-    if (!rec.hasReply) ++s.repliesMissing;
-    if (rec.op == NfsOp::Read) {
-      ++s.readOps;
-      ++s.dataOps;
-      s.bytesRead += rec.hasReply ? rec.retCount : rec.count;
-    } else if (rec.op == NfsOp::Write) {
-      ++s.writeOps;
-      ++s.dataOps;
-      s.bytesWritten += rec.hasReply && rec.retCount ? rec.retCount
-                                                      : rec.count;
-    } else {
-      ++s.metadataOps;
-    }
-  }
+  for (const auto& rec : records) summaryObserve(s, rec);
   return s;
 }
 

@@ -48,4 +48,11 @@ struct TraceSummary {
 
 TraceSummary summarize(const std::vector<TraceRecord>& records);
 
+/// Incremental accumulation (the engine's single-pass path).  An empty
+/// summary (totalOps == 0) is a valid identity element for merging.
+void summaryObserve(TraceSummary& s, const TraceRecord& rec);
+/// Fold `from` into `into`; order-independent for commutative fields and
+/// min/max for the timestamp span, so sharded partials merge exactly.
+void summaryMerge(TraceSummary& into, const TraceSummary& from);
+
 }  // namespace nfstrace

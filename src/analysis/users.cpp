@@ -29,6 +29,31 @@ void UserStats::observe(const TraceRecord& rec) {
   }
 }
 
+void UserStats::merge(const UserStats& other) {
+  for (const auto& [uid, ost] : other.users_) {
+    auto [it, inserted] = users_.try_emplace(uid);
+    State& st = it->second;
+    if (inserted) {
+      st = ost;
+      continue;
+    }
+    UserActivity& a = st.activity;
+    const UserActivity& b = ost.activity;
+    a.totalOps += b.totalOps;
+    a.readOps += b.readOps;
+    a.writeOps += b.writeOps;
+    a.bytesRead += b.bytesRead;
+    a.bytesWritten += b.bytesWritten;
+    a.firstSeen = std::min(a.firstSeen, b.firstSeen);
+    a.lastSeen = std::max(a.lastSeen, b.lastSeen);
+    for (const auto& [hour, seen] : ost.hoursSeen) {
+      st.hoursSeen.emplace(hour, seen);
+    }
+    a.activeHours = static_cast<std::uint32_t>(st.hoursSeen.size());
+  }
+  totalOps_ += other.totalOps_;
+}
+
 std::vector<UserActivity> UserStats::byActivity() const {
   std::vector<UserActivity> out;
   out.reserve(users_.size());

@@ -5,6 +5,25 @@
 
 namespace nfstrace::obs {
 
+std::vector<std::string> defaultAlertCounters() {
+  return {
+      "netcap.mirror_dropped",
+      "sniffer.evicted_calls",
+      "sniffer.evicted_flows",
+      "sniffer.malformed_rpc",
+      "sniffer.orphan_replies",
+      "pipeline.frames_shed",
+      "pipeline.pop_stalls",
+      "pipeline.push_stalls",
+      "pipeline.record_push_stalls",
+      "trace.write_retries",
+      "trace.short_writes",
+      "engine.resync_cuts",
+      "engine.merge_skew",
+      "engine.intern_high_water",
+  };
+}
+
 SnapshotExporter::SnapshotExporter(Registry& registry, Config config)
     : registry_(registry),
       config_(std::move(config)),

@@ -26,6 +26,14 @@
 
 namespace nfstrace::obs {
 
+/// The standard degradation watch-list: every counter in the repo that is
+/// zero in a healthy run, across capture (mirror drops, evictions,
+/// malformed RPCs), the pipeline (sheds, stalls), the trace writer
+/// (retries, short writes), and the analysis engine (merge skew,
+/// intern-table high water).  Pass as Config::alertCounters so a soak
+/// over any subset of the system reports degradation the same way.
+std::vector<std::string> defaultAlertCounters();
+
 class SnapshotExporter {
  public:
   struct Config {

@@ -1,0 +1,49 @@
+// Batched trace decode (the analysis engine's unit of work).
+//
+// TraceReader::nextBatch() decodes up to `TraceBatch::capacity` records
+// into a caller-owned batch whose record slots are reused from fill to
+// fill, so the steady-state decode loop performs no per-record heap
+// allocation: string fields reuse their capacity and every path / file
+// handle is additionally interned into dense 32-bit ids (parallel arrays
+// alongside the records).  The interners are owned by the reader and
+// shared by every batch it fills; ids are assigned in first-appearance
+// order, making them deterministic for a given trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/interner.hpp"
+
+namespace nfstrace {
+
+struct TraceBatch {
+  /// Default batch size: large enough to amortize refill/queue costs,
+  /// small enough that a handful of in-flight batches stay cache-warm.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Sequence number of this batch within the reader's stream (0-based).
+  std::uint64_t seq = 0;
+  /// Number of valid records; `records[0..n)` and the id arrays are live.
+  std::size_t n = 0;
+  /// Record slots (capacity-reused across fills; only [0, n) is valid).
+  std::vector<TraceRecord> records;
+  /// Interned ids, parallel to `records`: handles in `handles()`,
+  /// names in `names()`.
+  std::vector<std::uint32_t> fhId, fh2Id, resFhId;
+  std::vector<std::uint32_t> nameId, name2Id;
+  /// True when the batch was cut short because the reader resynchronized
+  /// past a corrupt region (recover mode): a batch never straddles one.
+  bool endedAtResync = false;
+
+  /// Interner for name/name2 strings (set by the reader; reader-owned).
+  const StringInterner* nameInterner = nullptr;
+  /// Interner for file-handle bytes (set by the reader; reader-owned).
+  const StringInterner* handleInterner = nullptr;
+
+  std::size_t size() const { return n; }
+  bool empty() const { return n == 0; }
+};
+
+}  // namespace nfstrace

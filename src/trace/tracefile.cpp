@@ -7,7 +7,9 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 
 #include "fault/fault.hpp"
@@ -36,8 +38,8 @@ void appendEncodedField(std::string& out, const std::string& s) {
   }
 }
 
-std::string decodeField(std::string_view s) {
-  std::string out;
+void decodeFieldInto(std::string_view s, std::string& out) {
+  out.clear();
   out.reserve(s.size());
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (s[i] == '%' && i + 2 < s.size()) {
@@ -56,7 +58,6 @@ std::string decodeField(std::string_view s) {
     }
     out.push_back(s[i]);
   }
-  return out;
 }
 
 void appendUint(std::string& out, std::uint64_t v) {
@@ -102,15 +103,45 @@ void appendFhHex(std::string& out, const FileHandle& fh) {
 }
 
 MicroTime parseTimeField(std::string_view v) {
+  // Allocation-free: seconds via from_chars, the fraction digit by digit
+  // (a short fraction scales up, "5" -> 500000, as if zero-padded to six).
   auto dot = v.find('.');
   std::int64_t sec = 0, usec = 0;
-  sec = std::strtoll(std::string(v.substr(0, dot)).c_str(), nullptr, 10);
+  const char* secEnd =
+      v.data() + (dot == std::string_view::npos ? v.size() : dot);
+  std::from_chars(v.data(), secEnd, sec);
   if (dot != std::string_view::npos) {
-    std::string frac(v.substr(dot + 1));
-    frac.resize(6, '0');
-    usec = std::strtoll(frac.c_str(), nullptr, 10);
+    std::string_view frac = v.substr(dot + 1);
+    std::size_t i = 0;
+    for (; i < frac.size() && i < 6; ++i) {
+      char c = frac[i];
+      if (c < '0' || c > '9') break;
+      usec = usec * 10 + (c - '0');
+    }
+    bool hitNonDigit = i < frac.size() && i < 6;
+    if (!hitNonDigit) {
+      for (std::size_t j = frac.size(); j < 6; ++j) usec *= 10;
+    }
   }
   return sec * kMicrosPerSecond + usec;
+}
+
+std::uint64_t parseU64(std::string_view v, int base = 10) {
+  std::uint64_t out = 0;
+  std::from_chars(v.data(), v.data() + v.size(), out, base);
+  return out;
+}
+
+/// Reset a record to default values while keeping the heap capacity of
+/// its string fields, so a reused parse slot allocates nothing.
+void resetRecordKeepCapacity(TraceRecord& rec) {
+  std::string name = std::move(rec.name);
+  std::string name2 = std::move(rec.name2);
+  name.clear();
+  name2.clear();
+  rec = TraceRecord{};
+  rec.name = std::move(name);
+  rec.name2 = std::move(name2);
 }
 
 }  // namespace
@@ -199,16 +230,21 @@ std::string formatRecord(const TraceRecord& rec) {
   return out;
 }
 
-std::optional<TraceRecord> parseRecord(const std::string& line) {
-  if (line.empty() || line[0] == '#') return std::nullopt;
-  TraceRecord rec;
+bool parseRecordInto(std::string_view line, TraceRecord& rec) {
+  if (line.empty() || line[0] == '#') return false;
+  resetRecordKeepCapacity(rec);
   bool sawTime = false;
-  for (const auto& tok : split(line, ' ')) {
+  std::size_t at = 0;
+  while (at <= line.size()) {
+    std::size_t sp = line.find(' ', at);
+    std::size_t tokEnd = sp == std::string_view::npos ? line.size() : sp;
+    std::string_view tok = line.substr(at, tokEnd - at);
+    at = sp == std::string_view::npos ? line.size() + 1 : sp + 1;
     if (tok.empty()) continue;
     auto eq = tok.find('=');
-    if (eq == std::string::npos) continue;
-    std::string_view key(tok.data(), eq);
-    std::string_view val(tok.data() + eq + 1, tok.size() - eq - 1);
+    if (eq == std::string_view::npos) continue;
+    std::string_view key = tok.substr(0, eq);
+    std::string_view val = tok.substr(eq + 1);
     if (key == "t") {
       rec.ts = parseTimeField(val);
       sawTime = true;
@@ -224,30 +260,29 @@ std::optional<TraceRecord> parseRecord(const std::string& line) {
       if (!ip) throw std::runtime_error("trace: bad server ip");
       rec.server = *ip;
     } else if (key == "xid") {
-      rec.xid = static_cast<std::uint32_t>(
-          std::strtoul(std::string(val).c_str(), nullptr, 16));
+      rec.xid = static_cast<std::uint32_t>(parseU64(val, 16));
     } else if (key == "v") {
-      rec.vers = static_cast<std::uint8_t>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+      rec.vers = static_cast<std::uint8_t>(parseU64(val));
     } else if (key == "p") {
       rec.overTcp = val == "tcp";
     } else if (key == "op") {
       rec.op = nfsOpFromName(val);
     } else if (key == "uid") {
-      rec.uid = static_cast<std::uint32_t>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+      rec.uid = static_cast<std::uint32_t>(parseU64(val));
     } else if (key == "gid") {
-      rec.gid = static_cast<std::uint32_t>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+      rec.gid = static_cast<std::uint32_t>(parseU64(val));
     } else if (key == "fh") {
       rec.fh = FileHandle::fromHex(val);
     } else if (key == "nm") {
-      rec.name = decodeField(val);
+      decodeFieldInto(val, rec.name);
     } else if (key == "nm2") {
-      rec.name2 = decodeField(val);
+      decodeFieldInto(val, rec.name2);
     } else if (key == "fh2") {
       rec.fh2 = FileHandle::fromHex(val);
     } else if (key == "off") {
-      rec.offset = std::strtoull(std::string(val).c_str(), nullptr, 10);
+      rec.offset = parseU64(val);
     } else if (key == "cnt") {
-      rec.count = static_cast<std::uint32_t>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+      rec.count = static_cast<std::uint32_t>(parseU64(val));
     } else if (key == "st") {
       // Match by name; unknown statuses parse as ServerFault.
       rec.status = NfsStat::ErrServerFault;
@@ -264,25 +299,25 @@ std::optional<TraceRecord> parseRecord(const std::string& line) {
         }
       }
     } else if (key == "ret") {
-      rec.retCount = static_cast<std::uint32_t>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+      rec.retCount = static_cast<std::uint32_t>(parseU64(val));
     } else if (key == "eof") {
       rec.eof = val == "1";
     } else if (key == "rfh") {
       rec.resFh = FileHandle::fromHex(val);
       rec.hasResFh = true;
     } else if (key == "ft") {
-      rec.ftype = static_cast<FileType>(std::strtoul(std::string(val).c_str(), nullptr, 10));
+      rec.ftype = static_cast<FileType>(parseU64(val));
       rec.hasAttrs = true;
     } else if (key == "sz") {
-      rec.fileSize = std::strtoull(std::string(val).c_str(), nullptr, 10);
+      rec.fileSize = parseU64(val);
       rec.hasAttrs = true;
     } else if (key == "mt") {
       rec.fileMtime = parseTimeField(val);
       rec.hasAttrs = true;
     } else if (key == "fid") {
-      rec.fileId = std::strtoull(std::string(val).c_str(), nullptr, 10);
+      rec.fileId = parseU64(val);
     } else if (key == "psz") {
-      rec.preSize = std::strtoull(std::string(val).c_str(), nullptr, 10);
+      rec.preSize = parseU64(val);
       rec.hasPre = true;
     } else if (key == "pmt") {
       rec.preMtime = parseTimeField(val);
@@ -291,6 +326,12 @@ std::optional<TraceRecord> parseRecord(const std::string& line) {
     // Unknown keys are intentionally ignored.
   }
   if (!sawTime) throw std::runtime_error("trace: record missing timestamp");
+  return true;
+}
+
+std::optional<TraceRecord> parseRecord(const std::string& line) {
+  TraceRecord rec;
+  if (!parseRecordInto(line, rec)) return std::nullopt;
   return rec;
 }
 
@@ -363,7 +404,7 @@ void packBinaryInto(std::string& out, const TraceRecord& r) {
   }
 }
 
-TraceRecord unpackBinaryBody(const std::vector<std::uint8_t>& buf) {
+void unpackBinaryInto(const std::vector<std::uint8_t>& buf, TraceRecord& r) {
   const std::uint8_t* p = buf.data();
   const std::uint8_t* end = buf.data() + buf.size();
   auto need = [&](std::size_t n) {
@@ -371,7 +412,7 @@ TraceRecord unpackBinaryBody(const std::vector<std::uint8_t>& buf) {
       throw std::runtime_error("trace: binary record underrun");
     }
   };
-  TraceRecord r;
+  resetRecordKeepCapacity(r);
   need(8 + 8 + 4 + 4 + 4 + 1 + 1 + 1 + 4 + 4);
   r.ts = static_cast<MicroTime>(getU(p, 8)); p += 8;
   r.replyTs = static_cast<MicroTime>(getU(p, 8)); p += 8;
@@ -420,24 +461,26 @@ TraceRecord unpackBinaryBody(const std::vector<std::uint8_t>& buf) {
   r.fileId = getU(p, 8); p += 8;
   r.preSize = getU(p, 8); p += 8;
   r.preMtime = static_cast<MicroTime>(getU(p, 8)); p += 8;
-  return r;
 }
 
 /// One framed item from a binary trace: a record, a checkpoint, or EOF.
-struct BinItem {
-  std::optional<TraceRecord> rec;
-  bool checkpoint = false;
+enum class BinKind { Record, Checkpoint, Eof };
+
+struct BinFrame {
+  BinKind kind = BinKind::Eof;
   std::uint64_t checkpointCount = 0;
-  bool eof = false;
 };
 
-BinItem readBinaryItem(std::FILE* f) {
-  BinItem item;
+/// Read one frame; a Record frame is decoded into `rec` via the caller's
+/// reusable body buffer (no per-record allocation once warmed up).
+BinFrame readBinaryFrame(std::FILE* f, std::vector<std::uint8_t>& buf,
+                         TraceRecord& rec) {
+  BinFrame frame;
   std::uint8_t lenBuf[4];
   std::size_t got = std::fread(lenBuf, 1, 4, f);
   if (got == 0) {
-    item.eof = true;
-    return item;
+    frame.kind = BinKind::Eof;
+    return frame;
   }
   if (got != 4) throw std::runtime_error("trace: truncated binary record");
   std::uint32_t len32 = static_cast<std::uint32_t>(getU(lenBuf, 4));
@@ -449,18 +492,19 @@ BinItem readBinaryItem(std::FILE* f) {
     if (std::memcmp(body, kCkptMagic, sizeof(kCkptMagic)) != 0) {
       throw std::runtime_error("trace: bad checkpoint magic");
     }
-    item.checkpoint = true;
-    item.checkpointCount = getU(body + sizeof(kCkptMagic), 8);
-    return item;
+    frame.kind = BinKind::Checkpoint;
+    frame.checkpointCount = getU(body + sizeof(kCkptMagic), 8);
+    return frame;
   }
   std::size_t len = static_cast<std::size_t>(len32);
   if (len > 1 << 20) throw std::runtime_error("trace: absurd binary record");
-  std::vector<std::uint8_t> buf(len);
+  buf.resize(len);
   if (std::fread(buf.data(), 1, len, f) != len) {
     throw std::runtime_error("trace: truncated binary record body");
   }
-  item.rec = unpackBinaryBody(buf);
-  return item;
+  unpackBinaryInto(buf, rec);
+  frame.kind = BinKind::Record;
+  return frame;
 }
 
 void sleepAndGrow(MicroTime& us, MicroTime maxUs) {
@@ -633,7 +677,60 @@ bool TraceReader::refill() {
 }
 
 std::optional<TraceRecord> TraceReader::next() {
-  return binary_ ? nextBinary() : nextText();
+  TraceRecord rec;
+  if (!nextInto(rec)) return std::nullopt;
+  return rec;
+}
+
+bool TraceReader::nextInto(TraceRecord& rec) {
+  if (pendingValid_) {
+    // A record decoded past a resync boundary was held back to open the
+    // next batch; hand it out before touching the file again.
+    rec = std::move(pending_);
+    pendingValid_ = false;
+    return true;
+  }
+  return binary_ ? nextBinaryInto(rec) : nextTextInto(rec);
+}
+
+bool TraceReader::nextBatch(TraceBatch& batch, std::size_t maxRecords) {
+  if (maxRecords == 0) maxRecords = TraceBatch::kDefaultCapacity;
+  batch.nameInterner = &names_;
+  batch.handleInterner = &handles_;
+  batch.endedAtResync = false;
+  if (batch.records.size() < maxRecords) batch.records.resize(maxRecords);
+  batch.fhId.resize(maxRecords);
+  batch.fh2Id.resize(maxRecords);
+  batch.resFhId.resize(maxRecords);
+  batch.nameId.resize(maxRecords);
+  batch.name2Id.resize(maxRecords);
+  batch.n = 0;
+  auto fhView = [](const FileHandle& fh) {
+    return std::string_view(reinterpret_cast<const char*>(fh.data.data()),
+                            fh.len);
+  };
+  while (batch.n < maxRecords) {
+    std::uint64_t resyncsBefore = rstats_.resyncs;
+    TraceRecord& slot = batch.records[batch.n];
+    if (!nextInto(slot)) break;
+    if (recover_ && rstats_.resyncs != resyncsBefore && batch.n > 0) {
+      // The decode crossed a corrupt region: close this batch at the
+      // boundary and open the next one with the record just decoded.
+      pending_ = std::move(slot);
+      pendingValid_ = true;
+      batch.endedAtResync = true;
+      break;
+    }
+    batch.fhId[batch.n] = handles_.intern(fhView(slot.fh));
+    batch.fh2Id[batch.n] = handles_.intern(fhView(slot.fh2));
+    batch.resFhId[batch.n] = handles_.intern(fhView(slot.resFh));
+    batch.nameId[batch.n] = names_.intern(slot.name);
+    batch.name2Id[batch.n] = names_.intern(slot.name2);
+    ++batch.n;
+  }
+  if (batch.n == 0) return false;
+  batch.seq = batchSeq_++;
+  return true;
 }
 
 void TraceReader::reconcileCheckpoint(std::uint64_t count) {
@@ -648,40 +745,40 @@ void TraceReader::reconcileCheckpoint(std::uint64_t count) {
   }
 }
 
-void TraceReader::noteTextCheckpoint(const std::string& line) {
-  if (line.rfind(kTextCkptPrefix, 0) != 0) return;
+void TraceReader::noteTextCheckpoint(std::string_view line) {
+  if (line.substr(0, sizeof(kTextCkptPrefix) - 1) != kTextCkptPrefix) return;
   auto at = line.find("n=");
-  if (at == std::string::npos) return;
-  reconcileCheckpoint(std::strtoull(line.c_str() + at + 2, nullptr, 10));
+  if (at == std::string_view::npos) return;
+  reconcileCheckpoint(parseU64(line.substr(at + 2)));
 }
 
-std::optional<TraceRecord> TraceReader::nextText() {
+bool TraceReader::nextTextInto(TraceRecord& rec) {
   // Parse one line, routing comments through checkpoint handling and —
   // in recover mode — turning parse failures into skip-and-resync.
-  auto consume = [this](const std::string& line) -> std::optional<TraceRecord> {
+  auto consume = [this, &rec](std::string_view line) -> bool {
     if (!line.empty() && line[0] == '#') {
       noteTextCheckpoint(line);
-      return std::nullopt;
+      return false;
     }
     if (!recover_) {
-      auto rec = parseRecord(line);
-      if (rec) ++rstats_.recovered;
-      return rec;
+      bool got = parseRecordInto(line, rec);
+      if (got) ++rstats_.recovered;
+      return got;
     }
     try {
-      auto rec = parseRecord(line);
-      if (rec) {
+      bool got = parseRecordInto(line, rec);
+      if (got) {
         ++rstats_.recovered;
         inBadRun_ = false;
       }
-      return rec;
+      return got;
     } catch (const std::exception&) {
       ++rstats_.skipped;
       if (!inBadRun_) {
         ++rstats_.resyncs;
         inBadRun_ = true;
       }
-      return std::nullopt;
+      return false;
     }
   };
   for (;;) {
@@ -694,53 +791,52 @@ std::optional<TraceRecord> TraceReader::nextText() {
       pos_ = chunk_.size();
       continue;
     }
-    std::optional<TraceRecord> rec;
+    bool got;
     if (carry_.empty()) {
-      // Fast path: the whole line sits inside the current chunk.
-      std::string line = chunk_.substr(pos_, nl - pos_);
+      // Fast path: parse straight out of the chunk, no line copy.
+      std::string_view line(chunk_.data() + pos_, nl - pos_);
       pos_ = nl + 1;
-      rec = consume(line);
+      got = consume(line);
     } else {
       carry_.append(chunk_, pos_, nl - pos_);
       pos_ = nl + 1;
-      std::string line = std::move(carry_);
+      got = consume(carry_);
       carry_.clear();
-      rec = consume(line);
     }
-    if (rec) return rec;
+    if (got) return true;
   }
   if (!carry_.empty()) {
-    std::string line = std::move(carry_);
+    bool got = consume(carry_);
     carry_.clear();
-    return consume(line);
+    return got;
   }
-  return std::nullopt;
+  return false;
 }
 
-std::optional<TraceRecord> TraceReader::nextBinary() {
+bool TraceReader::nextBinaryInto(TraceRecord& rec) {
   for (;;) {
     if (!recover_) {
-      BinItem item = readBinaryItem(f_);
-      if (item.eof) return std::nullopt;
-      if (item.checkpoint) {
-        reconcileCheckpoint(item.checkpointCount);
+      BinFrame frame = readBinaryFrame(f_, binBuf_, rec);
+      if (frame.kind == BinKind::Eof) return false;
+      if (frame.kind == BinKind::Checkpoint) {
+        reconcileCheckpoint(frame.checkpointCount);
         continue;
       }
       ++rstats_.recovered;
-      return item.rec;
+      return true;
     }
     try {
-      BinItem item = readBinaryItem(f_);
-      if (item.eof) return std::nullopt;
-      if (item.checkpoint) {
-        reconcileCheckpoint(item.checkpointCount);
+      BinFrame frame = readBinaryFrame(f_, binBuf_, rec);
+      if (frame.kind == BinKind::Eof) return false;
+      if (frame.kind == BinKind::Checkpoint) {
+        reconcileCheckpoint(frame.checkpointCount);
         continue;
       }
       ++rstats_.recovered;
-      return item.rec;
+      return true;
     } catch (const std::exception&) {
       ++rstats_.resyncs;
-      if (!scanToBinaryCheckpoint()) return std::nullopt;
+      if (!scanToBinaryCheckpoint()) return false;
     }
   }
 }
@@ -766,18 +862,46 @@ bool TraceReader::scanToBinaryCheckpoint() {
   return false;
 }
 
+namespace {
+
+/// Capacity hint from the file size: text records run ~150 bytes, binary
+/// ones ~120, so bytes/128 overshoots modestly rather than reallocating
+/// the vector a dozen times while it doubles up from empty.
+std::size_t estimateRecordCount(const std::string& path) {
+  std::error_code ec;
+  auto bytes = std::filesystem::file_size(path, ec);
+  if (ec) return 0;
+  return static_cast<std::size_t>(bytes / 128) + 1;
+}
+
+std::vector<TraceRecord> drainAll(TraceReader& reader, std::size_t reserve) {
+  std::vector<TraceRecord> out;
+  out.reserve(reserve);
+  // Decode straight into the vector's own slots — grow by one, fill it in
+  // place (string capacity is reused on the re-parse after a resize), and
+  // drop the unfilled slot at EOF — instead of parsing into a temporary
+  // and copying it in.
+  for (;;) {
+    out.emplace_back();
+    if (!reader.nextInto(out.back())) {
+      out.pop_back();
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<TraceRecord> TraceReader::readAll(const std::string& path) {
   TraceReader reader(path);
-  std::vector<TraceRecord> out;
-  while (auto rec = reader.next()) out.push_back(std::move(*rec));
-  return out;
+  return drainAll(reader, estimateRecordCount(path));
 }
 
 std::vector<TraceRecord> TraceReader::recoverAll(const std::string& path,
                                                  RecoverStats* stats) {
   TraceReader reader(path, /*recover=*/true);
-  std::vector<TraceRecord> out;
-  while (auto rec = reader.next()) out.push_back(std::move(*rec));
+  auto out = drainAll(reader, estimateRecordCount(path));
   if (stats) *stats = reader.recoverStats();
   return out;
 }

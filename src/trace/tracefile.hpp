@@ -10,13 +10,16 @@
 // binary format (magic "NFST") is also provided for large traces.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "trace/batch.hpp"
 #include "trace/record.hpp"
+#include "util/interner.hpp"
 #include "util/time.hpp"
 
 namespace nfstrace {
@@ -33,6 +36,10 @@ std::string formatRecord(const TraceRecord& rec);
 /// Parse a text line; nullopt for blank/comment lines; throws
 /// std::runtime_error on malformed records.
 std::optional<TraceRecord> parseRecord(const std::string& line);
+/// Allocation-reusing parse: fills `rec` in place (string fields keep
+/// their capacity across calls).  Returns false for blank/comment lines;
+/// throws std::runtime_error on malformed records.
+bool parseRecordInto(std::string_view line, TraceRecord& rec);
 
 /// Buffered trace writer: records are formatted into an in-memory batch
 /// buffer and flushed to the file in large writes, so the per-record cost
@@ -127,10 +134,27 @@ class TraceReader {
   TraceReader(const TraceReader&) = delete;
   TraceReader& operator=(const TraceReader&) = delete;
 
+  /// Compatibility shim over nextInto(): one freshly constructed record.
   std::optional<TraceRecord> next();
+  /// Decode the next record into `rec`, reusing its string capacity.
+  /// Returns false at EOF.
+  bool nextInto(TraceRecord& rec);
+  /// Decode up to `maxRecords` records into `batch` (slots reused fill to
+  /// fill, paths/handles interned into 32-bit ids — see trace/batch.hpp).
+  /// Returns false when the batch came back empty (EOF).  In recover
+  /// mode a batch never straddles a corrupt region: the reader resyncs
+  /// and the next good record opens the following batch.
+  bool nextBatch(TraceBatch& batch,
+                 std::size_t maxRecords = TraceBatch::kDefaultCapacity);
   const RecoverStats& recoverStats() const { return rstats_; }
 
-  /// Convenience: read a whole trace file into memory.
+  /// Interners shared by every batch this reader fills.
+  const StringInterner& nameInterner() const { return names_; }
+  const StringInterner& handleInterner() const { return handles_; }
+
+  /// Convenience: read a whole trace file into memory.  Reserves from the
+  /// file size and decodes into the vector's own slots, so no record is
+  /// parsed into a temporary and copied.
   static std::vector<TraceRecord> readAll(const std::string& path);
   /// Read a possibly-corrupt trace end-to-end, skipping bad regions.
   static std::vector<TraceRecord> recoverAll(const std::string& path,
@@ -139,10 +163,10 @@ class TraceReader {
  private:
   /// Refill chunk_ from the file; returns false at EOF.
   bool refill();
-  std::optional<TraceRecord> nextText();
-  std::optional<TraceRecord> nextBinary();
+  bool nextTextInto(TraceRecord& rec);
+  bool nextBinaryInto(TraceRecord& rec);
   /// Handle a "#ckpt n=<count>" comment line (text format).
-  void noteTextCheckpoint(const std::string& line);
+  void noteTextCheckpoint(std::string_view line);
   void reconcileCheckpoint(std::uint64_t count);
   /// Binary recover mode: byte-scan forward for the next checkpoint
   /// sentinel magic; returns false at EOF.
@@ -157,6 +181,15 @@ class TraceReader {
   std::string chunk_;
   std::size_t pos_ = 0;
   std::string carry_;  // partial line spanning chunk boundaries
+  // Binary path: reusable record-body buffer.
+  std::vector<std::uint8_t> binBuf_;
+  // Batch path: interners, sequence counter, and the one-record stash
+  // used to cut batches at recovery resync points.
+  StringInterner names_;
+  StringInterner handles_;
+  std::uint64_t batchSeq_ = 0;
+  TraceRecord pending_;
+  bool pendingValid_ = false;
 };
 
 }  // namespace nfstrace

@@ -1,0 +1,29 @@
+#include "util/interner.hpp"
+
+#include <stdexcept>
+
+namespace nfstrace {
+
+StringInterner::StringInterner() {
+  intern({});  // reserve id 0 for the empty string
+}
+
+std::uint32_t StringInterner::intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  if (next_ >= kMaxBlocks * kBlockEntries) {
+    throw std::runtime_error("interner: table full");
+  }
+  std::uint32_t id = next_;
+  auto& block = blocks_[id >> kBlockShift];
+  if (!block) block = std::make_unique<Block>();
+  std::string& stored = block->items[id & (kBlockEntries - 1)];
+  stored.assign(s);
+  // Key the map by a view of the stored copy, which never moves.
+  ids_.emplace(std::string_view(stored), id);
+  bytes_ += stored.size();
+  ++next_;
+  return id;
+}
+
+}  // namespace nfstrace

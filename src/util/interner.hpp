@@ -1,0 +1,64 @@
+// String interning for the analysis engine's batched trace decode.
+//
+// A trace touches the same paths and file handles millions of times; the
+// batch reader interns each distinct byte string once and hands analyses a
+// dense 32-bit id instead of a freshly heap-allocated std::string per
+// record.  Ids are assigned in first-appearance order, so for the same
+// input they are identical regardless of batch size or worker count — the
+// determinism the engine's byte-identical guarantee leans on.
+//
+// Concurrency contract (single-writer / many-reader): only one thread may
+// call intern(); view()/size() may be called from other threads for ids
+// that were published to them through a synchronizing handoff (the
+// engine's batch queues).  Storage blocks never move once allocated and
+// already-written entries are never touched again, so readers need no
+// locks — the happens-before edge of the queue push/pop is enough.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace nfstrace {
+
+class StringInterner {
+ public:
+  /// Id 0 is always the empty string.
+  static constexpr std::uint32_t kEmptyId = 0;
+
+  StringInterner();
+
+  /// Create-or-get the id for `s`.  Single writer thread only.
+  std::uint32_t intern(std::string_view s);
+
+  /// The bytes behind an id previously returned by intern().
+  std::string_view view(std::uint32_t id) const {
+    return blocks_[id >> kBlockShift]->items[id & (kBlockEntries - 1)];
+  }
+
+  /// Distinct strings interned (including the reserved empty string).
+  std::size_t size() const { return next_; }
+  /// Total payload bytes held.
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  static constexpr std::uint32_t kBlockShift = 12;
+  static constexpr std::uint32_t kBlockEntries = 1u << kBlockShift;
+  static constexpr std::uint32_t kMaxBlocks = 1u << 12;  // 16.7M strings
+
+  struct Block {
+    std::array<std::string, kBlockEntries> items;
+  };
+
+  // Fixed table of stable block pointers: view() never walks a container
+  // that intern() might be reorganizing.
+  std::array<std::unique_ptr<Block>, kMaxBlocks> blocks_;
+  std::unordered_map<std::string_view, std::uint32_t> ids_;
+  std::uint32_t next_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace nfstrace
