@@ -1,9 +1,19 @@
 // Throughput microbenchmarks (google-benchmark) for the tracing pipeline
 // components: XDR codecs, frame building/parsing, RPC record marking, the
-// sniffer's full decode path, the anonymizer, and the analyses.  These
-// bound how fast a capture can be processed — the tracer had to keep up
-// with a gigabit mirror port.
+// sniffer's full decode path, the anonymizer, the analyses, and the
+// per-stage decode breakdown (frame parse, XDR cursor, RPC decode, table
+// lookup, record format/parse, interner, batch decode).  These bound how
+// fast a capture can be processed — the tracer had to keep up with a
+// gigabit mirror port.
+//
+// JSON output: pass the standard google-benchmark flags, e.g.
+//   micro_perf --benchmark_filter='BM_Stage'
+//              --benchmark_format=json --benchmark_out=BENCH_micro.json
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
 
 #include "analysis/reorder.hpp"
 #include "analysis/runs.hpp"
@@ -13,6 +23,8 @@
 #include "rpc/rpc.hpp"
 #include "sniffer/sniffer.hpp"
 #include "trace/tracefile.hpp"
+#include "util/flatmap.hpp"
+#include "util/interner.hpp"
 #include "util/rng.hpp"
 
 namespace nfstrace {
@@ -214,6 +226,170 @@ void BM_TraceTextParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceTextParse);
+
+// ---------------------------------------------------------------------
+// Per-stage decode breakdown (BM_Stage*): one benchmark per hot-path
+// stage of the frame -> record pipeline, so a regression can be pinned to
+// a stage without re-profiling the whole sniffer.
+
+/// Stage 1: ethernet/IP/UDP frame parse (headers only, zero copy).
+void BM_StageFrameParse(benchmark::State& state) {
+  std::vector<std::uint8_t> payload(256, 0xab);
+  auto frame = buildUdpFrame(makeIp(10, 1, 0, 2), 1023, makeIp(10, 0, 0, 1),
+                             2049, payload);
+  for (auto _ : state) {
+    auto parsed = parseFrame(frame);
+    benchmark::DoNotOptimize(&parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StageFrameParse);
+
+/// Stage 2: raw XDR cursor throughput (the loads every decoder sits on).
+void BM_StageXdrCursor(benchmark::State& state) {
+  XdrEncoder enc;
+  for (int i = 0; i < 64; ++i) enc.putUint32(static_cast<std::uint32_t>(i));
+  auto bytes = enc.bytes();
+  for (auto _ : state) {
+    XdrDecoder dec(bytes);
+    std::uint32_t acc = 0;
+    for (int i = 0; i < 64; ++i) acc += dec.getUint32();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_StageXdrCursor);
+
+/// Stage 3: RPC call header decode, trimmed (RpcMessageLite) vs full.
+void BM_StageRpcDecodeLite(benchmark::State& state) {
+  AuthUnix cred;
+  cred.uid = 100;
+  cred.gid = 100;
+  XdrEncoder enc;
+  encodeRpcCall(enc, 7, kNfsProgram, 3,
+                static_cast<std::uint32_t>(Proc3::Lookup), cred);
+  auto bytes = enc.bytes();
+  for (auto _ : state) {
+    auto msg = decodeRpcMessageLite(bytes);
+    benchmark::DoNotOptimize(&msg);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StageRpcDecodeLite);
+
+void BM_StageRpcDecodeFull(benchmark::State& state) {
+  AuthUnix cred;
+  cred.uid = 100;
+  cred.gid = 100;
+  XdrEncoder enc;
+  encodeRpcCall(enc, 7, kNfsProgram, 3,
+                static_cast<std::uint32_t>(Proc3::Lookup), cred);
+  auto bytes = enc.bytes();
+  for (auto _ : state) {
+    auto msg = decodeRpcMessage(bytes);
+    benchmark::DoNotOptimize(&msg);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StageRpcDecodeFull);
+
+/// Stage 4: XID table lookup — FlatMap vs the std::unordered_map it
+/// replaced, on the sniffer's hit-heavy mix.
+template <class Map>
+void tableLookupMix(benchmark::State& state) {
+  Rng rng(3);
+  Map m;
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 4096; ++i) {
+    std::uint64_t k = rng.below(1u << 30);
+    m[k] = k;
+    keys.push_back(k);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto it = m.find(keys[i++ & 4095]);
+    benchmark::DoNotOptimize(&*it);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_StageTableLookupFlat(benchmark::State& state) {
+  tableLookupMix<FlatMap<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_StageTableLookupFlat);
+void BM_StageTableLookupStd(benchmark::State& state) {
+  tableLookupMix<std::unordered_map<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_StageTableLookupStd);
+
+/// Stage 5: record formatting into a reused buffer (the writer hot path).
+void BM_StageRecordFormat(benchmark::State& state) {
+  auto rec = sampleTraceRecord();
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    appendRecord(buf, rec);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StageRecordFormat);
+
+/// Stage 6: text record parse into a reused record (the reader hot path).
+void BM_StageRecordParse(benchmark::State& state) {
+  auto line = formatRecord(sampleTraceRecord());
+  TraceRecord rec;
+  for (auto _ : state) {
+    parseRecordInto(line, rec);
+    benchmark::DoNotOptimize(&rec);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StageRecordParse);
+
+/// Stage 7: interner hit path (5 intern() calls per record in nextBatch).
+void BM_StageInternerHit(benchmark::State& state) {
+  StringInterner interner;
+  Rng rng(11);
+  std::vector<std::string> names;
+  for (int i = 0; i < 512; ++i) {
+    names.push_back("dir/file" + std::to_string(rng.below(400)) + ".c");
+    interner.intern(names.back());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interner.intern(names[i++ & 511]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StageInternerHit);
+
+/// Stage 8: end-to-end batch decode — TraceReader::nextBatch over a text
+/// trace (parse + intern), records per second.
+void BM_StageBatchDecode(benchmark::State& state) {
+  const std::string path = "bench_micro_batch.trace";
+  const std::size_t n = 20000;
+  {
+    TraceWriter writer(path, TraceWriter::Format::Text);
+    Rng rng(5);
+    auto rec = sampleTraceRecord();
+    for (std::size_t i = 0; i < n; ++i) {
+      rec.ts += 100;
+      rec.xid = static_cast<std::uint32_t>(rng.below(1u << 20));
+      rec.fh = FileHandle::make(1, rng.below(300), 1);
+      writer.write(rec);
+    }
+  }
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    TraceReader reader(path);
+    TraceBatch batch;
+    while (reader.nextBatch(batch)) records += batch.n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_StageBatchDecode);
 
 void BM_ReorderWindowSort(benchmark::State& state) {
   auto recs = syntheticDataRecords(static_cast<std::size_t>(state.range(0)));

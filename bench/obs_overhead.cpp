@@ -11,6 +11,7 @@
 // stream from the last instrumented run is validated to cover ring
 // depth, stall counts, merge watermark lag, and the live §4.1.4 capture
 // loss estimate.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -22,6 +23,7 @@
 #include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/pipeline.hpp"
+#include "sniffer/sniffer.hpp"
 #include "trace/tracefile.hpp"
 
 namespace nfstrace {
@@ -100,6 +102,43 @@ RunResult runPipeline(const std::vector<CapturedPacket>& frames,
   return {static_cast<double>(n) * kPasses / dt, n};
 }
 
+/// One serial Sniffer run over the same capture — the reworked decode hot
+/// path itself (flat tables, cursor XDR, lite RPC decode), with the same
+/// instrumentation toggle, so the 2% budget also covers the single-thread
+/// path where per-record counter costs are proportionally largest.
+RunResult runSerial(const std::vector<CapturedPacket>& frames,
+                    const std::string& path, obs::Registry* reg,
+                    const std::string& jsonl) {
+  auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t n = 0;
+  std::unique_ptr<obs::SnapshotExporter> exporter;
+  if (reg) {
+    obs::SnapshotExporter::Config ec;
+    ec.intervalUs = 100'000;
+    ec.jsonlPath = jsonl;
+    exporter = std::make_unique<obs::SnapshotExporter>(*reg, ec);
+  }
+  for (int pass = 0; pass < kPasses; ++pass) {
+    n = 0;
+    TraceWriter writer(path, TraceWriter::Format::Text);
+    if (reg) writer.attachMetrics(*reg);
+    Sniffer::Config cfg;
+    cfg.pendingTimeout = kPendingTimeout;
+    cfg.expiryScanInterval = kScanInterval;
+    cfg.metrics = reg;
+    Sniffer sniffer(cfg, [&](const TraceRecord& r) {
+      writer.write(r);
+      ++n;
+    });
+    for (const auto& f : frames) sniffer.onFrame(f);
+    sniffer.flush();
+    writer.flush();
+  }
+  if (exporter) exporter->stop();
+  double dt = secondsSince(t0);
+  return {static_cast<double>(n) * kPasses / dt, n};
+}
+
 /// Minimal JSON-lines sanity check plus coverage of the health metrics
 /// the acceptance criteria name.
 bool validateSnapshots(const std::string& jsonlPath, std::size_t* linesOut) {
@@ -164,8 +203,15 @@ int main(int argc, char** argv) {
   runPipeline(frames, "bench_obs_warmup.trace", nullptr, "");
 
   // Interleave plain and instrumented repetitions so slow drift on a
-  // shared box hits both variants equally; keep the best of each.
+  // shared box hits both variants equally.  The overhead estimate is the
+  // minimum over the *paired* (plain, instrumented) reps: the two runs of
+  // a pair execute back to back, so slow drift cancels within a pair,
+  // whereas comparing the best plain rep against the best instrumented
+  // rep lets drift between different reps masquerade as overhead.  A
+  // negative result means the cost was below measurement noise even
+  // within a pair.  The reported throughputs are still best-of-reps.
   RunResult plain, inst;
+  double overheadPct = 1e9;
   for (int rep = 0; rep < reps; ++rep) {
     RunResult p = runPipeline(frames, "bench_obs_plain.trace", nullptr, "");
     if (p.rps > plain.rps) plain = p;
@@ -174,20 +220,41 @@ int main(int argc, char** argv) {
     RunResult i =
         runPipeline(frames, "bench_obs_inst.trace", &reg, jsonlPath);
     if (i.rps > inst.rps) inst = i;
+    overheadPct = std::min(overheadPct, 100.0 * (1.0 - i.rps / p.rps));
   }
   std::printf("plain x%d        : %10.0f rec/s  (%llu records)\n", kShards,
               plain.rps, static_cast<unsigned long long>(plain.records));
   std::printf("instrumented x%d : %10.0f rec/s\n", kShards, inst.rps);
 
+  // Same comparison on the serial decode hot path.
+  const std::string serialJsonl = "bench_obs_serial_snapshots.jsonl";
+  RunResult serialPlain, serialInst;
+  double serialOverheadPct = 1e9;
+  for (int rep = 0; rep < reps; ++rep) {
+    RunResult p = runSerial(frames, "bench_obs_serial_plain.trace", nullptr, "");
+    if (p.rps > serialPlain.rps) serialPlain = p;
+    std::remove(serialJsonl.c_str());
+    obs::Registry reg;
+    RunResult i =
+        runSerial(frames, "bench_obs_serial_inst.trace", &reg, serialJsonl);
+    if (i.rps > serialInst.rps) serialInst = i;
+    serialOverheadPct =
+        std::min(serialOverheadPct, 100.0 * (1.0 - i.rps / p.rps));
+  }
+  std::printf("plain serial     : %10.0f rec/s\n", serialPlain.rps);
+  std::printf("instrumented serial: %8.0f rec/s\n", serialInst.rps);
+
   bool identical = !slurp("bench_obs_plain.trace").empty() &&
                    slurp("bench_obs_plain.trace") ==
-                       slurp("bench_obs_inst.trace");
-  double overheadPct = 100.0 * (1.0 - inst.rps / plain.rps);
+                       slurp("bench_obs_inst.trace") &&
+                   slurp("bench_obs_serial_plain.trace") ==
+                       slurp("bench_obs_serial_inst.trace");
   std::size_t snapshotLines = 0;
   bool snapshotsValid = validateSnapshots(jsonlPath, &snapshotLines);
 
-  std::printf("instrumentation overhead: %.2f%%  (budget %.1f%%)\n",
-              overheadPct, kBudgetPct);
+  std::printf("instrumentation overhead: %.2f%% sharded, %.2f%% serial "
+              "(budget %.1f%%)\n",
+              overheadPct, serialOverheadPct, kBudgetPct);
   std::printf("instrumented output identical: %s\n", identical ? "yes" : "NO");
   std::printf("snapshot stream valid: %s  (%zu JSON lines)\n",
               snapshotsValid ? "yes" : "NO", snapshotLines);
@@ -195,7 +262,10 @@ int main(int argc, char** argv) {
   std::remove("bench_obs_warmup.trace");
   std::remove("bench_obs_plain.trace");
   std::remove("bench_obs_inst.trace");
+  std::remove("bench_obs_serial_plain.trace");
+  std::remove("bench_obs_serial_inst.trace");
   std::remove(jsonlPath.c_str());
+  std::remove(serialJsonl.c_str());
 
   std::FILE* j = std::fopen(jsonPath.c_str(), "w");
   if (!j) {
@@ -205,11 +275,14 @@ int main(int argc, char** argv) {
   std::fprintf(j,
                "{\"bench\":\"obs_overhead\",\"frames\":%zu,\"records\":%llu,"
                "\"shards\":%d,\"plain_rps\":%.0f,\"instrumented_rps\":%.0f,"
-               "\"overhead_pct\":%.3f,\"budget_pct\":%.1f,"
+               "\"overhead_pct\":%.3f,"
+               "\"serial_plain_rps\":%.0f,\"serial_instrumented_rps\":%.0f,"
+               "\"serial_overhead_pct\":%.3f,\"budget_pct\":%.1f,"
                "\"snapshot_lines\":%zu,\"snapshots_valid\":%s,"
                "\"output_identical\":%s}\n",
                frames.size(), static_cast<unsigned long long>(plain.records),
-               kShards, plain.rps, inst.rps, overheadPct, kBudgetPct,
+               kShards, plain.rps, inst.rps, overheadPct, serialPlain.rps,
+               serialInst.rps, serialOverheadPct, kBudgetPct,
                snapshotLines, snapshotsValid ? "true" : "false",
                identical ? "true" : "false");
   std::fclose(j);
@@ -218,5 +291,8 @@ int main(int argc, char** argv) {
   // The budget is enforced, not advisory: blow it and the bench fails.
   // (Smoke mode only checks that everything still runs end to end.)
   if (smoke) return 0;
-  return (overheadPct <= kBudgetPct && snapshotsValid && identical) ? 0 : 1;
+  return (overheadPct <= kBudgetPct && serialOverheadPct <= kBudgetPct &&
+          snapshotsValid && identical)
+             ? 0
+             : 1;
 }

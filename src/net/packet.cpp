@@ -74,15 +74,27 @@ std::string ipToString(IpAddr ip) {
 }
 
 std::optional<IpAddr> ipFromString(std::string_view s) {
-  unsigned a, b, c, d;
-  char extra;
-  std::string str(s);
-  if (std::sscanf(str.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4 ||
-      a > 255 || b > 255 || c > 255 || d > 255) {
-    return std::nullopt;
+  // Hand-rolled dotted-quad parse: this sits on the per-record trace
+  // decode path, where sscanf (and its string copy) dominated the profile.
+  IpAddr ip = 0;
+  std::size_t i = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (i >= s.size() || s[i] < '0' || s[i] > '9') return std::nullopt;
+    std::uint32_t v = 0;
+    std::size_t start = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      v = v * 10 + static_cast<std::uint32_t>(s[i] - '0');
+      if (v > 255 || i - start >= 3) return std::nullopt;
+      ++i;
+    }
+    ip = (ip << 8) | v;
+    if (octet < 3) {
+      if (i >= s.size() || s[i] != '.') return std::nullopt;
+      ++i;
+    }
   }
-  return makeIp(static_cast<int>(a), static_cast<int>(b), static_cast<int>(c),
-                static_cast<int>(d));
+  if (i != s.size()) return std::nullopt;
+  return ip;
 }
 
 std::uint16_t internetChecksum(std::span<const std::uint8_t> data) {
@@ -178,47 +190,95 @@ std::vector<std::vector<std::uint8_t>> buildUdpFrames(
   return frames;
 }
 
-std::optional<std::vector<std::uint8_t>> IpReassembler::feed(
+void IpReassembler::recycle(Pending&& p) {
+  // Keep a handful of warmed buffers; under tap loss several datagrams
+  // reassemble concurrently and each holds one.
+  if (sparePool_.size() < 16 && p.data.capacity() != 0) {
+    p.data.clear();
+    sparePool_.push_back(std::move(p.data));
+  }
+  if (spareExtents_.size() < 16 && p.extents.capacity() != 0) {
+    p.extents.clear();
+    spareExtents_.push_back(std::move(p.extents));
+  }
+}
+
+IpReassembler::Pending IpReassembler::makePending(std::int64_t now) {
+  Pending p;
+  p.firstSeen = now;
+  if (!sparePool_.empty()) {
+    p.data = std::move(sparePool_.back());
+    sparePool_.pop_back();
+  }
+  if (!spareExtents_.empty()) {
+    p.extents = std::move(spareExtents_.back());
+    spareExtents_.pop_back();
+  }
+  return p;
+}
+
+void IpReassembler::sweep(std::int64_t now) {
+  lastSweepUs_ = now;
+  // erase() invalidates iterators, so collect stale keys first.
+  std::vector<Key> stale;
+  for (auto& [k, p] : pending_) {
+    if (now - p.firstSeen > timeoutUs_) stale.push_back(k);
+  }
+  for (const Key& k : stale) {
+    auto it = pending_.find(k);
+    recycle(std::move(it->second));
+    pending_.erase(it);
+    ++expired_;
+  }
+}
+
+std::optional<std::span<const std::uint8_t>> IpReassembler::feed(
     const ParsedFrame& frame, std::int64_t now) {
   if (!frame.isFragment()) {
-    return std::vector<std::uint8_t>(frame.payload.begin(),
-                                     frame.payload.end());
+    return frame.payload;
+  }
+  // The buffer handed out last time is consumable again; recycle it.
+  if (completed_.capacity() != 0 && sparePool_.size() < 16) {
+    completed_.clear();
+    sparePool_.push_back(std::move(completed_));
   }
 
-  // Expire stale reassembly state.
-  for (std::size_t i = 0; i < pending_.size();) {
-    if (now - pending_[i].second.firstSeen > timeoutUs_) {
-      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
-      ++expired_;
-    } else {
-      ++i;
-    }
-  }
+  // Reclaim state for keys that never recur.  A per-feed scan would be
+  // O(pending) on every fragment — the dominant cost under loss — so stale
+  // entries are instead caught here periodically and at same-key lookup.
+  if (now - lastSweepUs_ >= sweepIntervalUs_) sweep(now);
 
   Key key{frame.src, frame.dst, frame.ipId};
-  Pending* entry = nullptr;
-  for (auto& [k, p] : pending_) {
-    if (k == key) {
-      entry = &p;
-      break;
-    }
-  }
-  if (!entry) {
-    pending_.emplace_back(key, Pending{});
-    entry = &pending_.back().second;
-    entry->firstSeen = now;
+  auto [it, inserted] = pending_.try_emplace(key);
+  Pending* entry = &it->second;
+  if (inserted) {
+    *entry = makePending(now);
+  } else if (now - entry->firstSeen > timeoutUs_) {
+    // Same key, but the old datagram timed out: exactly what the per-feed
+    // expiry scan would have removed before this fragment arrived.
+    Pending fresh = makePending(now);
+    recycle(std::move(*entry));
+    *entry = std::move(fresh);
+    ++expired_;
   }
 
   std::uint32_t off = frame.fragOffsetBytes;
   std::uint32_t end = off + static_cast<std::uint32_t>(frame.payload.size());
-  if (end > entry->data.size()) {
-    if (end > entry->data.capacity()) {
-      entry->data.reserve(std::max<std::size_t>(2 * end, 4096));
+  if (off == entry->data.size()) {
+    // In-order arrival (the overwhelmingly common case): append without
+    // the zero-fill a resize-past-end would do.
+    entry->data.insert(entry->data.end(), frame.payload.begin(),
+                       frame.payload.end());
+  } else {
+    if (end > entry->data.size()) {
+      if (end > entry->data.capacity()) {
+        entry->data.reserve(std::max<std::size_t>(2 * end, 4096));
+      }
+      entry->data.resize(end);
     }
-    entry->data.resize(end);
+    std::copy(frame.payload.begin(), frame.payload.end(),
+              entry->data.begin() + off);
   }
-  std::copy(frame.payload.begin(), frame.payload.end(),
-            entry->data.begin() + off);
   entry->extents.emplace_back(off, end);
   if (!frame.moreFragments) {
     entry->haveLast = true;
@@ -236,19 +296,15 @@ std::optional<std::vector<std::uint8_t>> IpReassembler::feed(
   if (pos < entry->totalLen) return std::nullopt;
 
   // Strip the UDP header so the result matches parseFrame's payload for
-  // unfragmented datagrams.
+  // unfragmented datagrams.  The data stays in place; the returned view
+  // just skips the header, so completion does no copy or memmove.
   if (entry->totalLen < 8) return std::nullopt;
-  std::vector<std::uint8_t> udpPayload = std::move(entry->data);
-  udpPayload.resize(entry->totalLen);
-  udpPayload.erase(udpPayload.begin(), udpPayload.begin() + 8);
+  completed_ = std::move(entry->data);
+  std::size_t payloadLen = entry->totalLen - 8;
 
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    if (pending_[i].first == key) {
-      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
-      break;
-    }
-  }
-  return udpPayload;
+  recycle(std::move(*entry));
+  pending_.erase(it);
+  return std::span<const std::uint8_t>{completed_.data() + 8, payloadLen};
 }
 
 std::vector<std::vector<std::uint8_t>> segmentTcpStream(

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/flatmap.hpp"
+
 namespace nfstrace {
 
 /// IPv4 address as a host-order 32-bit value.
@@ -80,15 +82,26 @@ std::vector<std::vector<std::uint8_t>> buildUdpFrames(
 /// returns the complete IP payload when the last hole closes.  Incomplete
 /// datagrams are discarded after `timeout`; a dropped fragment therefore
 /// loses the whole datagram, as it does for a real tap.
+///
+/// Expiry runs two ways with identical reassembly outcomes to a per-feed
+/// scan: a stale same-key entry is replaced at the moment a new fragment
+/// hits it (so old state can never absorb a new datagram), and a periodic
+/// sweep — driven by the capture clock, so still deterministic — reclaims
+/// entries whose key never recurs.  Under bursty tap loss the pending set
+/// grows large, which is exactly when a per-feed O(pending) scan made the
+/// tracer slowest; the hashed table + sweep keeps feed() O(1).
 class IpReassembler {
  public:
   explicit IpReassembler(std::int64_t timeoutUs = 30'000'000)
-      : timeoutUs_(timeoutUs) {}
+      : timeoutUs_(timeoutUs),
+        sweepIntervalUs_(timeoutUs / 4 > 0 ? timeoutUs / 4 : 1) {}
 
   /// Feed a parsed fragment (or whole datagram).  Returns the complete
-  /// transport payload when available.
-  std::optional<std::vector<std::uint8_t>> feed(const ParsedFrame& frame,
-                                                std::int64_t now);
+  /// transport payload when available.  The returned view aliases either
+  /// the caller's frame or an internal buffer that is reused by the next
+  /// feed() call — consume it before feeding the next frame.
+  std::optional<std::span<const std::uint8_t>> feed(const ParsedFrame& frame,
+                                                    std::int64_t now);
 
   std::uint64_t expired() const { return expired_; }
 
@@ -97,6 +110,13 @@ class IpReassembler {
     IpAddr src, dst;
     std::uint16_t id;
     bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = (static_cast<std::uint64_t>(k.src) << 32) | k.dst;
+      h = (h ^ k.id) * 0x9ddfea08eb382d69ULL;
+      return static_cast<std::size_t>(h ^ (h >> 29));
+    }
   };
   struct Pending {
     std::int64_t firstSeen = 0;
@@ -109,9 +129,23 @@ class IpReassembler {
     std::uint32_t totalLen = 0;
   };
 
-  std::vector<std::pair<Key, Pending>> pending_;
+  void recycle(Pending&& p);
+  void sweep(std::int64_t now);
+  Pending makePending(std::int64_t now);
+
+  FlatMap<Key, Pending, KeyHash> pending_;
   std::int64_t timeoutUs_;
+  std::int64_t sweepIntervalUs_;
+  std::int64_t lastSweepUs_ = 0;
   std::uint64_t expired_ = 0;
+  /// Buffer backing the most recently returned payload; recycled into
+  /// the spare pool (and from there into new Pending entries) on the next
+  /// feed, so steady-state reassembly allocates nothing.  The pool holds
+  /// a few buffers because loss interleaves concurrent reassemblies.
+  std::vector<std::uint8_t> completed_;
+  std::vector<std::vector<std::uint8_t>> sparePool_;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      spareExtents_;
 };
 
 /// Build one TCP segment (no options) in an Ethernet/IPv4 frame.

@@ -14,8 +14,7 @@ void encodeFh2(XdrEncoder& enc, const FileHandle& fh) {
 }
 
 FileHandle decodeFh2(XdrDecoder& dec) {
-  auto bytes = dec.getFixedOpaque(kFhSize2);
-  return FileHandle::fromBytes(bytes);
+  return FileHandle::fromBytes(dec.getFixedOpaqueView(kFhSize2));
 }
 
 namespace {

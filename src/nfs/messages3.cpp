@@ -10,8 +10,7 @@ void encodeFh3(XdrEncoder& enc, const FileHandle& fh) {
 }
 
 FileHandle decodeFh3(XdrDecoder& dec) {
-  auto bytes = dec.getOpaque(kFhSize3);
-  return FileHandle::fromBytes(bytes);
+  return FileHandle::fromBytes(dec.getOpaqueView(kFhSize3));
 }
 
 NfsOp opOf(const NfsCallArgs& args) {

@@ -37,6 +37,72 @@ const char* nfsStatName(NfsStat s) {
   return "E?";
 }
 
+NfsStat nfsStatFromName(std::string_view name) {
+  // Per-record on the trace decode path: dispatch on the second letter
+  // ("E" prefix is shared) before the string compare.
+  if (name == "OK") return NfsStat::Ok;
+  if (name.size() < 2 || name[0] != 'E') return NfsStat::ErrServerFault;
+  switch (name[1]) {
+    case 'P':
+      if (name == "EPERM") return NfsStat::ErrPerm;
+      break;
+    case 'N':
+      if (name == "ENOENT") return NfsStat::ErrNoEnt;
+      if (name == "ENOTDIR") return NfsStat::ErrNotDir;
+      if (name == "ENOSPC") return NfsStat::ErrNoSpc;
+      if (name == "ENOTEMPTY") return NfsStat::ErrNotEmpty;
+      if (name == "ENAMETOOLONG") return NfsStat::ErrNameTooLong;
+      if (name == "ENODEV") return NfsStat::ErrNoDev;
+      if (name == "ENOTSYNC") return NfsStat::ErrNotSync;
+      if (name == "ENOTSUPP") return NfsStat::ErrNotSupp;
+      break;
+    case 'I':
+      if (name == "EIO") return NfsStat::ErrIo;
+      if (name == "EISDIR") return NfsStat::ErrIsDir;
+      if (name == "EINVAL") return NfsStat::ErrInval;
+      break;
+    case 'A':
+      if (name == "EACCES") return NfsStat::ErrAcces;
+      break;
+    case 'E':
+      if (name == "EEXIST") return NfsStat::ErrExist;
+      break;
+    case 'X':
+      if (name == "EXDEV") return NfsStat::ErrXDev;
+      break;
+    case 'F':
+      if (name == "EFBIG") return NfsStat::ErrFBig;
+      break;
+    case 'R':
+      if (name == "EROFS") return NfsStat::ErrRoFs;
+      break;
+    case 'M':
+      if (name == "EMLINK") return NfsStat::ErrMLink;
+      break;
+    case 'D':
+      if (name == "EDQUOT") return NfsStat::ErrDQuot;
+      break;
+    case 'S':
+      if (name == "ESTALE") return NfsStat::ErrStale;
+      if (name == "ESERVERFAULT") return NfsStat::ErrServerFault;
+      break;
+    case 'B':
+      if (name == "EBADHANDLE") return NfsStat::ErrBadHandle;
+      if (name == "EBADCOOKIE") return NfsStat::ErrBadCookie;
+      if (name == "EBADTYPE") return NfsStat::ErrBadType;
+      break;
+    case 'T':
+      if (name == "ETOOSMALL") return NfsStat::ErrTooSmall;
+      break;
+    case 'J':
+      if (name == "EJUKEBOX") return NfsStat::ErrJukebox;
+      break;
+    default:
+      break;
+  }
+  return NfsStat::ErrServerFault;
+}
+
 FileHandle FileHandle::fromBytes(std::span<const std::uint8_t> bytes) {
   FileHandle fh;
   if (bytes.size() > kFhSize3) throw XdrError("file handle too long");
@@ -98,22 +164,36 @@ std::string FileHandle::toHex() const {
   return out;
 }
 
+namespace {
+
+// 256-entry nibble table: hex digit value, or 0xff for non-hex bytes.
+// Branchless per-byte decode on the per-record trace parse path.
+constexpr std::array<std::uint8_t, 256> makeNibbleTable() {
+  std::array<std::uint8_t, 256> t{};
+  for (auto& v : t) v = 0xff;
+  for (int c = '0'; c <= '9'; ++c) t[static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(c - '0');
+  for (int c = 'a'; c <= 'f'; ++c) t[static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(c - 'a' + 10);
+  for (int c = 'A'; c <= 'F'; ++c) t[static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(c - 'A' + 10);
+  return t;
+}
+constexpr std::array<std::uint8_t, 256> kNibble = makeNibbleTable();
+
+}  // namespace
+
 FileHandle FileHandle::fromHex(std::string_view hex) {
-  auto nibble = [](char c) -> int {
-    if (c >= '0' && c <= '9') return c - '0';
-    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-    throw XdrError("bad hex digit in file handle");
-  };
   if (hex.size() % 2 != 0 || hex.size() / 2 > kFhSize3) {
     throw XdrError("bad file handle hex length");
   }
   FileHandle fh;
   fh.len = static_cast<std::uint8_t>(hex.size() / 2);
+  unsigned bad = 0;
   for (std::uint8_t i = 0; i < fh.len; ++i) {
-    fh.data[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
-                                           nibble(hex[2 * i + 1]));
+    unsigned hi = kNibble[static_cast<std::uint8_t>(hex[2 * i])];
+    unsigned lo = kNibble[static_cast<std::uint8_t>(hex[2 * i + 1])];
+    bad |= hi | lo;  // 0xff propagates into bit 7+
+    fh.data[i] = static_cast<std::uint8_t>((hi << 4) | lo);
   }
+  if (bad & 0xf0) throw XdrError("bad hex digit in file handle");
   return fh;
 }
 
@@ -158,24 +238,26 @@ void Fattr::encode3(XdrEncoder& enc) const {
 }
 
 Fattr Fattr::decode3(XdrDecoder& dec) {
+  // fattr3 is a fixed 84-byte layout: one bounds check covers all fields.
+  dec.require(84);
   Fattr a;
-  a.type = static_cast<FileType>(dec.getUint32());
-  a.mode = dec.getUint32();
-  a.nlink = dec.getUint32();
-  a.uid = dec.getUint32();
-  a.gid = dec.getUint32();
-  a.size = dec.getUint64();
-  a.used = dec.getUint64();
-  dec.getUint32();  // rdev major
-  dec.getUint32();  // rdev minor
-  a.fsid = static_cast<std::uint32_t>(dec.getUint64());
-  a.fileid = dec.getUint64();
-  a.atime.seconds = dec.getUint32();
-  a.atime.nseconds = dec.getUint32();
-  a.mtime.seconds = dec.getUint32();
-  a.mtime.nseconds = dec.getUint32();
-  a.ctime.seconds = dec.getUint32();
-  a.ctime.nseconds = dec.getUint32();
+  a.type = static_cast<FileType>(dec.getUint32U());
+  a.mode = dec.getUint32U();
+  a.nlink = dec.getUint32U();
+  a.uid = dec.getUint32U();
+  a.gid = dec.getUint32U();
+  a.size = dec.getUint64U();
+  a.used = dec.getUint64U();
+  dec.getUint32U();  // rdev major
+  dec.getUint32U();  // rdev minor
+  a.fsid = static_cast<std::uint32_t>(dec.getUint64U());
+  a.fileid = dec.getUint64U();
+  a.atime.seconds = dec.getUint32U();
+  a.atime.nseconds = dec.getUint32U();
+  a.mtime.seconds = dec.getUint32U();
+  a.mtime.nseconds = dec.getUint32U();
+  a.ctime.seconds = dec.getUint32U();
+  a.ctime.nseconds = dec.getUint32U();
   return a;
 }
 
@@ -201,24 +283,26 @@ void Fattr::encode2(XdrEncoder& enc) const {
 }
 
 Fattr Fattr::decode2(XdrDecoder& dec) {
+  // v2 fattr is a fixed 17-word layout: one bounds check covers all fields.
+  dec.require(68);
   Fattr a;
-  a.type = static_cast<FileType>(dec.getUint32());
-  a.mode = dec.getUint32();
-  a.nlink = dec.getUint32();
-  a.uid = dec.getUint32();
-  a.gid = dec.getUint32();
-  a.size = dec.getUint32();
-  dec.getUint32();  // blocksize
-  dec.getUint32();  // rdev
-  a.used = static_cast<std::uint64_t>(dec.getUint32()) * 512;
-  a.fsid = dec.getUint32();
-  a.fileid = dec.getUint32();
-  a.atime.seconds = dec.getUint32();
-  a.atime.nseconds = dec.getUint32() * 1000;
-  a.mtime.seconds = dec.getUint32();
-  a.mtime.nseconds = dec.getUint32() * 1000;
-  a.ctime.seconds = dec.getUint32();
-  a.ctime.nseconds = dec.getUint32() * 1000;
+  a.type = static_cast<FileType>(dec.getUint32U());
+  a.mode = dec.getUint32U();
+  a.nlink = dec.getUint32U();
+  a.uid = dec.getUint32U();
+  a.gid = dec.getUint32U();
+  a.size = dec.getUint32U();
+  dec.getUint32U();  // blocksize
+  dec.getUint32U();  // rdev
+  a.used = static_cast<std::uint64_t>(dec.getUint32U()) * 512;
+  a.fsid = dec.getUint32U();
+  a.fileid = dec.getUint32U();
+  a.atime.seconds = dec.getUint32U();
+  a.atime.nseconds = dec.getUint32U() * 1000;
+  a.mtime.seconds = dec.getUint32U();
+  a.mtime.nseconds = dec.getUint32U() * 1000;
+  a.ctime.seconds = dec.getUint32U();
+  a.ctime.nseconds = dec.getUint32U() * 1000;
   return a;
 }
 

@@ -10,7 +10,7 @@ namespace {
 /// Producer-side dispatch batch per shard: push frames to the ring in
 /// bursts so each shard crossing costs one release store, not one per
 /// frame.
-constexpr std::size_t kStageBatch = 256;
+constexpr std::size_t kStageBatch = 512;
 /// Worker-side pop batch.
 constexpr std::size_t kWorkerBatch = 1024;
 /// Merge-side pop batch per shard ring.
@@ -296,6 +296,11 @@ void ParallelPipeline::mergeLoop() {
         if (best == n || buf[s].front().key < buf[best].front().key) best = s;
       }
       if (best == n) break;
+      // The record after the head is the likely next release from this
+      // shard; pull its line in while the sink runs.
+      if (buf[best].size() > 1) {
+        __builtin_prefetch(&buf[best][1]);
+      }
       const MergeKey& k = buf[best].front().key;
       // Releasable only if no other shard can still produce an earlier
       // key.  Nonempty buffers vouch for themselves (streams are sorted);

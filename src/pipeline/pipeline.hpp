@@ -65,9 +65,9 @@ class ParallelPipeline : public FrameSink {
     /// Number of worker Sniffer instances (>= 1).
     int shards = 4;
     /// Per-shard frame ring capacity (rounded up to a power of two).
-    std::size_t frameRingCapacity = 1 << 14;
+    std::size_t frameRingCapacity = 1 << 15;
     /// Per-shard record ring capacity.
-    std::size_t recordRingCapacity = 1 << 13;
+    std::size_t recordRingCapacity = 1 << 14;
     /// Broadcast a watermark heartbeat every this many frames.
     std::uint64_t heartbeatFrames = 4096;
     /// Overload shedding.  0 (default): the producer blocks (spin/yield)

@@ -85,10 +85,62 @@ RpcMessage decodeRpcMessage(std::span<const std::uint8_t> body) {
     msg.call.proc = dec.getUint32();
     // Credential.
     std::uint32_t flavor = dec.getUint32();
-    auto credBody = dec.getOpaque(400);
+    auto credBody = dec.getOpaqueView(400);
     if (flavor == static_cast<std::uint32_t>(AuthFlavor::Unix)) {
       XdrDecoder cd(credBody);
       msg.call.cred = AuthUnix::decode(cd);
+    }
+    // Verifier.
+    dec.getUint32();
+    dec.skipOpaque(400);
+    msg.call.argsOffset = dec.position();
+  } else if (type == static_cast<std::uint32_t>(RpcMsgType::Reply)) {
+    msg.type = RpcMsgType::Reply;
+    msg.reply.xid = xid;
+    auto stat = dec.getUint32();
+    msg.reply.replyStat = static_cast<RpcReplyStat>(stat);
+    if (msg.reply.replyStat == RpcReplyStat::Accepted) {
+      // Verifier.
+      dec.getUint32();
+      dec.skipOpaque(400);
+      msg.reply.acceptStat = static_cast<RpcAcceptStat>(dec.getUint32());
+      msg.reply.resultsOffset = dec.position();
+    } else {
+      throw XdrError("RPC reply denied");
+    }
+  } else {
+    throw XdrError("bad RPC message type");
+  }
+  return msg;
+}
+
+RpcMessageLite decodeRpcMessageLite(std::span<const std::uint8_t> body) {
+  XdrDecoder dec(body);
+  RpcMessageLite msg;
+  std::uint32_t xid = dec.getUint32();
+  auto type = dec.getUint32();
+  if (type == static_cast<std::uint32_t>(RpcMsgType::Call)) {
+    msg.type = RpcMsgType::Call;
+    msg.call.xid = xid;
+    std::uint32_t rpcvers = dec.getUint32();
+    if (rpcvers != kRpcVersion) throw XdrError("bad RPC version");
+    msg.call.prog = dec.getUint32();
+    msg.call.vers = dec.getUint32();
+    msg.call.proc = dec.getUint32();
+    // Credential: same validation as the full decode, but only uid/gid
+    // survive — no string/vector allocation.
+    std::uint32_t flavor = dec.getUint32();
+    auto credBody = dec.getOpaqueView(400);
+    if (flavor == static_cast<std::uint32_t>(AuthFlavor::Unix)) {
+      XdrDecoder cd(credBody);
+      cd.getUint32();      // stamp
+      cd.skipOpaque(255);  // machine name
+      msg.call.uid = cd.getUint32();
+      msg.call.gid = cd.getUint32();
+      std::uint32_t n = cd.getUint32();
+      if (n > 16) throw XdrError("AUTH_UNIX gid list too long");
+      cd.require(std::size_t{4} * n);
+      msg.call.hasUnixCred = true;
     }
     // Verifier.
     dec.getUint32();
@@ -128,23 +180,23 @@ std::vector<std::uint8_t> recordMark(std::span<const std::uint8_t> body) {
 
 void RecordMarkReader::feed(std::span<const std::uint8_t> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());
-  // Consume as many complete fragments as are available.
-  while (buf_.size() >= 4) {
-    std::uint32_t hdr = (static_cast<std::uint32_t>(buf_[0]) << 24) |
-                        (static_cast<std::uint32_t>(buf_[1]) << 16) |
-                        (static_cast<std::uint32_t>(buf_[2]) << 8) |
-                        static_cast<std::uint32_t>(buf_[3]);
+  // Consume as many complete fragments as are available, tracking a read
+  // offset so the buffer is compacted once per feed, not once per record.
+  std::size_t off = 0;
+  while (buf_.size() - off >= 4) {
+    std::uint32_t hdr = detail::loadBe32(buf_.data() + off);
     bool last = (hdr & 0x80000000u) != 0;
     std::uint32_t fragLen = hdr & 0x7fffffffu;
-    if (buf_.size() < 4 + static_cast<std::size_t>(fragLen)) break;
-    assembly_.insert(assembly_.end(), buf_.begin() + 4,
-                     buf_.begin() + 4 + fragLen);
-    buf_.erase(buf_.begin(), buf_.begin() + 4 + fragLen);
+    if (buf_.size() - off < 4 + static_cast<std::size_t>(fragLen)) break;
+    assembly_.insert(assembly_.end(), buf_.begin() + static_cast<std::ptrdiff_t>(off) + 4,
+                     buf_.begin() + static_cast<std::ptrdiff_t>(off + 4 + fragLen));
+    off += 4 + fragLen;
     if (last) {
       ready_.push_back(std::move(assembly_));
       assembly_.clear();
     }
   }
+  if (off > 0) buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off));
 }
 
 std::optional<std::vector<std::uint8_t>> RecordMarkReader::next() {

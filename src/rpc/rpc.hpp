@@ -84,6 +84,28 @@ void encodeRpcReplyError(XdrEncoder& enc, std::uint32_t xid,
 /// Parse an RPC message header.  Throws XdrError on malformed input.
 RpcMessage decodeRpcMessage(std::span<const std::uint8_t> body);
 
+/// Allocation-free variant for the capture hot path: identical validation
+/// and error behaviour to decodeRpcMessage, but only the fields the tracer
+/// consumes (uid/gid from AUTH_UNIX rather than the full credential).
+struct RpcCallLite {
+  std::uint32_t xid = 0;
+  std::uint32_t prog = kNfsProgram;
+  std::uint32_t vers = 3;
+  std::uint32_t proc = 0;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  bool hasUnixCred = false;
+  std::size_t argsOffset = 0;
+};
+
+struct RpcMessageLite {
+  RpcMsgType type = RpcMsgType::Call;
+  RpcCallLite call;
+  RpcReply reply;
+};
+
+RpcMessageLite decodeRpcMessageLite(std::span<const std::uint8_t> body);
+
 /// RFC 1831 record marking: prepend a 4-byte header with the high bit set
 /// (last fragment) and the fragment length.  We always emit single-fragment
 /// records, as real NFS implementations overwhelmingly do.

@@ -1,6 +1,7 @@
 #include "sniffer/sniffer.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <tuple>
 
 #include "pcap/pcap.hpp"
@@ -59,7 +60,29 @@ void Sniffer::bindMetrics() {
   });
 }
 
+void Sniffer::publishCounters() {
+  auto push = [](obs::CounterHandle& h, std::uint64_t cur,
+                 std::uint64_t& prev) {
+    if (cur != prev) {
+      h.inc(cur - prev);
+      prev = cur;
+    }
+  };
+  push(framesC_, stats_.framesSeen, published_.framesSeen);
+  push(framesDecodedC_, framesParsed_, publishedFramesParsed_);
+  push(malformedC_, stats_.framesUndecodable, published_.framesUndecodable);
+  push(rpcCallsC_, stats_.rpcCalls, published_.rpcCalls);
+  push(rpcRepliesC_, stats_.rpcReplies, published_.rpcReplies);
+  push(nonNfsC_, stats_.nonNfsCalls, published_.nonNfsCalls);
+  push(orphansC_, stats_.orphanReplies, published_.orphanReplies);
+  push(expiredC_, stats_.expiredCalls, published_.expiredCalls);
+  push(evictedC_, stats_.evictedCalls, published_.evictedCalls);
+  push(evictedFlowsC_, stats_.evictedFlows, published_.evictedFlows);
+  push(flushedC_, stats_.flushedCalls, published_.flushedCalls);
+}
+
 void Sniffer::updateResourceGauges() {
+  publishCounters();
   pendingG_.set(static_cast<double>(pending_.size()));
   if (tcpBufferedG_) {
     std::uint64_t buffered = 0;
@@ -72,15 +95,13 @@ void Sniffer::updateResourceGauges() {
 
 void Sniffer::onFrame(const CapturedPacket& pkt) {
   ++stats_.framesSeen;
-  framesC_.inc();
   advanceTime(pkt.ts);
   auto parsed = parseFrame(pkt.data);
   if (!parsed) {
     ++stats_.framesUndecodable;
-    malformedC_.inc();
     return;
   }
-  framesDecodedC_.inc();
+  ++framesParsed_;
 
   bool toServer = parsed->dstPort == config_.nfsPort;
   bool fromServer = parsed->srcPort == config_.nfsPort;
@@ -141,12 +162,11 @@ void Sniffer::onFrame(const CapturedPacket& pkt) {
 void Sniffer::onRpcBytes(MicroTime ts, IpAddr src, IpAddr dst, bool overTcp,
                          std::span<const std::uint8_t> body, bool toServer) {
   (void)toServer;
-  RpcMessage msg;
+  RpcMessageLite msg;
   try {
-    msg = decodeRpcMessage(body);
+    msg = decodeRpcMessageLite(body);
   } catch (const XdrError&) {
     ++stats_.framesUndecodable;
-    malformedC_.inc();
     return;
   }
 
@@ -165,7 +185,7 @@ void Sniffer::onRpcBytes(MicroTime ts, IpAddr src, IpAddr dst, bool overTcp,
 }
 
 void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
-                         bool overTcp, const RpcCall& call,
+                         bool overTcp, const RpcCallLite& call,
                          std::span<const std::uint8_t> body) {
   if (call.prog != kNfsProgram) {
     // MOUNT/portmap traffic shares the wire; remember the xid so its
@@ -173,7 +193,6 @@ void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
     // at capacity it is dropped wholesale, the cheapest bounded policy;
     // the cost is a handful of non-NFS replies counted as orphans.
     ++stats_.nonNfsCalls;
-    nonNfsC_.inc();
     if (config_.maxIgnoredXids > 0 &&
         ignoredXids_.size() >= config_.maxIgnoredXids) {
       ignoredXids_.clear();
@@ -182,7 +201,6 @@ void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
     return;
   }
   ++stats_.rpcCalls;
-  rpcCallsC_.inc();
 
   PendingCall pc;
   pc.ts = ts;
@@ -191,9 +209,9 @@ void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
   pc.vers = call.vers;
   pc.proc = call.proc;
   pc.overTcp = overTcp;
-  if (call.cred) {
-    pc.uid = call.cred->uid;
-    pc.gid = call.cred->gid;
+  if (call.hasUnixCred) {
+    pc.uid = call.uid;
+    pc.gid = call.gid;
   }
 
   XdrDecoder dec(body.subspan(call.argsOffset));
@@ -207,13 +225,16 @@ void Sniffer::handleCall(MicroTime ts, IpAddr client, IpAddr server,
     }
   } catch (const XdrError&) {
     ++stats_.framesUndecodable;
-    malformedC_.inc();
     return;
   }
 
   std::uint64_t key = xidKey(client, call.xid);
-  bool isNew = pending_.find(key) == pending_.end();
-  pending_[key] = std::move(pc);
+  auto [it, isNew] = pending_.try_emplace(key);
+  it->second = std::move(pc);
+  // Both fresh calls and retransmissions (which refresh the entry's ts)
+  // get an expiry-heap pair; the stale older pair is skipped at pop time.
+  pendingByTs_.emplace_back(it->second.ts, key);
+  std::push_heap(pendingByTs_.begin(), pendingByTs_.end(), std::greater<>{});
   if (isNew) {
     pendingOrder_.push_back(key);
     if (config_.maxPendingCalls > 0) {
@@ -237,7 +258,6 @@ void Sniffer::evictOldestPending() {
     TraceRecord rec =
         recordFromCall(static_cast<std::uint32_t>(key), it->second);
     ++stats_.evictedCalls;
-    evictedC_.inc();
     callback_(rec);
     pending_.erase(it);
     return;
@@ -271,20 +291,17 @@ void Sniffer::evictColdestFlow() {
   }
   tcpFlows_.erase(coldest);
   ++stats_.evictedFlows;
-  evictedFlowsC_.inc();
 }
 
 void Sniffer::handleReply(MicroTime ts, IpAddr client, const RpcReply& reply,
                           std::span<const std::uint8_t> body) {
   ++stats_.rpcReplies;
-  rpcRepliesC_.inc();
   auto it = pending_.find(xidKey(client, reply.xid));
   if (it == pending_.end()) {
     if (ignoredXids_.erase(xidKey(client, reply.xid))) return;  // non-NFS
     // The reply's call was never seen — this is exactly how capture loss
     // manifests, and what the paper counted to estimate it.
     ++stats_.orphanReplies;
-    orphansC_.inc();
     return;
   }
   const PendingCall& pc = it->second;
@@ -332,19 +349,29 @@ void Sniffer::advanceTime(MicroTime now) {
 void Sniffer::expirePending(MicroTime now) {
   // Collect first, then emit ordered by (client, xid): emission order must
   // not depend on hash-table iteration order, or serial and sharded runs
-  // of the same capture would produce differently-ordered traces.
+  // of the same capture would produce differently-ordered traces.  The
+  // heap pops exactly the (key, ts) pairs past the timeout horizon; a
+  // pair whose ts no longer matches the live entry is stale (answered,
+  // evicted, or retransmitted since) and contributes nothing.
   std::vector<std::uint64_t> expired;
-  for (const auto& [key, pc] : pending_) {
-    if (now - pc.ts > config_.pendingTimeout) expired.push_back(key);
+  while (!pendingByTs_.empty() &&
+         now - pendingByTs_.front().first > config_.pendingTimeout) {
+    auto [ts, key] = pendingByTs_.front();
+    std::pop_heap(pendingByTs_.begin(), pendingByTs_.end(), std::greater<>{});
+    pendingByTs_.pop_back();
+    auto it = pending_.find(key);
+    if (it != pending_.end() && it->second.ts == ts) expired.push_back(key);
   }
   if (expired.empty()) return;
   std::sort(expired.begin(), expired.end());
+  // A retransmission in the same microsecond can leave two identical
+  // pairs; emit each expired call once.
+  expired.erase(std::unique(expired.begin(), expired.end()), expired.end());
   for (std::uint64_t key : expired) {
     auto it = pending_.find(key);
     TraceRecord rec =
         recordFromCall(static_cast<std::uint32_t>(key), it->second);
     ++stats_.expiredCalls;
-    expiredC_.inc();
     callback_(rec);
     pending_.erase(it);
   }
@@ -363,11 +390,11 @@ void Sniffer::flush() {
     // tail dominates, and folding it into expiredCalls would make the
     // reply-loss figure depend on when the capture happened to stop.
     ++stats_.flushedCalls;
-    flushedC_.inc();
     callback_(rec);
   }
   pending_.clear();
   pendingOrder_.clear();
+  pendingByTs_.clear();
   if (config_.metrics) updateResourceGauges();
 }
 

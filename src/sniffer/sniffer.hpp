@@ -10,8 +10,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "netcap/netcap.hpp"
@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 #include "trace/record.hpp"
+#include "util/flatmap.hpp"
 #include "util/hash.hpp"
 
 namespace nfstrace {
@@ -122,7 +123,7 @@ class Sniffer : public FrameSink {
   void onRpcBytes(MicroTime ts, IpAddr src, IpAddr dst, bool overTcp,
                   std::span<const std::uint8_t> body, bool toServer);
   void handleCall(MicroTime ts, IpAddr client, IpAddr server, bool overTcp,
-                  const RpcCall& call, std::span<const std::uint8_t> body);
+                  const RpcCallLite& call, std::span<const std::uint8_t> body);
   void handleReply(MicroTime ts, IpAddr client, const RpcReply& reply,
                    std::span<const std::uint8_t> body);
   void expirePending(MicroTime now);
@@ -147,20 +148,42 @@ class Sniffer : public FrameSink {
   IpReassembler ipReassembler_;
   /// Last expiry-scan boundary (floor(ts / expiryScanInterval)) crossed.
   MicroTime lastScanBoundary_ = -1;
-  std::unordered_map<FlowKey, TcpFlow, FlowKeyHash> tcpFlows_;
+  FlatMap<FlowKey, TcpFlow, FlowKeyHash> tcpFlows_;
   /// Pending calls keyed by packed (client ip, xid).
-  std::unordered_map<std::uint64_t, PendingCall, U64Hash> pending_;
+  FlatMap<std::uint64_t, PendingCall, U64Hash> pending_;
   /// Insertion order of pending keys, for oldest-first eviction.  Entries
   /// go stale when a reply or expiry removes the call; eviction skips
   /// them lazily and compactPendingOrder() trims the backlog.
   std::deque<std::uint64_t> pendingOrder_;
+  /// Min-heap of (call ts, key) driving the expiry scan: each boundary
+  /// pops only the entries past the timeout horizon instead of walking
+  /// the whole table (2-hour timeout ⇒ a big table, scanned every 30
+  /// simulated seconds — the old walk dominated the decode profile).
+  /// Pairs go stale when a reply/eviction removes the call or a
+  /// retransmission refreshes its ts; the (key, ts) liveness match skips
+  /// them, so the popped set equals the full scan's exactly — under any
+  /// frame order — which the byte-identical guarantee requires.
+  std::vector<std::pair<MicroTime, std::uint64_t>> pendingByTs_;
   /// Calls for other RPC programs whose replies we must skip silently.
-  std::unordered_set<std::uint64_t, U64Hash> ignoredXids_;
+  FlatSet<std::uint64_t, U64Hash> ignoredXids_;
 
-  // Self-monitoring (unbound no-ops unless Config::metrics is set).  Each
-  // counter increment is one relaxed add on this shard's own cache line.
+  // Self-monitoring (unbound no-ops unless Config::metrics is set).
+  // Counters are NOT bumped per event: on the reworked hot path even a
+  // relaxed atomic add per record costs a visible slice of the 2%
+  // instrumentation budget.  stats_ (plain fields, always maintained) is
+  // the source of truth; publishCounters() pushes the deltas to the obs
+  // registry at expiry-scan boundaries and on flush(), so scrapes see
+  // totals that are exact at every boundary and at end of capture.
   void bindMetrics();
   void updateResourceGauges();
+  void publishCounters();
+  /// Frames parseFrame accepted; feeds sniffer.frames_decoded (counted
+  /// separately from Stats, which folds later RPC failures into
+  /// framesUndecodable).
+  std::uint64_t framesParsed_ = 0;
+  /// Counter totals already pushed to the registry.
+  Stats published_;
+  std::uint64_t publishedFramesParsed_ = 0;
   obs::CounterHandle framesC_;
   obs::CounterHandle framesDecodedC_;
   obs::CounterHandle malformedC_;

@@ -3,6 +3,7 @@
 #include "obs/timer.hpp"
 
 #include <algorithm>
+#include <array>
 #include <charconv>
 #include <chrono>
 #include <cinttypes>
@@ -95,11 +96,27 @@ void appendIp(std::string& out, IpAddr ip) {
   appendUint(out, ip & 0xff);
 }
 
-void appendFhHex(std::string& out, const FileHandle& fh) {
-  for (std::size_t i = 0; i < fh.len; ++i) {
-    out.push_back(kHexDigits[fh.data[i] >> 4]);
-    out.push_back(kHexDigits[fh.data[i] & 0xf]);
+// Byte -> two-hex-char pair table; one append per byte instead of two
+// push_backs on the record-format hot path.
+constexpr std::array<std::array<char, 2>, 256> makeHexPairs() {
+  std::array<std::array<char, 2>, 256> t{};
+  for (std::size_t b = 0; b < 256; ++b) {
+    t[b][0] = kHexDigits[b >> 4];
+    t[b][1] = kHexDigits[b & 0xf];
   }
+  return t;
+}
+constexpr std::array<std::array<char, 2>, 256> kHexPairs = makeHexPairs();
+
+void appendFhHex(std::string& out, const FileHandle& fh) {
+  char buf[kFhSize3 * 2];
+  char* w = buf;
+  for (std::size_t i = 0; i < fh.len; ++i) {
+    const auto& pair = kHexPairs[fh.data[i]];
+    *w++ = pair[0];
+    *w++ = pair[1];
+  }
+  out.append(buf, static_cast<std::size_t>(w - buf));
 }
 
 MicroTime parseTimeField(std::string_view v) {
@@ -230,100 +247,138 @@ std::string formatRecord(const TraceRecord& rec) {
   return out;
 }
 
+namespace {
+
+/// Pack a short field key ("xid", "t", ...) into an integer so the parser
+/// dispatches with one switch instead of a string-compare cascade.
+constexpr std::uint32_t packKey(std::string_view k) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < k.size() && i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(k[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
 bool parseRecordInto(std::string_view line, TraceRecord& rec) {
   if (line.empty() || line[0] == '#') return false;
   resetRecordKeepCapacity(rec);
   bool sawTime = false;
-  std::size_t at = 0;
-  while (at <= line.size()) {
-    std::size_t sp = line.find(' ', at);
-    std::size_t tokEnd = sp == std::string_view::npos ? line.size() : sp;
-    std::string_view tok = line.substr(at, tokEnd - at);
-    at = sp == std::string_view::npos ? line.size() + 1 : sp + 1;
-    if (tok.empty()) continue;
-    auto eq = tok.find('=');
-    if (eq == std::string_view::npos) continue;
-    std::string_view key = tok.substr(0, eq);
-    std::string_view val = tok.substr(eq + 1);
-    if (key == "t") {
-      rec.ts = parseTimeField(val);
-      sawTime = true;
-    } else if (key == "r") {
-      rec.replyTs = parseTimeField(val);
-      rec.hasReply = true;
-    } else if (key == "c") {
-      auto ip = ipFromString(val);
-      if (!ip) throw std::runtime_error("trace: bad client ip");
-      rec.client = *ip;
-    } else if (key == "s") {
-      auto ip = ipFromString(val);
-      if (!ip) throw std::runtime_error("trace: bad server ip");
-      rec.server = *ip;
-    } else if (key == "xid") {
-      rec.xid = static_cast<std::uint32_t>(parseU64(val, 16));
-    } else if (key == "v") {
-      rec.vers = static_cast<std::uint8_t>(parseU64(val));
-    } else if (key == "p") {
-      rec.overTcp = val == "tcp";
-    } else if (key == "op") {
-      rec.op = nfsOpFromName(val);
-    } else if (key == "uid") {
-      rec.uid = static_cast<std::uint32_t>(parseU64(val));
-    } else if (key == "gid") {
-      rec.gid = static_cast<std::uint32_t>(parseU64(val));
-    } else if (key == "fh") {
-      rec.fh = FileHandle::fromHex(val);
-    } else if (key == "nm") {
-      decodeFieldInto(val, rec.name);
-    } else if (key == "nm2") {
-      decodeFieldInto(val, rec.name2);
-    } else if (key == "fh2") {
-      rec.fh2 = FileHandle::fromHex(val);
-    } else if (key == "off") {
-      rec.offset = parseU64(val);
-    } else if (key == "cnt") {
-      rec.count = static_cast<std::uint32_t>(parseU64(val));
-    } else if (key == "st") {
-      // Match by name; unknown statuses parse as ServerFault.
-      rec.status = NfsStat::ErrServerFault;
-      for (auto cand : {NfsStat::Ok, NfsStat::ErrPerm, NfsStat::ErrNoEnt,
-                        NfsStat::ErrIo, NfsStat::ErrAcces, NfsStat::ErrExist,
-                        NfsStat::ErrNotDir, NfsStat::ErrIsDir,
-                        NfsStat::ErrInval, NfsStat::ErrFBig, NfsStat::ErrNoSpc,
-                        NfsStat::ErrRoFs, NfsStat::ErrNameTooLong,
-                        NfsStat::ErrNotEmpty, NfsStat::ErrDQuot,
-                        NfsStat::ErrStale, NfsStat::ErrNotSupp}) {
-        if (val == nfsStatName(cand)) {
-          rec.status = cand;
-          break;
-        }
-      }
-    } else if (key == "ret") {
-      rec.retCount = static_cast<std::uint32_t>(parseU64(val));
-    } else if (key == "eof") {
-      rec.eof = val == "1";
-    } else if (key == "rfh") {
-      rec.resFh = FileHandle::fromHex(val);
-      rec.hasResFh = true;
-    } else if (key == "ft") {
-      rec.ftype = static_cast<FileType>(parseU64(val));
-      rec.hasAttrs = true;
-    } else if (key == "sz") {
-      rec.fileSize = parseU64(val);
-      rec.hasAttrs = true;
-    } else if (key == "mt") {
-      rec.fileMtime = parseTimeField(val);
-      rec.hasAttrs = true;
-    } else if (key == "fid") {
-      rec.fileId = parseU64(val);
-    } else if (key == "psz") {
-      rec.preSize = parseU64(val);
-      rec.hasPre = true;
-    } else if (key == "pmt") {
-      rec.preMtime = parseTimeField(val);
-      rec.hasPre = true;
+  const char* p = line.data();
+  const char* lineEnd = p + line.size();
+  while (p < lineEnd) {
+    const char* sp = static_cast<const char*>(
+        std::memchr(p, ' ', static_cast<std::size_t>(lineEnd - p)));
+    const char* tokEnd = sp ? sp : lineEnd;
+    const char* eq = static_cast<const char*>(
+        std::memchr(p, '=', static_cast<std::size_t>(tokEnd - p)));
+    if (!eq) {  // empty token or no '=': ignore, as before
+      p = tokEnd + 1;
+      continue;
     }
-    // Unknown keys are intentionally ignored.
+    std::string_view key(p, static_cast<std::size_t>(eq - p));
+    std::string_view val(eq + 1, static_cast<std::size_t>(tokEnd - eq - 1));
+    p = tokEnd + 1;
+    if (key.size() > 3) continue;  // unknown keys are intentionally ignored
+    switch (packKey(key)) {
+      case packKey("t"):
+        rec.ts = parseTimeField(val);
+        sawTime = true;
+        break;
+      case packKey("r"):
+        rec.replyTs = parseTimeField(val);
+        rec.hasReply = true;
+        break;
+      case packKey("c"): {
+        auto ip = ipFromString(val);
+        if (!ip) throw std::runtime_error("trace: bad client ip");
+        rec.client = *ip;
+        break;
+      }
+      case packKey("s"): {
+        auto ip = ipFromString(val);
+        if (!ip) throw std::runtime_error("trace: bad server ip");
+        rec.server = *ip;
+        break;
+      }
+      case packKey("xid"):
+        rec.xid = static_cast<std::uint32_t>(parseU64(val, 16));
+        break;
+      case packKey("v"):
+        rec.vers = static_cast<std::uint8_t>(parseU64(val));
+        break;
+      case packKey("p"):
+        rec.overTcp = val == "tcp";
+        break;
+      case packKey("op"):
+        rec.op = nfsOpFromName(val);
+        break;
+      case packKey("uid"):
+        rec.uid = static_cast<std::uint32_t>(parseU64(val));
+        break;
+      case packKey("gid"):
+        rec.gid = static_cast<std::uint32_t>(parseU64(val));
+        break;
+      case packKey("fh"):
+        rec.fh = FileHandle::fromHex(val);
+        break;
+      case packKey("nm"):
+        decodeFieldInto(val, rec.name);
+        break;
+      case packKey("nm2"):
+        decodeFieldInto(val, rec.name2);
+        break;
+      case packKey("fh2"):
+        rec.fh2 = FileHandle::fromHex(val);
+        break;
+      case packKey("off"):
+        rec.offset = parseU64(val);
+        break;
+      case packKey("cnt"):
+        rec.count = static_cast<std::uint32_t>(parseU64(val));
+        break;
+      case packKey("st"):
+        // Match by name; unknown statuses parse as ServerFault.
+        rec.status = nfsStatFromName(val);
+        break;
+      case packKey("ret"):
+        rec.retCount = static_cast<std::uint32_t>(parseU64(val));
+        break;
+      case packKey("eof"):
+        rec.eof = val == "1";
+        break;
+      case packKey("rfh"):
+        rec.resFh = FileHandle::fromHex(val);
+        rec.hasResFh = true;
+        break;
+      case packKey("ft"):
+        rec.ftype = static_cast<FileType>(parseU64(val));
+        rec.hasAttrs = true;
+        break;
+      case packKey("sz"):
+        rec.fileSize = parseU64(val);
+        rec.hasAttrs = true;
+        break;
+      case packKey("mt"):
+        rec.fileMtime = parseTimeField(val);
+        rec.hasAttrs = true;
+        break;
+      case packKey("fid"):
+        rec.fileId = parseU64(val);
+        break;
+      case packKey("psz"):
+        rec.preSize = parseU64(val);
+        rec.hasPre = true;
+        break;
+      case packKey("pmt"):
+        rec.preMtime = parseTimeField(val);
+        rec.hasPre = true;
+        break;
+      default:
+        break;  // unknown keys are intentionally ignored
+    }
   }
   if (!sawTime) throw std::runtime_error("trace: record missing timestamp");
   return true;
@@ -551,7 +606,6 @@ void TraceWriter::write(const TraceRecord& rec) {
     packBinaryInto(buf_, rec);
   }
   ++count_;
-  recordsC_.inc();
   if (opts_.checkpointEveryRecords > 0 &&
       count_ - lastCkptCount_ >= opts_.checkpointEveryRecords) {
     appendCheckpoint();
@@ -589,6 +643,10 @@ void TraceWriter::attachMetrics(obs::Registry& registry) {
 }
 
 void TraceWriter::flushBuffer() {
+  if (count_ != publishedCount_) {
+    recordsC_.inc(count_ - publishedCount_);
+    publishedCount_ = count_;
+  }
   if (buf_.empty()) return;
   obs::TimerSpan span(flushNs_);
   writeAll(buf_.data(), buf_.size());

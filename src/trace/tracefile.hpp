@@ -104,6 +104,10 @@ class TraceWriter {
   std::string buf_;
   std::uint64_t count_ = 0;
   std::uint64_t lastCkptCount_ = 0;
+  /// Records already pushed to trace.records_written; the counter is
+  /// published per buffer flush, not per record, to keep a single atomic
+  /// add off the per-record path.
+  std::uint64_t publishedCount_ = 0;
   IoStats ioStats_;
   obs::CounterHandle recordsC_;
   obs::CounterHandle bytesC_;

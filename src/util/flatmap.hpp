@@ -1,0 +1,262 @@
+// Open-addressing hash containers for the capture hot path.
+//
+// std::unordered_map pays one heap allocation per node and a pointer chase
+// per lookup; the sniffer does a lookup in two or three of these tables for
+// every RPC message.  FlatMap stores key/value pairs inline in a single
+// power-of-two slot array with linear probing and backward-shift deletion
+// (no tombstones, so probe chains never rot).  The growth policy (double at
+// 3/4 load) keeps probes short without the per-node malloc traffic.
+//
+// Semantics intentionally mirror the std::unordered_map subset the sniffer
+// uses — find / operator[] / try_emplace / erase / size / clear / range
+// iteration — so the LRU-bounded eviction logic built on top of it (PR 4)
+// is unchanged.  Iteration order is unspecified, as before; all callers
+// that need determinism already collect-and-sort keys.
+//
+// Invalidation: any insert or erase may move elements (rehash or backward
+// shift), so iterators and references are invalidated by mutation.  The
+// value_type is pair<Key, T> (key not const) because backward-shift
+// deletion relocates pairs; callers must not mutate keys through iterators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <new>
+#include <utility>
+
+namespace nfstrace {
+
+template <class Key, class T, class Hash = std::hash<Key>,
+          class KeyEqual = std::equal_to<Key>>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, T>;
+
+  FlatMap() = default;
+  FlatMap(const FlatMap&) = delete;
+  FlatMap& operator=(const FlatMap&) = delete;
+  FlatMap(FlatMap&& o) noexcept { swap(o); }
+  FlatMap& operator=(FlatMap&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      swap(o);
+    }
+    return *this;
+  }
+  ~FlatMap() { destroy(); }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::pair<Key, T>;
+    using difference_type = std::ptrdiff_t;
+    using pointer = value_type*;
+    using reference = value_type&;
+
+    iterator() = default;
+    value_type& operator*() const { return m_->slotAt(i_); }
+    value_type* operator->() const { return &m_->slotAt(i_); }
+    iterator& operator++() {
+      i_ = m_->nextUsed(i_ + 1);
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    friend class FlatMap;
+    iterator(FlatMap* m, std::size_t i) : m_(m), i_(i) {}
+    FlatMap* m_ = nullptr;
+    std::size_t i_ = 0;
+  };
+  using const_iterator = iterator;  // shallow-const container, like a view
+
+  iterator begin() { return {this, nextUsed(0)}; }
+  iterator end() { return {this, cap_}; }
+  iterator begin() const { return const_cast<FlatMap*>(this)->begin(); }
+  iterator end() const { return const_cast<FlatMap*>(this)->end(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want * 3 < n * 4) want <<= 1;  // keep load <= 3/4
+    if (want > cap_) rehash(want);
+  }
+
+  iterator find(const Key& k) {
+    if (size_ == 0) return end();
+    std::size_t i = Hash{}(k)&mask_;
+    while (used_[i]) {
+      if (KeyEqual{}(slotAt(i).first, k)) return {this, i};
+      i = (i + 1) & mask_;
+    }
+    return end();
+  }
+  const_iterator find(const Key& k) const {
+    return const_cast<FlatMap*>(this)->find(k);
+  }
+  std::size_t count(const Key& k) const { return find(k) != end() ? 1 : 0; }
+  bool contains(const Key& k) const { return find(k) != end(); }
+
+  /// Insert default-constructed value if absent; args beyond the key are
+  /// forwarded to T's constructor on insertion only.
+  template <class... Args>
+  std::pair<iterator, bool> try_emplace(const Key& k, Args&&... args) {
+    growIfNeeded();
+    std::size_t i = Hash{}(k)&mask_;
+    while (used_[i]) {
+      if (KeyEqual{}(slotAt(i).first, k)) return {{this, i}, false};
+      i = (i + 1) & mask_;
+    }
+    ::new (slotPtr(i)) value_type(std::piecewise_construct,
+                                  std::forward_as_tuple(k),
+                                  std::forward_as_tuple(std::forward<Args>(args)...));
+    used_[i] = true;
+    ++size_;
+    return {{this, i}, true};
+  }
+
+  T& operator[](const Key& k) { return try_emplace(k).first->second; }
+
+  template <class V>
+  std::pair<iterator, bool> insert_or_assign(const Key& k, V&& v) {
+    auto [it, inserted] = try_emplace(k, std::forward<V>(v));
+    if (!inserted) it->second = std::forward<V>(v);
+    return {it, inserted};
+  }
+
+  std::size_t erase(const Key& k) {
+    auto it = find(k);
+    if (it == end()) return 0;
+    erase(it);
+    return 1;
+  }
+
+  /// Backward-shift removal.  Invalidates all iterators (including the
+  /// argument); do not continue iterating after an erase.
+  void erase(iterator it) {
+    std::size_t hole = it.i_;
+    std::size_t j = hole;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (!used_[j]) break;
+      std::size_t home = Hash{}(slotAt(j).first) & mask_;
+      // The element at j may fill the hole iff its probe path from `home`
+      // to j runs through the hole.
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slotAt(hole) = std::move(slotAt(j));
+        hole = j;
+      }
+    }
+    slotAt(hole).~value_type();
+    used_[hole] = false;
+    --size_;
+  }
+
+  void clear() {
+    if (cap_ != 0) {
+      for (std::size_t i = 0; i < cap_; ++i) {
+        if (used_[i]) {
+          slotAt(i).~value_type();
+          used_[i] = false;
+        }
+      }
+    }
+    size_ = 0;
+  }
+
+ private:
+  void swap(FlatMap& o) {
+    std::swap(slots_, o.slots_);
+    std::swap(used_, o.used_);
+    std::swap(cap_, o.cap_);
+    std::swap(mask_, o.mask_);
+    std::swap(size_, o.size_);
+  }
+
+  value_type* slotPtr(std::size_t i) {
+    return std::launder(reinterpret_cast<value_type*>(
+        slots_ + i * sizeof(value_type)));
+  }
+  value_type& slotAt(std::size_t i) { return *slotPtr(i); }
+
+  std::size_t nextUsed(std::size_t i) const {
+    while (i < cap_ && !used_[i]) ++i;
+    return i;
+  }
+
+  void growIfNeeded() {
+    if ((size_ + 1) * 4 > cap_ * 3) rehash(cap_ == 0 ? 16 : cap_ * 2);
+  }
+
+  void rehash(std::size_t newCap) {
+    auto* oldSlots = slots_;
+    auto* oldUsed = used_;
+    std::size_t oldCap = cap_;
+
+    slots_ = static_cast<unsigned char*>(
+        ::operator new(newCap * sizeof(value_type), std::align_val_t{alignof(value_type)}));
+    used_ = new bool[newCap]();
+    cap_ = newCap;
+    mask_ = newCap - 1;
+
+    for (std::size_t i = 0; i < oldCap; ++i) {
+      if (!oldUsed[i]) continue;
+      auto* old = std::launder(
+          reinterpret_cast<value_type*>(oldSlots + i * sizeof(value_type)));
+      std::size_t j = Hash{}(old->first) & mask_;
+      while (used_[j]) j = (j + 1) & mask_;
+      ::new (slotPtr(j)) value_type(std::move(*old));
+      used_[j] = true;
+      old->~value_type();
+    }
+    if (oldSlots) {
+      ::operator delete(oldSlots, std::align_val_t{alignof(value_type)});
+      delete[] oldUsed;
+    }
+  }
+
+  void destroy() {
+    clear();
+    if (slots_) {
+      ::operator delete(slots_, std::align_val_t{alignof(value_type)});
+      delete[] used_;
+    }
+    slots_ = nullptr;
+    used_ = nullptr;
+    cap_ = 0;
+    mask_ = 0;
+  }
+
+  unsigned char* slots_ = nullptr;
+  bool* used_ = nullptr;
+  std::size_t cap_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Set facade over FlatMap for membership tables (e.g. ignored XIDs).
+template <class Key, class Hash = std::hash<Key>,
+          class KeyEqual = std::equal_to<Key>>
+class FlatSet {
+ public:
+  bool insert(const Key& k) { return m_.try_emplace(k).second; }
+  std::size_t erase(const Key& k) { return m_.erase(k); }
+  std::size_t count(const Key& k) const { return m_.count(k); }
+  bool contains(const Key& k) const { return m_.contains(k); }
+  std::size_t size() const { return m_.size(); }
+  bool empty() const { return m_.empty(); }
+  void clear() { m_.clear(); }
+  void reserve(std::size_t n) { m_.reserve(n); }
+
+ private:
+  struct Unit {};
+  FlatMap<Key, Unit, Hash, KeyEqual> m_;
+};
+
+}  // namespace nfstrace

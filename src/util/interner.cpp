@@ -4,25 +4,90 @@
 
 namespace nfstrace {
 
+namespace {
+constexpr std::uint64_t kMul = 0x9ddfea08eb382d69ULL;
+}  // namespace
+
+std::uint64_t StringInterner::hashBytes(std::string_view s) {
+  // Word-at-a-time multiply-mix; the interned strings are short (file
+  // handles, path components), so the 8-byte stride covers most in one
+  // or two rounds.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ (s.size() * kMul);
+  const char* p = s.data();
+  std::size_t n = s.size();
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = (h ^ w) * kMul;
+    h ^= h >> 29;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p, n);
+    h = (h ^ w) * kMul;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
 StringInterner::StringInterner() {
+  slots_.assign(1024, Slot{});
+  mask_ = slots_.size() - 1;
+  chunks_.push_back(std::make_unique<char[]>(kChunkBytes));
+  chunkCap_ = kChunkBytes;
   intern({});  // reserve id 0 for the empty string
 }
 
+const char* StringInterner::store(std::string_view s) {
+  if (chunkCap_ - chunkUsed_ < s.size()) {
+    std::size_t cap = s.size() > kChunkBytes ? s.size() : kChunkBytes;
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    chunkUsed_ = 0;
+    chunkCap_ = cap;
+  }
+  char* p = chunks_.back().get() + chunkUsed_;
+  if (!s.empty()) std::memcpy(p, s.data(), s.size());
+  chunkUsed_ += s.size();
+  return p;
+}
+
+void StringInterner::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (const Slot& sl : old) {
+    if (sl.idPlus1 == 0) continue;
+    std::size_t i = hashBytes(view(sl.idPlus1 - 1)) & mask_;
+    while (slots_[i].idPlus1 != 0) i = (i + 1) & mask_;
+    slots_[i] = sl;
+  }
+}
+
 std::uint32_t StringInterner::intern(std::string_view s) {
-  auto it = ids_.find(s);
-  if (it != ids_.end()) return it->second;
+  std::uint64_t h = hashBytes(s);
+  std::uint32_t tag = static_cast<std::uint32_t>(h >> 32) | 1u;
+  std::size_t i = h & mask_;
+  for (;;) {
+    const Slot& sl = slots_[i];
+    if (sl.idPlus1 == 0) break;  // vacant: new string
+    if (sl.tag == tag && view(sl.idPlus1 - 1) == s) return sl.idPlus1 - 1;
+    i = (i + 1) & mask_;
+  }
   if (next_ >= kMaxBlocks * kBlockEntries) {
     throw std::runtime_error("interner: table full");
   }
   std::uint32_t id = next_;
-  auto& block = blocks_[id >> kBlockShift];
-  if (!block) block = std::make_unique<Block>();
-  std::string& stored = block->items[id & (kBlockEntries - 1)];
-  stored.assign(s);
-  // Key the map by a view of the stored copy, which never moves.
-  ids_.emplace(std::string_view(stored), id);
-  bytes_ += stored.size();
+  auto& block = entryBlocks_[id >> kBlockShift];
+  if (!block) block = std::make_unique<EntryBlock>();
+  (*block)[id & (kBlockEntries - 1)] =
+      Entry{store(s), static_cast<std::uint32_t>(s.size())};
+  slots_[i] = Slot{id + 1, tag};
+  bytes_ += s.size();
   ++next_;
+  // Grow at 3/4 load so probe chains stay short.
+  if ((static_cast<std::size_t>(next_) + 1) * 4 > slots_.size() * 3) grow();
   return id;
 }
 

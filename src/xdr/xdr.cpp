@@ -37,54 +37,13 @@ void XdrEncoder::putRaw(std::span<const std::uint8_t> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());
 }
 
-void XdrDecoder::need(std::size_t n) const {
-  if (remaining() < n) {
-    throw XdrError("XDR underrun: need " + std::to_string(n) + " bytes, have " +
-                   std::to_string(remaining()));
-  }
+void XdrDecoder::underrun(std::size_t n) const {
+  throw XdrError("XDR underrun: need " + std::to_string(n) + " bytes, have " +
+                 std::to_string(remaining()));
 }
 
-std::uint32_t XdrDecoder::getUint32() {
-  need(4);
-  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
-                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
-                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
-                    static_cast<std::uint32_t>(data_[pos_ + 3]);
-  pos_ += 4;
-  return v;
-}
-
-std::uint64_t XdrDecoder::getUint64() {
-  std::uint64_t hi = getUint32();
-  std::uint64_t lo = getUint32();
-  return (hi << 32) | lo;
-}
-
-std::vector<std::uint8_t> XdrDecoder::getOpaque(std::uint32_t maxLen) {
-  std::uint32_t len = getUint32();
-  if (len > maxLen) throw XdrError("XDR opaque too long: " + std::to_string(len));
-  return getFixedOpaque(len);
-}
-
-std::vector<std::uint8_t> XdrDecoder::getFixedOpaque(std::size_t len) {
-  need(padded(len));
-  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
-  pos_ += padded(len);
-  return out;
-}
-
-std::string XdrDecoder::getString(std::uint32_t maxLen) {
-  auto bytes = getOpaque(maxLen);
-  return {bytes.begin(), bytes.end()};
-}
-
-std::uint32_t XdrDecoder::skipOpaque(std::uint32_t maxLen) {
-  std::uint32_t len = getUint32();
-  if (len > maxLen) throw XdrError("XDR opaque too long: " + std::to_string(len));
-  need(padded(len));
-  pos_ += padded(len);
-  return len;
+void XdrDecoder::tooLong(std::uint32_t len) {
+  throw XdrError("XDR opaque too long: " + std::to_string(len));
 }
 
 }  // namespace nfstrace

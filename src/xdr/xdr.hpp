@@ -6,12 +6,22 @@
 // either succeed or throw XdrError, so callers (the sniffer in particular,
 // which decodes possibly-truncated packets) can treat a throw as "not
 // decodable" without undefined behaviour.
+//
+// The decoder is a flat pointer cursor.  Hot accessors are inline, read
+// words with unaligned loads + byte-swap instead of byte-at-a-time shifts,
+// and keep the bounds check down to one pointer comparison.  For
+// fixed-layout regions (e.g. fattr bodies) callers can hoist that check
+// too: `require(n)` validates a whole region once and the *U
+// ("unchecked") accessors then read without further tests.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace nfstrace {
@@ -20,6 +30,26 @@ class XdrError : public std::runtime_error {
  public:
   explicit XdrError(const std::string& what) : std::runtime_error(what) {}
 };
+
+namespace detail {
+inline std::uint32_t loadBe32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  if constexpr (std::endian::native == std::endian::little) {
+    v = __builtin_bswap32(v);
+  }
+  return v;
+}
+
+inline std::uint64_t loadBe64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  if constexpr (std::endian::native == std::endian::little) {
+    v = __builtin_bswap64(v);
+  }
+  return v;
+}
+}  // namespace detail
 
 class XdrEncoder {
  public:
@@ -48,30 +78,97 @@ class XdrEncoder {
 
 class XdrDecoder {
  public:
-  explicit XdrDecoder(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit XdrDecoder(std::span<const std::uint8_t> data)
+      : begin_(data.data()), p_(data.data()), end_(data.data() + data.size()) {}
 
-  std::uint32_t getUint32();
+  std::uint32_t getUint32() {
+    if (static_cast<std::size_t>(end_ - p_) < 4) [[unlikely]] underrun(4);
+    std::uint32_t v = detail::loadBe32(p_);
+    p_ += 4;
+    return v;
+  }
   std::int32_t getInt32() { return static_cast<std::int32_t>(getUint32()); }
-  std::uint64_t getUint64();
+  std::uint64_t getUint64() {
+    if (static_cast<std::size_t>(end_ - p_) < 8) [[unlikely]] underrun(8);
+    std::uint64_t v = detail::loadBe64(p_);
+    p_ += 8;
+    return v;
+  }
   std::int64_t getInt64() { return static_cast<std::int64_t>(getUint64()); }
   bool getBool() { return getUint32() != 0; }
-  /// Variable-length opaque with a sanity cap on the length word.
-  std::vector<std::uint8_t> getOpaque(std::uint32_t maxLen = 1 << 22);
-  std::vector<std::uint8_t> getFixedOpaque(std::size_t len);
-  std::string getString(std::uint32_t maxLen = 1 << 16);
-  /// Skip a variable-length opaque without copying (e.g. WRITE payloads).
-  std::uint32_t skipOpaque(std::uint32_t maxLen = 1 << 22);
 
-  std::size_t remaining() const { return data_.size() - pos_; }
-  std::size_t position() const { return pos_; }
-  bool atEnd() const { return pos_ == data_.size(); }
+  /// Validate that at least `n` bytes remain.  Pair with the *U accessors
+  /// to bounds-check an entire fixed-layout region with one test.
+  void require(std::size_t n) const {
+    if (static_cast<std::size_t>(end_ - p_) < n) [[unlikely]] underrun(n);
+  }
+  /// Unchecked reads: the caller must have called require() covering them.
+  std::uint32_t getUint32U() {
+    std::uint32_t v = detail::loadBe32(p_);
+    p_ += 4;
+    return v;
+  }
+  std::uint64_t getUint64U() {
+    std::uint64_t v = detail::loadBe64(p_);
+    p_ += 8;
+    return v;
+  }
+
+  /// Variable-length opaque with a sanity cap on the length word.
+  std::vector<std::uint8_t> getOpaque(std::uint32_t maxLen = 1 << 22) {
+    auto v = getOpaqueView(maxLen);
+    return {v.begin(), v.end()};
+  }
+  std::vector<std::uint8_t> getFixedOpaque(std::size_t len) {
+    auto v = getFixedOpaqueView(len);
+    return {v.begin(), v.end()};
+  }
+  std::string getString(std::uint32_t maxLen = 1 << 16) {
+    auto v = getStringView(maxLen);
+    return {v.begin(), v.end()};
+  }
+
+  /// Zero-copy accessors: the returned view aliases the decode buffer and
+  /// is valid only while that buffer lives.
+  std::span<const std::uint8_t> getOpaqueView(std::uint32_t maxLen = 1 << 22) {
+    std::uint32_t len = getUint32();
+    if (len > maxLen) [[unlikely]] tooLong(len);
+    return getFixedOpaqueView(len);
+  }
+  std::span<const std::uint8_t> getFixedOpaqueView(std::size_t len) {
+    std::size_t n = padded(len);
+    if (static_cast<std::size_t>(end_ - p_) < n) [[unlikely]] underrun(n);
+    std::span<const std::uint8_t> v{p_, len};
+    p_ += n;
+    return v;
+  }
+  std::string_view getStringView(std::uint32_t maxLen = 1 << 16) {
+    auto v = getOpaqueView(maxLen);
+    return {reinterpret_cast<const char*>(v.data()), v.size()};
+  }
+
+  /// Skip a variable-length opaque without copying (e.g. WRITE payloads).
+  std::uint32_t skipOpaque(std::uint32_t maxLen = 1 << 22) {
+    std::uint32_t len = getUint32();
+    if (len > maxLen) [[unlikely]] tooLong(len);
+    std::size_t n = padded(len);
+    if (static_cast<std::size_t>(end_ - p_) < n) [[unlikely]] underrun(n);
+    p_ += n;
+    return len;
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  std::size_t position() const { return static_cast<std::size_t>(p_ - begin_); }
+  bool atEnd() const { return p_ == end_; }
 
  private:
-  void need(std::size_t n) const;
+  [[noreturn]] void underrun(std::size_t n) const;
+  [[noreturn]] static void tooLong(std::uint32_t len);
   static std::size_t padded(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
 
-  std::span<const std::uint8_t> data_;
-  std::size_t pos_ = 0;
+  const std::uint8_t* begin_;
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
 };
 
 }  // namespace nfstrace

@@ -1,0 +1,267 @@
+// Tests for the open-addressing FlatMap/FlatSet that replaced
+// std::unordered_map in the sniffer hot path: basic std-subset semantics,
+// backward-shift deletion under forced collisions, a randomized
+// differential check against std::unordered_map, and parity of the
+// LRU-bounded eviction pattern the sniffer builds on top (PR 4: bounded
+// pending table with FIFO eviction plus peak/eviction stats).
+#include "util/flatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nfstrace {
+namespace {
+
+TEST(FlatMapTest, BasicInsertFindErase) {
+  FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), m.end());
+
+  auto [it, inserted] = m.try_emplace(1, "one");
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->second, "one");
+  EXPECT_EQ(m.size(), 1u);
+
+  auto [it2, inserted2] = m.try_emplace(1, "uno");
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(it2->second, "one");  // try_emplace does not overwrite
+
+  m.insert_or_assign(1, "uno");
+  EXPECT_EQ(m.find(1)->second, "uno");
+
+  m[2] = "two";
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(2));
+  EXPECT_EQ(m.count(2), 1u);
+
+  EXPECT_EQ(m.erase(3), 0u);
+  EXPECT_EQ(m.erase(1), 1u);
+  EXPECT_EQ(m.find(1), m.end());
+  EXPECT_EQ(m.size(), 1u);
+
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(2), m.end());
+}
+
+TEST(FlatMapTest, GrowsThroughManyInserts) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t i = 0; i < 10000; ++i) m[i] = i * 3;
+  EXPECT_EQ(m.size(), 10000u);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    auto it = m.find(i);
+    ASSERT_NE(it, m.end()) << i;
+    EXPECT_EQ(it->second, i * 3);
+  }
+  EXPECT_EQ(m.find(10001), m.end());
+}
+
+TEST(FlatMapTest, ReservePreservesContents) {
+  FlatMap<int, int> m;
+  for (int i = 0; i < 50; ++i) m[i] = -i;
+  m.reserve(4096);
+  EXPECT_GE(m.capacity(), 4096u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(m.find(i)->second, -i);
+}
+
+/// Hash that sends every key to the same home slot: the worst case for
+/// linear probing, and exactly what backward-shift deletion must survive.
+struct CollidingHash {
+  std::size_t operator()(int) const { return 7; }
+};
+
+TEST(FlatMapTest, BackwardShiftUnderFullCollision) {
+  FlatMap<int, int, CollidingHash> m;
+  for (int i = 0; i < 32; ++i) m[i] = i * 10;
+  // Erase from the middle of the probe chain, in a scattered order.
+  for (int victim : {5, 0, 31, 16, 17, 18, 2}) {
+    EXPECT_EQ(m.erase(victim), 1u) << victim;
+  }
+  EXPECT_EQ(m.size(), 25u);
+  for (int i = 0; i < 32; ++i) {
+    bool erased = i == 5 || i == 0 || i == 31 || i == 16 || i == 17 ||
+                  i == 18 || i == 2;
+    if (erased) {
+      EXPECT_EQ(m.find(i), m.end()) << i;
+    } else {
+      ASSERT_NE(m.find(i), m.end()) << i;
+      EXPECT_EQ(m.find(i)->second, i * 10);
+    }
+  }
+}
+
+TEST(FlatMapTest, IterationVisitsEveryElementOnce) {
+  FlatMap<int, int> m;
+  for (int i = 0; i < 257; ++i) m[i] = i;
+  std::vector<int> seen;
+  for (const auto& [k, v] : m) {
+    EXPECT_EQ(k, v);
+    seen.push_back(k);
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 257u);
+  for (int i = 0; i < 257; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(FlatMapTest, EraseByIteratorMatchesEraseByKey) {
+  FlatMap<int, int> m;
+  for (int i = 0; i < 100; ++i) m[i] = i;
+  auto it = m.find(42);
+  ASSERT_NE(it, m.end());
+  m.erase(it);
+  EXPECT_EQ(m.size(), 99u);
+  EXPECT_EQ(m.find(42), m.end());
+}
+
+TEST(FlatMapTest, MoveTransfersOwnership) {
+  FlatMap<int, std::string> a;
+  a[1] = "x";
+  a[2] = "y";
+  FlatMap<int, std::string> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.find(1)->second, "x");
+  FlatMap<int, std::string> c;
+  c[9] = "z";
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.find(2)->second, "y");
+  EXPECT_EQ(c.find(9), c.end());
+}
+
+TEST(FlatMapTest, HeapValuesDestroyCleanly) {
+  // std::string keys and values exercise non-trivial destructors across
+  // rehash, backward shift, clear, and container teardown (ASan-visible).
+  FlatMap<std::string, std::vector<int>> m;
+  for (int i = 0; i < 500; ++i) {
+    m[std::to_string(i)] = std::vector<int>(17, i);
+  }
+  for (int i = 0; i < 500; i += 3) m.erase(std::to_string(i));
+  m.clear();
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatSetTest, BasicMembership) {
+  FlatSet<std::uint64_t> s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_EQ(s.count(5), 1u);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.erase(5), 1u);
+  EXPECT_EQ(s.erase(5), 0u);
+  EXPECT_TRUE(s.empty());
+  for (std::uint64_t i = 0; i < 1000; ++i) s.insert(i * i);
+  EXPECT_EQ(s.size(), 1000u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+/// Randomized differential test: the same mixed op sequence applied to
+/// FlatMap and std::unordered_map must agree at every step and in the
+/// final full-content comparison.
+TEST(FlatMapTest, DifferentialVsUnorderedMap) {
+  Rng rng(20260808);
+  FlatMap<std::uint32_t, std::uint64_t> flat;
+  std::unordered_map<std::uint32_t, std::uint64_t> ref;
+  const std::uint32_t keySpace = 512;  // small: plenty of hits and erases
+  for (int step = 0; step < 200000; ++step) {
+    std::uint32_t k = static_cast<std::uint32_t>(rng.below(keySpace));
+    switch (rng.below(5)) {
+      case 0:
+      case 1: {  // insert-if-absent
+        auto [fit, fnew] = flat.try_emplace(k, step);
+        auto [rit, rnew] = ref.try_emplace(k, step);
+        EXPECT_EQ(fnew, rnew);
+        EXPECT_EQ(fit->second, rit->second);
+        break;
+      }
+      case 2: {  // overwrite
+        flat.insert_or_assign(k, step);
+        ref[k] = static_cast<std::uint64_t>(step);
+        break;
+      }
+      case 3: {  // erase
+        EXPECT_EQ(flat.erase(k), ref.erase(k));
+        break;
+      }
+      case 4: {  // lookup
+        auto fit = flat.find(k);
+        auto rit = ref.find(k);
+        ASSERT_EQ(fit == flat.end(), rit == ref.end());
+        if (rit != ref.end()) EXPECT_EQ(fit->second, rit->second);
+        break;
+      }
+    }
+    EXPECT_EQ(flat.size(), ref.size());
+  }
+  // Full-content comparison via sorted dumps.
+  std::map<std::uint32_t, std::uint64_t> flatSorted, refSorted(ref.begin(),
+                                                               ref.end());
+  for (const auto& kv : flat) flatSorted.insert(kv);
+  EXPECT_EQ(flatSorted, refSorted);
+}
+
+/// Parity of the sniffer's LRU-bounded table pattern (PR 4): a FIFO
+/// insertion deque drives eviction of the oldest live entry once the map
+/// exceeds its bound; peak size and the eviction sequence must match the
+/// original std::unordered_map-backed implementation exactly.
+template <class Map>
+struct BoundedTable {
+  Map map;
+  std::deque<std::uint32_t> order;
+  std::size_t bound;
+  std::size_t peak = 0;
+  std::uint64_t evictions = 0;
+  std::vector<std::uint32_t> evicted;
+
+  explicit BoundedTable(std::size_t b) : bound(b) {}
+
+  void insert(std::uint32_t key, std::uint64_t val) {
+    auto [it, isNew] = map.try_emplace(key);
+    it->second = val;
+    if (isNew) order.push_back(key);
+    peak = std::max(peak, static_cast<std::size_t>(map.size()));
+    while (map.size() > bound && !order.empty()) {
+      std::uint32_t oldest = order.front();
+      order.pop_front();
+      if (map.erase(oldest) == 1) {
+        ++evictions;
+        evicted.push_back(oldest);
+      }
+    }
+  }
+  void complete(std::uint32_t key) { map.erase(key); }  // matched reply
+};
+
+TEST(FlatMapTest, BoundedEvictionParityWithUnorderedMap) {
+  Rng rng(42);
+  BoundedTable<FlatMap<std::uint32_t, std::uint64_t>> flat(64);
+  BoundedTable<std::unordered_map<std::uint32_t, std::uint64_t>> ref(64);
+  for (int step = 0; step < 50000; ++step) {
+    std::uint32_t xid = static_cast<std::uint32_t>(rng.below(4096));
+    if (rng.chance(0.6)) {
+      flat.insert(xid, static_cast<std::uint64_t>(step));
+      ref.insert(xid, static_cast<std::uint64_t>(step));
+    } else {
+      flat.complete(xid);
+      ref.complete(xid);
+    }
+    ASSERT_EQ(flat.map.size(), ref.map.size());
+  }
+  EXPECT_EQ(flat.peak, ref.peak);
+  EXPECT_EQ(flat.evictions, ref.evictions);
+  EXPECT_EQ(flat.evicted, ref.evicted);
+  EXPECT_LE(flat.map.size(), 64u);
+}
+
+}  // namespace
+}  // namespace nfstrace

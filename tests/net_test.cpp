@@ -74,7 +74,7 @@ TEST(Udp, FragmentationRoundTrip) {
     ASSERT_TRUE(parsed.has_value());
     EXPECT_TRUE(parsed->isFragment());
     auto out = reasm.feed(*parsed, 0);
-    if (out) result = out;
+    if (out) result.emplace(out->begin(), out->end());
   }
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(*result, payload);
@@ -91,7 +91,7 @@ TEST(Udp, FragmentsOutOfOrderStillReassemble) {
   for (const auto& f : frames) {
     auto parsed = parseFrame(f);
     ASSERT_TRUE(parsed);
-    if (auto out = reasm.feed(*parsed, 0)) result = out;
+    if (auto out = reasm.feed(*parsed, 0)) result.emplace(out->begin(), out->end());
   }
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(*result, payload);

@@ -165,7 +165,7 @@ TEST_P(NetProperty, FragmentationRoundTripsAnySizeAndMtu) {
     for (auto idx : order) {
       auto parsed = parseFrame(frames[idx]);
       ASSERT_TRUE(parsed.has_value());
-      if (auto out = reasm.feed(*parsed, 0)) result = out;
+      if (auto out = reasm.feed(*parsed, 0)) result.emplace(out->begin(), out->end());
     }
     ASSERT_TRUE(result.has_value()) << "size=" << size << " mtu=" << mtu;
     EXPECT_EQ(*result, payload);
