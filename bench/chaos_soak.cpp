@@ -19,6 +19,12 @@
 //                         record accounting via checkpoints
 //   E  overload shed    — tiny rings + shedding: finish() returns and
 //                         framesSeen + framesShed == framesDispatched
+//   F  v2 disk chaos    — the columnar v2 writer under the same injected
+//                         IO faults is byte-identical to a clean write; a
+//                         CRC-corrupted extent is skipped with exact
+//                         record accounting and the analysis engine's
+//                         report over the damaged file is byte-identical
+//                         at any worker count
 //
 // Any violated invariant makes the bench exit nonzero; results land in
 // BENCH_chaos.json.
@@ -39,6 +45,7 @@
 #include "pipeline/pipeline.hpp"
 #include "sniffer/sniffer.hpp"
 #include "trace/tracefile.hpp"
+#include "trace/v2.hpp"
 
 namespace nfstrace {
 namespace {
@@ -395,9 +402,100 @@ int main(int argc, char** argv) {
   check(shed > 0, "overload actually forced shedding");
   check(shedRecords > 0, "pipeline still produced records while shedding");
 
+  // Phase F: the v2 columnar format through the same disk-chaos story as
+  // phase D — fault-riddled write byte-identical, then extent-granular
+  // recovery of a deterministically corrupted file with exact accounting.
+  std::printf("\nphase F: v2 extents under disk chaos + recovery\n");
+  const std::string v2CleanPath = "bench_chaos_v2_clean.trace";
+  const std::string v2FaultyPath = "bench_chaos_v2_faulty.trace";
+  const std::string v2CorruptPath = "bench_chaos_v2_corrupt.trace";
+  TraceWriter::Options v2opts;
+  v2opts.format = TraceWriter::Format::V2;
+  v2opts.v2ExtentRecords = 512;
+  {
+    TraceWriter w(v2CleanPath, v2opts);
+    for (const auto& r : chaosSerial.records) w.write(r);
+  }
+  IoFaultInjector v2inj(plan);
+  TraceWriter::IoStats v2io;
+  {
+    TraceWriter::Options fo = v2opts;
+    fo.faults = &v2inj;
+    fo.backoffInitialUs = 1;
+    fo.backoffMaxUs = 50;
+    TraceWriter w(v2FaultyPath, fo);
+    for (const auto& r : chaosSerial.records) w.write(r);
+    w.flush();
+    v2io = w.ioStats();
+  }
+  std::printf("  %llu retries, %llu short writes\n",
+              static_cast<unsigned long long>(v2io.retries),
+              static_cast<unsigned long long>(v2io.shortWrites));
+  check(v2io.retries + v2io.shortWrites > 0,
+        "v2 disk faults actually injected");
+  bool fIdentical = slurp(v2FaultyPath) == slurp(v2CleanPath);
+  check(fIdentical, "faulty-disk v2 trace byte-identical to clean write");
+
+  // Corrupt one mid-file extent payload: its header still parses, its
+  // CRC fails, and the reader must skip exactly that extent's records.
+  auto v2Index = tracev2::loadExtentIndex(v2CleanPath);
+  check(v2Index.has_value() && v2Index->size() >= 2,
+        "v2 footer index present with multiple extents");
+  std::uint64_t v2Damaged = 0;
+  std::uint64_t v2Total = chaosSerial.records.size();
+  if (v2Index && v2Index->size() >= 2) {
+    const tracev2::ExtentInfo& victim = (*v2Index)[v2Index->size() / 2];
+    std::string v2bytes = slurp(v2CleanPath);
+    std::size_t at = static_cast<std::size_t>(victim.offset) +
+                     tracev2::kExtentHeaderBytes + 64;
+    v2bytes[at] = static_cast<char>(v2bytes[at] ^ 0x5A);
+    v2Damaged = victim.records;
+    spew(v2CorruptPath, v2bytes);
+  }
+  TraceReader::RecoverStats v2rs;
+  auto v2Recovered = TraceReader::recoverAll(v2CorruptPath, &v2rs);
+  std::printf("  recovery: %llu recovered, %llu skipped, %llu resyncs "
+              "(extent of %llu records corrupted)\n",
+              static_cast<unsigned long long>(v2rs.recovered),
+              static_cast<unsigned long long>(v2rs.skipped),
+              static_cast<unsigned long long>(v2rs.resyncs),
+              static_cast<unsigned long long>(v2Damaged));
+  check(v2rs.skipped == v2Damaged,
+        "exactly the corrupt extent's records skipped");
+  check(v2rs.recovered == v2Total - v2Damaged,
+        "every record outside the corrupt extent recovered");
+  check(v2rs.recovered + v2rs.skipped == v2Total,
+        "recovered + skipped account for every record");
+  check(v2Recovered.size() == v2rs.recovered, "recovered records returned");
+
+  // The engine over the damaged v2 file must behave exactly like phase D
+  // over damaged text: identical reports at any worker count.
+  std::string v2SerialReport, v2ShardedReport;
+  AnalysisEngine::Stats v2EngineStats;
+  for (int workers : {1, kShards}) {
+    StandardAnalyses analyses;
+    AnalysisEngine::Config ec;
+    ec.workers = static_cast<std::size_t>(workers);
+    AnalysisEngine engine(ec);
+    engine.addPasses(analyses.all());
+    TraceReader reader(v2CorruptPath, /*recover=*/true);
+    v2EngineStats = engine.run(reader);
+    (workers == 1 ? v2SerialReport : v2ShardedReport) =
+        renderReportText("chaos", analyses);
+  }
+  check(v2EngineStats.records == v2rs.recovered,
+        "engine analyzed every recovered v2 record");
+  bool fEngineIdentical =
+      !v2SerialReport.empty() && v2SerialReport == v2ShardedReport;
+  check(fEngineIdentical,
+        "engine report over damaged v2 byte-identical serial vs sharded");
+
   std::remove(cleanPath.c_str());
   std::remove(faultyPath.c_str());
   std::remove(corruptPath.c_str());
+  std::remove(v2CleanPath.c_str());
+  std::remove(v2FaultyPath.c_str());
+  std::remove(v2CorruptPath.c_str());
 
   std::FILE* j = std::fopen(jsonPath.c_str(), "w");
   if (!j) {
@@ -415,7 +513,11 @@ int main(int argc, char** argv) {
       "\"records\":%zu,\"recovered\":%llu,\"skipped\":%llu,\"resyncs\":%llu,"
       "\"frames_shed\":%llu,\"shed_invariant\":%s,"
       "\"engine_records\":%llu,\"engine_resync_cuts\":%llu,"
-      "\"engine_identical\":%s,\"failures\":%d}\n",
+      "\"engine_identical\":%s,"
+      "\"v2_io_retries\":%llu,\"v2_io_short_writes\":%llu,"
+      "\"v2_write_identical\":%s,\"v2_extents\":%zu,"
+      "\"v2_recovered\":%llu,\"v2_skipped\":%llu,\"v2_resyncs\":%llu,"
+      "\"v2_engine_identical\":%s,\"failures\":%d}\n",
       simDays, frames.size(), kShards, aIdentical ? "true" : "false",
       bIdentical ? "true" : "false", wireLoss, lossEstimate,
       static_cast<unsigned long long>(bs.evictedCalls),
@@ -433,7 +535,14 @@ int main(int argc, char** argv) {
       seen + shed == dispatched ? "true" : "false",
       static_cast<unsigned long long>(engineStats.records),
       static_cast<unsigned long long>(engineStats.resyncCuts),
-      serialReport == shardedReport ? "true" : "false", failures);
+      serialReport == shardedReport ? "true" : "false",
+      static_cast<unsigned long long>(v2io.retries),
+      static_cast<unsigned long long>(v2io.shortWrites),
+      fIdentical ? "true" : "false", v2Index ? v2Index->size() : 0,
+      static_cast<unsigned long long>(v2rs.recovered),
+      static_cast<unsigned long long>(v2rs.skipped),
+      static_cast<unsigned long long>(v2rs.resyncs),
+      fEngineIdentical ? "true" : "false", failures);
   std::fclose(j);
   std::printf("\nwrote %s\n", jsonPath.c_str());
 

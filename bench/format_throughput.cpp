@@ -1,0 +1,199 @@
+// Trace format shoot-out: v1 text vs v1 binary vs v2 columnar extents on
+// the same multi-day synthetic EECS trace.
+//
+// Measures what the format migration is for: bytes on disk (the paper's
+// traces ran to hundreds of GB; compression ratio decides what a capture
+// host can keep) and batch-scan throughput (the analysis engine decodes
+// the trace once per report; scan records/sec decides how fast a report
+// comes back).  The v2 columns decode almost directly into the batch
+// arena — extent dictionaries land in the reader's interners at load
+// time, so the per-record parse and per-record hash of v1 disappear.
+//
+// Correctness gate: the full 8-pass analysis report must be
+// byte-identical across all three formats at 1 and 4 workers.  Results
+// land in BENCH_format.json; non-smoke exit is nonzero unless v2 scans
+// >= 3x faster than v1 binary and is >= 2x smaller on disk with
+// identical reports.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/engine/engine.hpp"
+#include "analysis/engine/passes.hpp"
+#include "analysis/engine/report.hpp"
+#include "bench_common.hpp"
+#include "trace/tracefile.hpp"
+#include "trace/v2.hpp"
+
+namespace nfstrace {
+namespace {
+
+using bench::kWeekStart;
+using bench::makeEecs;
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+template <typename Fn>
+double bestRps(std::uint64_t records, Fn&& run, int reps) {
+  double best = 0;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    run();
+    double dt = secondsSince(t0);
+    double rps = static_cast<double>(records) / dt;
+    if (rps > best) best = rps;
+  }
+  return best;
+}
+
+/// The engine's input path: drain the trace through nextBatch, touching
+/// every decoded record the way a pass would.
+std::uint64_t scanBatches(const std::string& path) {
+  TraceReader reader(path);
+  TraceBatch batch;
+  std::uint64_t n = 0;
+  while (reader.nextBatch(batch)) n += batch.n;
+  return n;
+}
+
+std::string runEngine(const std::string& path, std::size_t workers) {
+  StandardAnalyses analyses;
+  AnalysisEngine::Config cfg;
+  cfg.workers = workers;
+  AnalysisEngine engine(cfg);
+  engine.addPasses(analyses.all());
+  TraceReader reader(path);
+  engine.run(reader);
+  // Constant label: the report must compare equal across format files.
+  return renderReportText("trace", analyses);
+}
+
+}  // namespace
+}  // namespace nfstrace
+
+int main(int argc, char** argv) {
+  using namespace nfstrace;
+  const std::string jsonPath = argc > 1 ? argv[1] : "BENCH_format.json";
+  const bool smoke = bench::smokeMode();
+  const double simDays = smoke ? 0.05 : 2.0;
+  const int users = smoke ? 6 : 16;
+  const int reps = smoke ? 1 : 3;
+
+  struct Variant {
+    const char* name;
+    TraceWriter::Format format;
+    std::string path;
+  };
+  Variant variants[3] = {
+      {"text", TraceWriter::Format::Text, "bench_format_text.trace"},
+      {"binary", TraceWriter::Format::Binary, "bench_format_bin.trace"},
+      {"v2", TraceWriter::Format::V2, "bench_format_v2.trace"},
+  };
+
+  std::printf("generating synthetic EECS trace (%.2f days, %d users)...\n",
+              simDays, users);
+  std::uint64_t records = 0;
+  {
+    TraceWriter writer(variants[0].path);
+    auto eecs = makeEecs(users, [&](const TraceRecord& r) {
+      writer.write(r);
+      ++records;
+    });
+    eecs.workload->setup(kWeekStart);
+    eecs.workload->run(kWeekStart, kWeekStart + days(simDays));
+    eecs.env->finishCapture();
+  }
+  // Re-encode the canonical text trace into the other two formats.
+  {
+    auto all = TraceReader::readAll(variants[0].path);
+    for (int v = 1; v < 3; ++v) {
+      TraceWriter::Options opts;
+      opts.format = variants[v].format;
+      // Smoke traces are tiny; shrink extents so the v2 path still
+      // exercises multi-extent scans and the footer index.
+      if (smoke) opts.v2ExtentRecords = 256;
+      TraceWriter w(variants[v].path, opts);
+      for (const auto& r : all) w.write(r);
+    }
+  }
+  std::printf("  %llu records\n", static_cast<unsigned long long>(records));
+
+  std::uint64_t bytes[3] = {0, 0, 0};
+  double scanRps[3] = {0, 0, 0};
+  for (int v = 0; v < 3; ++v) {
+    bytes[v] = std::filesystem::file_size(variants[v].path);
+    scanBatches(variants[v].path);  // warm-up: page cache + allocator
+    scanRps[v] = bestRps(
+        records, [&] { scanBatches(variants[v].path); }, reps);
+    std::printf("%-7s: %9.2f MB  %10.0f rec/s scan  (%5.1f B/rec)\n",
+                variants[v].name, static_cast<double>(bytes[v]) / 1e6,
+                scanRps[v],
+                records ? static_cast<double>(bytes[v]) / records : 0.0);
+  }
+
+  // The report oracle: text input, serial engine.  Every other
+  // format/worker combination must render the identical bytes.
+  bool identical = true;
+  std::string oracle = runEngine(variants[0].path, 1);
+  for (int v = 0; v < 3; ++v) {
+    for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+      if (v == 0 && workers == 1) continue;
+      if (runEngine(variants[v].path, workers) != oracle) {
+        identical = false;
+        std::printf("REPORT MISMATCH: %s at %zu workers\n", variants[v].name,
+                    workers);
+      }
+    }
+  }
+  identical = identical && !oracle.empty();
+
+  auto index = tracev2::loadExtentIndex(variants[2].path);
+  std::size_t extents = index ? index->size() : 0;
+
+  double v2VsBinScan = scanRps[1] > 0 ? scanRps[2] / scanRps[1] : 0;
+  double v2VsTextScan = scanRps[0] > 0 ? scanRps[2] / scanRps[0] : 0;
+  double binOverV2 =
+      bytes[2] > 0 ? static_cast<double>(bytes[1]) / bytes[2] : 0;
+  double textOverV2 =
+      bytes[2] > 0 ? static_cast<double>(bytes[0]) / bytes[2] : 0;
+  std::printf("\nv2 scan speedup : %.2fx vs binary, %.2fx vs text\n",
+              v2VsBinScan, v2VsTextScan);
+  std::printf("v2 size ratio   : %.2fx smaller than binary, %.2fx than text\n",
+              binOverV2, textOverV2);
+  std::printf("extents indexed : %zu\n", extents);
+  std::printf("reports byte-identical across formats and workers: %s\n",
+              identical ? "true" : "false");
+
+  for (const auto& v : variants) std::remove(v.path.c_str());
+
+  std::FILE* j = std::fopen(jsonPath.c_str(), "w");
+  if (!j) {
+    std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  std::fprintf(
+      j,
+      "{\"bench\":\"format_throughput\",\"records\":%llu,"
+      "\"text_bytes\":%llu,\"binary_bytes\":%llu,\"v2_bytes\":%llu,"
+      "\"v2_extents\":%zu,"
+      "\"text_scan_rps\":%.0f,\"binary_scan_rps\":%.0f,\"v2_scan_rps\":%.0f,"
+      "\"v2_scan_vs_binary\":%.5g,\"v2_scan_vs_text\":%.5g,"
+      "\"binary_size_over_v2\":%.5g,\"text_size_over_v2\":%.5g,"
+      "\"report_identical\":%s}\n",
+      static_cast<unsigned long long>(records),
+      static_cast<unsigned long long>(bytes[0]),
+      static_cast<unsigned long long>(bytes[1]),
+      static_cast<unsigned long long>(bytes[2]), extents, scanRps[0],
+      scanRps[1], scanRps[2], v2VsBinScan, v2VsTextScan, binOverV2,
+      textOverV2, identical ? "true" : "false");
+  std::fclose(j);
+  std::printf("wrote %s\n", jsonPath.c_str());
+
+  if (smoke) return identical ? 0 : 1;
+  return identical && v2VsBinScan >= 3.0 && binOverV2 >= 2.0 ? 0 : 1;
+}

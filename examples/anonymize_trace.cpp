@@ -51,9 +51,13 @@ int main(int argc, char** argv) {
   std::string output = argc > 2 ? argv[2] : "/tmp/anonymized.trace";
   std::string mapFile = argc > 3 ? argv[3] : "/tmp/anonymized.map";
 
+  // The anonymized trace keeps the input's format: a site anonymizing a
+  // v2 archive for publication gets a v2 archive back.
+  TraceWriter::Format format = detectTraceFormat(input);
   auto records = TraceReader::readAll(input);
-  std::printf("read %llu records from %s\n",
-              static_cast<unsigned long long>(records.size()), input.c_str());
+  std::printf("read %llu records from %s (%s format)\n",
+              static_cast<unsigned long long>(records.size()), input.c_str(),
+              traceFormatName(format));
 
   // The default configuration keeps the names the paper kept (CVS,
   // .inbox, .pinerc, lock components) and root/daemon UIDs; a policy
@@ -64,7 +68,7 @@ int main(int argc, char** argv) {
     std::printf("loaded anonymization policy from %s\n", argv[4]);
   }
   Anonymizer anon{cfg};
-  TraceWriter writer(output);
+  TraceWriter writer(output, format);
   std::vector<TraceRecord> anonymized;
   anonymized.reserve(records.size());
   for (const auto& rec : records) {

@@ -2,7 +2,8 @@
 // NFS traffic, and write a trace file.  Demonstrates the offline path of
 // the pipeline (capture once, analyze forever).
 //
-//   capture_to_trace [--chaos plan.cfg] [input.pcap [output.trace]]
+//   capture_to_trace [--chaos plan.cfg] [--format text|binary|v2]
+//                    [input.pcap [output.trace]]
 //
 // With no arguments it first generates a demo capture to convert.
 // --chaos runs the conversion under a deterministic fault plan (see
@@ -70,11 +71,20 @@ std::string makeDemoCapture() {
 
 int main(int argc, char** argv) {
   std::string chaosPath;
+  TraceWriter::Format format = TraceWriter::Format::Text;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--chaos" && i + 1 < argc) {
       chaosPath = argv[++i];
+    } else if (arg == "--format" && i + 1 < argc) {
+      auto f = traceFormatFromName(argv[++i]);
+      if (!f) {
+        std::fprintf(stderr, "unknown format '%s' (text, binary, v2)\n",
+                     argv[i]);
+        return 1;
+      }
+      format = *f;
     } else {
       positional.push_back(arg);
     }
@@ -103,6 +113,7 @@ int main(int argc, char** argv) {
 
   IoFaultInjector ioFaults(plan);
   TraceWriter::Options wopts;
+  wopts.format = format;
   if (!chaosPath.empty()) wopts.faults = &ioFaults;
   TraceWriter::IoStats ioStats;
   {
@@ -122,7 +133,7 @@ int main(int argc, char** argv) {
                      : 0.0;
 
   std::printf(
-      "\n%s -> %s\n"
+      "\n%s -> %s (%s format)\n"
       "frames seen:        %llu\n"
       "NFS calls decoded:  %llu\n"
       "NFS replies:        %llu\n"
@@ -131,7 +142,7 @@ int main(int argc, char** argv) {
       "reply-less calls:   %llu   (timed out + drained at end of capture)\n"
       "est. capture loss:  %.2f%%  (orphans / (calls + orphans), sec 4.1.4)\n"
       "trace records:      %llu\n",
-      input.c_str(), output.c_str(),
+      input.c_str(), output.c_str(), traceFormatName(format),
       static_cast<unsigned long long>(stats.framesSeen),
       static_cast<unsigned long long>(stats.rpcCalls),
       static_cast<unsigned long long>(stats.rpcReplies),

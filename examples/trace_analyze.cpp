@@ -94,6 +94,8 @@ int main(int argc, char** argv) {
     }
   }
   if (input.empty()) input = makeDemoTrace();
+  std::fprintf(stderr, "%s: %s format\n", input.c_str(),
+               traceFormatName(detectTraceFormat(input)));
 
   obs::Registry registry;
   StandardAnalyses analyses;

@@ -71,6 +71,8 @@ int main(int argc, char** argv) {
     }
   }
   if (input.empty()) input = makeDemoTrace(json);
+  std::fprintf(stderr, "%s: %s format\n", input.c_str(),
+               traceFormatName(detectTraceFormat(input)));
 
   StandardAnalyses analyses;
   AnalysisEngine::Config cfg;

@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "fault/fault.hpp"
+#include "util/crc32.hpp"
 #include "util/strings.hpp"
 
 namespace nfstrace {
@@ -147,18 +148,6 @@ std::uint64_t parseU64(std::string_view v, int base = 10) {
   std::uint64_t out = 0;
   std::from_chars(v.data(), v.data() + v.size(), out, base);
   return out;
-}
-
-/// Reset a record to default values while keeping the heap capacity of
-/// its string fields, so a reused parse slot allocates nothing.
-void resetRecordKeepCapacity(TraceRecord& rec) {
-  std::string name = std::move(rec.name);
-  std::string name2 = std::move(rec.name2);
-  name.clear();
-  name2.clear();
-  rec = TraceRecord{};
-  rec.name = std::move(name);
-  rec.name2 = std::move(name2);
 }
 
 }  // namespace
@@ -579,15 +568,27 @@ TraceWriter::TraceWriter(const std::string& path, const Options& opts)
   buf_.reserve(kWriterFlushBytes + 4096);
   if (format_ == Format::Binary) {
     writeAll(kBinMagic, sizeof(kBinMagic));
+  } else if (format_ == Format::V2) {
+    std::string preamble(tracev2::kFileMagic, sizeof(tracev2::kFileMagic));
+    tracev2::appendSchema(preamble);
+    writeAll(preamble.data(), preamble.size());
+    v2enc_ = std::make_unique<tracev2::ExtentEncoder>();
   }
 }
 
 TraceWriter::~TraceWriter() {
   if (f_) {
     try {
-      // A final checkpoint seals the tail so a recovering reader can
-      // account for every record even if the file is later damaged.
-      if (opts_.checkpointEveryRecords > 0 && count_ > lastCkptCount_) {
+      if (format_ == Format::V2) {
+        // Seal the partial tail extent, then the footer index + trailer
+        // that make the file seekable.  A crash before this point leaves
+        // a valid index-less file the reader handles sequentially.
+        sealV2Extent();
+        tracev2::appendIndex(buf_, v2extents_, fileBytes_ + buf_.size());
+        flushBuffer();
+      } else if (opts_.checkpointEveryRecords > 0 && count_ > lastCkptCount_) {
+        // A final checkpoint seals the tail so a recovering reader can
+        // account for every record even if the file is later damaged.
         appendCheckpoint();
       }
       flushBuffer();
@@ -599,6 +600,15 @@ TraceWriter::~TraceWriter() {
 }
 
 void TraceWriter::write(const TraceRecord& rec) {
+  if (format_ == Format::V2) {
+    v2enc_->add(rec);
+    ++count_;
+    if (v2enc_->records() >= opts_.v2ExtentRecords ||
+        v2enc_->pendingBytes() >= opts_.v2ExtentMaxBytes) {
+      sealV2Extent();
+    }
+    return;
+  }
   if (format_ == Format::Text) {
     appendRecord(buf_, rec);
     buf_.push_back('\n');
@@ -611,6 +621,20 @@ void TraceWriter::write(const TraceRecord& rec) {
     appendCheckpoint();
   }
   if (buf_.size() >= kWriterFlushBytes) flushBuffer();
+}
+
+void TraceWriter::sealV2Extent() {
+  if (!v2enc_ || v2enc_->records() == 0) return;
+  std::uint64_t recordsBefore = count_ - v2enc_->records();
+  v2extents_.push_back(
+      v2enc_->seal(buf_, recordsBefore, fileBytes_ + buf_.size()));
+  lastCkptCount_ = count_;
+  ++ioStats_.checkpoints;
+  ckptC_.inc();
+  // Crash consistency, as with v1 checkpoints: the whole extent reaches
+  // the OS before more records are buffered.
+  flushBuffer();
+  std::fflush(f_);
 }
 
 void TraceWriter::appendCheckpoint() {
@@ -680,6 +704,7 @@ void TraceWriter::writeAll(const char* p, std::size_t n) {
       }
     }
     std::size_t got = std::fwrite(p, 1, attempt, f_);
+    if (got > 0) fileBytes_ += got;
     if (got > 0) {
       // Progress (possibly partial) resets the failure clock, matching
       // how short writes are handled on a real write(2) loop.
@@ -705,6 +730,11 @@ void TraceWriter::writeAll(const char* p, std::size_t n) {
 }
 
 void TraceWriter::flush() {
+  // V2: flushing durability means sealing — records still in the extent
+  // encoder are not on disk until their extent is.
+  if (format_ == Format::V2) {
+    sealV2Extent();  // flushes + fflushes when it had records
+  }
   flushBuffer();
   std::fflush(f_);
 }
@@ -717,6 +747,28 @@ TraceReader::TraceReader(const std::string& path, bool recover)
   std::size_t got = std::fread(magic, 1, sizeof(magic), f_);
   if (got == sizeof(magic) && std::memcmp(magic, kBinMagic, sizeof(magic)) == 0) {
     binary_ = true;
+  } else if (got == sizeof(magic) &&
+             std::memcmp(magic, tracev2::kFileMagic, sizeof(magic)) == 0) {
+    v2_ = true;
+    // Validate + skip the schema block.  In recover mode a damaged
+    // schema is survivable — the extent scan resynchronises — so only
+    // strict mode rejects the file here.
+    bool ok = false;
+    unsigned char shdr[8];
+    if (std::fread(shdr, 1, sizeof(shdr), f_) == sizeof(shdr)) {
+      std::uint64_t len = getU(shdr + 4, 4);
+      if (len <= 64 * 1024) {
+        std::string block(reinterpret_cast<const char*>(shdr), sizeof(shdr));
+        block.resize(sizeof(shdr) + len);
+        ok = std::fread(block.data() + sizeof(shdr), 1, len, f_) == len &&
+             tracev2::parseSchema(block.data(), block.size()).has_value();
+      }
+    }
+    if (!ok && !recover_) {
+      std::fclose(f_);
+      f_ = nullptr;
+      throw std::runtime_error("trace v2: bad schema header: " + path);
+    }
   } else {
     std::rewind(f_);
   }
@@ -748,6 +800,7 @@ bool TraceReader::nextInto(TraceRecord& rec) {
     pendingValid_ = false;
     return true;
   }
+  if (v2_) return nextV2Into(rec);
   return binary_ ? nextBinaryInto(rec) : nextTextInto(rec);
 }
 
@@ -763,6 +816,7 @@ bool TraceReader::nextBatch(TraceBatch& batch, std::size_t maxRecords) {
   batch.nameId.resize(maxRecords);
   batch.name2Id.resize(maxRecords);
   batch.n = 0;
+  if (v2_) return nextBatchV2(batch, maxRecords);
   auto fhView = [](const FileHandle& fh) {
     return std::string_view(reinterpret_cast<const char*>(fh.data.data()),
                             fh.len);
@@ -789,6 +843,142 @@ bool TraceReader::nextBatch(TraceBatch& batch, std::size_t maxRecords) {
   if (batch.n == 0) return false;
   batch.seq = batchSeq_++;
   return true;
+}
+
+bool TraceReader::nextBatchV2(TraceBatch& batch, std::size_t maxRecords) {
+  // The v2 fast path: extent columns decode straight into the batch
+  // arena, and the extent dictionaries were already interned at load
+  // time, so there is no per-record parse and no per-record hash lookup —
+  // the decoder hands back the global ids directly.
+  while (batch.n < maxRecords) {
+    if (!v2dec_ || v2dec_->remaining() == 0) {
+      std::uint64_t resyncsBefore = rstats_.resyncs;
+      if (!loadNextV2Extent()) break;
+      if (recover_ && rstats_.resyncs != resyncsBefore && batch.n > 0) {
+        // Crossed a corrupt region: close the batch at the boundary.
+        // The freshly loaded extent stays in the decoder and opens the
+        // next batch.
+        batch.endedAtResync = true;
+        break;
+      }
+    }
+    tracev2::ExtentDecoder::BatchOut out;
+    out.recs = batch.records.data() + batch.n;
+    out.fh = batch.fhId.data() + batch.n;
+    out.fh2 = batch.fh2Id.data() + batch.n;
+    out.resFh = batch.resFhId.data() + batch.n;
+    out.name = batch.nameId.data() + batch.n;
+    out.name2 = batch.name2Id.data() + batch.n;
+    std::size_t got = v2dec_->take(out, maxRecords - batch.n);
+    rstats_.recovered += got;
+    batch.n += got;
+  }
+  if (batch.n == 0) return false;
+  batch.seq = batchSeq_++;
+  return true;
+}
+
+bool TraceReader::nextV2Into(TraceRecord& rec) {
+  for (;;) {
+    if (v2dec_ && v2dec_->remaining() > 0) {
+      v2dec_->next(rec, nullptr);
+      ++rstats_.recovered;
+      return true;
+    }
+    if (!loadNextV2Extent()) return false;
+  }
+}
+
+bool TraceReader::loadNextV2Extent() {
+  for (;;) {
+    unsigned char hdrBuf[tracev2::kExtentHeaderBytes];
+    std::size_t got = std::fread(hdrBuf, 1, sizeof(hdrBuf), f_);
+    if (got == 0) return false;
+    // The footer index marks the end of the record stream for a
+    // sequential reader.  Seek back so a later call (the next nextBatch
+    // after a partial last batch) sees the footer again instead of
+    // misaligned footer bytes.
+    if (got >= sizeof(tracev2::kIndexMagic) &&
+        std::memcmp(hdrBuf, tracev2::kIndexMagic,
+                    sizeof(tracev2::kIndexMagic)) == 0) {
+      std::fseek(f_, -static_cast<long>(got), SEEK_CUR);
+      return false;
+    }
+    tracev2::ExtentHeader hdr;
+    if (got < sizeof(hdrBuf) || !tracev2::parseExtentHeader(hdrBuf, hdr)) {
+      if (!recover_) {
+        throw std::runtime_error("trace v2: bad extent header");
+      }
+      ++rstats_.resyncs;
+      if (!scanToV2Extent(hdr)) return false;
+    }
+    // A valid header is a checkpoint: its cumulative count charges any
+    // records a skipped region ate to `skipped`, exactly.
+    reconcileCheckpoint(hdr.recordsBefore);
+    if (!v2dec_) v2dec_ = std::make_unique<tracev2::ExtentDecoder>();
+    auto& buf = v2dec_->buffer();
+    if (buf.size() < hdr.payloadBytes) buf.resize(hdr.payloadBytes);
+    if (std::fread(buf.data(), 1, hdr.payloadBytes, f_) != hdr.payloadBytes) {
+      // Torn tail: the extent's record count is known from its (valid)
+      // header, so the loss is accounted exactly.
+      if (!recover_) {
+        throw std::runtime_error("trace v2: truncated extent payload");
+      }
+      rstats_.skipped += hdr.records;
+      ++rstats_.resyncs;
+      return false;
+    }
+    if (crc32(buf.data(), hdr.payloadBytes) != hdr.payloadCrc) {
+      if (!recover_) {
+        throw std::runtime_error("trace v2: extent payload CRC mismatch");
+      }
+      rstats_.skipped += hdr.records;
+      ++rstats_.resyncs;
+      continue;  // the next extent header follows immediately
+    }
+    try {
+      v2dec_->load(hdr, names_, handles_);
+    } catch (const std::exception&) {
+      // CRC-valid but undecodable payload (in practice a CRC collision
+      // over corrupt bytes): treat like a CRC failure.
+      if (!recover_) throw;
+      rstats_.skipped += hdr.records;
+      ++rstats_.resyncs;
+      continue;
+    }
+    return true;
+  }
+}
+
+bool TraceReader::scanToV2Extent(tracev2::ExtentHeader& hdr) {
+  // Rolling byte-match for the extent magic (no repeated prefix, so a
+  // mismatch only needs to recheck the first byte), then full header
+  // validation — a magic collision inside corrupt bytes fails its CRC
+  // and the scan continues.
+  constexpr std::size_t kMagicLen = sizeof(tracev2::kExtentMagic);
+  std::size_t matched = 0;
+  int c;
+  while ((c = std::fgetc(f_)) != EOF) {
+    std::uint8_t b = static_cast<std::uint8_t>(c);
+    if (b == static_cast<std::uint8_t>(tracev2::kExtentMagic[matched])) {
+      if (++matched == kMagicLen) {
+        unsigned char hdrBuf[tracev2::kExtentHeaderBytes];
+        std::memcpy(hdrBuf, tracev2::kExtentMagic, kMagicLen);
+        std::size_t rest = sizeof(hdrBuf) - kMagicLen;
+        if (std::fread(hdrBuf + kMagicLen, 1, rest, f_) != rest) return false;
+        if (tracev2::parseExtentHeader(hdrBuf, hdr)) return true;
+        // False positive: rewind to just past the magic and keep going.
+        if (std::fseek(f_, -static_cast<long>(rest), SEEK_CUR) != 0) {
+          return false;
+        }
+        matched = 0;
+      }
+    } else {
+      matched =
+          b == static_cast<std::uint8_t>(tracev2::kExtentMagic[0]) ? 1 : 0;
+    }
+  }
+  return false;
 }
 
 void TraceReader::reconcileCheckpoint(std::uint64_t count) {
@@ -962,6 +1152,39 @@ std::vector<TraceRecord> TraceReader::recoverAll(const std::string& path,
   auto out = drainAll(reader, estimateRecordCount(path));
   if (stats) *stats = reader.recoverStats();
   return out;
+}
+
+TraceWriter::Format detectTraceFormat(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("trace: cannot open for read: " + path);
+  char magic[6] = {};
+  std::size_t got = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  if (got == sizeof(magic)) {
+    if (std::memcmp(magic, kBinMagic, sizeof(magic)) == 0) {
+      return TraceWriter::Format::Binary;
+    }
+    if (std::memcmp(magic, tracev2::kFileMagic, sizeof(magic)) == 0) {
+      return TraceWriter::Format::V2;
+    }
+  }
+  return TraceWriter::Format::Text;
+}
+
+const char* traceFormatName(TraceWriter::Format format) {
+  switch (format) {
+    case TraceWriter::Format::Text: return "text";
+    case TraceWriter::Format::Binary: return "binary";
+    case TraceWriter::Format::V2: return "v2";
+  }
+  return "unknown";
+}
+
+std::optional<TraceWriter::Format> traceFormatFromName(std::string_view name) {
+  if (name == "text") return TraceWriter::Format::Text;
+  if (name == "binary") return TraceWriter::Format::Binary;
+  if (name == "v2") return TraceWriter::Format::V2;
+  return std::nullopt;
 }
 
 }  // namespace nfstrace

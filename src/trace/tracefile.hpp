@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "obs/metrics.hpp"
 #include "trace/batch.hpp"
 #include "trace/record.hpp"
+#include "trace/v2.hpp"
 #include "util/interner.hpp"
 #include "util/time.hpp"
 
@@ -46,7 +48,7 @@ bool parseRecordInto(std::string_view line, TraceRecord& rec);
 /// is formatting only (no per-record heap allocation or fwrite call).
 class TraceWriter {
  public:
-  enum class Format { Text, Binary };
+  enum class Format { Text, Binary, V2 };
 
   /// Durability knobs.  Defaults match the historical writer except for
   /// checkpoints, which are cheap (a comment line / sentinel record every
@@ -56,7 +58,17 @@ class TraceWriter {
     /// Append a checkpoint footer every N records (0 disables).  The
     /// footer records the cumulative record count, so a recovering
     /// reader can compute exactly how many records a corrupt region ate.
+    /// Ignored for V2, where every extent header carries the cumulative
+    /// count — extents *are* the checkpoints.
     std::uint64_t checkpointEveryRecords = 4096;
+    /// V2 only: seal an extent after this many records...  (8K rather
+    /// than the 4K checkpoint interval: the reader re-interns each
+    /// extent's dictionaries, and doubling the extent halves that
+    /// amortized per-record cost while staying well under the payload
+    /// byte cap.)
+    std::uint64_t v2ExtentRecords = 8192;
+    /// ...or when its encoded payload reaches this size, whichever first.
+    std::size_t v2ExtentMaxBytes = 1 << 20;
     /// Transient write errors (EIO, ENOSPC) are retried with exponential
     /// backoff this many times before the writer gives up and throws.
     int maxRetries = 8;
@@ -97,6 +109,9 @@ class TraceWriter {
   /// Write [p, p+n) fully, retrying transient failures with backoff.
   void writeAll(const char* p, std::size_t n);
   void appendCheckpoint();
+  /// V2: encode the buffered records as one extent (header + CRC'd
+  /// payload), record it for the footer index, and flush.
+  void sealV2Extent();
 
   std::FILE* f_ = nullptr;
   Format format_;
@@ -104,6 +119,11 @@ class TraceWriter {
   std::string buf_;
   std::uint64_t count_ = 0;
   std::uint64_t lastCkptCount_ = 0;
+  /// Bytes physically written to the file so far; extent offsets for the
+  /// v2 footer index are fileBytes_ + buf_.size() at seal time.
+  std::uint64_t fileBytes_ = 0;
+  std::unique_ptr<tracev2::ExtentEncoder> v2enc_;
+  std::vector<tracev2::ExtentInfo> v2extents_;
   /// Records already pushed to trace.records_written; the counter is
   /// published per buffer flush, not per record, to keep a single atomic
   /// add off the per-record path.
@@ -169,6 +189,17 @@ class TraceReader {
   bool refill();
   bool nextTextInto(TraceRecord& rec);
   bool nextBinaryInto(TraceRecord& rec);
+  bool nextV2Into(TraceRecord& rec);
+  bool nextBatchV2(TraceBatch& batch, std::size_t maxRecords);
+  /// V2: read + validate the next extent header and CRC'd payload into
+  /// the decoder.  In recover mode damage is skipped with exact
+  /// accounting (the header's cumulative count is a checkpoint); returns
+  /// false at EOF / footer index.
+  bool loadNextV2Extent();
+  /// V2 recover mode: byte-scan forward for the next valid extent
+  /// header; on success `hdr` is filled and the stream sits at its
+  /// payload.  Returns false at EOF.
+  bool scanToV2Extent(tracev2::ExtentHeader& hdr);
   /// Handle a "#ckpt n=<count>" comment line (text format).
   void noteTextCheckpoint(std::string_view line);
   void reconcileCheckpoint(std::uint64_t count);
@@ -178,6 +209,8 @@ class TraceReader {
 
   std::FILE* f_ = nullptr;
   bool binary_ = false;
+  bool v2_ = false;
+  std::unique_ptr<tracev2::ExtentDecoder> v2dec_;
   bool recover_ = false;
   bool inBadRun_ = false;  // inside a run of consecutive corrupt lines
   RecoverStats rstats_;
@@ -195,5 +228,15 @@ class TraceReader {
   TraceRecord pending_;
   bool pendingValid_ = false;
 };
+
+/// Identify a trace file's format by its magic (files without a known
+/// magic are the text format).  Throws if the file cannot be opened.
+TraceWriter::Format detectTraceFormat(const std::string& path);
+
+/// "text" / "binary" / "v2" — for CLI flags and status output.
+const char* traceFormatName(TraceWriter::Format format);
+
+/// Inverse of traceFormatName; nullopt for unknown names.
+std::optional<TraceWriter::Format> traceFormatFromName(std::string_view name);
 
 }  // namespace nfstrace

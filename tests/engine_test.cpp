@@ -2,6 +2,7 @@
 // recovery on batch boundaries, and the determinism guarantee (output
 // byte-identical to serial at any worker count).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <map>
@@ -45,8 +46,11 @@ class EngineTest : public ::testing::Test {
     env.finishCapture();
     *records_ = env.records();
 
-    textPath_ = new std::string("/tmp/engine_test_text.trace");
-    binPath_ = new std::string("/tmp/engine_test_bin.trace");
+    // Per-process names: gtest_discover_tests runs each case as its own
+    // ctest entry, so concurrent processes would race on a fixed path.
+    std::string pid = std::to_string(::getpid());
+    textPath_ = new std::string("/tmp/engine_test_" + pid + "_text.trace");
+    binPath_ = new std::string("/tmp/engine_test_" + pid + "_bin.trace");
     {
       TraceWriter w(*textPath_, TraceWriter::Format::Text);
       for (const auto& r : *records_) w.write(r);
@@ -171,7 +175,8 @@ TEST_F(EngineTest, InternIdsStableAcrossBatches) {
 
 TEST_F(EngineTest, RecoverResyncsLandOnBatchBoundaries) {
   // Corrupt one record line in the middle of the text trace.
-  std::string corruptPath = "/tmp/engine_test_corrupt.trace";
+  std::string corruptPath =
+      "/tmp/engine_test_" + std::to_string(::getpid()) + "_corrupt.trace";
   {
     std::FILE* in = std::fopen(textPath_->c_str(), "rb");
     ASSERT_NE(in, nullptr);
@@ -400,7 +405,8 @@ TEST_F(EngineTest, StatsAndRerunReuse) {
 }
 
 TEST(EngineStandalone, EmptyTraceYieldsNoRecords) {
-  std::string path = "/tmp/engine_test_empty.trace";
+  std::string path =
+      "/tmp/engine_test_" + std::to_string(::getpid()) + "_empty.trace";
   { TraceWriter w(path, TraceWriter::Format::Text); }
   StandardAnalyses analyses;
   AnalysisEngine engine;

@@ -383,6 +383,44 @@ TEST_F(FaultFileTest, WriterRidesOutTransientFaultsByteIdentically) {
   EXPECT_EQ(TraceReader::readAll(chaotic).size(), 2000u);
 }
 
+TEST_F(FaultFileTest, V2WriterRidesOutTransientFaultsByteIdentically) {
+  // Same contract as the text writer: a flaky disk may cost retries and
+  // short writes, but never changes the bytes — extent CRCs, the footer
+  // index, and the record stream all survive intact.
+  std::string clean = path_;
+  std::string chaotic = path_ + ".b";
+  TraceWriter::Options v2opts;
+  v2opts.format = TraceWriter::Format::V2;
+  v2opts.v2ExtentRecords = 256;
+  {
+    TraceWriter w(clean, v2opts);
+    for (std::uint32_t i = 0; i < 2000; ++i) w.write(simpleRecord(i));
+  }
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.ioShortWriteRate = 0.5;
+  plan.ioEioRate = 0.4;
+  IoFaultInjector inj(plan);
+  TraceWriter::Options opts = v2opts;
+  opts.faults = &inj;
+  opts.maxRetries = 64;
+  opts.backoffInitialUs = 1;
+  opts.backoffMaxUs = 4;
+  TraceWriter::IoStats io;
+  {
+    TraceWriter w(chaotic, opts);
+    for (std::uint32_t i = 0; i < 2000; ++i) w.write(simpleRecord(i));
+    io = w.ioStats();
+  }
+  EXPECT_GT(io.retries, 0u);
+  EXPECT_GE(io.checkpoints, 2000u / 256);  // one per sealed extent
+  EXPECT_EQ(readFileBytes(chaotic), readFileBytes(clean));
+  EXPECT_EQ(TraceReader::readAll(chaotic).size(), 2000u);
+  auto index = tracev2::loadExtentIndex(chaotic);
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(index->size(), (2000u + 255) / 256);
+}
+
 TEST_F(FaultFileTest, WriterGivesUpWhenTheDiskStaysFull) {
   FaultPlan plan;
   plan.ioEnospcRate = 1.0;
