@@ -2,7 +2,8 @@
 // with consistent random mappings, save the mapping table, and show what
 // the transformation preserves and hides.
 //
-//   anonymize_trace [input.trace [output.trace [map-file [policy.cfg]]]]
+//   anonymize_trace [--metrics]
+//                   [input.trace [output.trace [map-file [policy.cfg]]]]
 //
 // The optional policy.cfg is a key=value file (see util/config.hpp):
 //   keep_name = CVS
@@ -10,12 +11,19 @@
 //   omit_identities = false
 //   seed = 12345
 //
+// --metrics prints the obs registry snapshot (records anonymized, trace
+// writer flush/retry counters, mapping-table size) and any DEGRADED
+// alert line to stderr, same as trace_analyze.
+//
 // With no arguments it generates a demo trace first.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "analysis/summary.hpp"
 #include "anon/anon.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
 #include "trace/tracefile.hpp"
 #include "workload/campus.hpp"
 #include "workload/sim.hpp"
@@ -47,9 +55,32 @@ std::string makeDemoTrace() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string input = argc > 1 ? argv[1] : makeDemoTrace();
-  std::string output = argc > 2 ? argv[2] : "/tmp/anonymized.trace";
-  std::string mapFile = argc > 3 ? argv[3] : "/tmp/anonymized.map";
+  bool metrics = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics") {
+      metrics = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--metrics] [input.trace [output.trace "
+                   "[map-file [policy.cfg]]]]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  std::string input =
+      !positional.empty() ? positional[0] : makeDemoTrace();
+  std::string output =
+      positional.size() > 1 ? positional[1] : "/tmp/anonymized.trace";
+  std::string mapFile =
+      positional.size() > 2 ? positional[2] : "/tmp/anonymized.map";
+
+  obs::Registry registry;
+  obs::CounterHandle recordsC = registry.counterHandle("anon.records", 0);
+  obs::GaugeHandle mappingsG = registry.gaugeHandle("anon.name_mappings");
 
   // The anonymized trace keeps the input's format: a site anonymizing a
   // v2 archive for publication gets a v2 archive back.
@@ -63,19 +94,24 @@ int main(int argc, char** argv) {
   // .inbox, .pinerc, lock components) and root/daemon UIDs; a policy
   // file overrides it.
   Anonymizer::Config cfg;
-  if (argc > 4) {
-    cfg = Anonymizer::Config::fromFile(argv[4]);
-    std::printf("loaded anonymization policy from %s\n", argv[4]);
+  if (positional.size() > 3) {
+    cfg = Anonymizer::Config::fromFile(positional[3]);
+    std::printf("loaded anonymization policy from %s\n",
+                positional[3].c_str());
   }
   Anonymizer anon{cfg};
   TraceWriter writer(output, format);
+  if (metrics) writer.attachMetrics(registry);
   std::vector<TraceRecord> anonymized;
   anonymized.reserve(records.size());
   for (const auto& rec : records) {
     anonymized.push_back(anon.anonymize(rec));
     writer.write(anonymized.back());
+    recordsC.inc();
   }
+  writer.flush();
   anon.saveMap(mapFile);
+  mappingsG.set(static_cast<double>(anon.mappedNames()));
 
   std::printf("wrote %s and mapping table %s (%zu name mappings)\n",
               output.c_str(), mapFile.c_str(), anon.mappedNames());
@@ -104,5 +140,13 @@ int main(int argc, char** argv) {
       "guessed filenames against the published trace and compare traces\n"
       "from different sites; the random table (kept by the trace owner)\n"
       "permits neither.\n");
+
+  if (metrics) {
+    auto snap = registry.scrape();
+    std::string table = obs::SnapshotExporter::renderStatusTable(snap, 0, 0);
+    table += obs::SnapshotExporter::renderAlerts(
+        snap, obs::defaultAlertCounters());
+    std::fwrite(table.data(), 1, table.size(), stderr);
+  }
   return 0;
 }

@@ -3,18 +3,22 @@
 // the pipeline (capture once, analyze forever).
 //
 //   capture_to_trace [--chaos plan.cfg] [--format text|binary|v2]
-//                    [input.pcap [output.trace]]
+//                    [--flight trace.json] [input.pcap [output.trace]]
 //
 // With no arguments it first generates a demo capture to convert.
 // --chaos runs the conversion under a deterministic fault plan (see
 // configs/chaos.cfg): frames are dropped/corrupted/reordered in front of
 // the sniffer and the trace writer suffers injected transient IO errors,
 // demonstrating the capture path's graceful degradation end to end.
+// --flight records a per-thread span timeline of the whole run (sniffer
+// evictions, fault decisions, writer flushes/retries) to a Chrome
+// trace-event file — open it in Perfetto — and prints the stall report.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/flight.hpp"
 #include "pcap/pcap.hpp"
 #include "sniffer/sniffer.hpp"
 #include "trace/tracefile.hpp"
@@ -71,12 +75,15 @@ std::string makeDemoCapture() {
 
 int main(int argc, char** argv) {
   std::string chaosPath;
+  std::string flightPath;
   TraceWriter::Format format = TraceWriter::Format::Text;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--chaos" && i + 1 < argc) {
       chaosPath = argv[++i];
+    } else if (arg == "--flight" && i + 1 < argc) {
+      flightPath = argv[++i];
     } else if (arg == "--format" && i + 1 < argc) {
       auto f = traceFormatFromName(argv[++i]);
       if (!f) {
@@ -100,9 +107,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(plan.seed));
   }
 
+  obs::FlightRecorder flight;
+
   std::vector<TraceRecord> records;
-  Sniffer sniffer({}, [&](const TraceRecord& rec) { records.push_back(rec); });
+  Sniffer::Config scfg;
+  if (!flightPath.empty()) scfg.flight = &flight;
+  Sniffer sniffer(scfg,
+                  [&](const TraceRecord& rec) { records.push_back(rec); });
   FaultySink faulty(plan, sniffer);  // quiet plan = pass-through
+  if (!flightPath.empty()) faulty.attachFlight(flight);
   {
     PcapReader reader(input);
     while (auto pkt = reader.next()) faulty.onFrame(*pkt);
@@ -118,6 +131,7 @@ int main(int argc, char** argv) {
   TraceWriter::IoStats ioStats;
   {
     TraceWriter writer(output, wopts);
+    if (!flightPath.empty()) writer.attachFlight(flight);
     for (const auto& rec : records) writer.write(rec);
     writer.flush();
     ioStats = writer.ioStats();
@@ -177,6 +191,19 @@ int main(int argc, char** argv) {
          ++i) {
       std::printf("  %s\n", formatRecord(records[i]).c_str());
     }
+  }
+
+  if (!flightPath.empty()) {
+    std::printf("\n%s", flight.stallReport().c_str());
+    std::uint64_t rendered = 0;
+    if (!flight.writeChromeTrace(flightPath, &rendered)) {
+      std::fprintf(stderr, "failed to write flight trace %s\n",
+                   flightPath.c_str());
+      return 1;
+    }
+    std::printf(
+        "flight timeline: %s (%llu events; load in https://ui.perfetto.dev)\n",
+        flightPath.c_str(), static_cast<unsigned long long>(rendered));
   }
   return 0;
 }

@@ -1,7 +1,7 @@
 // Single-pass analysis driver: every table and figure from one scan.
 //
 //   trace_analyze [--workers N] [--json] [--recover] [--batch N]
-//                 [--metrics] [trace-file]
+//                 [--metrics] [--flight trace.json] [trace-file]
 //
 // Where trace_stats grew up one analysis at a time (one full decode of
 // the trace per table), trace_analyze decodes each record exactly once
@@ -17,6 +17,10 @@
 //   --metrics     print the engine's self-monitoring snapshot (batch and
 //                 record counters, intern-table sizes, per-pass observe
 //                 timings) and any DEGRADED alert line to stderr
+//   --flight F    record a per-thread span timeline of the scan (reader
+//                 decode, per-pass observe, pool/ring stalls) to Chrome
+//                 trace-event file F (open in Perfetto) and print the
+//                 stall-attribution report to stderr
 //
 // With no input argument it generates a demo trace first.
 #include <cstdio>
@@ -27,6 +31,7 @@
 #include "analysis/engine/passes.hpp"
 #include "analysis/engine/report.hpp"
 #include "obs/exporter.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "trace/tracefile.hpp"
 #include "workload/campus.hpp"
@@ -59,7 +64,7 @@ std::string makeDemoTrace() {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--json] [--recover] [--batch N] "
-               "[--metrics] [trace-file]\n",
+               "[--metrics] [--flight trace.json] [trace-file]\n",
                argv0);
   return 2;
 }
@@ -70,6 +75,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool recover = false;
   bool metrics = false;
+  std::string flightPath;
   std::size_t workers = 1;
   std::size_t batchRecords = TraceBatch::kDefaultCapacity;
   std::string input;
@@ -81,6 +87,8 @@ int main(int argc, char** argv) {
       recover = true;
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--flight" && i + 1 < argc) {
+      flightPath = argv[++i];
     } else if (arg == "--workers" && i + 1 < argc) {
       workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--batch" && i + 1 < argc) {
@@ -105,6 +113,8 @@ int main(int argc, char** argv) {
   AnalysisEngine engine(cfg);
   engine.addPasses(analyses.all());
   engine.attachMetrics(registry);
+  obs::FlightRecorder flight;
+  if (!flightPath.empty()) engine.attachFlight(flight);
 
   TraceReader reader(input, recover);
   const AnalysisEngine::Stats& st = engine.run(reader);
@@ -134,6 +144,20 @@ int main(int argc, char** argv) {
     table += obs::SnapshotExporter::renderAlerts(
         snap, obs::defaultAlertCounters());
     std::fwrite(table.data(), 1, table.size(), stderr);
+  }
+  if (!flightPath.empty()) {
+    std::string stall = flight.stallReport();
+    std::fwrite(stall.data(), 1, stall.size(), stderr);
+    std::uint64_t rendered = 0;
+    if (!flight.writeChromeTrace(flightPath, &rendered)) {
+      std::fprintf(stderr, "failed to write flight trace %s\n",
+                   flightPath.c_str());
+      return 1;
+    }
+    std::fprintf(
+        stderr,
+        "flight timeline: %s (%llu events; load in https://ui.perfetto.dev)\n",
+        flightPath.c_str(), static_cast<unsigned long long>(rendered));
   }
   return 0;
 }

@@ -1,7 +1,7 @@
 // Trace statistics tool: run the paper's analyses over any trace file —
 // the `nfsscan` counterpart to capture_to_trace's `nfsdump`.
 //
-//   trace_stats [--json] [--recover] [--workers N] [trace-file]
+//   trace_stats [--json] [--recover] [--workers N] [--metrics] [trace-file]
 //
 // Prints the operation mix, data volumes, hourly activity, run pattern
 // classification, block-lifetime summary, and name-category census.
@@ -14,6 +14,8 @@
 // With --recover a damaged trace is read end-to-end anyway: corrupt
 // regions are skipped to the next parseable boundary (resyncs land on
 // batch boundaries) and a recovery summary goes to stderr.
+// With --metrics the engine's obs registry snapshot and any DEGRADED
+// alert line go to stderr after the report.
 // With no input argument it generates a demo trace first.
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +24,8 @@
 #include "analysis/engine/engine.hpp"
 #include "analysis/engine/passes.hpp"
 #include "analysis/engine/report.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
 #include "trace/tracefile.hpp"
 #include "workload/campus.hpp"
 #include "workload/sim.hpp"
@@ -56,6 +60,7 @@ std::string makeDemoTrace(bool toStderr) {
 int main(int argc, char** argv) {
   bool json = false;
   bool recover = false;
+  bool metrics = false;
   std::size_t workers = 1;
   std::string input;
   for (int i = 1; i < argc; ++i) {
@@ -64,6 +69,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--recover") {
       recover = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--workers" && i + 1 < argc) {
       workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
@@ -74,11 +81,13 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "%s: %s format\n", input.c_str(),
                traceFormatName(detectTraceFormat(input)));
 
+  obs::Registry registry;
   StandardAnalyses analyses;
   AnalysisEngine::Config cfg;
   cfg.workers = workers;
   AnalysisEngine engine(cfg);
   engine.addPasses(analyses.all());
+  if (metrics) engine.attachMetrics(registry);
 
   TraceReader reader(input, recover);
   const AnalysisEngine::Stats& st = engine.run(reader);
@@ -100,5 +109,12 @@ int main(int argc, char** argv) {
   std::string report = json ? renderReportJson(input, analyses)
                             : renderReportText(input, analyses);
   std::fwrite(report.data(), 1, report.size(), stdout);
+  if (metrics) {
+    auto snap = registry.scrape();
+    std::string table = obs::SnapshotExporter::renderStatusTable(snap, 0, 0);
+    table += obs::SnapshotExporter::renderAlerts(
+        snap, obs::defaultAlertCounters());
+    std::fwrite(table.data(), 1, table.size(), stderr);
+  }
   return 0;
 }

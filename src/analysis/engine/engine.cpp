@@ -51,6 +51,11 @@ void AnalysisEngine::attachMetrics(obs::Registry& registry) {
   }
 }
 
+void AnalysisEngine::attachFlight(obs::FlightRecorder& flight) {
+  flight_ = &flight;
+  readerFlog_ = flight.attachThread("engine.reader");
+}
+
 const AnalysisEngine::Stats& AnalysisEngine::run(TraceReader& reader) {
   stats_ = {};
   std::size_t workers = std::max<std::size_t>(config_.workers, 1);
@@ -60,19 +65,32 @@ const AnalysisEngine::Stats& AnalysisEngine::run(TraceReader& reader) {
   } else {
     runParallel(reader);
   }
-  finalizeAll();
+  {
+    obs::FlightSpan span(readerFlog_, obs::Stage::Finalize,
+                         static_cast<std::uint32_t>(passes_.size()));
+    finalizeAll();
+  }
   return stats_;
 }
 
 void AnalysisEngine::runSerial(TraceReader& reader) {
   TraceBatch batch;
   std::vector<std::uint64_t> shardRecords(1, 0);
-  while (reader.nextBatch(batch, config_.batchRecords)) {
+  for (;;) {
+    std::uint64_t decodeStart = readerFlog_ ? readerFlog_->nowNs() : 0;
+    if (!reader.nextBatch(batch, config_.batchRecords)) break;
+    if (readerFlog_) {
+      readerFlog_->complete(obs::Stage::ReaderDecode, decodeStart,
+                            static_cast<std::uint32_t>(batch.n));
+    }
     ++stats_.batches;
     stats_.records += batch.n;
     if (batch.endedAtResync) {
       ++stats_.resyncCuts;
       resyncC_.inc();
+      if (readerFlog_) {
+        readerFlog_->instant(obs::Stage::RecoveryCut, stats_.batches);
+      }
     }
     shardRecords[0] += batch.n;
     batchesC_.inc();
@@ -81,6 +99,8 @@ void AnalysisEngine::runSerial(TraceReader& reader) {
       obs::TimerSpan span(passHist_[i]
                               ? obs::HistogramHandle(*passHist_[i], 0)
                               : obs::HistogramHandle());
+      obs::FlightSpan fspan(readerFlog_, obs::Stage::PassObserve,
+                            static_cast<std::uint32_t>(i));
       passes_[i]->observe(batch, 0);
     }
   }
@@ -104,14 +124,29 @@ void AnalysisEngine::runParallel(TraceReader& reader) {
   }
 
   std::vector<std::uint64_t> shardRecords(workers, 0);
+  std::vector<obs::ThreadLog*> workerFlogs(workers, nullptr);
+  if (flight_) {
+    for (std::size_t w = 0; w < workers; ++w) {
+      workerFlogs[w] =
+          flight_->attachThread("engine.worker" + std::to_string(w));
+    }
+  }
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([this, w, workers, &rings] {
+    threads.emplace_back([this, w, workers, &rings, &workerFlogs] {
       SpscRing<BatchSlot*>& ring = *rings[w];
+      obs::ThreadLog* flog = workerFlogs[w];
       for (;;) {
         BatchSlot* slot = nullptr;
-        while (!ring.tryPop(slot)) std::this_thread::yield();
+        std::uint64_t starveStart = 0;  // batch-ring-empty episode
+        while (!ring.tryPop(slot)) {
+          if (flog && starveStart == 0) starveStart = flog->nowNs();
+          std::this_thread::yield();
+        }
+        if (starveStart != 0) {
+          flog->complete(obs::Stage::WorkerBatchWait, starveStart);
+        }
         if (!slot) break;  // EOF sentinel
         const TraceBatch& batch = slot->batch;
         for (std::size_t i = 0; i < passes_.size(); ++i) {
@@ -123,6 +158,8 @@ void AnalysisEngine::runParallel(TraceReader& reader) {
           obs::TimerSpan span(passHist_[i]
                                   ? obs::HistogramHandle(*passHist_[i], w)
                                   : obs::HistogramHandle());
+          obs::FlightSpan fspan(flog, obs::Stage::PassObserve,
+                                static_cast<std::uint32_t>(i));
           pass->observe(batch, pass->mergeable() ? w : 0);
         }
         slot->refs.fetch_sub(1, std::memory_order_release);
@@ -135,6 +172,7 @@ void AnalysisEngine::runParallel(TraceReader& reader) {
   std::size_t scan = 0;
   for (;;) {
     BatchSlot* slot = nullptr;
+    std::uint64_t poolWaitStart = 0;  // every-slot-referenced episode
     for (;;) {
       for (std::size_t tries = 0; tries < poolSize; ++tries) {
         BatchSlot* cand = pool[scan].get();
@@ -145,14 +183,28 @@ void AnalysisEngine::runParallel(TraceReader& reader) {
         }
       }
       if (slot) break;
+      if (readerFlog_ && poolWaitStart == 0) {
+        poolWaitStart = readerFlog_->nowNs();
+      }
       std::this_thread::yield();
     }
+    if (poolWaitStart != 0) {
+      readerFlog_->complete(obs::Stage::BatchPoolWait, poolWaitStart);
+    }
+    std::uint64_t decodeStart = readerFlog_ ? readerFlog_->nowNs() : 0;
     if (!reader.nextBatch(slot->batch, config_.batchRecords)) break;
+    if (readerFlog_) {
+      readerFlog_->complete(obs::Stage::ReaderDecode, decodeStart,
+                            static_cast<std::uint32_t>(slot->batch.n));
+    }
     ++stats_.batches;
     stats_.records += slot->batch.n;
     if (slot->batch.endedAtResync) {
       ++stats_.resyncCuts;
       resyncC_.inc();
+      if (readerFlog_) {
+        readerFlog_->instant(obs::Stage::RecoveryCut, stats_.batches);
+      }
     }
     shardRecords[slot->batch.seq % workers] += slot->batch.n;
     batchesC_.inc();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "analysis/engine/pass.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "trace/tracefile.hpp"
 
@@ -72,6 +73,11 @@ class AnalysisEngine {
   /// after the passes are registered.
   void attachMetrics(obs::Registry& registry);
 
+  /// Bind a flight recorder: decode/pass-observe spans, pool- and
+  /// ring-wait stall episodes, and recovery-cut instants land on
+  /// "engine.reader" / "engine.worker<w>" tracks.
+  void attachFlight(obs::FlightRecorder& flight);
+
   /// Drive every pass over the reader's stream in one scan (prepare ->
   /// observe* -> finalize).  Reusable: each call re-prepares the passes.
   const Stats& run(TraceReader& reader);
@@ -96,6 +102,8 @@ class AnalysisEngine {
   obs::GaugeHandle internNamesG_;
   obs::GaugeHandle internHandlesG_;
   std::vector<obs::Histogram*> passHist_;  // parallel to passes_
+  obs::FlightRecorder* flight_ = nullptr;
+  obs::ThreadLog* readerFlog_ = nullptr;
 };
 
 }  // namespace nfstrace

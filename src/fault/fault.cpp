@@ -63,6 +63,10 @@ void FaultySink::attachMetrics(obs::Registry& registry) {
   corruptC_ = registry.counterHandle("fault.frames_corrupted", 0);
 }
 
+void FaultySink::attachFlight(obs::FlightRecorder& flight) {
+  flog_ = flight.attachThread("fault.wire");
+}
+
 void FaultySink::forward(const CapturedPacket& pkt) {
   ++stats_.forwarded;
   downstream_.onFrame(pkt);
@@ -80,6 +84,7 @@ void FaultySink::onFrame(const CapturedPacket& pkt) {
     ++stats_.dropped;
     ++stats_.burstDropped;
     droppedC_.inc();
+    if (flog_) flog_->instant(obs::Stage::FaultDrop, idx, 1);
     note(1);
     return;
   }
@@ -96,12 +101,14 @@ void FaultySink::onFrame(const CapturedPacket& pkt) {
     ++stats_.dropped;
     ++stats_.burstDropped;
     droppedC_.inc();
+    if (flog_) flog_->instant(obs::Stage::FaultDrop, idx, 2);
     note(2);
     return;
   }
   if (plan_.dropRate > 0.0 && rng.chance(plan_.dropRate)) {
     ++stats_.dropped;
     droppedC_.inc();
+    if (flog_) flog_->instant(obs::Stage::FaultDrop, idx, 3);
     note(3);
     return;
   }
@@ -113,6 +120,7 @@ void FaultySink::onFrame(const CapturedPacket& pkt) {
     out.data.resize(static_cast<std::size_t>(rng.below(out.data.size())));
     ++stats_.truncated;
     corruptC_.inc();
+    if (flog_) flog_->instant(obs::Stage::FaultCorrupt, idx, 4);
     note(4);
   } else if (plan_.bitflipRate > 0.0 && !out.data.empty() &&
              rng.chance(plan_.bitflipRate)) {
@@ -130,6 +138,7 @@ void FaultySink::onFrame(const CapturedPacket& pkt) {
         static_cast<std::uint8_t>(1u << rng.below(8));
     ++stats_.bitflipped;
     corruptC_.inc();
+    if (flog_) flog_->instant(obs::Stage::FaultCorrupt, idx, 5);
     note(5);
   }
 

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "netcap/netcap.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "util/config.hpp"
 #include "util/hash.hpp"
@@ -109,6 +110,12 @@ class FaultySink : public FrameSink {
   /// run's degradation is visible in snapshots.
   void attachMetrics(obs::Registry& registry);
 
+  /// Bind a "fault.wire" flight track: every drop/burst lands as a
+  /// fault.drop instant and every truncate/bit-flip as a fault.corrupt
+  /// instant (arg = frame index), so chaos decisions line up on the
+  /// timeline next to the stalls and sheds they cause.
+  void attachFlight(obs::FlightRecorder& flight);
+
  private:
   void forward(const CapturedPacket& pkt);
   void note(std::uint64_t decision) {
@@ -127,6 +134,7 @@ class FaultySink : public FrameSink {
   obs::CounterHandle dupC_;
   obs::CounterHandle reorderC_;
   obs::CounterHandle corruptC_;
+  obs::ThreadLog* flog_ = nullptr;
 };
 
 /// Trace-disk fault source: the trace writer asks it, once per write

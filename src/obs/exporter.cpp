@@ -91,7 +91,37 @@ void SnapshotExporter::emit() {
     std::fwrite(line.data(), 1, line.size(), jsonl_);
     std::fflush(jsonl_);
   }
+  if (!config_.promPath.empty()) {
+    // Rewritten whole each scrape, so a collector always reads a
+    // complete exposition.
+    if (std::FILE* f = std::fopen(config_.promPath.c_str(), "wb")) {
+      std::string prom = renderPrometheus(snap);
+      std::fwrite(prom.data(), 1, prom.size(), f);
+      std::fclose(f);
+    }
+  }
+  if (config_.flight) sampleFlight(snap);
   written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SnapshotExporter::sampleFlight(const Snapshot& snap) {
+  // Called under emitMu_, so this thread is the track's sole producer
+  // even when exportOnce() races the scrape thread.
+  if (!flog_) flog_ = config_.flight->attachThread("obs.exporter");
+  auto trackOf = [this](const std::string& name) {
+    for (const auto& [n, id] : flightTracks_) {
+      if (n == name) return id;
+    }
+    std::uint16_t id = config_.flight->counterTrack(name);
+    flightTracks_.emplace_back(name, id);
+    return id;
+  };
+  for (const auto& [name, v] : snap.counters) {
+    flog_->counterSample(trackOf(name), static_cast<double>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    flog_->counterSample(trackOf(name), v);
+  }
 }
 
 std::string SnapshotExporter::renderStatusTable(const Snapshot& snap,
@@ -144,6 +174,64 @@ std::string SnapshotExporter::renderAlerts(
     }
   }
   if (!out.empty()) out += '\n';
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric name: [a-zA-Z0-9_] only, under the nfstrace_ prefix.
+std::string promName(const std::string& name) {
+  std::string out = "nfstrace_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void promNumber(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string SnapshotExporter::renderPrometheus(const Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    std::string n = promName(name) + "_total";
+    out += "# TYPE " + n + " counter\n";
+    out += n;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::string n = promName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n;
+    out += ' ';
+    promNumber(out, v);
+    out += '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    // Summaries, not native histograms: the log2 buckets reduce to the
+    // interpolated quantiles the status table already shows.
+    std::string n = promName(name);
+    out += "# TYPE " + n + " summary\n";
+    for (double q : {0.5, 0.95, 0.99}) {
+      out += n;
+      out += "{quantile=\"";
+      promNumber(out, q);
+      out += "\"} ";
+      promNumber(out, h.quantile(q));
+      out += '\n';
+    }
+    out += n + "_sum " + std::to_string(h.sum) + '\n';
+    out += n + "_count " + std::to_string(h.count) + '\n';
+  }
   return out;
 }
 

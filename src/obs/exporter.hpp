@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "util/time.hpp"
 
@@ -49,6 +50,14 @@ class SnapshotExporter {
     /// DEGRADED line to the status stream, so graceful degradation is
     /// loud even when the capture keeps running.
     std::vector<std::string> alertCounters;
+    /// Path for a Prometheus text-exposition file, rewritten whole on
+    /// every scrape (node_exporter textfile-collector style); empty =
+    /// off.
+    std::string promPath;
+    /// Optional flight recorder: every scrape also samples each counter
+    /// and gauge into a Chrome-trace counter series on an "obs.exporter"
+    /// track, so Perfetto shows metric timelines next to the spans.
+    FlightRecorder* flight = nullptr;
   };
 
   SnapshotExporter(Registry& registry, Config config);
@@ -77,14 +86,23 @@ class SnapshotExporter {
   /// nonzero totals; empty string when all are zero (or absent).
   static std::string renderAlerts(const Snapshot& snap,
                                   const std::vector<std::string>& names);
+  /// Prometheus text exposition format: counters as `_total` counters,
+  /// gauges as gauges, histograms as summaries (p50/p95/p99 quantiles
+  /// from the log2 buckets plus _sum/_count).  Metric names are
+  /// sanitized (dots become underscores) under an `nfstrace_` prefix.
+  static std::string renderPrometheus(const Snapshot& snap);
 
  private:
   void threadLoop();
   void emit();
+  void sampleFlight(const Snapshot& snap);
 
   Registry& registry_;
   Config config_;
   std::FILE* jsonl_ = nullptr;
+  ThreadLog* flog_ = nullptr;  // lazily attached on first flight sample
+  /// Metric name -> flight counter-track id, in first-seen order.
+  std::vector<std::pair<std::string, std::uint16_t>> flightTracks_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::uint64_t> written_{0};
   std::uint64_t seq_ = 0;  // guarded by emitMu_

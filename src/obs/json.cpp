@@ -102,27 +102,345 @@ void JsonWriter::clear() {
   afterKey_ = false;
 }
 
+namespace {
+
+/// Length and decoded code point of a valid UTF-8 sequence starting at
+/// s[i]; 0 if the bytes there are not well-formed UTF-8 (truncated,
+/// bad continuation, overlong, surrogate, or past U+10FFFF).
+std::size_t utf8SequenceAt(std::string_view s, std::size_t i) {
+  unsigned char c = static_cast<unsigned char>(s[i]);
+  std::size_t len;
+  std::uint32_t cp;
+  if (c < 0x80) return 1;
+  if ((c & 0xe0) == 0xc0) {
+    len = 2;
+    cp = c & 0x1f;
+  } else if ((c & 0xf0) == 0xe0) {
+    len = 3;
+    cp = c & 0x0f;
+  } else if ((c & 0xf8) == 0xf0) {
+    len = 4;
+    cp = c & 0x07;
+  } else {
+    return 0;  // continuation byte or 0xf8..0xff lead
+  }
+  if (i + len > s.size()) return 0;
+  for (std::size_t k = 1; k < len; ++k) {
+    unsigned char cc = static_cast<unsigned char>(s[i + k]);
+    if ((cc & 0xc0) != 0x80) return 0;
+    cp = (cp << 6) | (cc & 0x3f);
+  }
+  // Overlong encodings, UTF-16 surrogates, and out-of-range are all
+  // ill-formed UTF-8 even though the byte pattern parses.
+  if (len == 2 && cp < 0x80) return 0;
+  if (len == 3 && cp < 0x800) return 0;
+  if (len == 4 && cp < 0x10000) return 0;
+  if (cp >= 0xd800 && cp <= 0xdfff) return 0;
+  if (cp > 0x10ffff) return 0;
+  return len;
+}
+
+}  // namespace
+
 std::string JsonWriter::escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(static_cast<char>(c));
-        }
+  std::size_t i = 0;
+  auto hex = [&out](unsigned char c) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+    out += buf;
+  };
+  while (i < s.size()) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c < 0x80) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (c < 0x20) {
+            hex(c);
+          } else {
+            out.push_back(static_cast<char>(c));
+          }
+      }
+      ++i;
+      continue;
+    }
+    std::size_t len = utf8SequenceAt(s, i);
+    if (len == 0) {
+      // Not UTF-8 (raw filehandle bytes, a truncated name from a corrupt
+      // capture, ...): escape the byte so the output stays valid JSON
+      // and valid UTF-8 while preserving the value losslessly.
+      hex(c);
+      ++i;
+    } else {
+      out.append(s, i, len);
+      i += len;
     }
   }
   return out;
+}
+
+std::string jsonUnescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  auto hexVal = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  while (i < s.size()) {
+    char c = s[i];
+    if (c != '\\') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= s.size()) break;  // dangling backslash: drop
+    char e = s[i + 1];
+    i += 2;
+    switch (e) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (i + 4 > s.size()) return out;
+        std::uint32_t cp = 0;
+        for (int k = 0; k < 4; ++k) {
+          int v = hexVal(s[i + static_cast<std::size_t>(k)]);
+          if (v < 0) return out;
+          cp = (cp << 4) | static_cast<std::uint32_t>(v);
+        }
+        i += 4;
+        // Surrogate pair: \uD800-\uDBFF must be followed by \uDC00-\uDFFF.
+        if (cp >= 0xd800 && cp <= 0xdbff && i + 6 <= s.size() &&
+            s[i] == '\\' && s[i + 1] == 'u') {
+          std::uint32_t lo = 0;
+          bool ok = true;
+          for (int k = 0; k < 4; ++k) {
+            int v = hexVal(s[i + 2 + static_cast<std::size_t>(k)]);
+            if (v < 0) {
+              ok = false;
+              break;
+            }
+            lo = (lo << 4) | static_cast<std::uint32_t>(v);
+          }
+          if (ok && lo >= 0xdc00 && lo <= 0xdfff) {
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+            i += 6;
+          }
+        }
+        // Encode the code point as UTF-8.  The escape/unescape round
+        // trip is byte-exact for valid-UTF-8 input; a byte escape()
+        // hex-escaped because it was NOT valid UTF-8 comes back as the
+        // UTF-8 encoding of U+00XX (still lossless, not byte-identical).
+        if (cp < 0x80) {
+          out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+          out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+          out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+          out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+        break;
+      }
+      default:
+        // Unknown escape: keep the escaped character.
+        out.push_back(e);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON validator (RFC 8259 subset check used by the
+/// tests and the chrome-trace bench gate).  No allocation, no throw.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view s) : s_(s) {}
+
+  bool validate() {
+    skipWs();
+    if (!value(0)) return false;
+    skipWs();
+    return i_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool value(int depth) {
+    if (depth > kMaxDepth || i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object(int depth) {
+    ++i_;  // '{'
+    skipWs();
+    if (peek() == '}') {
+      ++i_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (peek() != '"' || !string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++i_;
+      skipWs();
+      if (!value(depth + 1)) return false;
+      skipWs();
+      char c = peek();
+      if (c == ',') {
+        ++i_;
+        continue;
+      }
+      if (c == '}') {
+        ++i_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array(int depth) {
+    ++i_;  // '['
+    skipWs();
+    if (peek() == ']') {
+      ++i_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!value(depth + 1)) return false;
+      skipWs();
+      char c = peek();
+      if (c == ',') {
+        ++i_;
+        continue;
+      }
+      if (c == ']') {
+        ++i_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    ++i_;  // '"'
+    while (i_ < s_.size()) {
+      unsigned char c = static_cast<unsigned char>(s_[i_]);
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (c == '\\') {
+        if (i_ + 1 >= s_.size()) return false;
+        char e = s_[i_ + 1];
+        if (e == 'u') {
+          if (i_ + 6 > s_.size()) return false;
+          for (std::size_t k = 2; k < 6; ++k) {
+            if (!isHex(s_[i_ + k])) return false;
+          }
+          i_ += 6;
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' ||
+                   e == 'f' || e == 'n' || e == 'r' || e == 't') {
+          i_ += 2;
+        } else {
+          return false;
+        }
+        continue;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c < 0x80) {
+        ++i_;
+        continue;
+      }
+      std::size_t len = utf8SequenceAt(s_, i_);
+      if (len == 0) return false;  // invalid UTF-8 inside a string
+      i_ += len;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    if (peek() == '0') {
+      ++i_;
+    } else if (isDigit(peek())) {
+      while (isDigit(peek())) ++i_;
+    } else {
+      return false;
+    }
+    if (peek() == '.') {
+      ++i_;
+      if (!isDigit(peek())) return false;
+      while (isDigit(peek())) ++i_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++i_;
+      if (peek() == '+' || peek() == '-') ++i_;
+      if (!isDigit(peek())) return false;
+      while (isDigit(peek())) ++i_;
+    }
+    return i_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(i_, word.size()) != word) return false;
+    i_ += word.size();
+    return true;
+  }
+
+  void skipWs() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  static bool isDigit(char c) { return c >= '0' && c <= '9'; }
+  static bool isHex(char c) {
+    return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+bool isValidJson(std::string_view doc) {
+  return JsonValidator(doc).validate();
 }
 
 }  // namespace nfstrace::obs

@@ -40,6 +40,12 @@ class JsonWriter {
   const std::string& str() const { return out_; }
   void clear();
 
+  /// Escape a string for inclusion in a JSON document.  The output is
+  /// always valid JSON *and* valid UTF-8 for arbitrary input bytes:
+  /// control characters use the standard short escapes or \u00XX,
+  /// well-formed UTF-8 sequences pass through untouched, and bytes that
+  /// are not valid UTF-8 (overlong forms, surrogates, stray continuation
+  /// bytes, raw binary) become \u00XX escapes of the byte value.
   static std::string escape(std::string_view s);
 
  private:
@@ -50,5 +56,17 @@ class JsonWriter {
   std::vector<bool> first_;    // per open container: no element written yet
   bool afterKey_ = false;      // next value completes a key
 };
+
+/// Decode the body of a JSON string literal (the part between the
+/// quotes): standard short escapes, \uXXXX (with UTF-16 surrogate
+/// pairs), everything else verbatim.  Inverse of JsonWriter::escape for
+/// valid-UTF-8 input, which the obs tests round-trip-fuzz.
+std::string jsonUnescape(std::string_view s);
+
+/// Strict RFC 8259 check of a whole document: balanced structure, legal
+/// escapes, no raw control characters, well-formed UTF-8 in strings,
+/// nothing but whitespace after the top-level value.  Used by tests and
+/// benches to gate every emitted JSON-lines / Chrome-trace document.
+bool isValidJson(std::string_view doc);
 
 }  // namespace nfstrace::obs

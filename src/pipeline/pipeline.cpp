@@ -34,6 +34,7 @@ ParallelPipeline::ParallelPipeline(Config config, RecordCallback sink)
     Sniffer::Config snifferCfg = config_.sniffer;
     snifferCfg.metrics = config_.metrics;
     snifferCfg.metricsShard = i;
+    snifferCfg.flight = config_.flight;
     // The per-shard sniffer tags every emitted record with the merge key
     // of the message being processed and hands it to the merge stage.
     sh->sniffer = std::make_unique<Sniffer>(
@@ -46,12 +47,27 @@ ParallelPipeline::ParallelPipeline(Config config, RecordCallback sink)
                                  rec.xid
                            : raw->emitIdx++;
           tr.rec = rec;
+          // Record-ring-full stall: one retroactive span per episode, not
+          // one event per spin, so a long stall costs one ring slot.
+          std::uint64_t stallStart = 0;
           while (!raw->out.tryPush(tr)) {
             raw->recordPushStallsC.inc();
+            if (raw->flog && stallStart == 0) stallStart = raw->flog->nowNs();
             std::this_thread::yield();
+          }
+          if (stallStart != 0) {
+            raw->flog->complete(obs::Stage::RecordRingWait, stallStart);
           }
         });
     shards_.push_back(std::move(sh));
+  }
+  if (config_.flight) {
+    producerFlog_ = config_.flight->attachThread("pipeline.partition");
+    mergeFlog_ = config_.flight->attachThread("pipeline.merge");
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i]->flog = config_.flight->attachThread(
+          "pipeline.shard" + std::to_string(i));
+    }
   }
   bindMetrics();  // bind worker handles before any worker thread starts
   for (auto& sh : shards_) {
@@ -111,12 +127,16 @@ void ParallelPipeline::drainStaged(std::size_t s) {
   Shard& sh = *shards_[s];
   std::size_t pushed = 0;
   int stalls = 0;
+  std::uint64_t stallStart = 0;  // frame-ring-full episode, retroactive span
+  std::uint64_t dispatchStart =
+      (producerFlog_ && !batch.empty()) ? producerFlog_->nowNs() : 0;
   while (pushed < batch.size()) {
     std::size_t n = sh.in.tryPushBatch(
         std::span<Msg>(batch.data() + pushed, batch.size() - pushed));
     pushed += n;
     if (pushed >= batch.size()) break;
     pushStallsC_.inc();
+    if (producerFlog_ && stallStart == 0) stallStart = producerFlog_->nowNs();
     if (n > 0) {
       stalls = 0;  // partial progress: the consumer is alive, keep going
     } else if (config_.shedAfterStalls > 0 &&
@@ -127,9 +147,21 @@ void ParallelPipeline::drainStaged(std::size_t s) {
       std::uint64_t dropped = batch.size() - pushed;
       shed_ += dropped;
       framesShedC_.inc(dropped);
+      if (producerFlog_) {
+        producerFlog_->instant(obs::Stage::FrameShed, dropped,
+                               static_cast<std::uint32_t>(s));
+      }
       break;
     }
     std::this_thread::yield();
+  }
+  if (stallStart != 0) {
+    producerFlog_->complete(obs::Stage::PartitionWait, stallStart,
+                            static_cast<std::uint32_t>(s));
+  }
+  if (dispatchStart != 0) {
+    producerFlog_->complete(obs::Stage::PartitionDispatch, dispatchStart,
+                            static_cast<std::uint32_t>(pushed));
   }
   batch.clear();
 }
@@ -215,13 +247,23 @@ Sniffer::Stats ParallelPipeline::stats() const { return aggregated_; }
 void ParallelPipeline::workerLoop(Shard& sh) {
   std::vector<Msg> batch;
   batch.reserve(kWorkerBatch);
+  std::uint64_t starveStart = 0;  // frame-ring-empty episode
   for (;;) {
     batch.clear();
     if (sh.in.tryPopBatch(batch, kWorkerBatch) == 0) {
       sh.popStallsC.inc();
+      if (sh.flog && starveStart == 0) starveStart = sh.flog->nowNs();
       std::this_thread::yield();
       continue;
     }
+    if (starveStart != 0) {
+      sh.flog->complete(obs::Stage::FrameRingWait, starveStart);
+      starveStart = 0;
+    }
+    // One sniff span per popped batch (up to kWorkerBatch messages), so
+    // instrumentation stays off the per-frame path.
+    obs::FlightSpan sniffSpan(sh.flog, obs::Stage::Sniff,
+                              static_cast<std::uint32_t>(batch.size()));
     std::uint64_t watermark = 0;
     for (auto& m : batch) {
       switch (m.kind) {
@@ -259,6 +301,7 @@ void ParallelPipeline::mergeLoop() {
   std::vector<std::uint64_t> wm(n, 0);
   std::vector<TaggedRecord> popBuf;
   popBuf.reserve(kMergeBatch);
+  std::uint64_t idleStart = 0;  // no-releasable-record episode
   for (;;) {
     // Load watermarks first (acquire), then drain: everything a shard
     // pushed before publishing its watermark is then visible, so `wm`
@@ -289,6 +332,8 @@ void ParallelPipeline::mergeLoop() {
       }
     }
     bool progress = false;
+    std::uint64_t released = 0;
+    std::uint64_t releaseStart = 0;
     for (;;) {
       std::size_t best = n;
       for (std::size_t s = 0; s < n; ++s) {
@@ -311,11 +356,24 @@ void ParallelPipeline::mergeLoop() {
         if (wm[s] < k.seq) safe = false;
       }
       if (!safe) break;
+      if (released == 0 && mergeFlog_) {
+        // Progress resumed: close any idle episode, open the release run.
+        if (idleStart != 0) {
+          mergeFlog_->complete(obs::Stage::MergeWait, idleStart);
+          idleStart = 0;
+        }
+        releaseStart = mergeFlog_->nowNs();
+      }
       sink_(buf[best].front().rec);
       ++merged_;
+      ++released;
       recordsReleasedC_.inc();
       buf[best].pop_front();
       progress = true;
+    }
+    if (releaseStart != 0) {
+      mergeFlog_->complete(obs::Stage::MergeRelease, releaseStart,
+                           static_cast<std::uint32_t>(released));
     }
     if (!progress) {
       bool done = true;
@@ -323,6 +381,7 @@ void ParallelPipeline::mergeLoop() {
         if (wm[s] != kDoneSeq || !buf[s].empty()) done = false;
       }
       if (done) return;
+      if (mergeFlog_ && idleStart == 0) idleStart = mergeFlog_->nowNs();
       std::this_thread::yield();
     }
   }

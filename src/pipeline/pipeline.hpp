@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "netcap/netcap.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/spsc_ring.hpp"
 #include "sniffer/sniffer.hpp"
@@ -86,6 +87,13 @@ class ParallelPipeline : public FrameSink {
     /// the per-shard sniffers' counters (Sniffer::Config::metrics is
     /// overridden with this pointer and the shard index).
     obs::Registry* metrics = nullptr;
+    /// Optional flight recorder (src/obs/flight).  When set, the
+    /// producer, every worker, and the merge each own a track: spans for
+    /// sniff/merge service time, retroactive stall episodes for every
+    /// ring wait (so stalls are attributed to the blocking stage), and
+    /// instants for shed frames.  Emission is wait-free; full rings
+    /// drop-and-count.
+    obs::FlightRecorder* flight = nullptr;
     /// Configuration for every per-shard Sniffer.
     Sniffer::Config sniffer;
   };
@@ -158,6 +166,8 @@ class ParallelPipeline : public FrameSink {
     // Worker-side stall counters (unbound no-ops without Config::metrics).
     obs::CounterHandle popStallsC;
     obs::CounterHandle recordPushStallsC;
+    /// Flight-recorder track for this worker (null = no-op).
+    obs::ThreadLog* flog = nullptr;
     std::thread thread;
   };
 
@@ -199,6 +209,9 @@ class ParallelPipeline : public FrameSink {
   obs::GaugeHandle mergeLagG_;
   obs::GaugeHandle mergeBufferedG_;
   std::vector<std::string> gaugeFnNames_;
+  // Flight-recorder tracks (null = no-op): producer and merge threads.
+  obs::ThreadLog* producerFlog_ = nullptr;
+  obs::ThreadLog* mergeFlog_ = nullptr;
 };
 
 }  // namespace nfstrace

@@ -18,6 +18,15 @@ Sniffer::Sniffer(Config config, RecordCallback callback)
   if (config_.metrics) bindMetrics();
 }
 
+obs::ThreadLog* Sniffer::flightLog() {
+  if (!config_.flight) return nullptr;
+  if (!flog_) {
+    flog_ = config_.flight->attachThread(
+        "sniffer.s" + std::to_string(config_.metricsShard));
+  }
+  return flog_;
+}
+
 void Sniffer::bindMetrics() {
   obs::Registry& reg = *config_.metrics;
   auto slot = static_cast<std::size_t>(config_.metricsShard);
@@ -258,6 +267,9 @@ void Sniffer::evictOldestPending() {
     TraceRecord rec =
         recordFromCall(static_cast<std::uint32_t>(key), it->second);
     ++stats_.evictedCalls;
+    if (obs::ThreadLog* fl = flightLog()) {
+      fl->instant(obs::Stage::CallEvicted, key);
+    }
     callback_(rec);
     pending_.erase(it);
     return;
@@ -291,6 +303,10 @@ void Sniffer::evictColdestFlow() {
   }
   tcpFlows_.erase(coldest);
   ++stats_.evictedFlows;
+  if (obs::ThreadLog* fl = flightLog()) {
+    fl->instant(obs::Stage::FlowEvicted, 0,
+                static_cast<std::uint32_t>(tcpFlows_.size()));
+  }
 }
 
 void Sniffer::handleReply(MicroTime ts, IpAddr client, const RpcReply& reply,
@@ -363,6 +379,9 @@ void Sniffer::expirePending(MicroTime now) {
     if (it != pending_.end() && it->second.ts == ts) expired.push_back(key);
   }
   if (expired.empty()) return;
+  // Non-empty scans only: a span per quiet boundary would be pure noise.
+  obs::FlightSpan scanSpan(flightLog(), obs::Stage::ExpiryScan,
+                           static_cast<std::uint32_t>(expired.size()));
   std::sort(expired.begin(), expired.end());
   // A retransmission in the same microsecond can leave two identical
   // pairs; emit each expired call once.

@@ -16,6 +16,7 @@
 #include "net/packet.hpp"
 #include "netcap/netcap.hpp"
 #include "nfs/messages.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 #include "trace/record.hpp"
@@ -42,6 +43,10 @@ class Sniffer : public FrameSink {
     /// Counter slot and per-shard gauge suffix for this instance — the
     /// pipeline shard id, or 0 for a serial run.
     int metricsShard = 0;
+    /// Optional flight recorder: table evictions and non-empty expiry
+    /// scans land on a lazily-attached "sniffer.s<shard>" track.  All
+    /// instrumented paths are cold, so the hot decode path is untouched.
+    obs::FlightRecorder* flight = nullptr;
     /// Hard bounds on per-state tables so a hostile or badly lossy
     /// capture cannot grow memory without limit.  Hitting a bound evicts
     /// the oldest entry (pending calls: emitted reply-less and counted in
@@ -177,6 +182,9 @@ class Sniffer : public FrameSink {
   void bindMetrics();
   void updateResourceGauges();
   void publishCounters();
+  /// Lazily attach this instance's flight track (cold paths only).
+  obs::ThreadLog* flightLog();
+  obs::ThreadLog* flog_ = nullptr;
   /// Frames parseFrame accepted; feeds sniffer.frames_decoded (counted
   /// separately from Stats, which folds later RPC failures into
   /// framesUndecodable).

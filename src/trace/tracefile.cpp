@@ -631,6 +631,7 @@ void TraceWriter::sealV2Extent() {
   lastCkptCount_ = count_;
   ++ioStats_.checkpoints;
   ckptC_.inc();
+  if (flog_) flog_->instant(obs::Stage::WriterCheckpoint, count_);
   // Crash consistency, as with v1 checkpoints: the whole extent reaches
   // the OS before more records are buffered.
   flushBuffer();
@@ -651,6 +652,7 @@ void TraceWriter::appendCheckpoint() {
   lastCkptCount_ = count_;
   ++ioStats_.checkpoints;
   ckptC_.inc();
+  if (flog_) flog_->instant(obs::Stage::WriterCheckpoint, count_);
   // Crash consistency: everything up to and including the footer is
   // pushed to the OS before more records are buffered.
   flushBuffer();
@@ -666,6 +668,10 @@ void TraceWriter::attachMetrics(obs::Registry& registry) {
   flushNs_ = registry.histogramHandle("trace.flush_ns", 0);
 }
 
+void TraceWriter::attachFlight(obs::FlightRecorder& flight) {
+  flog_ = flight.attachThread("trace.writer");
+}
+
 void TraceWriter::flushBuffer() {
   if (count_ != publishedCount_) {
     recordsC_.inc(count_ - publishedCount_);
@@ -673,9 +679,15 @@ void TraceWriter::flushBuffer() {
   }
   if (buf_.empty()) return;
   obs::TimerSpan span(flushNs_);
+  std::uint64_t flightStart = flog_ ? flog_->nowNs() : 0;
+  std::size_t bytes = buf_.size();
   writeAll(buf_.data(), buf_.size());
   bytesC_.inc(buf_.size());
   buf_.clear();
+  if (flog_) {
+    flog_->complete(obs::Stage::WriterFlush, flightStart,
+                    static_cast<std::uint32_t>(bytes));
+  }
 }
 
 void TraceWriter::writeAll(const char* p, std::size_t n) {
@@ -690,6 +702,7 @@ void TraceWriter::writeAll(const char* p, std::size_t n) {
         // Simulated transient error: nothing reached the disk.
         ++ioStats_.retries;
         retriesC_.inc();
+        if (flog_) flog_->instant(obs::Stage::WriterRetry, n);
         if (++failures > opts_.maxRetries) {
           throw std::runtime_error("trace: write failed after retries");
         }
@@ -722,6 +735,7 @@ void TraceWriter::writeAll(const char* p, std::size_t n) {
     std::clearerr(f_);
     ++ioStats_.retries;
     retriesC_.inc();
+    if (flog_) flog_->instant(obs::Stage::WriterRetry, n);
     if (++failures > opts_.maxRetries) {
       throw std::runtime_error("trace: write failed after retries");
     }

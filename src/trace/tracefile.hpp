@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "trace/batch.hpp"
 #include "trace/record.hpp"
@@ -104,6 +105,12 @@ class TraceWriter {
   /// checkpoints).
   void attachMetrics(obs::Registry& registry);
 
+  /// Bind a flight-recorder track ("trace.writer"): flush spans with
+  /// byte counts, retry instants, checkpoint/extent-seal instants.  Call
+  /// before the first write; events are emitted by whichever single
+  /// thread drives this writer.
+  void attachFlight(obs::FlightRecorder& flight);
+
  private:
   void flushBuffer();
   /// Write [p, p+n) fully, retrying transient failures with backoff.
@@ -135,6 +142,7 @@ class TraceWriter {
   obs::CounterHandle shortWritesC_;
   obs::CounterHandle ckptC_;
   obs::HistogramHandle flushNs_;
+  obs::ThreadLog* flog_ = nullptr;
 };
 
 class TraceReader {

@@ -188,6 +188,199 @@ TEST(Json, NonFiniteDoublesBecomeNull) {
   EXPECT_EQ(w.str(), "[null,null]");
 }
 
+/// Wrap an escaped string body in quotes to form a JSON document.
+/// (Plain concatenation, not operator+ chains: GCC 12's -Wrestrict
+/// false-positives on `"lit" + std::string&&` in this translation unit.)
+std::string quotedDoc(const std::string& body) {
+  std::string doc = "\"";
+  doc += body;
+  doc += '"';
+  return doc;
+}
+
+TEST(Json, EscapeHandlesUtf8AndInvalidBytes) {
+  // Well-formed UTF-8 passes through untouched.
+  std::string utf8 = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80";
+  EXPECT_EQ(JsonWriter::escape(utf8), utf8);
+  // Invalid bytes (stray continuation, overlong, surrogate encodings,
+  // truncated sequences, raw binary) become \u00XX escapes so the output
+  // is always valid JSON and valid UTF-8.
+  EXPECT_EQ(JsonWriter::escape("\x80"), "\\u0080");
+  EXPECT_EQ(JsonWriter::escape("\xc0\xaf"), "\\u00c0\\u00af");  // overlong /
+  EXPECT_EQ(JsonWriter::escape("\xed\xa0\x80"),
+            "\\u00ed\\u00a0\\u0080");  // UTF-16 surrogate as UTF-8
+  EXPECT_EQ(JsonWriter::escape("\xf0\x9f\x98"),
+            "\\u00f0\\u009f\\u0098");  // truncated 4-byte sequence
+  EXPECT_EQ(JsonWriter::escape("\xff\xfe"), "\\u00ff\\u00fe");
+  // Escaped output always embeds into a valid document.
+  for (const std::string& s :
+       {std::string("\x80\xc3"), std::string("a\x01\xc3\xa9\xf5z"),
+        std::string("\xed\xbf\xbf tail")}) {
+    EXPECT_TRUE(isValidJson(quotedDoc(JsonWriter::escape(s)))) << s;
+  }
+}
+
+TEST(Json, UnescapeInvertsEscapeOnValidUtf8) {
+  for (const std::string& s :
+       {std::string("plain"), std::string("tabs\tand\nnewlines"),
+        std::string("quote\"back\\slash"), std::string("caf\xc3\xa9"),
+        std::string("\xe2\x82\xac\xf0\x9f\x98\x80"),
+        std::string("ctrl\x01\x1f")}) {
+    EXPECT_EQ(jsonUnescape(JsonWriter::escape(s)), s) << s;
+  }
+  // Surrogate pairs decode to the astral code point.
+  EXPECT_EQ(jsonUnescape("\\ud83d\\ude00"), "\xf0\x9f\x98\x80");
+  EXPECT_EQ(jsonUnescape("\\u20ac"), "\xe2\x82\xac");
+}
+
+TEST(Json, EscapeRoundTripFuzz) {
+  // Deterministic xorshift fuzz: random valid-UTF-8 strings round-trip
+  // byte-exactly; arbitrary byte strings always escape to valid JSON.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string utf8;
+    for (int n = 0; n < 40; ++n) {
+      std::uint32_t cp = static_cast<std::uint32_t>(next() % 0x110000);
+      if (cp >= 0xd800 && cp <= 0xdfff) cp = 0x20;  // skip surrogates
+      if (cp < 0x80) {
+        utf8.push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        utf8.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+        utf8.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+      } else if (cp < 0x10000) {
+        utf8.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+        utf8.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+        utf8.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+      } else {
+        utf8.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+        utf8.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+        utf8.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+        utf8.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+      }
+    }
+    std::string escaped = JsonWriter::escape(utf8);
+    ASSERT_TRUE(isValidJson(quotedDoc(escaped))) << iter;
+    ASSERT_EQ(jsonUnescape(escaped), utf8) << iter;
+
+    std::string raw;
+    for (int n = 0; n < 64; ++n) {
+      raw.push_back(static_cast<char>(next() & 0xff));
+    }
+    ASSERT_TRUE(isValidJson(quotedDoc(JsonWriter::escape(raw)))) << iter;
+  }
+}
+
+TEST(Json, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(isValidJson("{}"));
+  EXPECT_TRUE(isValidJson("  [1, -2.5e3, true, null, \"x\\u0041\"] "));
+  EXPECT_TRUE(isValidJson("\"just a string\""));
+  EXPECT_TRUE(isValidJson("{\"a\":{\"b\":[{}]}}"));
+  EXPECT_TRUE(isValidJson("0.5"));
+
+  EXPECT_FALSE(isValidJson(""));
+  EXPECT_FALSE(isValidJson("{"));
+  EXPECT_FALSE(isValidJson("[1,]"));
+  EXPECT_FALSE(isValidJson("{\"a\":1,}"));
+  EXPECT_FALSE(isValidJson("{\"a\" 1}"));
+  EXPECT_FALSE(isValidJson("01"));
+  EXPECT_FALSE(isValidJson("1.e3"));
+  EXPECT_FALSE(isValidJson("nul"));
+  EXPECT_FALSE(isValidJson("{} trailing"));
+  EXPECT_FALSE(isValidJson("\"raw \x01 control\""));
+  EXPECT_FALSE(isValidJson("\"bad \x80 byte\""));
+  EXPECT_FALSE(isValidJson("\"bad escape \\x\""));
+  EXPECT_FALSE(isValidJson("\"unterminated"));
+}
+
+TEST(Exporter, PercentilesInTableAndJson) {
+  Registry reg;
+  Histogram& h = reg.histogram("t.lat_ns");
+  for (int i = 0; i < 95; ++i) h.record(0, 10);     // bucket [8,16)
+  for (int i = 0; i < 5; ++i) h.record(0, 100000);  // tail
+  Snapshot snap = reg.scrape();
+
+  std::string table = SnapshotExporter::renderStatusTable(snap, 0, 1000);
+  EXPECT_NE(table.find("p50"), std::string::npos);
+  EXPECT_NE(table.find("p95"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+
+  std::string line = SnapshotExporter::renderJsonLine(snap, 0, 1000);
+  EXPECT_TRUE(isValidJson(line));
+  EXPECT_NE(line.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(line.find("\"p99\":"), std::string::npos);
+  // p50 falls in the dominant [8,16) bucket; p99 lands in the tail.
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0].second;
+  EXPECT_GE(hs.quantile(0.5), 8.0);
+  EXPECT_LE(hs.quantile(0.5), 16.0);
+  EXPECT_GT(hs.quantile(0.99), 16.0);
+}
+
+TEST(Exporter, RenderPrometheusExposition) {
+  Registry reg;
+  reg.counter("pipeline.records_released").inc(0, 42);
+  reg.gauge("pipeline.merge_watermark_lag").set(2.5);
+  Histogram& h = reg.histogram("trace.flush_ns");
+  for (int i = 0; i < 10; ++i) h.record(0, 5000);
+  Snapshot snap = reg.scrape();
+
+  std::string prom = SnapshotExporter::renderPrometheus(snap);
+  EXPECT_NE(
+      prom.find("# TYPE nfstrace_pipeline_records_released_total counter"),
+      std::string::npos);
+  EXPECT_NE(prom.find("nfstrace_pipeline_records_released_total 42"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE nfstrace_pipeline_merge_watermark_lag gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("nfstrace_pipeline_merge_watermark_lag 2.5"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE nfstrace_trace_flush_ns summary"),
+            std::string::npos);
+  EXPECT_NE(prom.find("nfstrace_trace_flush_ns{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("nfstrace_trace_flush_ns_sum 50000"),
+            std::string::npos);
+  EXPECT_NE(prom.find("nfstrace_trace_flush_ns_count 10"),
+            std::string::npos);
+  // Every line is either a comment or name{labels} value.
+  std::istringstream in(prom);
+  std::string lineStr;
+  while (std::getline(in, lineStr)) {
+    ASSERT_FALSE(lineStr.empty());
+    EXPECT_TRUE(lineStr[0] == '#' || lineStr.rfind("nfstrace_", 0) == 0)
+        << lineStr;
+  }
+}
+
+TEST(Exporter, PromFileScrape) {
+  Registry reg;
+  reg.counter("c.hits").inc(0, 3);
+  std::string path = "/tmp/obs_test_prom.txt";
+  std::remove(path.c_str());
+  {
+    SnapshotExporter::Config cfg;
+    cfg.intervalUs = 0;
+    cfg.promPath = path;
+    SnapshotExporter exporter(reg, cfg);
+    exporter.exportOnce();
+    exporter.stop();
+  }
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  // The file is rewritten whole per scrape: exactly one exposition.
+  EXPECT_NE(ss.str().find("nfstrace_c_hits_total 3"), std::string::npos);
+  EXPECT_EQ(ss.str().find("nfstrace_c_hits_total 3"),
+            ss.str().rfind("nfstrace_c_hits_total 3"));
+  std::remove(path.c_str());
+}
+
 TEST(Exporter, JsonLinesAndStatusTable) {
   Registry reg;
   reg.counter("pipeline.records_released").inc(0, 42);
