@@ -25,6 +25,7 @@
 // With no input argument it generates a demo trace first.
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 
 #include "analysis/engine/engine.hpp"
@@ -117,7 +118,26 @@ int main(int argc, char** argv) {
   if (!flightPath.empty()) engine.attachFlight(flight);
 
   TraceReader reader(input, recover);
-  const AnalysisEngine::Stats& st = engine.run(reader);
+  AnalysisEngine::Stats st;
+  try {
+    st = engine.run(reader);
+  } catch (const std::exception& e) {
+    // A torn or corrupt trace read without --recover: report how far the
+    // scan got (the checkpoint accounting bounds the damage) and exit
+    // nonzero instead of dying on a bare exception.
+    const auto& rs = reader.recoverStats();
+    std::fprintf(stderr,
+                 "%s: %s\n"
+                 "scanned %llu records before the damage "
+                 "(%llu checkpoints, last checkpoint at %llu records)\n"
+                 "rerun with --recover to skip corrupt regions with exact "
+                 "loss accounting\n",
+                 input.c_str(), e.what(),
+                 static_cast<unsigned long long>(engine.stats().records),
+                 static_cast<unsigned long long>(rs.checkpoints),
+                 static_cast<unsigned long long>(rs.checkpointRecords));
+    return 3;
+  }
   if (st.records == 0) {
     std::fprintf(stderr, "%s: no records\n", input.c_str());
     return 1;

@@ -1,0 +1,596 @@
+#include "daemon/daemon.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <stdexcept>
+
+#include "analysis/engine/engine.hpp"
+#include "analysis/engine/passes.hpp"
+#include "analysis/engine/report.hpp"
+#include "util/atomicfile.hpp"
+
+namespace nfstrace::daemon {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint64_t kUnknown = ~0ull;
+
+std::string segmentBasename(const std::string& prefix, std::uint64_t seq,
+                            const char* ext) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "-%06llu%s",
+                static_cast<unsigned long long>(seq), ext);
+  return prefix + buf;
+}
+
+/// Parse "<prefix>-NNNNNN<ext>" -> seq; false when `name` is not ours.
+bool parseSegmentName(const std::string& name, const std::string& prefix,
+                      const char* ext, std::uint64_t& seqOut) {
+  std::string_view n = name;
+  if (n.size() <= prefix.size() + 1 || n.substr(0, prefix.size()) != prefix ||
+      n[prefix.size()] != '-') {
+    return false;
+  }
+  n.remove_prefix(prefix.size() + 1);
+  std::string_view extv = ext;
+  if (n.size() <= extv.size() || n.substr(n.size() - extv.size()) != extv) {
+    return false;
+  }
+  n.remove_suffix(extv.size());
+  if (n.empty()) return false;
+  std::uint64_t seq = 0;
+  for (char c : n) {
+    if (c < '0' || c > '9') return false;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  seqOut = seq;
+  return true;
+}
+
+void removeQuiet(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+std::uint64_t fileBytes(const std::string& path) {
+  std::error_code ec;
+  auto n = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+TraceDaemon::TraceDaemon(Config config) : cfg_(std::move(config)) {
+  if (cfg_.dir.empty()) {
+    throw std::runtime_error("daemon: empty directory");
+  }
+  fs::create_directories(cfg_.dir);
+  manifestPath_ = manifestPathFor(cfg_.dir, cfg_.prefix);
+  if (cfg_.metrics) {
+    rotationsC_ = cfg_.metrics->counterHandle("daemon.rotations", 0);
+    shedC_ = cfg_.metrics->counterHandle("daemon.records_shed", 0);
+    recoveredSegC_ = cfg_.metrics->counterHandle("daemon.segments_recovered", 0);
+    retiredSegC_ = cfg_.metrics->counterHandle("daemon.segments_retired", 0);
+    compactionsC_ = cfg_.metrics->counterHandle("daemon.compactions", 0);
+    compactFailC_ = cfg_.metrics->counterHandle("daemon.compact_failures", 0);
+  }
+  if (cfg_.flight) flog_ = cfg_.flight->attachThread("daemon");
+  recoverDirectory();
+  // A dead trace disk at startup (header write fails) is not fatal: come
+  // up degraded and shed with exact accounting until a probe succeeds.
+  try {
+    openActive();
+  } catch (...) {
+    enterDegraded();
+  }
+}
+
+TraceDaemon::~TraceDaemon() {
+  try {
+    stop();
+  } catch (...) {
+  }
+}
+
+std::string TraceDaemon::manifestPathFor(const std::string& dir,
+                                         const std::string& prefix) {
+  return dir + "/" + prefix + ".manifest";
+}
+
+std::string TraceDaemon::manifestPath() const { return manifestPath_; }
+
+std::string TraceDaemon::sealedPath(std::uint64_t seq) const {
+  return cfg_.dir + "/" + segmentBasename(cfg_.prefix, seq, ".trace");
+}
+
+std::string TraceDaemon::partPath(std::uint64_t seq) const {
+  return cfg_.dir + "/" + segmentBasename(cfg_.prefix, seq, ".part");
+}
+
+std::int64_t TraceDaemon::now() const {
+  if (cfg_.wallClock) return cfg_.wallClock();
+  return static_cast<std::int64_t>(std::time(nullptr));
+}
+
+std::vector<std::string> TraceDaemon::segmentPaths() const {
+  std::vector<std::string> out;
+  out.reserve(manifest_.segments.size());
+  for (const SegmentInfo& s : manifest_.segments) {
+    out.push_back(cfg_.dir + "/" + s.file);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Startup recovery.
+
+void TraceDaemon::recoverDirectory() {
+  obs::FlightSpan span(flog_, obs::Stage::DaemonRecover);
+
+  recovery_.manifestStatus = Manifest::load(manifestPath_, manifest_);
+  if (recovery_.manifestStatus == Manifest::LoadStatus::Damaged) {
+    // The atomic-save idiom means a torn manifest never comes from a
+    // crash — only real corruption.  Rebuild from the directory: the
+    // loss history is gone, but the state is always resumable.
+    manifest_ = Manifest{};
+    recovery_.rebuiltFromScan = true;
+  }
+
+  // Inventory the directory: sealed segments, torn parts, stale temps.
+  std::vector<std::pair<std::uint64_t, std::string>> sealed;
+  std::vector<std::uint64_t> parts;
+  for (const auto& entry : fs::directory_iterator(cfg_.dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    std::uint64_t seq = 0;
+    if (parseSegmentName(name, cfg_.prefix, ".trace", seq)) {
+      sealed.emplace_back(seq, name);
+    } else if (parseSegmentName(name, cfg_.prefix, ".part", seq)) {
+      parts.push_back(seq);
+    } else if (parseSegmentName(name, cfg_.prefix, ".recov", seq) ||
+               parseSegmentName(name, cfg_.prefix, ".trace.compact", seq) ||
+               name == cfg_.prefix + ".manifest.tmp") {
+      // Interrupted salvage/compaction/save: the protocol re-creates
+      // these from scratch, so leftovers are just noise.
+      removeQuiet(entry.path().string());
+      ++recovery_.staleFilesRemoved;
+    }
+  }
+  std::sort(sealed.begin(), sealed.end());
+  std::sort(parts.begin(), parts.end());
+
+  // Drop manifest entries whose segment file vanished (a crash between
+  // retention's unlink and the manifest save, or external deletion).
+  // The books are untouched: those records had a durable disposition.
+  std::erase_if(manifest_.segments, [&](const SegmentInfo& s) {
+    return !std::binary_search(
+        sealed.begin(), sealed.end(), std::pair{s.seq, s.file},
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+  });
+
+  // Adopt sealed segments the manifest does not know about (crash after
+  // the seal rename but before the journal append).
+  for (const auto& [seq, name] : sealed) {
+    bool listed = std::any_of(
+        manifest_.segments.begin(), manifest_.segments.end(),
+        [seq = seq](const SegmentInfo& s) { return s.seq == seq; });
+    if (listed) continue;
+    SegmentInfo seg;
+    seg.seq = seq;
+    seg.file = name;
+    std::string path = cfg_.dir + "/" + name;
+    seg.records = countSegmentRecords(path, seg.format);
+    seg.bytes = fileBytes(path);
+    seg.first = manifest_.streamPos();
+    seg.sealedUnix = now();
+    manifest_.segments.push_back(seg);
+    std::sort(manifest_.segments.begin(), manifest_.segments.end(),
+              [](const SegmentInfo& a, const SegmentInfo& b) {
+                return a.seq < b.seq;
+              });
+    manifest_.books.captured += seg.records;
+    manifest_.books.sealed += seg.records;
+    manifest_.nextSeq = std::max(manifest_.nextSeq, seq + 1);
+    ++recovery_.adoptedSegments;
+  }
+
+  // Recover torn active segments.  A part whose seq already has a sealed
+  // file is stale (crash between the seal rename and the part unlink
+  // during a previous salvage): its records are already in the sealed
+  // segment, so it is removed, not recovered.
+  for (std::uint64_t seq : parts) {
+    bool sealedExists = std::any_of(
+        sealed.begin(), sealed.end(),
+        [seq](const auto& p) { return p.first == seq; });
+    if (sealedExists) {
+      removeQuiet(partPath(seq));
+      ++recovery_.staleFilesRemoved;
+      continue;
+    }
+    ++recovery_.tornSegments;
+    recoverPart(seq, kUnknown, /*useFaults=*/false);
+  }
+
+  manifest_.save(manifestPath_);
+}
+
+std::uint64_t TraceDaemon::countSegmentRecords(const std::string& path,
+                                               std::string& formatOut) const {
+  formatOut = traceFormatName(detectTraceFormat(path));
+  TraceReader reader(path, /*recover=*/true);
+  TraceRecord rec;
+  std::uint64_t n = 0;
+  while (reader.nextInto(rec)) ++n;
+  return n;
+}
+
+void TraceDaemon::recoverPart(std::uint64_t seq, std::uint64_t submittedToPart,
+                              bool useFaults) {
+  std::string part = partPath(seq);
+  std::string recov = part;
+  recov.replace(recov.size() - 5, 5, ".recov");
+
+  // Phase 1 — pure I/O, no book mutation: a throw here leaves the part
+  // untouched and the books exactly as they were, so salvage can be
+  // retried (probe path) or inherited by the next incarnation.
+  std::vector<TraceRecord> records;
+  TraceReader::RecoverStats rstats;
+  try {
+    TraceReader reader(part, /*recover=*/true);
+    TraceRecord rec;
+    while (reader.nextInto(rec)) records.push_back(rec);
+    rstats = reader.recoverStats();
+  } catch (...) {
+    // Unreadable beyond salvage (e.g. truncated before any framing):
+    // nothing recoverable, no checkpoint evidence.
+    records.clear();
+    rstats = {};
+  }
+  std::uint64_t recovered = records.size();
+
+  std::uint64_t bytes = 0;
+  if (recovered > 0) {
+    TraceWriter::Options wopts;
+    wopts.format = cfg_.format;
+    wopts.checkpointEveryRecords = cfg_.checkpointEveryRecords;
+    wopts.v2ExtentRecords = cfg_.v2ExtentRecords;
+    wopts.maxRetries = cfg_.maxRetries;
+    wopts.backoffInitialUs = cfg_.backoffInitialUs;
+    wopts.backoffMaxUs = cfg_.backoffMaxUs;
+    wopts.faults = useFaults ? cfg_.faults : nullptr;
+    TraceWriter writer(recov, wopts);
+    for (const TraceRecord& rec : records) writer.write(rec);
+    writer.finalize(cfg_.fsyncOnSeal);
+    bytes = fileBytes(recov);
+    renameDurable(recov, sealedPath(seq));
+  }
+
+  // Phase 2 — mutation.  The sequence number is consumed only when a
+  // segment was actually sealed under it; an empty/unsalvageable part is
+  // discarded and its seq reused, keeping the sealed sequence gap-free.
+  if (recovered > 0) manifest_.nextSeq = std::max(manifest_.nextSeq, seq + 1);
+  removeQuiet(part);
+
+  // Evidence of loss: on the probe path the daemon knows exactly how
+  // many records it submitted to this part; at startup the torn file's
+  // own checkpoint/extent evidence (skipped) is the best bound —
+  // records that died in the in-process buffer left no trace and are
+  // simply re-fed by a resuming source.
+  std::uint64_t lost = (submittedToPart == kUnknown)
+                           ? rstats.skipped
+                           : submittedToPart - recovered;
+  if (recovered > 0) {
+    SegmentInfo seg;
+    seg.seq = seq;
+    seg.file = segmentBasename(cfg_.prefix, seq, ".trace");
+    seg.format = traceFormatName(cfg_.format);
+    seg.records = recovered;
+    seg.bytes = bytes;
+    seg.first = manifest_.streamPos();
+    seg.sealedUnix = now();
+    manifest_.segments.push_back(seg);
+    std::sort(manifest_.segments.begin(), manifest_.segments.end(),
+              [](const SegmentInfo& a, const SegmentInfo& b) {
+                return a.seq < b.seq;
+              });
+    recoveredSegC_.inc();
+  }
+  manifest_.books.captured += recovered + lost;
+  manifest_.books.recovered += recovered;
+  manifest_.books.lost += lost;
+  recovery_.recoveredRecords += recovered;
+  recovery_.lostRecords += lost;
+}
+
+// ---------------------------------------------------------------------------
+// Capture loop: submit / rotate / degrade.
+
+void TraceDaemon::openActive() {
+  activeSeq_ = manifest_.nextSeq;
+  TraceWriter::Options wopts;
+  wopts.format = cfg_.format;
+  wopts.checkpointEveryRecords = cfg_.checkpointEveryRecords;
+  wopts.v2ExtentRecords = cfg_.v2ExtentRecords;
+  wopts.maxRetries = cfg_.maxRetries;
+  wopts.backoffInitialUs = cfg_.backoffInitialUs;
+  wopts.backoffMaxUs = cfg_.backoffMaxUs;
+  wopts.faults = cfg_.faults;
+  writer_ = std::make_unique<TraceWriter>(partPath(activeSeq_), wopts);
+  if (cfg_.metrics) writer_->attachMetrics(*cfg_.metrics);
+  activeRecords_ = 0;
+  activeOpened_ = std::chrono::steady_clock::now();
+}
+
+void TraceDaemon::submit(const TraceRecord& rec) {
+  ++submitted_;
+  if (degraded_) {
+    shedOne();
+    if (shedSinceProbe_ >= cfg_.reopenAfterSheds) probeDisk();
+    return;
+  }
+  try {
+    writer_->write(rec);
+  } catch (...) {
+    enterDegraded();
+    shedOne();
+    return;
+  }
+  ++activeRecords_;
+
+  bool due = (cfg_.rotateRecords > 0 && activeRecords_ >= cfg_.rotateRecords) ||
+             (cfg_.rotateBytes > 0 &&
+              writer_->bytesWritten() >= cfg_.rotateBytes);
+  if (!due && cfg_.rotateIntervalUs > 0) {
+    auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - activeOpened_)
+                       .count();
+    due = elapsed >= cfg_.rotateIntervalUs;
+  }
+  if (due) rotate();
+}
+
+void TraceDaemon::rotate() {
+  try {
+    sealActive();
+    // The next segment's header write can fail too (the seal may have
+    // consumed the last free blocks); that degrades rather than throws
+    // out of submit() — the sealed segment is already journaled.
+    openActive();
+  } catch (...) {
+    enterDegraded();
+    return;
+  }
+  if (cfg_.autoMaintain) maintain();
+}
+
+void TraceDaemon::rotateNow() {
+  if (degraded_ || !writer_ || activeRecords_ == 0) return;
+  rotate();
+}
+
+void TraceDaemon::sealActive() {
+  obs::FlightSpan span(flog_, obs::Stage::DaemonRotate);
+  if (activeRecords_ == 0) {
+    // Nothing captured: discard the empty part instead of sealing an
+    // empty segment.
+    writer_.reset();
+    removeQuiet(partPath(activeSeq_));
+    return;
+  }
+  // Checkpoint-aligned seal: tail extent / final checkpoint + footer,
+  // flush, fsync — finalize() throws if any step fails, which is the
+  // signal to degrade rather than journal an unsealed segment.
+  writer_->finalize(cfg_.fsyncOnSeal);
+  std::uint64_t records = writer_->recordsWritten();
+  std::uint64_t bytes = writer_->bytesWritten();
+  writer_.reset();
+  renameDurable(partPath(activeSeq_), sealedPath(activeSeq_));
+
+  SegmentInfo seg;
+  seg.seq = activeSeq_;
+  seg.file = segmentBasename(cfg_.prefix, activeSeq_, ".trace");
+  seg.format = traceFormatName(cfg_.format);
+  seg.records = records;
+  seg.bytes = bytes;
+  seg.first = manifest_.streamPos();
+  seg.sealedUnix = now();
+  manifest_.segments.push_back(seg);
+  manifest_.books.captured += records;
+  manifest_.books.sealed += records;
+  manifest_.nextSeq = activeSeq_ + 1;
+  manifest_.save(manifestPath_);
+  rotationsC_.inc();
+  activeRecords_ = 0;
+}
+
+void TraceDaemon::enterDegraded() {
+  degraded_ = true;
+  shedSinceProbe_ = 0;
+  // Abandon the active writer; the part file keeps whatever was flushed
+  // and is salvaged by the next successful probe (or the next
+  // incarnation's startup recovery).  The destructor swallows errors —
+  // the disk is already known bad.
+  writer_.reset();
+}
+
+void TraceDaemon::shedOne() {
+  ++shedTotal_;
+  ++shedSinceProbe_;
+  shedC_.inc();
+  if (flog_) flog_->instant(obs::Stage::DaemonShed, shedTotal_);
+  // A shed record's disposition is immediate and exact: captured, lost.
+  manifest_.books.captured += 1;
+  manifest_.books.lost += 1;
+}
+
+void TraceDaemon::probeDisk() {
+  shedSinceProbe_ = 0;
+  try {
+    if (fs::exists(partPath(activeSeq_))) {
+      recoverPart(activeSeq_, activeRecords_, /*useFaults=*/true);
+    } else {
+      // The part vanished (or a previous probe sealed it and died before
+      // clearing degraded): the sequence number is still consumed.
+      manifest_.nextSeq = std::max(manifest_.nextSeq, activeSeq_ + 1);
+      manifest_.books.captured += activeRecords_;
+      manifest_.books.lost += activeRecords_;
+    }
+    activeRecords_ = 0;
+    openActive();
+    degraded_ = false;
+    manifest_.save(manifestPath_);
+  } catch (...) {
+    // Disk still bad: stay degraded, keep shedding with exact counts.
+    writer_.reset();
+  }
+}
+
+void TraceDaemon::stop() {
+  if (stopped_) return;
+  if (!degraded_ && writer_) {
+    try {
+      sealActive();
+    } catch (...) {
+      enterDegraded();
+    }
+  }
+  if (degraded_) {
+    // Final salvage attempt, so even a drain that ends on a bad disk
+    // leaves every submitted record with a durable disposition.
+    try {
+      if (fs::exists(partPath(activeSeq_))) {
+        recoverPart(activeSeq_, activeRecords_, /*useFaults=*/true);
+        activeRecords_ = 0;
+      } else if (activeRecords_ > 0) {
+        manifest_.books.captured += activeRecords_;
+        manifest_.books.lost += activeRecords_;
+        activeRecords_ = 0;
+      }
+    } catch (...) {
+      // Leave the part for the next incarnation's startup recovery.
+    }
+  }
+  try {
+    maintain();
+  } catch (...) {
+  }
+  try {
+    manifest_.save(manifestPath_);
+  } catch (...) {
+  }
+  stopped_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Retention & compaction.
+
+void TraceDaemon::maintain() {
+  applyRetention();
+  if (cfg_.retention.compactAfterSec >= 0) {
+    obs::FlightSpan span(flog_, obs::Stage::DaemonCompact);
+    compactOneSegment();
+  }
+}
+
+void TraceDaemon::applyRetention() {
+  const Retention& r = cfg_.retention;
+  bool changed = false;
+  auto overBudget = [&]() -> bool {
+    if (manifest_.segments.empty()) return false;
+    if (r.maxSegments > 0 && manifest_.segments.size() > r.maxSegments) {
+      return true;
+    }
+    if (r.maxTotalBytes > 0) {
+      std::uint64_t total = 0;
+      for (const SegmentInfo& s : manifest_.segments) total += s.bytes;
+      if (total > r.maxTotalBytes) return true;
+    }
+    if (r.maxAgeSec > 0 &&
+        now() - manifest_.segments.front().sealedUnix > r.maxAgeSec) {
+      return true;
+    }
+    return false;
+  };
+  while (overBudget()) {
+    // Oldest first.  Unlink before journaling: a crash in between is
+    // healed at startup (missing-file entries are dropped, books kept).
+    const SegmentInfo& victim = manifest_.segments.front();
+    removeQuiet(cfg_.dir + "/" + victim.file);
+    manifest_.segments.erase(manifest_.segments.begin());
+    retiredSegC_.inc();
+    changed = true;
+  }
+  if (changed) manifest_.save(manifestPath_);
+}
+
+std::string TraceDaemon::engineReport(const std::string& path,
+                                      std::uint64_t& recordsOut) const {
+  StandardAnalyses analyses;
+  AnalysisEngine engine;
+  engine.addPasses(analyses.all());
+  TraceReader reader(path);
+  recordsOut = engine.run(reader).records;
+  // The input label must match on both sides of the comparison, so the
+  // report is rendered with a neutral one.
+  return renderReportText("segment", analyses);
+}
+
+bool TraceDaemon::compactOneSegment() {
+  SegmentInfo* victim = nullptr;
+  for (SegmentInfo& s : manifest_.segments) {
+    if (s.format == "v2") continue;
+    if (now() - s.sealedUnix < cfg_.retention.compactAfterSec) continue;
+    if (std::find(failedCompactSeqs_.begin(), failedCompactSeqs_.end(),
+                  s.seq) != failedCompactSeqs_.end()) {
+      continue;
+    }
+    victim = &s;
+    break;
+  }
+  if (!victim) return false;
+
+  std::string src = cfg_.dir + "/" + victim->file;
+  std::string tmp = src + ".compact";
+  try {
+    std::uint64_t srcRecords = 0;
+    std::string srcReport = engineReport(src, srcRecords);
+    {
+      TraceWriter::Options wopts;
+      wopts.format = TraceWriter::Format::V2;
+      wopts.v2ExtentRecords = cfg_.v2ExtentRecords;
+      wopts.maxRetries = cfg_.maxRetries;
+      wopts.backoffInitialUs = cfg_.backoffInitialUs;
+      wopts.backoffMaxUs = cfg_.backoffMaxUs;
+      wopts.faults = cfg_.faults;
+      TraceWriter writer(tmp, wopts);
+      TraceReader reader(src);
+      TraceRecord rec;
+      while (reader.nextInto(rec)) writer.write(rec);
+      writer.finalize(cfg_.fsyncOnSeal);
+    }
+    // Verification gate: the original is only replaced once the standard
+    // 8-pass report over the compacted copy is byte-identical.
+    std::uint64_t outRecords = 0;
+    std::string outReport = engineReport(tmp, outRecords);
+    if (outRecords != srcRecords || outReport != srcReport) {
+      throw std::runtime_error("daemon: compaction verification mismatch");
+    }
+    renameDurable(tmp, src);  // same name: the magic self-describes
+  } catch (...) {
+    removeQuiet(tmp);
+    failedCompactSeqs_.push_back(victim->seq);
+    compactFailC_.inc();
+    return false;
+  }
+  victim->format = "v2";
+  victim->bytes = fileBytes(src);
+  manifest_.save(manifestPath_);
+  compactionsC_.inc();
+  return true;
+}
+
+}  // namespace nfstrace::daemon

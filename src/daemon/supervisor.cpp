@@ -1,0 +1,77 @@
+#include "daemon/supervisor.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+namespace nfstrace::daemon {
+
+namespace {
+
+void auditManifest(const std::string& path, Supervisor::Result& result) {
+  if (path.empty()) return;
+  Manifest m;
+  switch (Manifest::load(path, m)) {
+    case Manifest::LoadStatus::Ok:
+      result.finalBooks = m.books;
+      if (!m.books.balanced()) result.booksBalanced = false;
+      break;
+    case Manifest::LoadStatus::Missing:
+      // The child died before its first save; nothing to audit yet.
+      break;
+    case Manifest::LoadStatus::Damaged:
+      // Atomic saves make a torn manifest impossible from a crash alone;
+      // a Damaged file here means the invariant machinery is broken.
+      result.booksBalanced = false;
+      break;
+  }
+}
+
+}  // namespace
+
+Supervisor::Result Supervisor::run(const Config& cfg,
+                                   const std::function<int(int)>& body) {
+  Result result;
+  MicroTime backoff = cfg.backoffInitialUs;
+  for (;;) {
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      result.cleanExit = false;
+      return result;
+    }
+    if (pid == 0) {
+      // Child: run the capture loop and exit without unwinding the
+      // parent's state (no atexit handlers, no stream flushes).
+      ::_exit(body(result.incarnations));
+    }
+    ++result.incarnations;
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+      // EINTR only; any other error means the child is unreachable.
+      if (errno != EINTR) break;
+    }
+    result.lastStatus = status;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      result.cleanExit = true;
+      auditManifest(cfg.manifestPath, result);
+      return result;
+    }
+    // Abnormal exit (crash, SIGKILL, nonzero): audit the durable books
+    // before restarting — the whole point of the recovery protocol is
+    // that they balance at every instant.
+    auditManifest(cfg.manifestPath, result);
+    if (result.restarts >= cfg.maxRestarts) {
+      result.cleanExit = false;
+      return result;
+    }
+    ++result.restarts;
+    ::usleep(static_cast<useconds_t>(backoff));
+    backoff = std::min<MicroTime>(backoff * 2, cfg.backoffMaxUs);
+  }
+}
+
+}  // namespace nfstrace::daemon

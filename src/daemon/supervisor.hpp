@@ -1,0 +1,54 @@
+// Crash supervision for nfstraced: fork the capture loop as a child
+// process, restart it on abnormal exit with exponential backoff, and
+// audit the manifest's §4.1.4 loss accounting between incarnations.
+//
+// The supervisor is deliberately dumb: all crash-consistency lives in
+// TraceDaemon's recovery protocol, so the parent only has to (a) decide
+// whether the exit was clean, (b) re-check the durable invariant
+// captured == sealed + recovered + lost from the manifest, and (c) pace
+// restarts so a persistently broken environment does not spin.  This is
+// also the harness bench/chaos_soak phase G uses to SIGKILL the daemon
+// mid-rotation and prove the books still balance.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "daemon/manifest.hpp"
+#include "util/time.hpp"
+
+namespace nfstrace::daemon {
+
+class Supervisor {
+ public:
+  struct Config {
+    /// Manifest audited between restarts; empty skips the audit.
+    std::string manifestPath;
+    /// Give up after this many restarts (abnormal exits).
+    int maxRestarts = 8;
+    /// Exponential restart backoff: initial delay, doubling per
+    /// consecutive abnormal exit, capped at the max.
+    MicroTime backoffInitialUs = 2'000;
+    MicroTime backoffMaxUs = 500'000;
+  };
+
+  struct Result {
+    int incarnations = 0;   ///< child processes started
+    int restarts = 0;       ///< abnormal exits that triggered a restart
+    int lastStatus = 0;     ///< raw waitpid status of the last child
+    bool cleanExit = false; ///< last child exited 0
+    /// False if any between-restart audit found unbalanced books or an
+    /// unreadable-but-present manifest.
+    bool booksBalanced = true;
+    Books finalBooks;       ///< from the last successful manifest audit
+  };
+
+  /// Run `body(incarnation)` in a forked child until it exits cleanly or
+  /// the restart budget is spent.  `body`'s return value is the child
+  /// exit status; the child may also die by signal (SIGKILL chaos), which
+  /// counts as an abnormal exit.  Never throws; fork failure is reported
+  /// as a non-clean Result.
+  static Result run(const Config& cfg, const std::function<int(int)>& body);
+};
+
+}  // namespace nfstrace::daemon

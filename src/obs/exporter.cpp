@@ -1,6 +1,7 @@
 #include "obs/exporter.hpp"
 
 #include "obs/json.hpp"
+#include "util/atomicfile.hpp"
 #include "util/table.hpp"
 
 namespace nfstrace::obs {
@@ -21,6 +22,9 @@ std::vector<std::string> defaultAlertCounters() {
       "engine.resync_cuts",
       "engine.merge_skew",
       "engine.intern_high_water",
+      "daemon.records_shed",
+      "daemon.segments_recovered",
+      "daemon.compact_failures",
   };
 }
 
@@ -29,7 +33,17 @@ SnapshotExporter::SnapshotExporter(Registry& registry, Config config)
       config_(std::move(config)),
       start_(std::chrono::steady_clock::now()) {
   if (!config_.jsonlPath.empty()) {
-    jsonl_ = std::fopen(config_.jsonlPath.c_str(), "ab");
+    jsonlOn_ = true;
+    // Preserve append-across-runs semantics: seed the buffer with any
+    // existing content, then rewrite the whole file atomically per emit.
+    if (std::FILE* f = std::fopen(config_.jsonlPath.c_str(), "rb")) {
+      char chunk[1 << 14];
+      std::size_t n;
+      while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+        jsonlBuf_.append(chunk, n);
+      }
+      std::fclose(f);
+    }
   }
   if (config_.intervalUs > 0) {
     thread_ = std::thread([this] { threadLoop(); });
@@ -66,10 +80,6 @@ void SnapshotExporter::stop() {
     std::lock_guard lock(stopMu_);
     stopped_ = true;
   }
-  if (jsonl_) {
-    std::fclose(jsonl_);
-    jsonl_ = nullptr;
-  }
 }
 
 void SnapshotExporter::emit() {
@@ -85,19 +95,23 @@ void SnapshotExporter::emit() {
     std::fwrite(table.data(), 1, table.size(), config_.statusStream);
     std::fflush(config_.statusStream);
   }
-  if (jsonl_) {
-    std::string line = renderJsonLine(snap, seqNo, uptime);
-    line.push_back('\n');
-    std::fwrite(line.data(), 1, line.size(), jsonl_);
-    std::fflush(jsonl_);
+  if (jsonlOn_) {
+    jsonlBuf_ += renderJsonLine(snap, seqNo, uptime);
+    jsonlBuf_.push_back('\n');
+    // Whole-file rewrite via tmp+fsync+rename: a reader mid-scrape sees
+    // either the previous complete file or this one, never a torn line.
+    try {
+      writeFileAtomic(config_.jsonlPath, jsonlBuf_);
+    } catch (...) {
+      // Best-effort, same as the old fopen-failure behaviour.
+    }
   }
   if (!config_.promPath.empty()) {
-    // Rewritten whole each scrape, so a collector always reads a
-    // complete exposition.
-    if (std::FILE* f = std::fopen(config_.promPath.c_str(), "wb")) {
-      std::string prom = renderPrometheus(snap);
-      std::fwrite(prom.data(), 1, prom.size(), f);
-      std::fclose(f);
+    // Atomic whole-file rewrite, so a textfile collector always reads a
+    // complete exposition (never a half-written scrape).
+    try {
+      writeFileAtomic(config_.promPath, renderPrometheus(snap));
+    } catch (...) {
     }
   }
   if (config_.flight) sampleFlight(snap);

@@ -99,7 +99,11 @@ class SnapshotExporter {
 
   Registry& registry_;
   Config config_;
-  std::FILE* jsonl_ = nullptr;
+  /// Accumulated JSON-lines content (seeded from any pre-existing file at
+  /// construction); every emit rewrites the whole file atomically so a
+  /// concurrent reader never sees a torn line.
+  bool jsonlOn_ = false;
+  std::string jsonlBuf_;
   ThreadLog* flog_ = nullptr;  // lazily attached on first flight sample
   /// Metric name -> flight counter-track id, in first-seen order.
   std::vector<std::pair<std::string, std::uint16_t>> flightTracks_;

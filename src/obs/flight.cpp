@@ -51,6 +51,11 @@ constexpr StageInfo kStages[kStageCount] = {
     {"fault.corrupt", false, Stage::kStageCount, Stage::kStageCount},
     {"pipeline.frames_shed", false, Stage::kStageCount, Stage::kStageCount},
     {"engine.recovery_cut", false, Stage::kStageCount, Stage::kStageCount},
+    // Daemon.
+    {"daemon.rotate", false, Stage::kStageCount, Stage::kStageCount},
+    {"daemon.recover", false, Stage::kStageCount, Stage::kStageCount},
+    {"daemon.compact", false, Stage::kStageCount, Stage::kStageCount},
+    {"daemon.records_shed", false, Stage::kStageCount, Stage::kStageCount},
 };
 
 const StageInfo& info(Stage s) {

@@ -81,6 +81,11 @@ enum class Stage : std::uint16_t {
   FaultCorrupt,  ///< instant: fault plan truncated/bit-flipped a frame
   FrameShed,     ///< instant: pipeline shed frames under overload
   RecoveryCut,   ///< instant: reader resynced past corruption
+  // Continuous-capture daemon (src/daemon).
+  DaemonRotate,   ///< sealing + renaming the active segment
+  DaemonRecover,  ///< startup recovery of a torn active segment
+  DaemonCompact,  ///< background v1 -> v2 segment compaction
+  DaemonShed,     ///< instant: record shed while the trace disk is down
   kStageCount
 };
 

@@ -13,6 +13,8 @@
 #include <string_view>
 #include <thread>
 
+#include <unistd.h>
+
 #include "fault/fault.hpp"
 #include "util/crc32.hpp"
 #include "util/strings.hpp"
@@ -566,40 +568,68 @@ TraceWriter::TraceWriter(const std::string& path, const Options& opts)
   f_ = std::fopen(path.c_str(), "wb");
   if (!f_) throw std::runtime_error("trace: cannot open for write: " + path);
   buf_.reserve(kWriterFlushBytes + 4096);
-  if (format_ == Format::Binary) {
-    writeAll(kBinMagic, sizeof(kBinMagic));
-  } else if (format_ == Format::V2) {
-    std::string preamble(tracev2::kFileMagic, sizeof(tracev2::kFileMagic));
-    tracev2::appendSchema(preamble);
-    writeAll(preamble.data(), preamble.size());
-    v2enc_ = std::make_unique<tracev2::ExtentEncoder>();
+  try {
+    if (format_ == Format::Binary) {
+      writeAll(kBinMagic, sizeof(kBinMagic));
+    } else if (format_ == Format::V2) {
+      std::string preamble(tracev2::kFileMagic, sizeof(tracev2::kFileMagic));
+      tracev2::appendSchema(preamble);
+      writeAll(preamble.data(), preamble.size());
+      v2enc_ = std::make_unique<tracev2::ExtentEncoder>();
+    }
+  } catch (...) {
+    // Header write failed (e.g. the disk is already full): release the
+    // stream before the throw — no destructor runs for a failed ctor.
+    std::fclose(f_);
+    f_ = nullptr;
+    throw;
   }
 }
 
 TraceWriter::~TraceWriter() {
   if (f_) {
     try {
-      if (format_ == Format::V2) {
-        // Seal the partial tail extent, then the footer index + trailer
-        // that make the file seekable.  A crash before this point leaves
-        // a valid index-less file the reader handles sequentially.
-        sealV2Extent();
-        tracev2::appendIndex(buf_, v2extents_, fileBytes_ + buf_.size());
-        flushBuffer();
-      } else if (opts_.checkpointEveryRecords > 0 && count_ > lastCkptCount_) {
-        // A final checkpoint seals the tail so a recovering reader can
-        // account for every record even if the file is later damaged.
-        appendCheckpoint();
-      }
-      flushBuffer();
+      finalize();
     } catch (...) {
-      // Destructor must not throw; the close below still releases the fd.
+      // Destructor must not throw; finalize() already released the fd on
+      // its error path.
     }
-    std::fclose(f_);
   }
 }
 
+void TraceWriter::finalize(bool syncToDisk) {
+  if (!f_) return;
+  try {
+    if (format_ == Format::V2) {
+      // Seal the partial tail extent, then the footer index + trailer
+      // that make the file seekable.  A crash before this point leaves
+      // a valid index-less file the reader handles sequentially.
+      sealV2Extent();
+      tracev2::appendIndex(buf_, v2extents_, fileBytes_ + buf_.size());
+      flushBuffer();
+    } else if (opts_.checkpointEveryRecords > 0 && count_ > lastCkptCount_) {
+      // A final checkpoint seals the tail so a recovering reader can
+      // account for every record even if the file is later damaged.
+      appendCheckpoint();
+    }
+    flushBuffer();
+    if (std::fflush(f_) != 0) {
+      throw std::runtime_error("trace: flush failed at finalize");
+    }
+    if (syncToDisk && ::fsync(fileno(f_)) != 0) {
+      throw std::runtime_error("trace: fsync failed at finalize");
+    }
+  } catch (...) {
+    std::fclose(f_);
+    f_ = nullptr;
+    throw;
+  }
+  std::fclose(f_);
+  f_ = nullptr;
+}
+
 void TraceWriter::write(const TraceRecord& rec) {
+  if (!f_) throw std::runtime_error("trace: write after finalize");
   if (format_ == Format::V2) {
     v2enc_->add(rec);
     ++count_;
@@ -744,6 +774,7 @@ void TraceWriter::writeAll(const char* p, std::size_t n) {
 }
 
 void TraceWriter::flush() {
+  if (!f_) return;  // already finalized
   // V2: flushing durability means sealing — records still in the extent
   // encoder are not on disk until their extent is.
   if (format_ == Format::V2) {

@@ -96,7 +96,18 @@ class TraceWriter {
   void write(const TraceRecord& rec);
   /// Flush the batch buffer and the underlying stream.
   void flush();
+  /// Seal the file completely (V2: tail extent + footer index + trailer;
+  /// v1: final checkpoint), flush, optionally fsync, and close.  Unlike
+  /// the destructor — which does the same work but must swallow errors —
+  /// finalize() throws on failure, so a caller that needs to *know* the
+  /// segment is durable (the rotation path in src/daemon) can react.
+  /// After finalize() the writer accepts no more records; the destructor
+  /// becomes a no-op.
+  void finalize(bool syncToDisk = false);
   std::uint64_t recordsWritten() const { return count_; }
+  /// Bytes on the file plus bytes still in the batch buffer — the size
+  /// the file will have after the next flush (size-based rotation).
+  std::uint64_t bytesWritten() const { return fileBytes_ + buf_.size(); }
   const IoStats& ioStats() const { return ioStats_; }
 
   /// Bind self-monitoring instruments: records/bytes written counters,

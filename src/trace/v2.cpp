@@ -187,11 +187,11 @@ inline void packWho(std::uint8_t* out, std::uint32_t client,
 }
 
 constexpr char kSchemaText[] =
-    "nfstrace-v2 schema 2\n"
+    "nfstrace-v2 schema 3\n"
     "dicts=fh,name,who\n"
     "columns=flags,op,ts:delta,replyts:rel,who:dict,"
     "xid:le32,fh:dict,fh2:dict,resfh:dict,name:dict,"
-    "name2:dict,offset:delta,count,status:err,retcount,ftype:u8,"
+    "name2:dict,offset:delta,count,status:err,retcount,ftype,"
     "filesize:delta,filemtime:delta,fileid:delta,presize:delta,"
     "premtime:delta\n";
 
@@ -219,7 +219,7 @@ std::optional<std::size_t> parseSchema(const char* data, std::size_t n) {
   // Require the same major schema line; everything after it (extra
   // columns, new dict kinds) is forward-compatible detail.
   std::string_view text(data + 8, len);
-  if (text.substr(0, 21) != std::string_view("nfstrace-v2 schema 2\n")) {
+  if (text.substr(0, 21) != std::string_view("nfstrace-v2 schema 3\n")) {
     return std::nullopt;
   }
   return total;
@@ -461,7 +461,10 @@ void ExtentEncoder::add(const TraceRecord& rec) {
     if (rw) putVarint(im.col[kRetCount], rec.retCount);
   }
   if (attrs) {
-    im.col[kFtype].push_back(static_cast<char>(rec.ftype));
+    // Varint, not a raw byte: a corrupted wire frame can decode to an
+    // out-of-enum ftype (the text format prints it faithfully), and the
+    // round trip must not truncate it.
+    putVarint(im.col[kFtype], static_cast<std::uint32_t>(rec.ftype));
     std::int64_t size = static_cast<std::int64_t>(rec.fileSize);
     putVarint(im.col[kFileSize], zigzag(size - im.prevFileSize));
     im.prevFileSize = size;
@@ -758,7 +761,8 @@ inline void ExtentDecoder::decodeOne(TraceRecord& rec, Ids* ids) {
     }
   }
   if (rec.hasAttrs) {
-    rec.ftype = static_cast<FileType>(im.col[kFtype].byte());
+    rec.ftype = static_cast<FileType>(
+        static_cast<std::uint32_t>(im.col[kFtype].varint()));
     im.prevFileSize += unzigzag(im.col[kFileSize].varint());
     rec.fileSize = static_cast<std::uint64_t>(im.prevFileSize);
     im.prevFileMtime += unzigzag(im.col[kFileMtime].varint());

@@ -21,7 +21,7 @@
 //   count         [read/write/commit] varint
 //   status        [hasReply, err flag] varint — Ok replies store nothing
 //   retCount      [hasReply, read/write] varint
-//   attrs         [hasAttrs] ftype byte; size/mtime/fileId zigzag varint
+//   attrs         [hasAttrs] ftype varint; size/mtime/fileId zigzag varint
 //                 delta vs the previous value in the same column (polls
 //                 of an unchanged file decode to 1 byte each)
 //   pre-op attrs  [hasPre] size/mtime zigzag delta vs previous value

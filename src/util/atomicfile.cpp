@@ -1,0 +1,71 @@
+#include "util/atomicfile.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace nfstrace {
+namespace {
+
+std::string parentDir(const std::string& path) {
+  auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+[[noreturn]] void fail(const char* what, const std::string& path) {
+  throw std::runtime_error(std::string(what) + ": " + path + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+bool fsyncPath(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  int rc = ::fsync(fd);
+  ::close(fd);
+  return rc == 0;
+}
+
+bool fsyncParentDir(const std::string& path) {
+  int fd = ::open(parentDir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  int rc = ::fsync(fd);
+  ::close(fd);
+  return rc == 0;
+}
+
+void writeFileAtomic(const std::string& path, const std::string& bytes) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) fail("atomicfile: cannot open", tmp);
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    fail("atomicfile: write failed", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("atomicfile: rename failed", path);
+  }
+  fsyncParentDir(path);
+}
+
+void renameDurable(const std::string& from, const std::string& to) {
+  fsyncPath(from);
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    fail("atomicfile: rename failed", to);
+  }
+  fsyncParentDir(to);
+}
+
+}  // namespace nfstrace

@@ -1,0 +1,34 @@
+// Crash-consistent file replacement: the tmp + fsync + rename idiom.
+//
+// Everything in the repo that publishes a file other processes (or a
+// restarted daemon) may read mid-write — the daemon manifest, the
+// Prometheus exposition file, the JSON-lines metrics log — goes through
+// writeFileAtomic(): the bytes land in a same-directory temporary, are
+// fsync'd, and are renamed over the destination, so a reader (or a
+// crash) sees either the old complete file or the new complete file,
+// never a torn prefix.
+#pragma once
+
+#include <string>
+
+namespace nfstrace {
+
+/// fsync an existing file by path.  Returns false (with errno set) when
+/// the file cannot be opened or synced.
+bool fsyncPath(const std::string& path);
+
+/// fsync the directory containing `path`, making a completed rename of
+/// `path` durable.  Returns false when the directory cannot be synced.
+bool fsyncParentDir(const std::string& path);
+
+/// Replace `path` with `bytes` atomically: write `path`.tmp in the same
+/// directory, fflush + fsync it, rename over `path`, fsync the parent
+/// directory.  Throws std::runtime_error on any failure (the tmp file is
+/// removed on the error path, so retries start clean).
+void writeFileAtomic(const std::string& path, const std::string& bytes);
+
+/// rename(2) with both-sides durability: fsync `from` first, rename,
+/// fsync the parent directory.  Throws std::runtime_error on failure.
+void renameDurable(const std::string& from, const std::string& to);
+
+}  // namespace nfstrace

@@ -437,6 +437,86 @@ TEST_F(FaultFileTest, WriterGivesUpWhenTheDiskStaysFull) {
   EXPECT_GE(inj.stats().enospc, 4u);  // initial attempt + maxRetries
 }
 
+TEST_F(FaultFileTest, V2EnospcEpisodeAtExtentSealBoundary) {
+  // The v2 writer only touches the disk at extent seals, so every ENOSPC
+  // episode lands exactly on a seal boundary — the case the daemon's
+  // checkpoint-aligned rotation depends on.  Two contracts:
+  //  (a) an episode within the retry budget costs retries, not bytes;
+  //  (b) an exhausted budget leaves the file as an exact whole-extent
+  //      prefix of the clean file: the recovering reader gets every
+  //      pre-episode extent back with zero skipped records.
+  std::string clean = path_;
+  std::string chaotic = path_ + ".b";
+  TraceWriter::Options v2opts;
+  v2opts.format = TraceWriter::Format::V2;
+  v2opts.v2ExtentRecords = 16;
+  {
+    TraceWriter w(clean, v2opts);
+    for (std::uint32_t i = 0; i < 400; ++i) w.write(simpleRecord(i));
+  }
+
+  // (a) Ride-out: short episodes at seal boundaries, byte-identical file.
+  {
+    FaultPlan plan;
+    plan.seed = 21;
+    plan.ioEnospcRate = 0.3;
+    plan.ioEnospcStreak = 2;
+    IoFaultInjector inj(plan);
+    TraceWriter::Options opts = v2opts;
+    opts.faults = &inj;
+    opts.maxRetries = 8;
+    opts.backoffInitialUs = 1;
+    opts.backoffMaxUs = 2;
+    {
+      TraceWriter w(chaotic, opts);
+      for (std::uint32_t i = 0; i < 400; ++i) w.write(simpleRecord(i));
+    }
+    EXPECT_GT(inj.stats().enospcEpisodes, 0u);
+    EXPECT_EQ(readFileBytes(chaotic), readFileBytes(clean));
+  }
+
+  // (b) Give-up: the first over-budget episode kills the writer at some
+  // extent seal; everything before it is intact and exactly recoverable.
+  {
+    FaultPlan plan;
+    plan.seed = 21;
+    plan.ioEnospcRate = 0.15;
+    plan.ioEnospcStreak = 1u << 30;
+    IoFaultInjector inj(plan);
+    TraceWriter::Options opts = v2opts;
+    opts.faults = &inj;
+    opts.maxRetries = 2;
+    opts.backoffInitialUs = 1;
+    opts.backoffMaxUs = 2;
+    bool threw = false;
+    try {
+      TraceWriter w(chaotic, opts);
+      for (std::uint32_t i = 0; i < 400; ++i) w.write(simpleRecord(i));
+      w.finalize();
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    ASSERT_TRUE(threw);
+
+    // ENOSPC attempts land no bytes, so the torn file is a strict prefix
+    // of the clean one — whole extents only.
+    std::string cleanBytes = readFileBytes(clean);
+    std::string tornBytes = readFileBytes(chaotic);
+    ASSERT_LT(tornBytes.size(), cleanBytes.size());
+    EXPECT_EQ(tornBytes, cleanBytes.substr(0, tornBytes.size()));
+
+    TraceReader::RecoverStats rs;
+    auto recs = TraceReader::recoverAll(chaotic, &rs);
+    EXPECT_GT(recs.size(), 0u);
+    EXPECT_LT(recs.size(), 400u);
+    EXPECT_EQ(recs.size() % 16, 0u) << "recovery must be extent-aligned";
+    EXPECT_EQ(rs.skipped, 0u) << "no record was claimed and then lost";
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      ASSERT_EQ(recs[i].xid, 0x100u + i);
+    }
+  }
+}
+
 TEST_F(FaultFileTest, TextCheckpointsAreInvisibleToNormalReaders) {
   TraceWriter::Options opts;
   opts.checkpointEveryRecords = 2;

@@ -381,6 +381,50 @@ TEST(Exporter, PromFileScrape) {
   std::remove(path.c_str());
 }
 
+TEST(Exporter, FileOutputsAreAtomicAndAppendAcrossRestarts) {
+  Registry reg;
+  reg.counter("c.hits").inc(0, 1);
+  std::string prom = "/tmp/obs_test_atomic_prom.txt";
+  std::string jsonl = "/tmp/obs_test_atomic.jsonl";
+  std::remove(prom.c_str());
+  std::remove(jsonl.c_str());
+
+  // Two exporter lifetimes over the same files, as a restarted daemon
+  // produces: the jsonl history must accumulate, not truncate.
+  for (int run = 0; run < 2; ++run) {
+    SnapshotExporter::Config cfg;
+    cfg.intervalUs = 0;
+    cfg.promPath = prom;
+    cfg.jsonlPath = jsonl;
+    SnapshotExporter exporter(reg, cfg);
+    exporter.exportOnce();
+    exporter.stop();
+  }
+
+  // Every write goes through tmp + rename, so no temporary may survive
+  // and the visible files are always complete.
+  EXPECT_FALSE(std::ifstream(prom + ".tmp").good());
+  EXPECT_FALSE(std::ifstream(jsonl + ".tmp").good());
+
+  std::ostringstream promSs;
+  promSs << std::ifstream(prom).rdbuf();
+  EXPECT_NE(promSs.str().find("nfstrace_c_hits_total 1"), std::string::npos);
+
+  std::ostringstream jsonlSs;
+  jsonlSs << std::ifstream(jsonl).rdbuf();
+  std::istringstream lines(jsonlSs.str());
+  std::string lineStr;
+  std::size_t count = 0;
+  while (std::getline(lines, lineStr)) {
+    EXPECT_TRUE(isValidJson(lineStr)) << lineStr;
+    ++count;
+  }
+  // Each run emits one snapshot from exportOnce and one from stop.
+  EXPECT_EQ(count, 4u);
+  std::remove(prom.c_str());
+  std::remove(jsonl.c_str());
+}
+
 TEST(Exporter, JsonLinesAndStatusTable) {
   Registry reg;
   reg.counter("pipeline.records_released").inc(0, 42);

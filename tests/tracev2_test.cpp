@@ -72,7 +72,13 @@ TraceRecord randomRecord(Rng& rng, MicroTime ts) {
     }
     if (rng.chance(0.8)) {
       r.hasAttrs = true;
-      r.ftype = rng.chance(0.2) ? FileType::Directory : FileType::Regular;
+      // Occasionally out-of-enum: a bit-flipped wire frame can decode to
+      // any 32-bit ftype, and the text format round-trips it faithfully
+      // — v2 must too (it once stored ftype as a single truncating byte).
+      r.ftype = rng.chance(0.02)
+                    ? static_cast<FileType>(rng.below(1u << 16) + 8)
+                    : rng.chance(0.2) ? FileType::Directory
+                                      : FileType::Regular;
       r.fileSize = rng.below(1 << 22);
       r.fileMtime = r.ts - static_cast<MicroTime>(rng.below(kMicrosPerHour));
       r.fileId = rng.below(100000);
