@@ -279,10 +279,16 @@ void TraceDaemon::recoverPart(std::uint64_t seq, std::uint64_t submittedToPart,
   // many records it submitted to this part; at startup the torn file's
   // own checkpoint/extent evidence (skipped) is the best bound —
   // records that died in the in-process buffer left no trace and are
-  // simply re-fed by a resuming source.
+  // simply re-fed by a resuming source.  `recovered` can exceed
+  // `submittedToPart`: the record whose write threw never made it into
+  // activeRecords_, but its bytes may still have reached disk (the
+  // throw can come from the post-write fflush/fsync), so clamp rather
+  // than underflow the books.
   std::uint64_t lost = (submittedToPart == kUnknown)
                            ? rstats.skipped
-                           : submittedToPart - recovered;
+                           : (recovered >= submittedToPart
+                                  ? 0
+                                  : submittedToPart - recovered);
   if (recovered > 0) {
     SegmentInfo seg;
     seg.seq = seq;
@@ -441,10 +447,14 @@ void TraceDaemon::probeDisk() {
     }
     activeRecords_ = 0;
     openActive();
-    degraded_ = false;
+    // Leave degraded mode only once the whole probe — salvage, reopen,
+    // manifest save — has succeeded; a save failure must not hand
+    // submit() a half-initialized (or reset) writer.
     manifest_.save(manifestPath_);
+    degraded_ = false;
   } catch (...) {
     // Disk still bad: stay degraded, keep shedding with exact counts.
+    degraded_ = true;
     writer_.reset();
   }
 }

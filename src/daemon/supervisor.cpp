@@ -50,11 +50,24 @@ Supervisor::Result Supervisor::run(const Config& cfg,
     }
     ++result.incarnations;
     int status = 0;
+    bool reaped = true;
     while (::waitpid(pid, &status, 0) < 0) {
       // EINTR only; any other error means the child is unreachable.
-      if (errno != EINTR) break;
+      if (errno != EINTR) {
+        reaped = false;
+        break;
+      }
     }
     result.lastStatus = status;
+    if (!reaped) {
+      // The child's fate is unknown (waitpid failed outright): status
+      // still holds 0, which must not be read as a clean exit-0, and
+      // restarting could double-run a still-live child.  Audit what the
+      // books say and bail out abnormally.
+      result.cleanExit = false;
+      auditManifest(cfg.manifestPath, result);
+      return result;
+    }
     if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
       result.cleanExit = true;
       auditManifest(cfg.manifestPath, result);

@@ -33,17 +33,11 @@ SnapshotExporter::SnapshotExporter(Registry& registry, Config config)
       config_(std::move(config)),
       start_(std::chrono::steady_clock::now()) {
   if (!config_.jsonlPath.empty()) {
-    jsonlOn_ = true;
-    // Preserve append-across-runs semantics: seed the buffer with any
-    // existing content, then rewrite the whole file atomically per emit.
-    if (std::FILE* f = std::fopen(config_.jsonlPath.c_str(), "rb")) {
-      char chunk[1 << 14];
-      std::size_t n;
-      while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
-        jsonlBuf_.append(chunk, n);
-      }
-      std::fclose(f);
-    }
+    // Append mode, held open for the exporter's lifetime: a restarted
+    // daemon accumulates history, and each emit costs one line of I/O
+    // regardless of how long the run has been going.  Open failure
+    // degrades to best-effort off.
+    jsonlFile_ = std::fopen(config_.jsonlPath.c_str(), "ab");
   }
   if (config_.intervalUs > 0) {
     thread_ = std::thread([this] { threadLoop(); });
@@ -77,6 +71,13 @@ void SnapshotExporter::stop() {
   if (thread_.joinable()) thread_.join();
   emit();  // end-of-run snapshot: final counter totals always land
   {
+    std::lock_guard lock(emitMu_);
+    if (jsonlFile_) {
+      std::fclose(jsonlFile_);
+      jsonlFile_ = nullptr;
+    }
+  }
+  {
     std::lock_guard lock(stopMu_);
     stopped_ = true;
   }
@@ -95,16 +96,14 @@ void SnapshotExporter::emit() {
     std::fwrite(table.data(), 1, table.size(), config_.statusStream);
     std::fflush(config_.statusStream);
   }
-  if (jsonlOn_) {
-    jsonlBuf_ += renderJsonLine(snap, seqNo, uptime);
-    jsonlBuf_.push_back('\n');
-    // Whole-file rewrite via tmp+fsync+rename: a reader mid-scrape sees
-    // either the previous complete file or this one, never a torn line.
-    try {
-      writeFileAtomic(config_.jsonlPath, jsonlBuf_);
-    } catch (...) {
-      // Best-effort, same as the old fopen-failure behaviour.
-    }
+  if (jsonlFile_) {
+    std::string line = renderJsonLine(snap, seqNo, uptime);
+    line.push_back('\n');
+    // One buffered fwrite of the whole line, flushed per emit: the only
+    // incomplete line a reader (or a crash) can ever see is the last one,
+    // which JSONL consumers skip.
+    std::fwrite(line.data(), 1, line.size(), jsonlFile_);
+    std::fflush(jsonlFile_);
   }
   if (!config_.promPath.empty()) {
     // Atomic whole-file rewrite, so a textfile collector always reads a

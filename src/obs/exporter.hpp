@@ -99,11 +99,11 @@ class SnapshotExporter {
 
   Registry& registry_;
   Config config_;
-  /// Accumulated JSON-lines content (seeded from any pre-existing file at
-  /// construction); every emit rewrites the whole file atomically so a
-  /// concurrent reader never sees a torn line.
-  bool jsonlOn_ = false;
-  std::string jsonlBuf_;
+  /// JSON-lines sink, opened in append mode for the exporter's lifetime:
+  /// one fwrite+fflush per emit, O(1) per snapshot no matter how long
+  /// the daemon runs.  At worst a crash leaves a torn final line, which
+  /// JSONL readers tolerate.
+  std::FILE* jsonlFile_ = nullptr;
   ThreadLog* flog_ = nullptr;  // lazily attached on first flight sample
   /// Metric name -> flight counter-track id, in first-seen order.
   std::vector<std::pair<std::string, std::uint16_t>> flightTracks_;

@@ -806,7 +806,8 @@ TraceReader::TraceReader(const std::string& path, bool recover)
         std::string block(reinterpret_cast<const char*>(shdr), sizeof(shdr));
         block.resize(sizeof(shdr) + len);
         ok = std::fread(block.data() + sizeof(shdr), 1, len, f_) == len &&
-             tracev2::parseSchema(block.data(), block.size()).has_value();
+             tracev2::parseSchema(block.data(), block.size(), &v2Schema_)
+                 .has_value();
       }
     }
     if (!ok && !recover_) {
@@ -960,7 +961,10 @@ bool TraceReader::loadNextV2Extent() {
     // A valid header is a checkpoint: its cumulative count charges any
     // records a skipped region ate to `skipped`, exactly.
     reconcileCheckpoint(hdr.recordsBefore);
-    if (!v2dec_) v2dec_ = std::make_unique<tracev2::ExtentDecoder>();
+    if (!v2dec_) {
+      v2dec_ = std::make_unique<tracev2::ExtentDecoder>();
+      v2dec_->setSchema(v2Schema_);
+    }
     auto& buf = v2dec_->buffer();
     if (buf.size() < hdr.payloadBytes) buf.resize(hdr.payloadBytes);
     if (std::fread(buf.data(), 1, hdr.payloadBytes, f_) != hdr.payloadBytes) {

@@ -229,6 +229,10 @@ class TraceReader {
   std::FILE* f_ = nullptr;
   bool binary_ = false;
   bool v2_ = false;
+  /// Schema version from the file's schema block (3 unless the file is a
+  /// legacy schema-2 segment; also 3 when recover mode tolerates a
+  /// damaged block).
+  int v2Schema_ = 3;
   std::unique_ptr<tracev2::ExtentDecoder> v2dec_;
   bool recover_ = false;
   bool inBadRun_ = false;  // inside a run of consecutive corrupt lines

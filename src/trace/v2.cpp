@@ -207,7 +207,8 @@ void appendSchema(std::string& out) {
   out.append(text);
 }
 
-std::optional<std::size_t> parseSchema(const char* data, std::size_t n) {
+std::optional<std::size_t> parseSchema(const char* data, std::size_t n,
+                                       int* schemaVersion) {
   if (n < sizeof(kSchemaMagic) + 4) return std::nullopt;
   if (std::memcmp(data, kSchemaMagic, sizeof(kSchemaMagic)) != 0) {
     return std::nullopt;
@@ -216,12 +217,22 @@ std::optional<std::size_t> parseSchema(const char* data, std::size_t n) {
       getU32(reinterpret_cast<const unsigned char*>(data) + 4);
   std::size_t total = sizeof(kSchemaMagic) + 4 + len;
   if (len > n - sizeof(kSchemaMagic) - 4) return std::nullopt;
-  // Require the same major schema line; everything after it (extra
-  // columns, new dict kinds) is forward-compatible detail.
+  // Require a known major schema line; everything after it (extra
+  // columns, new dict kinds) is forward-compatible detail.  Schema 3 is
+  // what the writer emits; schema 2 (whose only difference is the ftype
+  // column: raw byte instead of varint) stays readable so segments
+  // sealed before the bump don't become dead weight.
   std::string_view text(data + 8, len);
-  if (text.substr(0, 21) != std::string_view("nfstrace-v2 schema 3\n")) {
+  int version;
+  if (text.substr(0, 21) == std::string_view("nfstrace-v2 schema 3\n")) {
+    version = 3;
+  } else if (text.substr(0, 21) ==
+             std::string_view("nfstrace-v2 schema 2\n")) {
+    version = 2;
+  } else {
     return std::nullopt;
   }
+  if (schemaVersion) *schemaVersion = version;
   return total;
 }
 
@@ -563,6 +574,11 @@ struct ExtentDecoder::Impl {
   std::int64_t prevFileSize = 0, prevFileMtime = 0, prevFileId = 0;
   std::int64_t prevPreSize = 0, prevPreMtime = 0;
 
+  /// Schema-2 compatibility: that schema stored ftype as a raw byte
+  /// rather than a varint.  Sticky across load() — the whole file shares
+  /// one schema block.
+  bool ftypeRawByte = false;
+
   std::uint32_t mapHandle(std::uint64_t local) const {
     if (local >= h2g.size()) {
       throw std::runtime_error("trace v2: handle dictionary id out of range");
@@ -587,6 +603,10 @@ ExtentDecoder::ExtentDecoder() : impl_(new Impl) {}
 ExtentDecoder::~ExtentDecoder() { delete impl_; }
 
 std::vector<std::uint8_t>& ExtentDecoder::buffer() { return impl_->buf; }
+
+void ExtentDecoder::setSchema(int version) {
+  impl_->ftypeRawByte = version < 3;
+}
 
 void ExtentDecoder::load(const ExtentHeader& hdr, StringInterner& names,
                          StringInterner& handles) {
@@ -762,7 +782,9 @@ inline void ExtentDecoder::decodeOne(TraceRecord& rec, Ids* ids) {
   }
   if (rec.hasAttrs) {
     rec.ftype = static_cast<FileType>(
-        static_cast<std::uint32_t>(im.col[kFtype].varint()));
+        im.ftypeRawByte
+            ? static_cast<std::uint32_t>(im.col[kFtype].byte())
+            : static_cast<std::uint32_t>(im.col[kFtype].varint()));
     im.prevFileSize += unzigzag(im.col[kFileSize].varint());
     rec.fileSize = static_cast<std::uint64_t>(im.prevFileSize);
     im.prevFileMtime += unzigzag(im.col[kFileMtime].varint());

@@ -100,8 +100,11 @@ struct ExtentHeader {
 void appendSchema(std::string& out);
 
 /// Validate + skip a schema block at `data` (bytes after the file magic).
-/// Returns the block's total size, or nullopt if malformed.
-std::optional<std::size_t> parseSchema(const char* data, std::size_t n);
+/// Returns the block's total size, or nullopt if malformed.  Accepts the
+/// current schema 3 and the legacy schema 2 (ftype as raw byte); with
+/// non-null `schemaVersion`, reports which one was found.
+std::optional<std::size_t> parseSchema(const char* data, std::size_t n,
+                                       int* schemaVersion = nullptr);
 
 /// Parse + validate a fixed extent header (kExtentHeaderBytes bytes
 /// starting at the magic).  Returns false on bad magic or header CRC.
@@ -167,6 +170,11 @@ class ExtentDecoder {
   /// The payload buffer the caller freads into before load() (reused
   /// across extents).
   std::vector<std::uint8_t>& buffer();
+
+  /// File-level schema version from parseSchema (default 3, the current
+  /// schema).  Schema 2 switches the ftype column to its legacy raw-byte
+  /// decode; sticky across every load() on this decoder.
+  void setSchema(int version);
 
   /// Parse dictionaries + column cursors from buffer() (which must hold
   /// hdr.payloadBytes bytes whose CRC already checked out).  Throws

@@ -401,8 +401,9 @@ TEST(Exporter, FileOutputsAreAtomicAndAppendAcrossRestarts) {
     exporter.stop();
   }
 
-  // Every write goes through tmp + rename, so no temporary may survive
-  // and the visible files are always complete.
+  // The prom exposition goes through tmp + rename (a scrape must never
+  // see a partial file); jsonl is a plain O(1) append.  Neither may
+  // leave a temporary behind.
   EXPECT_FALSE(std::ifstream(prom + ".tmp").good());
   EXPECT_FALSE(std::ifstream(jsonl + ".tmp").good());
 

@@ -173,6 +173,39 @@ TEST_F(TraceV2Test, RoundTripRandomizedRecordsAcrossExtents) {
   }
 }
 
+TEST_F(TraceV2Test, ReadsLegacySchema2Files) {
+  // Schema 2 stored the ftype column as a raw byte where schema 3 uses a
+  // varint.  For in-enum ftypes (all < 0x80) the two encodings are
+  // byte-identical, so a current-writer file with its schema line patched
+  // back to "schema 2" is exactly what a pre-bump writer produced — and
+  // the reader must still accept and decode it, not reject every segment
+  // sealed before the upgrade.
+  auto recs = randomRecords(600, /*seed=*/11);
+  for (auto& r : recs) {
+    if (static_cast<std::uint32_t>(r.ftype) >= 0x80) {
+      r.ftype = FileType::Directory;
+    }
+  }
+  writeV2(path_, recs, /*extentRecords=*/128);
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    char head[128];
+    std::size_t got = std::fread(head, 1, sizeof(head), f);
+    std::string h(head, got);
+    std::size_t pos = h.find("schema 3");
+    ASSERT_NE(pos, std::string::npos);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(pos + 7), SEEK_SET), 0);
+    std::fputc('2', f);
+    std::fclose(f);
+  }
+  auto back = TraceReader::readAll(path_);
+  ASSERT_EQ(back.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    expectSameRecord(recs[i], back[i], i);
+  }
+}
+
 TEST_F(TraceV2Test, MatchesTextFormatNormalization) {
   // v2 normalizes field presence exactly like the text format (reply-only
   // fields dropped without a reply, EOF only on READ replies), so a text
