@@ -15,6 +15,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "analysis/engine/extent_scan.hpp"
 #include "analysis/reorder.hpp"
 #include "analysis/runs.hpp"
 #include "anon/anon.hpp"
@@ -23,6 +24,7 @@
 #include "rpc/rpc.hpp"
 #include "sniffer/sniffer.hpp"
 #include "trace/tracefile.hpp"
+#include "trace/v2.hpp"
 #include "util/flatmap.hpp"
 #include "util/interner.hpp"
 #include "util/rng.hpp"
@@ -390,6 +392,91 @@ void BM_StageBatchDecode(benchmark::State& state) {
   std::remove(path.c_str());
 }
 BENCHMARK(BM_StageBatchDecode);
+
+/// Extent-parallel scan stage: one extent's full decode — header parse,
+/// dictionary load into fresh interners, bulk take into batch arrays.
+/// This is the unit of work a decode worker claims from the footer
+/// index, minus the file I/O.
+void BM_ExtentDecode(benchmark::State& state) {
+  const std::string path = "bench_micro_extent.trace";
+  const std::size_t n = 8192;
+  {
+    TraceWriter::Options opts;
+    opts.format = TraceWriter::Format::V2;
+    opts.v2ExtentRecords = 4096;
+    TraceWriter writer(path, opts);
+    Rng rng(7);
+    auto rec = sampleTraceRecord();
+    for (std::size_t i = 0; i < n; ++i) {
+      rec.ts += 100;
+      rec.xid = static_cast<std::uint32_t>(rng.below(1u << 20));
+      rec.fh = FileHandle::make(1, rng.below(300), 1);
+      writer.write(rec);
+    }
+  }
+  auto index = tracev2::loadExtentIndex(path);
+  tracev2::ExtentHeader hdr;
+  std::vector<std::uint8_t> payload;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, static_cast<long>((*index)[0].offset), SEEK_SET);
+    unsigned char hdrBytes[tracev2::kExtentHeaderBytes];
+    if (std::fread(hdrBytes, 1, sizeof hdrBytes, f) != sizeof hdrBytes ||
+        !tracev2::parseExtentHeader(hdrBytes, hdr)) {
+      std::fclose(f);
+      state.SkipWithError("bad extent header");
+      return;
+    }
+    payload.resize(hdr.payloadBytes);
+    if (std::fread(payload.data(), 1, payload.size(), f) != payload.size()) {
+      std::fclose(f);
+      state.SkipWithError("short extent payload");
+      return;
+    }
+    std::fclose(f);
+  }
+  std::vector<TraceRecord> recs(hdr.records);
+  std::vector<std::uint32_t> fh(hdr.records), fh2(hdr.records),
+      resFh(hdr.records), name(hdr.records), name2(hdr.records);
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    tracev2::ExtentDecoder dec;
+    dec.buffer() = payload;
+    StringInterner names, handles;
+    dec.load(hdr, names, handles);
+    tracev2::ExtentDecoder::BatchOut out{recs.data(),  fh.data(),
+                                         fh2.data(),   resFh.data(),
+                                         name.data(),  name2.data()};
+    records += dec.take(out, hdr.records);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ExtentDecode);
+
+/// Reorder stage between out-of-order extent decoders and the in-order
+/// consumer: acquire a window of slots, publish them in reverse order,
+/// drain in order.  Single-threaded and always in-window, so it times
+/// the queue bookkeeping, never a blocked wait.
+void BM_ReorderStage(benchmark::State& state) {
+  BatchReorderQueue<int> q(std::vector<int>{1, 2, 3, 4});
+  std::uint64_t seq = 0;
+  std::uint64_t items = 0;
+  for (auto _ : state) {
+    int slots[4];
+    for (int i = 0; i < 4; ++i) slots[i] = q.acquire(seq + i);
+    for (int i = 3; i >= 0; --i) q.publish(seq + i, slots[i]);
+    for (int i = 0; i < 4; ++i) {
+      int s = 0;
+      q.popNext(s);
+      q.recycle(s);
+    }
+    seq += 4;
+    items += 4;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+}
+BENCHMARK(BM_ReorderStage);
 
 void BM_ReorderWindowSort(benchmark::State& state) {
   auto recs = syntheticDataRecords(static_cast<std::size_t>(state.range(0)));

@@ -65,9 +65,10 @@ struct RunResult {
 inline int reps() { return bench::smokeMode() ? 1 : 5; }
 
 template <typename Fn>
-RunResult bestOf(Fn&& run) {
+RunResult bestOf(Fn&& run, int n = 0) {
   RunResult best;
-  for (int i = 0, n = reps(); i < n; ++i) {
+  if (n <= 0) n = reps();
+  for (int i = 0; i < n; ++i) {
     RunResult r = run();
     if (r.rps > best.rps) best = r;
   }
@@ -186,13 +187,26 @@ int main(int argc, char** argv) {
   auto serial = bestOf([&] { return runSerial(frames, "bench_serial.trace"); });
   std::printf("serial reworked : %10.0f rec/s\n", serial.rps);
 
+  // Cross-shard scaling is only a meaningful expectation when the shards
+  // can actually run in parallel; on one hardware thread the multi-shard
+  // variants time-slice the same core, so they run a single rep (the
+  // byte-identical check still applies) and the scaling gate is skipped.
+  unsigned hwThreads = std::thread::hardware_concurrency();
+  if (hwThreads <= 1) {
+    std::printf("single hardware thread: multi-shard variants run 1 rep, "
+                "scaling gate skipped\n");
+  }
+
   std::string serialBytes = slurp("bench_serial.trace");
   bool identical = !serialBytes.empty();
   double shardRps[4] = {0, 0, 0, 0};
   const int shardCounts[4] = {1, 2, 4, 8};
   for (int i = 0; i < 4; ++i) {
     std::string path = "bench_shard" + std::to_string(shardCounts[i]) + ".trace";
-    auto r = bestOf([&] { return runSharded(frames, shardCounts[i], path); });
+    const int shardReps =
+        (shardCounts[i] > 1 && hwThreads <= 1) ? 1 : reps();
+    auto r = bestOf([&] { return runSharded(frames, shardCounts[i], path); },
+                    shardReps);
     shardRps[i] = r.rps;
     bool same = slurp(path) == serialBytes;
     identical = identical && same;
@@ -204,10 +218,8 @@ int main(int argc, char** argv) {
   // The honest scaling number: 4 shards against the reworked serial path
   // on the same build, not against the frozen seed baseline.
   double speedup4Serial = shardRps[2] / serial.rps;
-  // Cross-shard scaling is only a meaningful expectation when the shards
-  // can actually run in parallel; on a smaller box they time-slice the
-  // same cores and only the byte-identical property is enforceable.
-  unsigned hwThreads = std::thread::hardware_concurrency();
+  // Only a >=4-thread box can be expected to show cross-shard scaling;
+  // elsewhere only the byte-identical property is enforceable.
   bool expectScaling = hwThreads >= 4;
   std::printf("\nspeedup at 4 shards over baseline: %.2fx\n", speedup4);
   std::printf("speedup at 4 shards over reworked serial: %.2fx\n",
@@ -237,12 +249,18 @@ int main(int argc, char** argv) {
                "\"shard8_rps\":%.0f,\"speedup_4shard\":%.5g,"
                "\"speedup_4shard_vs_serial\":%.5g,"
                "\"scaling_gate_applied\":%s,"
-               "\"output_identical\":%s}\n",
+               "\"output_identical\":%s",
                frames.size(), static_cast<unsigned long long>(serial.records),
                hwThreads, baseline.rps, serial.rps, shardRps[0], shardRps[1],
                shardRps[2], shardRps[3], speedup4, speedup4Serial,
                expectScaling ? "true" : "false",
                identical ? "true" : "false");
+  if (hwThreads <= 1) {
+    std::fprintf(j,
+                 ",\"skipped_reason\":\"hw_threads==1: multi-shard variants "
+                 "single-rep, scaling gate skipped\"");
+  }
+  std::fprintf(j, "}\n");
   std::fclose(j);
   std::printf("wrote %s\n", jsonPath.c_str());
   if (smoke) {

@@ -70,6 +70,7 @@ struct Options {
   std::uint64_t v2ExtentRecords = 8192;
   int maxRetries = 8;
   std::uint64_t reopenAfterSheds = 256;
+  std::size_t decodeThreads = 1;
   std::uint64_t maxRecords = 0;  // 0 = run the whole simulated window
   double simHours = 2.0;
   int simUsers = 24;
@@ -106,6 +107,8 @@ void applyConfigFile(Options& o, const std::string& path) {
   o.maxRetries = static_cast<int>(cfg.getInt("max_retries", o.maxRetries));
   o.reopenAfterSheds = static_cast<std::uint64_t>(cfg.getInt(
       "reopen_after_sheds", static_cast<std::int64_t>(o.reopenAfterSheds)));
+  o.decodeThreads = static_cast<std::size_t>(cfg.getInt(
+      "decode_threads", static_cast<std::int64_t>(o.decodeThreads)));
   o.maxRecords = static_cast<std::uint64_t>(
       cfg.getInt("max_records", static_cast<std::int64_t>(o.maxRecords)));
   o.simHours = cfg.getDouble("sim_hours", o.simHours);
@@ -128,6 +131,7 @@ daemon::TraceDaemon::Config daemonConfig(const Options& o,
   dc.v2ExtentRecords = o.v2ExtentRecords;
   dc.maxRetries = o.maxRetries;
   dc.reopenAfterSheds = o.reopenAfterSheds;
+  dc.decodeThreads = o.decodeThreads;
   dc.faults = faults;
   dc.retention.maxSegments = o.retainSegments;
   dc.retention.maxTotalBytes = o.retainBytes;
@@ -240,7 +244,8 @@ int usage(const char* argv0) {
       "usage: %s [--config FILE] [--dir DIR] [--prefix P] [--format F]\n"
       "          [--rotate-records N] [--rotate-bytes N]\n"
       "          [--retain-segments N] [--retain-bytes N]\n"
-      "          [--compact-after-s S] [--records N] [--sim-hours H]\n"
+      "          [--compact-after-s S] [--decode-threads N]\n"
+      "          [--records N] [--sim-hours H]\n"
       "          [--chaos plan.cfg] [--supervise N] [--status]\n"
       "          [--prom FILE] [--jsonl FILE] [--recover-only]\n",
       argv0);
@@ -278,6 +283,9 @@ int main(int argc, char** argv) {
         o.retainBytes = std::strtoull(next().c_str(), nullptr, 10);
       } else if (arg == "--compact-after-s") {
         o.compactAfterSec = std::strtoll(next().c_str(), nullptr, 10);
+      } else if (arg == "--decode-threads") {
+        o.decodeThreads = std::strtoull(next().c_str(), nullptr, 10);
+        if (o.decodeThreads == 0) o.decodeThreads = 1;
       } else if (arg == "--records") {
         o.maxRecords = std::strtoull(next().c_str(), nullptr, 10);
       } else if (arg == "--sim-hours") {

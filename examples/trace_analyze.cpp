@@ -1,7 +1,8 @@
 // Single-pass analysis driver: every table and figure from one scan.
 //
-//   trace_analyze [--workers N] [--json] [--recover] [--batch N]
-//                 [--metrics] [--flight trace.json] [trace-file]
+//   trace_analyze [--workers N] [--decode-threads N] [--json] [--recover]
+//                 [--batch N] [--from SEC] [--to SEC] [--ops a,b,...]
+//                 [--uid N] [--metrics] [--flight trace.json] [trace-file]
 //
 // Where trace_stats grew up one analysis at a time (one full decode of
 // the trace per table), trace_analyze decodes each record exactly once
@@ -10,6 +11,14 @@
 // to the serial run at any worker count.
 //
 //   --workers N   worker threads for the scan (default 1 = serial)
+//   --decode-threads N
+//                 extent-decode threads for indexed v2 input: workers
+//                 claim whole extents from the footer index and decode
+//                 in parallel; output stays byte-identical
+//   --from/--to SEC, --ops LIST, --uid N
+//                 pushdown predicate: filters records and, on indexed
+//                 v2 input, prunes whole extents via footer zone maps
+//                 before any decode
 //   --json        emit the report as one JSON object on stdout
 //   --recover     read a damaged trace end-to-end (resyncs land on
 //                 batch boundaries; summary goes to stderr)
@@ -38,6 +47,8 @@
 #include "workload/campus.hpp"
 #include "workload/sim.hpp"
 
+#include "scan_flags.hpp"
+
 using namespace nfstrace;
 
 namespace {
@@ -64,8 +75,10 @@ std::string makeDemoTrace() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workers N] [--json] [--recover] [--batch N] "
-               "[--metrics] [--flight trace.json] [trace-file]\n",
+               "usage: %s [--workers N] [--decode-threads N] [--json] "
+               "[--recover] [--batch N] [--from SEC] [--to SEC] "
+               "[--ops a,b,...] [--uid N] [--metrics] "
+               "[--flight trace.json] [trace-file]\n",
                argv0);
   return 2;
 }
@@ -79,8 +92,12 @@ int main(int argc, char** argv) {
   std::string flightPath;
   std::size_t workers = 1;
   std::size_t batchRecords = TraceBatch::kDefaultCapacity;
+  ScanFlags sf;
   std::string input;
   for (int i = 1; i < argc; ++i) {
+    int consumed = sf.tryParse(argc, argv, &i);
+    if (consumed < 0) return usage(argv[0]);
+    if (consumed > 0) continue;
     std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
@@ -111,47 +128,70 @@ int main(int argc, char** argv) {
   AnalysisEngine::Config cfg;
   cfg.workers = workers;
   cfg.batchRecords = batchRecords;
+  cfg.decodeThreads = sf.decodeThreads;
+  cfg.predicate = sf.predicate;
   AnalysisEngine engine(cfg);
   engine.addPasses(analyses.all());
   engine.attachMetrics(registry);
   obs::FlightRecorder flight;
   if (!flightPath.empty()) engine.attachFlight(flight);
 
-  TraceReader reader(input, recover);
   AnalysisEngine::Stats st;
-  try {
-    st = engine.run(reader);
-  } catch (const std::exception& e) {
-    // A torn or corrupt trace read without --recover: report how far the
-    // scan got (the checkpoint accounting bounds the damage) and exit
-    // nonzero instead of dying on a bare exception.
-    const auto& rs = reader.recoverStats();
-    std::fprintf(stderr,
-                 "%s: %s\n"
-                 "scanned %llu records before the damage "
-                 "(%llu checkpoints, last checkpoint at %llu records)\n"
-                 "rerun with --recover to skip corrupt regions with exact "
-                 "loss accounting\n",
-                 input.c_str(), e.what(),
-                 static_cast<unsigned long long>(engine.stats().records),
-                 static_cast<unsigned long long>(rs.checkpoints),
-                 static_cast<unsigned long long>(rs.checkpointRecords));
-    return 3;
+  const bool extentScan =
+      !recover && (sf.decodeThreads > 1 || !sf.predicate.trivial());
+  if (extentScan) {
+    // runFile picks the extent-parallel scanner on indexed v2 input
+    // (zone-map pruning + per-extent decode fan-out) and falls back to
+    // the classic reader scan — record-level filtering still applies —
+    // on v1 or index-less input.
+    try {
+      st = engine.runFile(input);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "%s: %s\n"
+                   "rerun with --recover to skip corrupt regions with "
+                   "exact loss accounting\n",
+                   input.c_str(), e.what());
+      return 3;
+    }
+  } else {
+    TraceReader reader(input, recover);
+    try {
+      st = engine.run(reader);
+    } catch (const std::exception& e) {
+      // A torn or corrupt trace read without --recover: report how far
+      // the scan got (the checkpoint accounting bounds the damage) and
+      // exit nonzero instead of dying on a bare exception.
+      const auto& rs = reader.recoverStats();
+      std::fprintf(stderr,
+                   "%s: %s\n"
+                   "scanned %llu records before the damage "
+                   "(%llu checkpoints, last checkpoint at %llu records)\n"
+                   "rerun with --recover to skip corrupt regions with exact "
+                   "loss accounting\n",
+                   input.c_str(), e.what(),
+                   static_cast<unsigned long long>(engine.stats().records),
+                   static_cast<unsigned long long>(rs.checkpoints),
+                   static_cast<unsigned long long>(rs.checkpointRecords));
+      return 3;
+    }
+    if (recover) {
+      const auto& rs = reader.recoverStats();
+      std::fprintf(stderr,
+                   "recovery: %llu records recovered, %llu skipped "
+                   "(%llu resyncs, %llu checkpoints, %llu batch cuts)\n",
+                   static_cast<unsigned long long>(rs.recovered),
+                   static_cast<unsigned long long>(rs.skipped),
+                   static_cast<unsigned long long>(rs.resyncs),
+                   static_cast<unsigned long long>(rs.checkpoints),
+                   static_cast<unsigned long long>(st.resyncCuts));
+    }
   }
+  sf.reportPruning(st);
   if (st.records == 0) {
-    std::fprintf(stderr, "%s: no records\n", input.c_str());
+    std::fprintf(stderr, "%s: no records%s\n", input.c_str(),
+                 sf.predicate.trivial() ? "" : " matched the predicate");
     return 1;
-  }
-  if (recover) {
-    const auto& rs = reader.recoverStats();
-    std::fprintf(stderr,
-                 "recovery: %llu records recovered, %llu skipped "
-                 "(%llu resyncs, %llu checkpoints, %llu batch cuts)\n",
-                 static_cast<unsigned long long>(rs.recovered),
-                 static_cast<unsigned long long>(rs.skipped),
-                 static_cast<unsigned long long>(rs.resyncs),
-                 static_cast<unsigned long long>(rs.checkpoints),
-                 static_cast<unsigned long long>(st.resyncCuts));
   }
 
   std::string report = json ? renderReportJson(input, analyses)

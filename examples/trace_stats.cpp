@@ -1,7 +1,9 @@
 // Trace statistics tool: run the paper's analyses over any trace file —
 // the `nfsscan` counterpart to capture_to_trace's `nfsdump`.
 //
-//   trace_stats [--json] [--recover] [--workers N] [--metrics] [trace-file]
+//   trace_stats [--json] [--recover] [--workers N] [--decode-threads N]
+//               [--from SEC] [--to SEC] [--ops a,b,...] [--uid N]
+//               [--metrics] [trace-file]
 //
 // Prints the operation mix, data volumes, hourly activity, run pattern
 // classification, block-lifetime summary, and name-category census.
@@ -16,6 +18,10 @@
 // batch boundaries) and a recovery summary goes to stderr.
 // With --metrics the engine's obs registry snapshot and any DEGRADED
 // alert line go to stderr after the report.
+// With --decode-threads N, indexed v2 input is decoded extent-parallel
+// (output stays byte-identical); --from/--to/--ops/--uid build a
+// pushdown predicate that filters records and prunes whole extents via
+// the v2 footer zone maps before any decode.
 // With no input argument it generates a demo trace first.
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +36,8 @@
 #include "trace/tracefile.hpp"
 #include "workload/campus.hpp"
 #include "workload/sim.hpp"
+
+#include "scan_flags.hpp"
 
 using namespace nfstrace;
 
@@ -63,8 +71,12 @@ int main(int argc, char** argv) {
   bool recover = false;
   bool metrics = false;
   std::size_t workers = 1;
+  ScanFlags sf;
   std::string input;
   for (int i = 1; i < argc; ++i) {
+    int consumed = sf.tryParse(argc, argv, &i);
+    if (consumed < 0) return 2;
+    if (consumed > 0) continue;
     std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
@@ -86,43 +98,66 @@ int main(int argc, char** argv) {
   StandardAnalyses analyses;
   AnalysisEngine::Config cfg;
   cfg.workers = workers;
+  cfg.decodeThreads = sf.decodeThreads;
+  cfg.predicate = sf.predicate;
   AnalysisEngine engine(cfg);
   engine.addPasses(analyses.all());
   if (metrics) engine.attachMetrics(registry);
 
-  TraceReader reader(input, recover);
   AnalysisEngine::Stats st;
-  try {
-    st = engine.run(reader);
-  } catch (const std::exception& e) {
-    // A torn or corrupt trace read without --recover: report how far the
-    // scan got (the checkpoint accounting bounds the damage) and exit
-    // nonzero instead of dying on a bare exception.
-    const auto& rs = reader.recoverStats();
-    std::fprintf(stderr,
-                 "%s: %s\n"
-                 "scanned %llu records before the damage "
-                 "(%llu checkpoints, last checkpoint at %llu records)\n"
-                 "rerun with --recover to skip corrupt regions with exact "
-                 "loss accounting\n",
-                 input.c_str(), e.what(),
-                 static_cast<unsigned long long>(engine.stats().records),
-                 static_cast<unsigned long long>(rs.checkpoints),
-                 static_cast<unsigned long long>(rs.checkpointRecords));
-    return 3;
+  const bool extentScan =
+      !recover && (sf.decodeThreads > 1 || !sf.predicate.trivial());
+  if (extentScan) {
+    // runFile picks the extent-parallel scanner on indexed v2 input
+    // (zone-map pruning + per-extent decode fan-out) and falls back to
+    // the classic reader scan — record-level filtering still applies —
+    // on v1 or index-less input.
+    try {
+      st = engine.runFile(input);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "%s: %s\n"
+                   "rerun with --recover to skip corrupt regions with "
+                   "exact loss accounting\n",
+                   input.c_str(), e.what());
+      return 3;
+    }
+  } else {
+    TraceReader reader(input, recover);
+    try {
+      st = engine.run(reader);
+    } catch (const std::exception& e) {
+      // A torn or corrupt trace read without --recover: report how far
+      // the scan got (the checkpoint accounting bounds the damage) and
+      // exit nonzero instead of dying on a bare exception.
+      const auto& rs = reader.recoverStats();
+      std::fprintf(stderr,
+                   "%s: %s\n"
+                   "scanned %llu records before the damage "
+                   "(%llu checkpoints, last checkpoint at %llu records)\n"
+                   "rerun with --recover to skip corrupt regions with exact "
+                   "loss accounting\n",
+                   input.c_str(), e.what(),
+                   static_cast<unsigned long long>(engine.stats().records),
+                   static_cast<unsigned long long>(rs.checkpoints),
+                   static_cast<unsigned long long>(rs.checkpointRecords));
+      return 3;
+    }
+    if (recover) {
+      const auto& rs = reader.recoverStats();
+      std::fprintf(stderr,
+                   "recovery: %llu records recovered, %llu skipped "
+                   "(%llu resyncs, %llu checkpoints)\n",
+                   static_cast<unsigned long long>(rs.recovered),
+                   static_cast<unsigned long long>(rs.skipped),
+                   static_cast<unsigned long long>(rs.resyncs),
+                   static_cast<unsigned long long>(rs.checkpoints));
+    }
   }
-  if (recover) {
-    const auto& rs = reader.recoverStats();
-    std::fprintf(stderr,
-                 "recovery: %llu records recovered, %llu skipped "
-                 "(%llu resyncs, %llu checkpoints)\n",
-                 static_cast<unsigned long long>(rs.recovered),
-                 static_cast<unsigned long long>(rs.skipped),
-                 static_cast<unsigned long long>(rs.resyncs),
-                 static_cast<unsigned long long>(rs.checkpoints));
-  }
+  sf.reportPruning(st);
   if (st.records == 0) {
-    std::fprintf(stderr, "%s: no records\n", input.c_str());
+    std::fprintf(stderr, "%s: no records%s\n", input.c_str(),
+                 sf.predicate.trivial() ? "" : " matched the predicate");
     return 1;
   }
 

@@ -68,13 +68,64 @@ const AnalysisEngine::Stats& AnalysisEngine::run(TraceReader& reader) {
   {
     obs::FlightSpan span(readerFlog_, obs::Stage::Finalize,
                          static_cast<std::uint32_t>(passes_.size()));
-    finalizeAll();
+    finalizeAll(workers);
   }
   return stats_;
 }
 
+const AnalysisEngine::Stats& AnalysisEngine::runFile(const std::string& path,
+                                                     bool recover) {
+  // The extent path needs a complete, CRC-valid chained index (its
+  // extent hops trust the footer) and strict-mode semantics; anything
+  // it cannot serve falls back to the classic reader scan, which
+  // produces the byte-identical report.
+  if (!recover &&
+      (config_.decodeThreads > 1 || !config_.predicate.trivial()) &&
+      detectTraceFormat(path) == TraceWriter::Format::V2) {
+    if (auto chained = tracev2::loadChainedIndex(path)) {
+      stats_ = {};
+      std::size_t shards = std::max<std::size_t>(config_.decodeThreads, 1);
+      for (AnalysisPass* p : passes_) p->prepare(shards);
+      // Scan-lifetime interners, owned here so pass finalize (which
+      // resolves interned ids) runs against live tables.
+      StringInterner names, handles;
+      runExtentParallel(path, *chained, names, handles);
+      {
+        obs::FlightSpan span(readerFlog_, obs::Stage::Finalize,
+                             static_cast<std::uint32_t>(passes_.size()));
+        finalizeAll(std::max(shards, config_.workers));
+      }
+      return stats_;
+    }
+  }
+  TraceReader reader(path, recover);
+  return run(reader);
+}
+
+std::size_t AnalysisEngine::applyPredicate(TraceBatch& batch) const {
+  const ScanPredicate& pred = config_.predicate;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < batch.n; ++i) {
+    if (!pred.matches(batch.records[i])) continue;
+    if (kept != i) {
+      // swap, not copy: both slots stay capacity-reusable for refills.
+      std::swap(batch.records[kept], batch.records[i]);
+      batch.fhId[kept] = batch.fhId[i];
+      batch.fh2Id[kept] = batch.fh2Id[i];
+      batch.resFhId[kept] = batch.resFhId[i];
+      batch.nameId[kept] = batch.nameId[i];
+      batch.name2Id[kept] = batch.name2Id[i];
+    }
+    ++kept;
+  }
+  std::size_t dropped = batch.n - kept;
+  batch.n = kept;
+  return dropped;
+}
+
 void AnalysisEngine::runSerial(TraceReader& reader) {
   TraceBatch batch;
+  const bool havePred = !config_.predicate.trivial();
   std::vector<std::uint64_t> shardRecords(1, 0);
   for (;;) {
     std::uint64_t decodeStart = readerFlog_ ? readerFlog_->nowNs() : 0;
@@ -83,8 +134,6 @@ void AnalysisEngine::runSerial(TraceReader& reader) {
       readerFlog_->complete(obs::Stage::ReaderDecode, decodeStart,
                             static_cast<std::uint32_t>(batch.n));
     }
-    ++stats_.batches;
-    stats_.records += batch.n;
     if (batch.endedAtResync) {
       ++stats_.resyncCuts;
       resyncC_.inc();
@@ -92,6 +141,10 @@ void AnalysisEngine::runSerial(TraceReader& reader) {
         readerFlog_->instant(obs::Stage::RecoveryCut, stats_.batches);
       }
     }
+    if (havePred) stats_.recordsFiltered += applyPredicate(batch);
+    if (batch.n == 0) continue;  // fully filtered
+    ++stats_.batches;
+    stats_.records += batch.n;
     shardRecords[0] += batch.n;
     batchesC_.inc();
     recordsC_.inc(batch.n);
@@ -104,12 +157,14 @@ void AnalysisEngine::runSerial(TraceReader& reader) {
       passes_[i]->observe(batch, 0);
     }
   }
-  noteScanDone(shardRecords, reader);
+  noteScanDone(shardRecords, reader.nameInterner().size(),
+               reader.handleInterner().size());
 }
 
 void AnalysisEngine::runParallel(TraceReader& reader) {
   const std::size_t workers = config_.workers;
   const std::size_t poolSize = workers * config_.queueBatches + 1;
+  const bool havePred = !config_.predicate.trivial();
 
   std::vector<std::unique_ptr<BatchSlot>> pool;
   pool.reserve(poolSize);
@@ -197,8 +252,6 @@ void AnalysisEngine::runParallel(TraceReader& reader) {
       readerFlog_->complete(obs::Stage::ReaderDecode, decodeStart,
                             static_cast<std::uint32_t>(slot->batch.n));
     }
-    ++stats_.batches;
-    stats_.records += slot->batch.n;
     if (slot->batch.endedAtResync) {
       ++stats_.resyncCuts;
       resyncC_.inc();
@@ -206,6 +259,10 @@ void AnalysisEngine::runParallel(TraceReader& reader) {
         readerFlog_->instant(obs::Stage::RecoveryCut, stats_.batches);
       }
     }
+    if (havePred) stats_.recordsFiltered += applyPredicate(slot->batch);
+    if (slot->batch.n == 0) continue;  // fully filtered; slot stays free
+    ++stats_.batches;
+    stats_.records += slot->batch.n;
     shardRecords[slot->batch.seq % workers] += slot->batch.n;
     batchesC_.inc();
     recordsC_.inc(slot->batch.n);
@@ -227,13 +284,15 @@ void AnalysisEngine::runParallel(TraceReader& reader) {
     }
   }
   for (auto& t : threads) t.join();
-  noteScanDone(shardRecords, reader);
+  noteScanDone(shardRecords, reader.nameInterner().size(),
+               reader.handleInterner().size());
 }
 
 void AnalysisEngine::noteScanDone(
-    const std::vector<std::uint64_t>& shardRecords, TraceReader& reader) {
-  stats_.internedNames = reader.nameInterner().size();
-  stats_.internedHandles = reader.handleInterner().size();
+    const std::vector<std::uint64_t>& shardRecords, std::size_t internedNames,
+    std::size_t internedHandles) {
+  stats_.internedNames = internedNames;
+  stats_.internedHandles = internedHandles;
   internNamesG_.set(static_cast<double>(stats_.internedNames));
   internHandlesG_.set(static_cast<double>(stats_.internedHandles));
   if (stats_.internedNames + stats_.internedHandles >
@@ -252,8 +311,8 @@ void AnalysisEngine::noteScanDone(
   }
 }
 
-void AnalysisEngine::finalizeAll() {
-  std::size_t workers = std::max<std::size_t>(config_.workers, 1);
+void AnalysisEngine::finalizeAll(std::size_t parallelism) {
+  std::size_t workers = std::max<std::size_t>(parallelism, 1);
   if (workers <= 1 || passes_.size() <= 1) {
     for (AnalysisPass* p : passes_) p->finalize();
     return;

@@ -49,6 +49,16 @@ class AnalysisEngine {
     /// more than this factor times the records of the laziest: the
     /// deterministic seq % workers deal went pathological.
     double mergeSkewFactor = 8.0;
+    /// Decode threads for the extent-parallel scan runFile() takes on
+    /// indexed v2 input; 0 or 1 decodes inline.  Independent of
+    /// `workers`: on the extent path the decode threads *are* the
+    /// observers (mergeable passes run on them, sequential passes on
+    /// the in-order consumer), so `workers` is not used there.
+    std::size_t decodeThreads = 1;
+    /// Pushdown filter.  Non-trivial predicates filter record-by-record
+    /// on every path, and additionally prune whole extents via the v2
+    /// footer zone maps on runFile()'s extent path.
+    ScanPredicate predicate;
   };
 
   struct Stats {
@@ -59,6 +69,11 @@ class AnalysisEngine {
     std::size_t internedHandles = 0;
     std::uint64_t mergeSkewAlerts = 0;
     std::uint64_t internHighWaterAlerts = 0;
+    /// Extent path only: footer entries seen / skipped by zone maps.
+    std::uint64_t extentsTotal = 0;
+    std::uint64_t extentsPruned = 0;
+    /// Records decoded but rejected by the record-level predicate.
+    std::uint64_t recordsFiltered = 0;
   };
 
   AnalysisEngine();
@@ -82,14 +97,31 @@ class AnalysisEngine {
   /// observe* -> finalize).  Reusable: each call re-prepares the passes.
   const Stats& run(TraceReader& reader);
 
+  /// Scan a trace file, picking the fastest applicable path: indexed v2
+  /// input with decodeThreads > 1 or a non-trivial predicate goes
+  /// through the extent-parallel scanner (zone-map pruning + per-extent
+  /// decode fan-out); everything else — v1 formats, index-less or torn
+  /// v2, recover mode — falls back to the classic reader scan.  Reports
+  /// are byte-identical across paths and thread counts.
+  const Stats& runFile(const std::string& path, bool recover = false);
+
   const Stats& stats() const { return stats_; }
 
  private:
   void runSerial(TraceReader& reader);
   void runParallel(TraceReader& reader);
-  void finalizeAll();
+  /// The extent scheduler (src/analysis/engine/extent_scan.cpp).  The
+  /// caller owns the global interners so they outlive the scan into
+  /// finalize (passes hold pointers into them).
+  void runExtentParallel(const std::string& path,
+                         const std::vector<tracev2::ChainedExtent>& extents,
+                         StringInterner& names, StringInterner& handles);
+  /// Drop records failing config_.predicate, compacting the batch in
+  /// place; returns how many were dropped.
+  std::size_t applyPredicate(TraceBatch& batch) const;
+  void finalizeAll(std::size_t parallelism);
   void noteScanDone(const std::vector<std::uint64_t>& shardRecords,
-                    TraceReader& reader);
+                    std::size_t internedNames, std::size_t internedHandles);
 
   Config config_;
   std::vector<AnalysisPass*> passes_;

@@ -1,0 +1,116 @@
+// Support types for the extent-parallel scanner (see extent_scan.cpp
+// for the scheduler itself; DESIGN.md "Extent-parallel scan & zone
+// maps" for the contract).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace nfstrace {
+
+/// The reorder stage between out-of-order extent decoders and the
+/// in-order consumer that drives sequential passes.  One instance holds
+/// a fixed pool of slots; batches are keyed by the global batch
+/// sequence number derived from the footer's cumulative-record
+/// numbering, so the consumer pops them in exact stream order whatever
+/// order the decode workers finish in.
+///
+/// Producers: acquire(seq) -> fill the slot -> publish(seq, slot).
+/// Consumer:  popNext(out) -> observe -> recycle(out).
+///
+/// acquire() admits only sequence numbers inside the sliding window
+/// [consumed, consumed + poolSize).  That bound is the deadlock-freedom
+/// argument: if every slot is held, the holders are poolSize *distinct*
+/// in-window sequence numbers — i.e. all of them, including the one the
+/// consumer is waiting for, and a held slot always progresses to
+/// publish without acquiring anything else.  So the consumer drains,
+/// the window slides, and blocked producers wake.
+template <class T>
+class BatchReorderQueue {
+ public:
+  explicit BatchReorderQueue(std::vector<T> pool)
+      : free_(std::move(pool)), window_(free_.size()) {}
+
+  /// Block until a pool slot is free and `seq` is inside the window.
+  /// Returns T{} if abort() fired.  With non-null `waited`, reports
+  /// whether the call actually blocked (for stall attribution).
+  T acquire(std::uint64_t seq, bool* waited = nullptr) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (waited) *waited = false;
+    while (!abort_ && (free_.empty() || seq >= next_ + window_)) {
+      if (waited) *waited = true;
+      cv_.wait(lk);
+    }
+    if (abort_) return T{};
+    T slot = std::move(free_.back());
+    free_.pop_back();
+    return slot;
+  }
+
+  /// Hand a filled slot to the consumer.  Every admitted seq must be
+  /// published exactly once (even if the batch filtered down to empty),
+  /// or the consumer stalls waiting for it.
+  void publish(std::uint64_t seq, T item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ready_.emplace(seq, std::move(item));
+    }
+    cv_.notify_all();
+  }
+
+  /// Block for the next in-order batch.  False when abort() fired.
+  bool popNext(T& out, bool* waited = nullptr) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (waited) *waited = false;
+    for (;;) {
+      auto it = ready_.find(next_);
+      if (it != ready_.end()) {
+        out = std::move(it->second);
+        ready_.erase(it);
+        return true;
+      }
+      if (abort_) return false;
+      if (waited) *waited = true;
+      cv_.wait(lk);
+    }
+  }
+
+  /// Return a popped slot to the pool and slide the window.
+  void recycle(T item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      free_.push_back(std::move(item));
+      ++next_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Wake everyone and make further acquire()/popNext() fail — the
+  /// error path when any decode worker throws.
+  void abort() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      abort_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool aborted() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return abort_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> free_;
+  std::map<std::uint64_t, T> ready_;
+  std::uint64_t next_ = 0;  // next seq popNext() will hand out
+  std::size_t window_;
+  bool abort_ = false;
+};
+
+}  // namespace nfstrace

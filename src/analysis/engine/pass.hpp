@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "trace/batch.hpp"
+#include "trace/predicate.hpp"
 
 namespace nfstrace {
 
@@ -31,6 +32,13 @@ class AnalysisPass {
   virtual std::string_view name() const = 0;
   /// See the contracts above.
   virtual bool mergeable() const = 0;
+  /// Ops this pass derives anything from, as an opMaskBit() union.  The
+  /// extent-parallel scanner skips observe() for extents whose footer
+  /// op bitmask has no overlap — legal only when the pass provably
+  /// ignores every record of the masked-out ops, so the default is
+  /// all ops.  Results must stay identical whether or not the skip
+  /// fires (pinned by the pruning differential tests).
+  virtual std::uint32_t opMask() const { return kAllOpsMask; }
   /// Called once before the scan with the worker count; mergeable passes
   /// allocate `shards` independent states, sequential passes one.
   virtual void prepare(std::size_t shards) = 0;

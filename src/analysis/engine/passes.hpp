@@ -98,6 +98,11 @@ class ReorderPass final : public AnalysisPass {
                            1'000'000});
   std::string_view name() const override { return "reorder"; }
   bool mergeable() const override { return false; }
+  /// Buffers only READ/WRITE data accesses; everything else is ignored
+  /// record by record, so extents without them can be skipped wholesale.
+  std::uint32_t opMask() const override {
+    return opMaskBit(NfsOp::Read) | opMaskBit(NfsOp::Write);
+  }
   void prepare(std::size_t shards) override;
   void observe(const TraceBatch& batch, std::size_t shard) override;
   void finalize() override;
@@ -118,6 +123,10 @@ class RunsPass final : public AnalysisPass {
   explicit RunsPass(MicroTime reorderWindowUs = 10'000);
   std::string_view name() const override { return "runs"; }
   bool mergeable() const override { return false; }
+  /// Like ReorderPass: derives everything from READ/WRITE accesses only.
+  std::uint32_t opMask() const override {
+    return opMaskBit(NfsOp::Read) | opMaskBit(NfsOp::Write);
+  }
   void prepare(std::size_t shards) override;
   void observe(const TraceBatch& batch, std::size_t shard) override;
   void finalize() override;
@@ -146,6 +155,9 @@ class BlockLifePass final : public AnalysisPass {
  public:
   std::string_view name() const override { return "blocklife"; }
   bool mergeable() const override { return false; }
+  // No opMask() narrowing: beyond writes, this pass consumes
+  // Setattr/Create (truncate deaths), Remove (delete deaths) and feeds
+  // its embedded PathReconstructor from *every* record.
   void prepare(std::size_t shards) override;
   void observe(const TraceBatch& batch, std::size_t shard) override;
   void finalize() override;

@@ -109,6 +109,11 @@ class TraceDaemon {
     /// the disk (recover the abandoned segment, reopen a fresh one).
     std::uint64_t reopenAfterSheds = 256;
 
+    /// Decode threads for the compaction verification scans: indexed v2
+    /// input goes through the engine's extent-parallel scanner (reports
+    /// stay byte-identical, so the verification gate is unchanged).
+    std::size_t decodeThreads = 1;
+
     /// Wall clock (unix seconds) for seal stamps and age retention;
     /// injectable so tests can age segments deterministically.  Null
     /// uses the real clock.

@@ -86,6 +86,11 @@ enum class Stage : std::uint16_t {
   DaemonRecover,  ///< startup recovery of a torn active segment
   DaemonCompact,  ///< background v1 -> v2 segment compaction
   DaemonShed,     ///< instant: record shed while the trace disk is down
+  // Extent-parallel scan (src/analysis/engine/extent_scan).
+  ExtentClaim,     ///< instant: worker claimed extent (arg = task index)
+  ExtentDecode,    ///< worker: read + decode of one claimed extent
+  ExtentDictWait,  ///< worker stalled: waiting its dictionary ticket
+  ReorderWait,     ///< consumer stalled: next in-order batch not decoded
   kStageCount
 };
 

@@ -940,14 +940,19 @@ bool TraceReader::loadNextV2Extent() {
     unsigned char hdrBuf[tracev2::kExtentHeaderBytes];
     std::size_t got = std::fread(hdrBuf, 1, sizeof(hdrBuf), f_);
     if (got == 0) return false;
-    // The footer index marks the end of the record stream for a
-    // sequential reader.  Seek back so a later call (the next nextBatch
-    // after a partial last batch) sees the footer again instead of
-    // misaligned footer bytes.
+    // A footer index ends one sealed segment's record stream — but the
+    // file may be several sealed segments concatenated back to back
+    // (cat of the daemon's output), so try to hop the footer into the
+    // next segment before declaring EOF.  On a plain single-segment
+    // file the hop fails and the stream is left positioned back at the
+    // footer, so a later call (the next nextBatch after a partial last
+    // batch) sees it again instead of misaligned footer bytes.
     if (got >= sizeof(tracev2::kIndexMagic) &&
         std::memcmp(hdrBuf, tracev2::kIndexMagic,
                     sizeof(tracev2::kIndexMagic)) == 0) {
-      std::fseek(f_, -static_cast<long>(got), SEEK_CUR);
+      long footerStart = std::ftell(f_) - static_cast<long>(got);
+      if (chainNextV2Segment(footerStart)) continue;
+      std::fseek(f_, footerStart, SEEK_SET);
       return false;
     }
     tracev2::ExtentHeader hdr;
@@ -997,6 +1002,70 @@ bool TraceReader::loadNextV2Extent() {
     }
     return true;
   }
+}
+
+bool TraceReader::chainNextV2Segment(long footerStart) {
+  // The footer's entry count is on disk but its entry width is not
+  // (56-byte schema-4 entries vs 32-byte legacy), so try both widths
+  // and accept the one whose computed end lands on a trailer magic
+  // followed by a fresh file magic + valid schema block.  Any other
+  // landing spot means either a single-segment file (trailer then EOF)
+  // or a torn concatenation; the caller seeks back and stops cleanly.
+  unsigned char head[8];
+  if (std::fseek(f_, footerStart, SEEK_SET) != 0 ||
+      std::fread(head, 1, 8, f_) != 8) {
+    return false;
+  }
+  std::uint64_t count = static_cast<std::uint32_t>(head[4]) |
+                        (static_cast<std::uint32_t>(head[5]) << 8) |
+                        (static_cast<std::uint32_t>(head[6]) << 16) |
+                        (static_cast<std::uint32_t>(head[7]) << 24);
+  for (std::size_t entrySize :
+       {tracev2::kIndexEntryBytes, tracev2::kIndexEntryBytesLegacy}) {
+    long end = footerStart +
+               static_cast<long>(8 + count * entrySize + 4 + 8 + 8);
+    unsigned char tail[8];
+    if (std::fseek(f_, end - 8, SEEK_SET) != 0 ||
+        std::fread(tail, 1, 8, f_) != 8 ||
+        std::memcmp(tail, tracev2::kTrailerMagic,
+                    sizeof(tracev2::kTrailerMagic)) != 0) {
+      continue;
+    }
+    char magic[6];
+    if (std::fread(magic, 1, 6, f_) != 6 ||
+        std::memcmp(magic, tracev2::kFileMagic, 6) != 0) {
+      continue;
+    }
+    char shdr[8];
+    if (std::fread(shdr, 1, 8, f_) != 8) continue;
+    std::uint32_t slen = static_cast<std::uint8_t>(shdr[4]) |
+                         (static_cast<std::uint32_t>(
+                              static_cast<std::uint8_t>(shdr[5]))
+                          << 8) |
+                         (static_cast<std::uint32_t>(
+                              static_cast<std::uint8_t>(shdr[6]))
+                          << 16) |
+                         (static_cast<std::uint32_t>(
+                              static_cast<std::uint8_t>(shdr[7]))
+                          << 24);
+    if (slen > (1u << 16)) continue;
+    std::string sblock(8 + slen, '\0');
+    std::memcpy(sblock.data(), shdr, 8);
+    if (slen > 0 && std::fread(sblock.data() + 8, 1, slen, f_) != slen) {
+      continue;
+    }
+    int schema = v2Schema_;
+    if (!tracev2::parseSchema(sblock.data(), sblock.size(), &schema)) {
+      continue;
+    }
+    // Chained: the stream now sits at the new segment's first extent.
+    // Each segment carries its own schema block, so the decoder's
+    // schema-dependent state must follow it.
+    v2Schema_ = schema;
+    if (v2dec_) v2dec_->setSchema(v2Schema_);
+    return true;
+  }
+  return false;
 }
 
 bool TraceReader::scanToV2Extent(tracev2::ExtentHeader& hdr) {

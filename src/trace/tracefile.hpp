@@ -215,6 +215,12 @@ class TraceReader {
   /// accounting (the header's cumulative count is a checkpoint); returns
   /// false at EOF / footer index.
   bool loadNextV2Extent();
+  /// V2: the stream hit a footer index at `footerStart`.  If another
+  /// sealed segment follows (concatenated daemon output), position the
+  /// stream at its first extent, adopt its schema, and return true;
+  /// otherwise leave the position unspecified and return false (the
+  /// caller seeks back to the footer).
+  bool chainNextV2Segment(long footerStart);
   /// V2 recover mode: byte-scan forward for the next valid extent
   /// header; on success `hdr` is filled and the stream sits at its
   /// payload.  Returns false at EOF.
@@ -229,10 +235,11 @@ class TraceReader {
   std::FILE* f_ = nullptr;
   bool binary_ = false;
   bool v2_ = false;
-  /// Schema version from the file's schema block (3 unless the file is a
-  /// legacy schema-2 segment; also 3 when recover mode tolerates a
-  /// damaged block).
-  int v2Schema_ = 3;
+  /// Schema version from the current segment's schema block (4 unless
+  /// the segment is legacy schema 2/3; also 4 when recover mode
+  /// tolerates a damaged block).  Re-read per segment on concatenated
+  /// input.
+  int v2Schema_ = 4;
   std::unique_ptr<tracev2::ExtentDecoder> v2dec_;
   bool recover_ = false;
   bool inBadRun_ = false;  // inside a run of consecutive corrupt lines

@@ -187,7 +187,8 @@ inline void packWho(std::uint8_t* out, std::uint32_t client,
 }
 
 constexpr char kSchemaText[] =
-    "nfstrace-v2 schema 3\n"
+    "nfstrace-v2 schema 4\n"
+    "footer=zonemap56\n"
     "dicts=fh,name,who\n"
     "columns=flags,op,ts:delta,replyts:rel,who:dict,"
     "xid:le32,fh:dict,fh2:dict,resfh:dict,name:dict,"
@@ -218,13 +219,17 @@ std::optional<std::size_t> parseSchema(const char* data, std::size_t n,
   std::size_t total = sizeof(kSchemaMagic) + 4 + len;
   if (len > n - sizeof(kSchemaMagic) - 4) return std::nullopt;
   // Require a known major schema line; everything after it (extra
-  // columns, new dict kinds) is forward-compatible detail.  Schema 3 is
-  // what the writer emits; schema 2 (whose only difference is the ftype
-  // column: raw byte instead of varint) stays readable so segments
-  // sealed before the bump don't become dead weight.
+  // columns, new dict kinds) is forward-compatible detail.  Schema 4 is
+  // what the writer emits; schema 3 (32-byte footer entries, no
+  // uid/fileId zone maps) and schema 2 (additionally: ftype column as a
+  // raw byte instead of a varint) stay readable so segments sealed
+  // before the bumps don't become dead weight.
   std::string_view text(data + 8, len);
   int version;
-  if (text.substr(0, 21) == std::string_view("nfstrace-v2 schema 3\n")) {
+  if (text.substr(0, 21) == std::string_view("nfstrace-v2 schema 4\n")) {
+    version = 4;
+  } else if (text.substr(0, 21) ==
+             std::string_view("nfstrace-v2 schema 3\n")) {
     version = 3;
   } else if (text.substr(0, 21) ==
              std::string_view("nfstrace-v2 schema 2\n")) {
@@ -272,7 +277,7 @@ void appendExtentHeader(std::string& out, const ExtentHeader& hdr) {
 void appendIndex(std::string& out, const std::vector<ExtentInfo>& extents,
                  std::uint64_t indexOffset) {
   std::string body;
-  body.reserve(8 + extents.size() * 32);
+  body.reserve(8 + extents.size() * kIndexEntryBytes);
   body.append(kIndexMagic, sizeof(kIndexMagic));
   putU32(body, static_cast<std::uint32_t>(extents.size()));
   for (const ExtentInfo& e : extents) {
@@ -281,12 +286,83 @@ void appendIndex(std::string& out, const std::vector<ExtentInfo>& extents,
     putU64(body, static_cast<std::uint64_t>(e.tsMin));
     putU64(body, static_cast<std::uint64_t>(e.tsMax));
     putU32(body, e.opMask);
+    putU32(body, e.uidMin);
+    putU32(body, e.uidMax);
+    putU64(body, e.fileIdMin);
+    putU64(body, e.fileIdMax);
   }
   out += body;
   putU32(out, crc32(body.data(), body.size()));
   putU64(out, indexOffset);
   out.append(kTrailerMagic, sizeof(kTrailerMagic));
 }
+
+namespace {
+
+ExtentInfo parseIndexEntry(const unsigned char* p, std::size_t entrySize) {
+  ExtentInfo e;  // legacy entries keep the never-prune zone-map defaults
+  e.offset = getU64(p);
+  e.records = getU32(p + 8);
+  e.tsMin = static_cast<MicroTime>(getU64(p + 12));
+  e.tsMax = static_cast<MicroTime>(getU64(p + 20));
+  e.opMask = getU32(p + 28);
+  if (entrySize >= kIndexEntryBytes) {
+    e.uidMin = getU32(p + 32);
+    e.uidMax = getU32(p + 36);
+    e.fileIdMin = getU64(p + 40);
+    e.fileIdMax = getU64(p + 48);
+  }
+  return e;
+}
+
+/// Read + CRC-check the "NFIX" footer whose magic sits at `off`.  The
+/// entry count is in the footer but the entry width is not, so both the
+/// schema-4 width and the legacy one are tried — the body CRC
+/// disambiguates (the footer predates the schema block's version line
+/// reaching this layer).  With non-null `endOut`, reports the file
+/// offset just past the footer's trailer.
+std::optional<std::vector<ExtentInfo>> readFooterAt(std::FILE* f,
+                                                    std::uint64_t off,
+                                                    std::uint64_t fileSize,
+                                                    std::uint64_t* endOut) {
+  if (off < 6 || off + 8 + 4 + 16 > fileSize) return std::nullopt;
+  if (std::fseek(f, static_cast<long>(off), SEEK_SET) != 0) {
+    return std::nullopt;
+  }
+  unsigned char head[8];
+  if (std::fread(head, 1, 8, f) != 8 ||
+      std::memcmp(head, kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t count = getU32(head + 4);
+  for (std::size_t entrySize : {kIndexEntryBytes, kIndexEntryBytesLegacy}) {
+    std::uint64_t bodyBytes =
+        8 + static_cast<std::uint64_t>(count) * entrySize;
+    if (off + bodyBytes + 4 + 16 > fileSize) continue;
+    std::vector<unsigned char> body(bodyBytes);
+    std::memcpy(body.data(), head, 8);
+    if (std::fseek(f, static_cast<long>(off + 8), SEEK_SET) != 0) continue;
+    if (bodyBytes > 8 &&
+        std::fread(body.data() + 8, 1, bodyBytes - 8, f) != bodyBytes - 8) {
+      continue;
+    }
+    unsigned char crcBuf[4];
+    if (std::fread(crcBuf, 1, 4, f) != 4) continue;
+    if (crc32(body.data(), body.size()) != getU32(crcBuf)) continue;
+
+    std::vector<ExtentInfo> out;
+    out.reserve(count);
+    const unsigned char* p = body.data() + 8;
+    for (std::uint32_t i = 0; i < count; ++i, p += entrySize) {
+      out.push_back(parseIndexEntry(p, entrySize));
+    }
+    if (endOut) *endOut = off + bodyBytes + 4 + 8 + 8;
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 std::optional<std::vector<ExtentInfo>> loadExtentIndex(
     const std::string& path) {
@@ -314,45 +390,90 @@ std::optional<std::vector<ExtentInfo>> loadExtentIndex(
     return std::nullopt;
   }
   std::uint64_t off = getU64(tail);
-  // index body (>= 8) + crc + offset + trailer must fit between the file
-  // magic and EOF.
-  if (off < 6 || off + 8 + 4 + 16 > static_cast<std::uint64_t>(size)) {
-    return std::nullopt;
-  }
-  if (std::fseek(f, static_cast<long>(off), SEEK_SET) != 0) {
-    return std::nullopt;
-  }
-  unsigned char head[8];
-  if (std::fread(head, 1, 8, f) != 8 ||
-      std::memcmp(head, kIndexMagic, sizeof(kIndexMagic)) != 0) {
-    return std::nullopt;
-  }
-  std::uint32_t count = getU32(head + 4);
-  std::uint64_t bodyBytes = 8 + static_cast<std::uint64_t>(count) * 32;
-  if (off + bodyBytes + 4 + 16 > static_cast<std::uint64_t>(size)) {
-    return std::nullopt;
-  }
-  std::vector<unsigned char> body(bodyBytes);
-  std::memcpy(body.data(), head, 8);
-  if (bodyBytes > 8 &&
-      std::fread(body.data() + 8, 1, bodyBytes - 8, f) != bodyBytes - 8) {
-    return std::nullopt;
-  }
-  unsigned char crcBuf[4];
-  if (std::fread(crcBuf, 1, 4, f) != 4) return std::nullopt;
-  if (crc32(body.data(), body.size()) != getU32(crcBuf)) return std::nullopt;
+  return readFooterAt(f, off, static_cast<std::uint64_t>(size), nullptr);
+}
 
-  std::vector<ExtentInfo> out;
-  out.reserve(count);
-  const unsigned char* p = body.data() + 8;
-  for (std::uint32_t i = 0; i < count; ++i, p += 32) {
-    ExtentInfo e;
-    e.offset = getU64(p);
-    e.records = getU32(p + 8);
-    e.tsMin = static_cast<MicroTime>(getU64(p + 12));
-    e.tsMax = static_cast<MicroTime>(getU64(p + 20));
-    e.opMask = getU32(p + 28);
-    out.push_back(e);
+std::optional<std::vector<ChainedExtent>> loadChainedIndex(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+  if (std::fseek(f, 0, SEEK_END) != 0) return std::nullopt;
+  std::uint64_t size = static_cast<std::uint64_t>(std::ftell(f));
+
+  std::vector<ChainedExtent> out;
+  std::uint64_t pos = 0;
+  while (pos < size) {
+    // Segment start: file magic + schema block.
+    char magic[6];
+    if (std::fseek(f, static_cast<long>(pos), SEEK_SET) != 0 ||
+        std::fread(magic, 1, 6, f) != 6 ||
+        std::memcmp(magic, kFileMagic, 6) != 0) {
+      return std::nullopt;
+    }
+    const std::uint64_t segBase = pos;
+    pos += 6;
+    char shdr[8];
+    if (std::fread(shdr, 1, 8, f) != 8) return std::nullopt;
+    std::uint32_t slen = getU32(reinterpret_cast<unsigned char*>(shdr) + 4);
+    if (slen > (1u << 16)) return std::nullopt;
+    std::vector<char> sblock(8 + slen);
+    std::memcpy(sblock.data(), shdr, 8);
+    if (slen > 0 && std::fread(sblock.data() + 8, 1, slen, f) != slen) {
+      return std::nullopt;
+    }
+    int schema = 4;
+    if (!parseSchema(sblock.data(), sblock.size(), &schema)) {
+      return std::nullopt;
+    }
+    pos += 8 + slen;
+
+    // Hop extent headers (payloads are fseek'd over, never read) until
+    // this segment's footer, then cross-check it against the walk.
+    std::vector<std::uint64_t> walkedOffsets;
+    std::vector<std::uint32_t> walkedRecords;
+    bool footerDone = false;
+    while (!footerDone) {
+      if (std::fseek(f, static_cast<long>(pos), SEEK_SET) != 0) {
+        return std::nullopt;
+      }
+      unsigned char hdrBuf[kExtentHeaderBytes];
+      std::size_t got = std::fread(hdrBuf, 1, kExtentHeaderBytes, f);
+      if (got >= sizeof(kExtentMagic) &&
+          std::memcmp(hdrBuf, kExtentMagic, sizeof(kExtentMagic)) == 0) {
+        ExtentHeader hdr;
+        if (got != kExtentHeaderBytes || !parseExtentHeader(hdrBuf, hdr)) {
+          return std::nullopt;
+        }
+        walkedOffsets.push_back(pos - segBase);
+        walkedRecords.push_back(hdr.records);
+        pos += kExtentHeaderBytes + hdr.payloadBytes;
+      } else if (got >= sizeof(kIndexMagic) &&
+                 std::memcmp(hdrBuf, kIndexMagic, sizeof(kIndexMagic)) ==
+                     0) {
+        std::uint64_t footerEnd = 0;
+        auto entries = readFooterAt(f, pos, size, &footerEnd);
+        if (!entries || entries->size() != walkedOffsets.size()) {
+          return std::nullopt;
+        }
+        for (std::size_t i = 0; i < entries->size(); ++i) {
+          ExtentInfo e = (*entries)[i];
+          if (e.offset != walkedOffsets[i] || e.records != walkedRecords[i]) {
+            return std::nullopt;
+          }
+          e.offset += segBase;
+          out.push_back(ChainedExtent{e, schema});
+        }
+        pos = footerEnd;
+        footerDone = true;
+      } else {
+        // Torn tail / unknown bytes: no clean footer for this segment.
+        return std::nullopt;
+      }
+    }
   }
   return out;
 }
@@ -381,6 +502,8 @@ struct ExtentEncoder::Impl {
   std::int64_t prevPreSize = 0, prevPreMtime = 0;
   MicroTime tsMin = 0, tsMax = 0;
   std::uint32_t opMask = 0;
+  std::uint32_t uidMin = 0, uidMax = 0;
+  std::uint64_t fileIdMin = 0, fileIdMax = 0;
 
   Impl() { reset(); }
 
@@ -395,6 +518,8 @@ struct ExtentEncoder::Impl {
     prevPreSize = prevPreMtime = 0;
     tsMin = tsMax = 0;
     opMask = 0;
+    uidMin = uidMax = 0;
+    fileIdMin = fileIdMax = 0;
   }
 };
 
@@ -425,12 +550,22 @@ void ExtentEncoder::add(const TraceRecord& rec) {
   if (rec.vers == 2) flags |= kFlagV2;
   if (reply && rec.status != NfsStat::Ok) flags |= kFlagErr;
 
+  // Zone maps over what a decode would produce: uid comes from every
+  // record; fileId reads as 0 when the record carries no post-op attrs,
+  // so that value participates in the range too.
+  const std::uint64_t fid = attrs ? rec.fileId : 0;
   if (records_ == 0) {
     im.tsFirst = im.prevTs = rec.ts;
     im.tsMin = im.tsMax = rec.ts;
+    im.uidMin = im.uidMax = rec.uid;
+    im.fileIdMin = im.fileIdMax = fid;
   } else {
     if (rec.ts < im.tsMin) im.tsMin = rec.ts;
     if (rec.ts > im.tsMax) im.tsMax = rec.ts;
+    if (rec.uid < im.uidMin) im.uidMin = rec.uid;
+    if (rec.uid > im.uidMax) im.uidMax = rec.uid;
+    if (fid < im.fileIdMin) im.fileIdMin = fid;
+    if (fid > im.fileIdMax) im.fileIdMax = fid;
   }
   std::uint32_t opBit = static_cast<std::uint32_t>(rec.op);
   im.opMask |= opBit < 31 ? (1u << opBit) : (1u << 31);
@@ -543,6 +678,10 @@ ExtentInfo ExtentEncoder::seal(std::string& out, std::uint64_t recordsBefore,
   info.tsMin = im.tsMin;
   info.tsMax = im.tsMax;
   info.opMask = im.opMask;
+  info.uidMin = im.uidMin;
+  info.uidMax = im.uidMax;
+  info.fileIdMin = im.fileIdMin;
+  info.fileIdMax = im.fileIdMax;
 
   im.reset();
   records_ = 0;

@@ -76,8 +76,11 @@ inline constexpr char kTrailerMagic[8] = {'N', 'F', 'S', '2', 'E', 'O', 'F',
 inline constexpr std::size_t kExtentHeaderBytes = 4 + 4 + 4 + 8 + 8 + 4 + 4;
 
 /// One footer-index entry (also what the writer tracks per sealed
-/// extent): enough to skip an extent by time range or op mix without
-/// touching its payload.
+/// extent): enough to skip an extent by time range, op mix, uid or
+/// fileId range without touching its payload.  Schema 4 stores the full
+/// 56-byte entry; schema 2/3 footers carry only the first 32 bytes
+/// (offset through opMask) and load with the conservative zone-map
+/// defaults below, so every pruning decision stays sound on old files.
 struct ExtentInfo {
   std::uint64_t offset = 0;  // file offset of the extent magic
   std::uint32_t records = 0;
@@ -86,7 +89,19 @@ struct ExtentInfo {
   /// Bit i set iff some record in the extent has op == i (ops >= 31
   /// collapse into bit 31).
   std::uint32_t opMask = 0;
+  /// Zone maps (schema 4).  uid ranges over every record; fileId ranges
+  /// over the value a decode would produce (0 for records without
+  /// post-op attrs), so record-level predicate semantics match.
+  std::uint32_t uidMin = 0;
+  std::uint32_t uidMax = ~std::uint32_t{0};
+  std::uint64_t fileIdMin = 0;
+  std::uint64_t fileIdMax = ~std::uint64_t{0};
 };
+
+/// Footer-index entry sizes on disk: schema 4 appends uid/fileId zone
+/// maps to the legacy 32-byte entry.
+inline constexpr std::size_t kIndexEntryBytes = 56;
+inline constexpr std::size_t kIndexEntryBytesLegacy = 32;
 
 struct ExtentHeader {
   std::uint32_t payloadBytes = 0;
@@ -101,8 +116,9 @@ void appendSchema(std::string& out);
 
 /// Validate + skip a schema block at `data` (bytes after the file magic).
 /// Returns the block's total size, or nullopt if malformed.  Accepts the
-/// current schema 3 and the legacy schema 2 (ftype as raw byte); with
-/// non-null `schemaVersion`, reports which one was found.
+/// current schema 4 plus the legacy schema 3 (32-byte footer entries)
+/// and schema 2 (ftype as raw byte); with non-null `schemaVersion`,
+/// reports which one was found.
 std::optional<std::size_t> parseSchema(const char* data, std::size_t n,
                                        int* schemaVersion = nullptr);
 
@@ -117,8 +133,28 @@ void appendIndex(std::string& out, const std::vector<ExtentInfo>& extents,
 
 /// Load the footer index of a v2 trace.  nullopt when the file is not
 /// v2, has no footer (torn tail / still being written), or the footer
-/// fails its CRC.
+/// fails its CRC.  Legacy 32-byte entries load with conservative
+/// (never-prune) uid/fileId zone maps.
 std::optional<std::vector<ExtentInfo>> loadExtentIndex(
+    const std::string& path);
+
+/// One extent of a (possibly concatenated) v2 stream: its footer-index
+/// entry with the offset rebased to the whole file, plus the schema
+/// version of the segment it belongs to.
+struct ChainedExtent {
+  ExtentInfo info;
+  int schema = 4;
+};
+
+/// Load the extent index of a v2 stream that may be several sealed
+/// segments concatenated back to back (cat of the daemon's sealed
+/// files).  Walks segments forward, chains every "NFIX" footer, and
+/// cross-checks each footer entry against the extent headers actually
+/// walked, so a bad or missing footer can never silently drop extents.
+/// nullopt when the file is not v2 or any segment lacks a clean,
+/// CRC-valid, header-consistent footer — callers fall back to the
+/// sequential magic-scan reader.
+std::optional<std::vector<ChainedExtent>> loadChainedIndex(
     const std::string& path);
 
 /// Writer-side column accumulator for one extent.  Records stream in via
@@ -171,9 +207,10 @@ class ExtentDecoder {
   /// across extents).
   std::vector<std::uint8_t>& buffer();
 
-  /// File-level schema version from parseSchema (default 3, the current
-  /// schema).  Schema 2 switches the ftype column to its legacy raw-byte
-  /// decode; sticky across every load() on this decoder.
+  /// File-level schema version from parseSchema (default 4, the current
+  /// schema; 3 differs only in footer-entry width so decodes the same).
+  /// Schema 2 switches the ftype column to its legacy raw-byte decode;
+  /// sticky across every load() on this decoder.
   void setSchema(int version);
 
   /// Parse dictionaries + column cursors from buffer() (which must hold

@@ -1,0 +1,347 @@
+// Query pushdown and extent-parallel decode: the zone-map-pruned scan
+// must produce byte-identical reports to the record-filter-only oracle
+// on randomized traces and predicates, the extent scheduler must be
+// byte-identical to the serial reader at any thread count, legacy
+// schema-2/3 files must decode identically through the new path, and
+// concatenated sealed segments must chain (with a sequential fallback
+// when a footer is missing).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "analysis/engine/engine.hpp"
+#include "analysis/engine/passes.hpp"
+#include "analysis/engine/report.hpp"
+#include "trace/predicate.hpp"
+#include "trace/tracefile.hpp"
+#include "trace/v2.hpp"
+#include "util/rng.hpp"
+
+namespace nfstrace {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "query_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".trace";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+/// Randomized record with the field population the sniffer can actually
+/// produce, so every decode path round-trips it identically.  With
+/// `inEnumFtypes`, ftype stays < 0x80 — required by the legacy-schema
+/// tests, where schema 2's raw-byte ftype column must equal the varint.
+TraceRecord randomRecord(Rng& rng, MicroTime ts, bool inEnumFtypes) {
+  static const NfsOp kOps[] = {
+      NfsOp::Getattr, NfsOp::Setattr, NfsOp::Lookup, NfsOp::Access,
+      NfsOp::Read,    NfsOp::Write,   NfsOp::Create, NfsOp::Remove,
+      NfsOp::Rename,  NfsOp::Readdir, NfsOp::Commit, NfsOp::Fsstat,
+  };
+  TraceRecord r;
+  r.ts = ts;
+  r.client = makeIp(10, 1, 0, static_cast<int>(rng.below(20)) + 1);
+  r.server = makeIp(10, 0, 0, 1);
+  r.xid = static_cast<std::uint32_t>(rng.next());
+  r.vers = rng.chance(0.1) ? 2 : 3;
+  r.overTcp = rng.chance(0.5);
+  r.op = kOps[rng.below(std::size(kOps))];
+  r.uid = 2000 + static_cast<std::uint32_t>(rng.below(40));
+  r.gid = 200 + static_cast<std::uint32_t>(rng.below(4));
+  r.fh = FileHandle::make(2, rng.below(500), 7);
+  if (r.op == NfsOp::Rename) {
+    r.fh2 = FileHandle::make(2, rng.below(500), 7);
+    r.name = "from" + std::to_string(rng.below(100));
+    r.name2 = "to" + std::to_string(rng.below(100));
+  } else if (r.hasName()) {
+    r.name = "file" + std::to_string(rng.below(200)) + ".txt";
+  }
+  if (r.hasOffset()) {
+    r.offset = rng.below(1 << 20) * 8192;
+    r.count = 8192;
+  }
+  if (rng.chance(0.9)) {
+    r.hasReply = true;
+    r.replyTs = r.ts + static_cast<MicroTime>(rng.below(5000)) + 1;
+    r.status = rng.chance(0.05) ? NfsStat::ErrNoEnt : NfsStat::Ok;
+    if (r.op == NfsOp::Read || r.op == NfsOp::Write) {
+      r.retCount = r.count;
+      r.eof = r.op == NfsOp::Read && rng.chance(0.3);
+    }
+    if ((r.op == NfsOp::Lookup || r.op == NfsOp::Create) &&
+        r.status == NfsStat::Ok) {
+      r.resFh = FileHandle::make(2, rng.below(500), 7);
+      r.hasResFh = true;
+    }
+    if (rng.chance(0.8)) {
+      r.hasAttrs = true;
+      r.ftype = !inEnumFtypes && rng.chance(0.02)
+                    ? static_cast<FileType>(rng.below(1u << 16) + 8)
+                    : rng.chance(0.2) ? FileType::Directory
+                                      : FileType::Regular;
+      r.fileSize = rng.below(1 << 22);
+      r.fileMtime = r.ts - static_cast<MicroTime>(rng.below(kMicrosPerHour));
+      r.fileId = rng.below(100000);
+    }
+    if (r.op == NfsOp::Write && rng.chance(0.7)) {
+      r.hasPre = true;
+      r.preSize = rng.below(1 << 22);
+      r.preMtime = r.ts - static_cast<MicroTime>(rng.below(kMicrosPerHour));
+    }
+  }
+  return r;
+}
+
+std::vector<TraceRecord> randomRecords(std::size_t n, std::uint64_t seed,
+                                       bool inEnumFtypes = false) {
+  Rng rng(seed);
+  std::vector<TraceRecord> out;
+  out.reserve(n);
+  MicroTime ts = 86400 * kMicrosPerSecond;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts += static_cast<MicroTime>(rng.below(20000));
+    out.push_back(randomRecord(rng, ts, inEnumFtypes));
+  }
+  return out;
+}
+
+void writeV2(const std::string& path, const std::vector<TraceRecord>& recs,
+             std::uint64_t extentRecords) {
+  TraceWriter::Options opts;
+  opts.format = TraceWriter::Format::V2;
+  opts.v2ExtentRecords = extentRecords;
+  TraceWriter w(path, opts);
+  for (const auto& r : recs) w.write(r);
+}
+
+/// The oracle: classic reader scan, record-level filtering only (no
+/// zone-map pruning, no extent parallelism).
+std::string reportClassic(const std::string& path,
+                          const ScanPredicate& pred = {}) {
+  StandardAnalyses analyses;
+  AnalysisEngine::Config cfg;
+  cfg.predicate = pred;
+  AnalysisEngine engine(cfg);
+  engine.addPasses(analyses.all());
+  TraceReader reader(path);
+  engine.run(reader);
+  return renderReportText("q", analyses);
+}
+
+/// The path under test: runFile dispatches to the extent scanner when
+/// threads > 1 or the predicate is non-trivial.
+std::string reportExtent(const std::string& path, std::size_t threads,
+                         const ScanPredicate& pred = {},
+                         AnalysisEngine::Stats* statsOut = nullptr) {
+  StandardAnalyses analyses;
+  AnalysisEngine::Config cfg;
+  cfg.decodeThreads = threads;
+  cfg.predicate = pred;
+  AnalysisEngine engine(cfg);
+  engine.addPasses(analyses.all());
+  engine.runFile(path);
+  if (statsOut) *statsOut = engine.stats();
+  return renderReportText("q", analyses);
+}
+
+/// Patch the one schema digit in the header block ("schema 4" ->
+/// "schema <d>"), turning a current-writer file into what a pre-bump
+/// writer produced.
+void patchSchemaDigit(const std::string& path, char digit) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  char head[128];
+  std::size_t got = std::fread(head, 1, sizeof(head), f);
+  std::string h(head, got);
+  std::size_t pos = h.find("schema 4");
+  ASSERT_NE(pos, std::string::npos);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(pos + 7), SEEK_SET), 0);
+  std::fputc(digit, f);
+  std::fclose(f);
+}
+
+TEST_F(QueryTest, PrunedMatchesUnprunedOnRandomizedPredicates) {
+  // The differential: for random traces and random predicates, the
+  // zone-map-pruned extent scan must render exactly the report the
+  // record-filter-only oracle renders.  Across the rounds at least one
+  // extent must actually get pruned, or the test is vacuous.
+  static const NfsOp kPredOps[] = {NfsOp::Read,   NfsOp::Write,
+                                   NfsOp::Lookup, NfsOp::Getattr,
+                                   NfsOp::Create, NfsOp::Remove};
+  std::uint64_t prunedTotal = 0;
+  for (std::uint64_t round = 0; round < 6; ++round) {
+    auto recs = randomRecords(1200, 100 + round);
+    writeV2(path_, recs, /*extentRecords=*/128);
+    Rng rng(900 + round);
+    ScanPredicate pred;
+    MicroTime lo = recs.front().ts, hi = recs.back().ts;
+    if (rng.chance(0.7)) {
+      MicroTime a = lo + static_cast<MicroTime>(
+                             rng.below(static_cast<std::uint64_t>(hi - lo)));
+      MicroTime b = lo + static_cast<MicroTime>(
+                             rng.below(static_cast<std::uint64_t>(hi - lo)));
+      pred.from = std::min(a, b);
+      pred.to = std::max(a, b);
+    }
+    if (rng.chance(0.5)) {
+      std::uint32_t ops = 0;
+      for (NfsOp op : kPredOps) {
+        if (rng.chance(0.4)) ops |= opMaskBit(op);
+      }
+      if (ops != 0) pred.ops = ops;
+    }
+    if (rng.chance(0.3)) {
+      pred.uid = 2000 + static_cast<std::uint32_t>(rng.below(40));
+    }
+    if (pred.trivial()) {
+      pred.from = lo + (hi - lo) / 4;
+      pred.to = hi - (hi - lo) / 4;
+    }
+    SCOPED_TRACE("round " + std::to_string(round));
+    std::string oracle = reportClassic(path_, pred);
+    AnalysisEngine::Stats st;
+    EXPECT_EQ(reportExtent(path_, 1, pred, &st), oracle);
+    EXPECT_EQ(reportExtent(path_, 3, pred, &st), oracle);
+    EXPECT_GT(st.extentsTotal, 0u);
+    prunedTotal += st.extentsPruned;
+  }
+  EXPECT_GT(prunedTotal, 0u);
+}
+
+TEST_F(QueryTest, TimeWindowPrunesWholeExtents) {
+  // A window covering exactly one extent's time range must prune nearly
+  // everything else before decode (adjacent extents can share a
+  // boundary timestamp, so allow the two neighbours to survive) and
+  // still keep exactly the records the record-level filter keeps.
+  auto recs = randomRecords(1500, 21);
+  writeV2(path_, recs, /*extentRecords=*/128);
+  auto index = tracev2::loadExtentIndex(path_);
+  ASSERT_TRUE(index.has_value());
+  ASSERT_GE(index->size(), 8u);
+  const auto& mid = (*index)[index->size() / 2];
+  ScanPredicate pred;
+  pred.from = mid.tsMin;
+  pred.to = mid.tsMax;
+  std::uint64_t expectKept = 0;
+  for (const auto& r : recs) {
+    if (r.ts >= pred.from && r.ts <= pred.to) ++expectKept;
+  }
+  AnalysisEngine::Stats st;
+  std::string pruned = reportExtent(path_, 2, pred, &st);
+  EXPECT_EQ(pruned, reportClassic(path_, pred));
+  EXPECT_EQ(st.records, expectKept);
+  EXPECT_EQ(st.extentsTotal, index->size());
+  EXPECT_GE(st.extentsPruned, index->size() - 3);
+}
+
+TEST_F(QueryTest, ParallelDecodeByteIdenticalAcrossThreadCounts) {
+  auto recs = randomRecords(2000, 33);
+  writeV2(path_, recs, /*extentRecords=*/256);
+  std::string oracle = reportClassic(path_);
+  for (std::size_t threads : {2, 3, 4, 8}) {
+    SCOPED_TRACE("decodeThreads " + std::to_string(threads));
+    AnalysisEngine::Stats st;
+    EXPECT_EQ(reportExtent(path_, threads, {}, &st), oracle);
+    EXPECT_EQ(st.records, recs.size());
+    EXPECT_EQ(st.extentsPruned, 0u);
+  }
+}
+
+TEST_F(QueryTest, LegacySchemaFilesDecodeIdenticallyThroughExtentPath) {
+  // Pre-bump files (schema 2: raw-byte ftype column; schema 3: varint
+  // ftype, 32-byte footer era) must decode through the extent scanner
+  // exactly as through the classic reader.  The writer emits schema 4;
+  // patching the digit back reproduces a legacy file because the column
+  // encodings agree for in-enum ftypes and footer-entry width is
+  // CRC-disambiguated, not schema-gated.
+  for (char digit : {'2', '3'}) {
+    SCOPED_TRACE(std::string("schema ") + digit);
+    auto recs = randomRecords(900, 55, /*inEnumFtypes=*/true);
+    writeV2(path_, recs, /*extentRecords=*/128);
+    patchSchemaDigit(path_, digit);
+    auto back = TraceReader::readAll(path_);
+    ASSERT_EQ(back.size(), recs.size());
+    std::string oracle = reportClassic(path_);
+    AnalysisEngine::Stats st;
+    EXPECT_EQ(reportExtent(path_, 4, {}, &st), oracle);
+    EXPECT_EQ(st.records, recs.size());
+    ScanPredicate pred;
+    pred.ops = opMaskBit(NfsOp::Read) | opMaskBit(NfsOp::Write);
+    EXPECT_EQ(reportExtent(path_, 2, pred), reportClassic(path_, pred));
+  }
+}
+
+TEST_F(QueryTest, ChainedSegmentsIndexAndScanIdentically) {
+  // Concatenated sealed segments — what the daemon's retention window
+  // looks like as one byte stream.  The chained index must cover every
+  // extent of every segment (offsets rebased), and both the sequential
+  // reader and the extent scanner must see all records.
+  auto all = randomRecords(1800, 77);
+  std::vector<std::string> parts;
+  for (int s = 0; s < 3; ++s) {
+    std::string part = path_ + ".seg" + std::to_string(s);
+    std::vector<TraceRecord> slice(all.begin() + s * 600,
+                                   all.begin() + (s + 1) * 600);
+    writeV2(part, slice, /*extentRecords=*/128);
+    parts.push_back(part);
+  }
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    for (const auto& part : parts) {
+      std::ifstream in(part, std::ios::binary);
+      out << in.rdbuf();
+    }
+  }
+  std::size_t singleExtents = 0;
+  for (const auto& part : parts) {
+    auto idx = tracev2::loadExtentIndex(part);
+    ASSERT_TRUE(idx.has_value());
+    singleExtents += idx->size();
+    std::remove(part.c_str());
+  }
+  auto chained = tracev2::loadChainedIndex(path_);
+  ASSERT_TRUE(chained.has_value());
+  EXPECT_EQ(chained->size(), singleExtents);
+  auto back = TraceReader::readAll(path_);
+  ASSERT_EQ(back.size(), all.size());
+  std::string oracle = reportClassic(path_);
+  AnalysisEngine::Stats st;
+  EXPECT_EQ(reportExtent(path_, 4, {}, &st), oracle);
+  EXPECT_EQ(st.records, all.size());
+  EXPECT_EQ(st.extentsTotal, singleExtents);
+}
+
+TEST_F(QueryTest, MissingFooterFallsBackToSequentialScan) {
+  // Chop the index-offset + trailer off the end: the footer no longer
+  // verifies, so the chained index must refuse (nullopt) and runFile
+  // must fall back to the classic scan — which still reads every extent
+  // (they sit before the footer) and still applies record filtering.
+  auto recs = randomRecords(1000, 88);
+  writeV2(path_, recs, /*extentRecords=*/128);
+  std::string fullOracle = reportClassic(path_);
+  ScanPredicate pred;
+  pred.from = recs[200].ts;
+  pred.to = recs[700].ts;
+  std::string filteredOracle = reportClassic(path_, pred);
+
+  std::uintmax_t size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 16);
+  EXPECT_FALSE(tracev2::loadChainedIndex(path_).has_value());
+  auto back = TraceReader::readAll(path_);
+  EXPECT_EQ(back.size(), recs.size());
+  AnalysisEngine::Stats st;
+  EXPECT_EQ(reportExtent(path_, 4, {}, &st), fullOracle);
+  EXPECT_EQ(st.records, recs.size());
+  EXPECT_EQ(st.extentsTotal, 0u);  // fallback path: no index consulted
+  EXPECT_EQ(reportExtent(path_, 4, pred), filteredOracle);
+}
+
+}  // namespace
+}  // namespace nfstrace

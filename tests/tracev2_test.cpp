@@ -174,12 +174,13 @@ TEST_F(TraceV2Test, RoundTripRandomizedRecordsAcrossExtents) {
 }
 
 TEST_F(TraceV2Test, ReadsLegacySchema2Files) {
-  // Schema 2 stored the ftype column as a raw byte where schema 3 uses a
-  // varint.  For in-enum ftypes (all < 0x80) the two encodings are
+  // Schema 2 stored the ftype column as a raw byte where schemas 3+ use
+  // a varint.  For in-enum ftypes (all < 0x80) the two encodings are
   // byte-identical, so a current-writer file with its schema line patched
   // back to "schema 2" is exactly what a pre-bump writer produced — and
   // the reader must still accept and decode it, not reject every segment
-  // sealed before the upgrade.
+  // sealed before the upgrade.  (The schema-4 56-byte footer entries
+  // still load: entry width is CRC-disambiguated, not schema-gated.)
   auto recs = randomRecords(600, /*seed=*/11);
   for (auto& r : recs) {
     if (static_cast<std::uint32_t>(r.ftype) >= 0x80) {
@@ -193,7 +194,7 @@ TEST_F(TraceV2Test, ReadsLegacySchema2Files) {
     char head[128];
     std::size_t got = std::fread(head, 1, sizeof(head), f);
     std::string h(head, got);
-    std::size_t pos = h.find("schema 3");
+    std::size_t pos = h.find("schema 4");
     ASSERT_NE(pos, std::string::npos);
     ASSERT_EQ(std::fseek(f, static_cast<long>(pos + 7), SEEK_SET), 0);
     std::fputc('2', f);
